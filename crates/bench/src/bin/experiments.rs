@@ -1,0 +1,83 @@
+//! Regenerates the tables and figures of Johnson & Shasha (PODS 1990).
+//!
+//! ```text
+//! experiments [--quick] [--no-sim] [--out DIR] [--seeds a,b,c]
+//!             [--report FILE.md] <name>...
+//! ```
+//!
+//! `<name>` is one of `fig3` … `fig16`, `ablation-rot-se2`,
+//! `ablation-merge-policy`, or `all`. Each table is printed and, with
+//! `--out`, also written as CSV.
+
+use cbtree_bench::{run_figure, ExpOptions, FIGURES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments [--quick] [--no-sim] [--out DIR] [--seeds a,b,c] \
+         [--report FILE.md] <name>...\n\
+         names: {} or `all`",
+        FIGURES.join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut opts = ExpOptions::default();
+    let mut names: Vec<String> = Vec::new();
+    let mut report: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => {
+                opts.quick = true;
+                opts.seeds = vec![1, 2];
+            }
+            "--no-sim" => opts.with_sim = false,
+            "--report" => {
+                let Some(path) = args.next() else { usage() };
+                report = Some(PathBuf::from(path));
+            }
+            "--out" => {
+                let Some(dir) = args.next() else { usage() };
+                opts.out_dir = Some(PathBuf::from(dir));
+            }
+            "--seeds" => {
+                let Some(list) = args.next() else { usage() };
+                match list.split(',').map(|s| s.trim().parse::<u64>()).collect() {
+                    Ok(seeds) => opts.seeds = seeds,
+                    Err(_) => usage(),
+                }
+            }
+            "--help" | "-h" => usage(),
+            name if name.starts_with('-') => usage(),
+            name => names.push(name.to_string()),
+        }
+    }
+    if names.is_empty() {
+        usage();
+    }
+    let mut report_body = String::from(
+        "# cbtree experiment report\n\nRegenerated tables for Johnson & Shasha \
+         (PODS 1990). See EXPERIMENTS.md for the paper-vs-measured commentary.\n\n",
+    );
+    for name in &names {
+        let start = std::time::Instant::now();
+        for table in run_figure(name, &opts) {
+            table.print();
+            report_body.push_str("```text\n");
+            report_body.push_str(&table.render());
+            report_body.push_str("```\n\n");
+        }
+        eprintln!("[{name} done in {:.1}s]\n", start.elapsed().as_secs_f64());
+    }
+    if let Some(path) = report {
+        if let Err(e) = std::fs::write(&path, report_body) {
+            eprintln!("error: failed to write report {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("report written to {}", path.display());
+    }
+    ExitCode::SUCCESS
+}

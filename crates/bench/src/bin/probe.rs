@@ -1,0 +1,58 @@
+fn main() {
+    use cbtree_sim::runner::construction_tree;
+    use cbtree_sim::{SimAlgorithm, SimConfig};
+
+    let cfg = SimConfig::paper(SimAlgorithm::LinkType, 150.0, 1);
+    let tree = construction_tree(&cfg).unwrap();
+    // leaf fill histogram
+    let mut full = 0u64;
+    let mut total = 0u64;
+    let mut hist = [0u64; 15];
+    let mut l2_full = 0u64;
+    let mut l2_total = 0u64;
+    for id in 0..tree.node_count() {
+        let n = tree.node(id);
+        if n.level == 1 {
+            total += 1;
+            hist[n.keys.len().min(14)] += 1;
+            if n.keys.len() >= 13 {
+                full += 1;
+            }
+        }
+        if n.level == 2 {
+            l2_total += 1;
+            if n.keys.len() >= 13 {
+                l2_full += 1;
+            }
+        }
+    }
+    println!(
+        "leaves {total}, full fraction {:.4} (corollary 0.0679)",
+        full as f64 / total as f64
+    );
+    println!(
+        "L2 {l2_total}, full fraction {:.4} (model 0.1116)",
+        l2_full as f64 / l2_total as f64
+    );
+    println!("hist {:?}", hist);
+    println!(
+        "splits during construction: {}, items {}",
+        tree.splits, tree.item_count
+    );
+    // key-weighted: probability an INSERT (uniform key) hits a full leaf is
+    // weighted by key-range coverage, approx uniform per leaf count… but
+    // ranges differ: weight by (keys+1)? print both
+    let mut wfull = 0.0;
+    let mut wtot = 0.0;
+    for id in 0..tree.node_count() {
+        let n = tree.node(id);
+        if n.level == 1 {
+            let w = n.keys.len() as f64 + 1.0;
+            wtot += w;
+            if n.keys.len() >= 13 {
+                wfull += w;
+            }
+        }
+    }
+    println!("insert-weighted full fraction {:.4}", wfull / wtot);
+}

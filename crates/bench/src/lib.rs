@@ -1,0 +1,18 @@
+//! Experiment harness regenerating every table and figure of Johnson &
+//! Shasha (PODS 1990), plus shared table/CSV utilities used by the
+//! `experiments` binary and the Criterion benchmarks.
+//!
+//! Each `figN` function in [`figures`] reproduces one figure of the
+//! paper's evaluation: it sweeps the same parameter the paper sweeps,
+//! runs the analytical model (and, where the paper overlays simulation,
+//! the discrete-event simulator with multiple seeds), and returns a
+//! [`Table`] whose rows are the series the figure plots.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod figures;
+pub mod table;
+
+pub use figures::{run_figure, ExpOptions, FIGURES};
+pub use table::Table;

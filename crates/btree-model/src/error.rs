@@ -1,0 +1,51 @@
+//! Error type for model-parameter derivation.
+
+use std::fmt;
+
+/// Errors raised while deriving B-tree model parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A parameter was outside its domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable constraint that was violated.
+        constraint: &'static str,
+    },
+    /// The operation mix probabilities do not describe a distribution.
+    InvalidMix {
+        /// Sum of the supplied probabilities.
+        sum: f64,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidParameter { name, constraint } => {
+                write!(f, "invalid model parameter `{name}`: {constraint}")
+            }
+            ModelError::InvalidMix { sum } => {
+                write!(f, "operation mix must sum to 1 (got {sum})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let e = ModelError::InvalidParameter {
+            name: "N",
+            constraint: "must be ≥ 3",
+        };
+        assert!(e.to_string().contains('N'));
+        let m = ModelError::InvalidMix { sum: 0.9 };
+        assert!(m.to_string().contains("0.9"));
+    }
+}

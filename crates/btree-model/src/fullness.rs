@@ -1,0 +1,230 @@
+//! Node-fullness probabilities: `Pr[F(i)]` (insert-unsafe) and `Pr[Em(i)]`
+//! (delete-unsafe).
+//!
+//! Corollary 1 of the paper, citing *Utilization of B-trees with inserts,
+//! deletes and modifies* (PODS '89): if there are at least 5% more inserts
+//! than deletes in the update mix, a merge-at-empty B-tree almost never
+//! merges, and
+//!
+//! ```text
+//! Pr[F(1)] = (1 − 2q) / ((1 − q)·0.68·N),    q = q_d/(q_i + q_d)
+//! Pr[F(j)] = 1/(0.69·N)                      for 1 < j ≤ h
+//! ```
+//!
+//! Intuition: each insert that lands on a full leaf causes a split, and in
+//! steady state splits must balance net growth. A leaf split occurs once
+//! per `0.68·N` *net* new items; the `(1−2q)/(1−q)` factor converts the
+//! per-update probability to account for deletes cancelling inserts. Above
+//! the leaves the tree behaves like a pure-insert tree with fill `0.69`.
+
+use crate::{OpMix, Result, TreeShape};
+
+/// Per-level node-fullness probabilities for a given tree and mix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fullness {
+    /// `Pr[F(i)]`, indexed by level−1 (leaves first).
+    pr_full: Vec<f64>,
+    /// `Pr[Em(i)]`, indexed by level−1.
+    pr_empty: Vec<f64>,
+}
+
+impl Fullness {
+    /// Derives fullness probabilities by Corollary 1.
+    ///
+    /// The root (level `h`) is never "unsafe" in the framework's sense —
+    /// when it splits, the tree grows a level, which the steady-state
+    /// analysis excludes — but the probability is still reported for use
+    /// in `∏ Pr[F(k)]` products, which naturally truncate before the root.
+    ///
+    /// When inserts do *not* dominate deletes, the merge-at-empty
+    /// simplification is not available; we still return Corollary 1's
+    /// insert-side probabilities (clamped at ≥ 0) and a small non-zero
+    /// delete-unsafe probability at the leaves so callers can observe the
+    /// degradation, but the paper's analysis is only claimed accurate in
+    /// the insert-dominated regime.
+    pub fn corollary1(shape: &TreeShape, mix: &OpMix) -> Result<Self> {
+        // Conservation form of Corollary 1: in steady state, the rate of
+        // splits on a level equals that level's node-count growth, so the
+        // probability a node is full when an insert/separator arrives is
+        // the reciprocal of the level's occupancy. With the steady-state
+        // shape (`E(1) = 0.68·N`, `E(j) = 0.69·N`) this reproduces the
+        // paper's printed constants exactly; with a *measured* shape the
+        // probabilities stay consistent with the tree at hand.
+        let q = mix.delete_share_of_updates();
+        let leaf_full = if mix.update_fraction() == 0.0 {
+            0.0
+        } else {
+            ((1.0 - 2.0 * q) / ((1.0 - q) * shape.fanout(1))).max(0.0)
+        };
+
+        let mut pr_full = vec![0.0; shape.height];
+        pr_full[0] = leaf_full;
+        for level in 2..=shape.height {
+            // Non-root internal level l: Pr[F(l)] = 1/E(l) (one split per
+            // E(l) separators absorbed). The root's own fanout says
+            // nothing about its fullness (a 6-child root is far from
+            // full), so the root uses the generic internal occupancy —
+            // the level below's fanout, or the steady-state 0.69·N for
+            // very short trees — reproducing the paper's 1/(0.69·N).
+            let occ = if level == shape.height {
+                if shape.height >= 3 {
+                    shape.fanout(level - 1)
+                } else {
+                    shape.node.upper_occupancy()
+                }
+            } else {
+                shape.fanout(level)
+            };
+            pr_full[level - 1] = 1.0 / occ.max(2.0);
+        }
+
+        // Merge-at-empty: a node merges only when it empties entirely;
+        // with inserts dominating this is "almost zero, and the probability
+        // that a merge propagates is infinitely smaller" (paper §5).
+        let leaf_empty = if mix.inserts_dominate() {
+            0.0
+        } else {
+            // Symmetric estimate in the delete-dominated regime.
+            ((2.0 * q - 1.0) / (q * shape.fanout(1))).max(0.0)
+        };
+        let mut pr_empty = vec![0.0; shape.height];
+        pr_empty[0] = leaf_empty;
+
+        Ok(Fullness { pr_full, pr_empty })
+    }
+
+    /// Builds fullness tables from explicit probabilities (for experiments
+    /// that override the model, and for simulator cross-checks).
+    pub fn explicit(pr_full: Vec<f64>, pr_empty: Vec<f64>) -> Self {
+        assert_eq!(pr_full.len(), pr_empty.len());
+        Fullness { pr_full, pr_empty }
+    }
+
+    /// `Pr[F(i)]`: probability a level-`i` node is insert-unsafe (full).
+    pub fn pr_full(&self, level: usize) -> f64 {
+        assert!((1..=self.pr_full.len()).contains(&level));
+        self.pr_full[level - 1]
+    }
+
+    /// `Pr[Em(i)]`: probability a level-`i` node is delete-unsafe (empty).
+    pub fn pr_empty(&self, level: usize) -> f64 {
+        assert!((1..=self.pr_empty.len()).contains(&level));
+        self.pr_empty[level - 1]
+    }
+
+    /// `∏_{k=1}^{j} Pr[F(k)]` — the probability an insert splits all nodes
+    /// up to and including level `j` (Theorem 1's split-propagation terms).
+    pub fn split_chain_prob(&self, j: usize) -> f64 {
+        (1..=j).map(|k| self.pr_full(k)).product()
+    }
+
+    /// `∏_{k=1}^{j} Pr[Em(k)]` — merge-propagation probability.
+    pub fn merge_chain_prob(&self, j: usize) -> f64 {
+        (1..=j).map(|k| self.pr_empty(k)).product()
+    }
+
+    /// Number of levels covered.
+    pub fn height(&self) -> usize {
+        self.pr_full.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeParams;
+
+    fn paper_fullness() -> Fullness {
+        Fullness::corollary1(&TreeShape::paper(), &OpMix::paper()).unwrap()
+    }
+
+    #[test]
+    fn leaf_probability_matches_corollary_formula() {
+        // q = .2/.7 = 2/7; (1−2q)/(1−q) = (3/7)/(5/7) = 0.6
+        // Pr[F(1)] = 0.6/(0.68·13) ≈ 0.06787
+        let f = paper_fullness();
+        assert!((f.pr_full(1) - 0.6 / (0.68 * 13.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn upper_probability_is_one_over_069n() {
+        let f = paper_fullness();
+        for level in 2..=5 {
+            assert!((f.pr_full(level) - 1.0 / (0.69 * 13.0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn merges_negligible_when_inserts_dominate() {
+        let f = paper_fullness();
+        for level in 1..=5 {
+            assert_eq!(f.pr_empty(level), 0.0);
+        }
+    }
+
+    #[test]
+    fn split_chain_decays_geometrically() {
+        let f = paper_fullness();
+        let p1 = f.split_chain_prob(1);
+        let p2 = f.split_chain_prob(2);
+        let p3 = f.split_chain_prob(3);
+        assert!(p2 < p1 && p3 < p2);
+        assert!((p2 - p1 * f.pr_full(2)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_product_is_one() {
+        let f = paper_fullness();
+        assert_eq!(f.split_chain_prob(0), 1.0);
+        assert_eq!(f.merge_chain_prob(0), 1.0);
+    }
+
+    #[test]
+    fn pure_search_mix_never_splits() {
+        let shape = TreeShape::paper();
+        let f = Fullness::corollary1(&shape, &OpMix::searches_only()).unwrap();
+        assert_eq!(f.pr_full(1), 0.0);
+    }
+
+    #[test]
+    fn pure_insert_mix_gives_one_over_068n() {
+        let shape = TreeShape::paper();
+        let mix = OpMix::new(0.0, 1.0, 0.0).unwrap();
+        let f = Fullness::corollary1(&shape, &mix).unwrap();
+        assert!((f.pr_full(1) - 1.0 / (0.68 * 13.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delete_heavy_mix_reports_nonzero_leaf_merges() {
+        let shape = TreeShape::paper();
+        let mix = OpMix::new(0.2, 0.3, 0.5).unwrap();
+        let f = Fullness::corollary1(&shape, &mix).unwrap();
+        assert!(f.pr_empty(1) > 0.0);
+    }
+
+    #[test]
+    fn balanced_mix_clamps_leaf_split_probability_at_zero() {
+        // q = 1/2 makes (1−2q) = 0; more deletes would make it negative,
+        // which must clamp to 0.
+        let shape = TreeShape::paper();
+        let mix = OpMix::new(0.2, 0.3, 0.5).unwrap();
+        let f = Fullness::corollary1(&shape, &mix).unwrap();
+        assert_eq!(f.pr_full(1), 0.0);
+    }
+
+    #[test]
+    fn larger_nodes_split_less() {
+        let mix = OpMix::paper();
+        let small = Fullness::corollary1(
+            &TreeShape::derive(40_000, NodeParams::with_max_size(13).unwrap()).unwrap(),
+            &mix,
+        )
+        .unwrap();
+        let large = Fullness::corollary1(
+            &TreeShape::derive(40_000, NodeParams::with_max_size(59).unwrap()).unwrap(),
+            &mix,
+        )
+        .unwrap();
+        assert!(large.pr_full(1) < small.pr_full(1));
+    }
+}

@@ -1,0 +1,261 @@
+//! LRU buffer-pool modeling — the §8 "full version" extension.
+//!
+//! The paper's base experiments pin whole levels in memory (top `m`
+//! levels cost 1, the rest cost `D`). A real database buffers *nodes*
+//! with LRU, so each level has a hit *probability* instead. Because every
+//! operation touches exactly one node per level and keys are uniform, a
+//! level-`l` node is referenced at rate proportional to `1/count(l)` —
+//! the classical independent-reference model — and LRU hit rates follow
+//! from **Che's approximation**: with cache capacity `B` nodes and
+//! per-item reference rates `r_i`, the characteristic time `T` solves
+//!
+//! ```text
+//! Σ_i (1 − exp(−r_i·T)) = B,        hit(i) = 1 − exp(−r_i·T).
+//! ```
+//!
+//! The expected node-access cost at level `l` becomes
+//! `Se(l) = base·(hit(l) + (1−hit(l))·D)`, which plugs straight into the
+//! analytical framework. With `B` ≈ the size of the top levels this
+//! reproduces the paper's binary split; in between it interpolates
+//! smoothly, and the `extension-lru` experiment sweeps it.
+
+use crate::{CostModel, ModelError, Result, TreeShape};
+
+/// Per-level LRU hit probabilities for a tree shape and buffer size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LruHits {
+    /// `hit[l−1]`: probability a level-`l` node access hits the buffer.
+    hits: Vec<f64>,
+    /// The characteristic time of Che's approximation (in units of one
+    /// tree traversal).
+    pub characteristic_time: f64,
+    /// Buffer capacity in nodes.
+    pub buffer_nodes: f64,
+}
+
+impl LruHits {
+    /// Computes per-level hit probabilities for a buffer of
+    /// `buffer_nodes` nodes under uniform key traffic.
+    ///
+    /// Reference rates are per operation: one access to a uniformly
+    /// chosen node on each level, i.e. rate `1/count(l)` for a level-`l`
+    /// node.
+    pub fn compute(shape: &TreeShape, buffer_nodes: f64) -> Result<Self> {
+        if !(buffer_nodes.is_finite() && buffer_nodes >= 0.0) {
+            return Err(ModelError::InvalidParameter {
+                name: "buffer_nodes",
+                constraint: "must be finite and non-negative",
+            });
+        }
+        let total_nodes: f64 = (1..=shape.height).map(|l| shape.node_count(l)).sum();
+        if buffer_nodes >= total_nodes {
+            return Ok(LruHits {
+                hits: vec![1.0; shape.height],
+                characteristic_time: f64::INFINITY,
+                buffer_nodes,
+            });
+        }
+        if buffer_nodes == 0.0 {
+            return Ok(LruHits {
+                hits: vec![0.0; shape.height],
+                characteristic_time: 0.0,
+                buffer_nodes,
+            });
+        }
+        // Occupancy(T) = Σ_l count(l)·(1 − exp(−T/count(l))) is strictly
+        // increasing in T; bisect for occupancy = buffer_nodes.
+        let occupancy = |t: f64| -> f64 {
+            (1..=shape.height)
+                .map(|l| {
+                    let c = shape.node_count(l);
+                    c * (1.0 - (-(t / c)).exp())
+                })
+                .sum()
+        };
+        let mut lo = 0.0_f64;
+        let mut hi = 1.0_f64;
+        while occupancy(hi) < buffer_nodes {
+            hi *= 2.0;
+            if hi > 1e18 {
+                break;
+            }
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if occupancy(mid) < buffer_nodes {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let t = 0.5 * (lo + hi);
+        let hits = (1..=shape.height)
+            .map(|l| 1.0 - (-(t / shape.node_count(l))).exp())
+            .collect();
+        Ok(LruHits {
+            hits,
+            characteristic_time: t,
+            buffer_nodes,
+        })
+    }
+
+    /// Hit probability at a 1-based level.
+    pub fn hit(&self, level: usize) -> f64 {
+        assert!((1..=self.hits.len()).contains(&level));
+        self.hits[level - 1]
+    }
+
+    /// Expected buffer occupancy devoted to each level.
+    pub fn occupancy_by_level(&self, shape: &TreeShape) -> Vec<f64> {
+        (1..=shape.height)
+            .map(|l| shape.node_count(l) * self.hit(l))
+            .collect()
+    }
+}
+
+/// Builds a cost model whose per-level search times reflect LRU hit
+/// rates: `Se(l) = base·(hit(l) + (1−hit(l))·disk_cost)`, with the usual
+/// `M = 2·Se(1)`, `Sp = Mg = 3·Se` ratios.
+pub fn lru_cost_model(
+    shape: &TreeShape,
+    buffer_nodes: f64,
+    disk_cost: f64,
+    base: f64,
+) -> Result<CostModel> {
+    let hits = LruHits::compute(shape, buffer_nodes)?;
+    let mut cost = CostModel::paper_style(shape.height, 0, disk_cost, base)?;
+    // Rebuild with per-level effective costs via dilation of each level:
+    // CostModel has uniform-ratio structure, so construct directly.
+    let factors: Vec<f64> = (1..=shape.height)
+        .map(|l| hits.hit(l) + (1.0 - hits.hit(l)) * disk_cost)
+        .collect();
+    cost.apply_per_level_access(&factors, base);
+    Ok(cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeParams;
+
+    fn shape() -> TreeShape {
+        TreeShape::paper()
+    }
+
+    #[test]
+    fn zero_buffer_misses_everywhere() {
+        let h = LruHits::compute(&shape(), 0.0).unwrap();
+        for l in 1..=5 {
+            assert_eq!(h.hit(l), 0.0);
+        }
+    }
+
+    #[test]
+    fn huge_buffer_hits_everywhere() {
+        let h = LruHits::compute(&shape(), 1e9).unwrap();
+        for l in 1..=5 {
+            assert_eq!(h.hit(l), 1.0);
+        }
+    }
+
+    #[test]
+    fn hotter_levels_hit_more() {
+        let h = LruHits::compute(&shape(), 100.0).unwrap();
+        for l in 1..5 {
+            assert!(
+                h.hit(l + 1) >= h.hit(l),
+                "higher levels are hotter: hit({})={} vs hit({})={}",
+                l + 1,
+                h.hit(l + 1),
+                l,
+                h.hit(l)
+            );
+        }
+        assert!(h.hit(5) > 0.99, "the root is essentially always resident");
+    }
+
+    #[test]
+    fn occupancy_matches_buffer_size() {
+        let s = shape();
+        for b in [10.0, 100.0, 1000.0] {
+            let h = LruHits::compute(&s, b).unwrap();
+            let occ: f64 = h.occupancy_by_level(&s).iter().sum();
+            assert!((occ - b).abs() < 1e-6 * b, "occupancy {occ} vs buffer {b}");
+        }
+    }
+
+    #[test]
+    fn hit_rates_increase_with_buffer() {
+        let s = shape();
+        let small = LruHits::compute(&s, 20.0).unwrap();
+        let large = LruHits::compute(&s, 500.0).unwrap();
+        for l in 1..=5 {
+            assert!(large.hit(l) >= small.hit(l));
+        }
+    }
+
+    #[test]
+    fn cost_model_interpolates_between_memory_and_disk() {
+        let s = shape();
+        let tiny = lru_cost_model(&s, 2.0, 5.0, 1.0).unwrap();
+        let huge = lru_cost_model(&s, 1e9, 5.0, 1.0).unwrap();
+        // With nearly no buffer, even the root costs close to disk... but
+        // the root is 1 node and extremely hot, so it still hits once the
+        // buffer holds a couple of nodes.
+        assert!(tiny.se(1) > 4.0, "cold leaves cost ~disk: {}", tiny.se(1));
+        assert!(huge.se(1) < 1.0 + 1e-9, "warm leaves cost ~memory");
+        assert_eq!(huge.m(), 2.0 * huge.se(1));
+        assert_eq!(huge.sp(3), 3.0 * huge.se(3));
+    }
+
+    #[test]
+    fn pinning_needs_more_buffer_than_the_level_sizes() {
+        // A real LRU buffer leaks capacity to the cold levels' miss
+        // traffic: sizing the buffer to exactly the top-two-level node
+        // count does NOT pin those levels (the paper's binary split is an
+        // idealization). With a few times that budget, level 4 becomes
+        // effectively resident while leaves stay cold.
+        let s = shape();
+        let top_two = s.node_count(5) + s.node_count(4);
+        let exact = lru_cost_model(&s, top_two, 5.0, 1.0).unwrap();
+        assert!(
+            exact.se(5) > 1.3,
+            "a buffer of only {top_two:.1} nodes cannot even pin the root \
+             against leaf-miss churn: {}",
+            exact.se(5)
+        );
+        assert!(
+            exact.se(5) < exact.se(4),
+            "but the root is the most resident level"
+        );
+        let generous = lru_cost_model(&s, 8.0 * top_two, 5.0, 1.0).unwrap();
+        assert!(
+            generous.se(5) < 1.05,
+            "8x budget pins the root: {}",
+            generous.se(5)
+        );
+        assert!(
+            generous.se(4) < 1.6,
+            "8x budget mostly pins level 4: {}",
+            generous.se(4)
+        );
+        assert!(
+            generous.se(1) > 4.0,
+            "leaves still mostly on disk: {}",
+            generous.se(1)
+        );
+    }
+
+    #[test]
+    fn small_trees_fully_cached() {
+        let s = TreeShape::derive(100, NodeParams::paper()).unwrap();
+        let h = LruHits::compute(&s, 1e4).unwrap();
+        assert_eq!(h.hit(1), 1.0);
+    }
+
+    #[test]
+    fn rejects_bad_buffer() {
+        assert!(LruHits::compute(&shape(), -1.0).is_err());
+        assert!(LruHits::compute(&shape(), f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,143 @@
+//! Operation mixes: the proportions of search, insert and delete operations.
+
+use crate::{ModelError, Result};
+
+/// Proportions of concurrent search/insert/delete operations,
+/// `q_s + q_i + q_d = 1` (paper §5, "Parameters").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpMix {
+    /// Probability an operation is a search, `q_s`.
+    pub q_search: f64,
+    /// Probability an operation is an insert, `q_i`.
+    pub q_insert: f64,
+    /// Probability an operation is a delete, `q_d`.
+    pub q_delete: f64,
+}
+
+impl OpMix {
+    /// Creates a mix, checking that the proportions are a distribution.
+    pub fn new(q_search: f64, q_insert: f64, q_delete: f64) -> Result<Self> {
+        for (name, v) in [
+            ("q_search", q_search),
+            ("q_insert", q_insert),
+            ("q_delete", q_delete),
+        ] {
+            if !(0.0..=1.0).contains(&v) || !v.is_finite() {
+                return Err(ModelError::InvalidParameter {
+                    name,
+                    constraint: "must be in [0,1]",
+                });
+            }
+        }
+        let sum = q_search + q_insert + q_delete;
+        if (sum - 1.0).abs() > 1e-9 {
+            return Err(ModelError::InvalidMix { sum });
+        }
+        Ok(OpMix {
+            q_search,
+            q_insert,
+            q_delete,
+        })
+    }
+
+    /// The paper's experimental mix: `q_s = .3, q_i = .5, q_d = .2` (§5.3).
+    pub fn paper() -> Self {
+        OpMix {
+            q_search: 0.3,
+            q_insert: 0.5,
+            q_delete: 0.2,
+        }
+    }
+
+    /// A pure-search mix (useful for degenerate-case tests).
+    pub fn searches_only() -> Self {
+        OpMix {
+            q_search: 1.0,
+            q_insert: 0.0,
+            q_delete: 0.0,
+        }
+    }
+
+    /// Fraction of operations that update the tree, `q_i + q_d`.
+    pub fn update_fraction(&self) -> f64 {
+        self.q_insert + self.q_delete
+    }
+
+    /// The delete share of update operations, `q = q_d/(q_i + q_d)` —
+    /// Corollary 1's `q`. Zero when there are no updates.
+    pub fn delete_share_of_updates(&self) -> f64 {
+        let u = self.update_fraction();
+        if u == 0.0 {
+            0.0
+        } else {
+            self.q_delete / u
+        }
+    }
+
+    /// The insert share of update operations, `q_i/(q_i + q_d)` — the
+    /// weight of `T(I,i)` in the writer service rate (Proposition 1).
+    pub fn insert_share_of_updates(&self) -> f64 {
+        let u = self.update_fraction();
+        if u == 0.0 {
+            0.0
+        } else {
+            self.q_insert / u
+        }
+    }
+
+    /// Whether inserts outnumber deletes by at least 5 percentage points of
+    /// the update mix — the precondition of Corollary 1 under which leaf
+    /// merges (and a fortiori propagating merges) are negligible.
+    pub fn inserts_dominate(&self) -> bool {
+        self.q_insert >= self.q_delete + 0.05 * self.update_fraction()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_mix_is_valid() {
+        let m = OpMix::paper();
+        assert_eq!(OpMix::new(0.3, 0.5, 0.2).unwrap(), m);
+        assert!((m.update_fraction() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delete_share_matches_hand_computation() {
+        let m = OpMix::paper();
+        assert!((m.delete_share_of_updates() - 0.2 / 0.7).abs() < 1e-12);
+        assert!((m.insert_share_of_updates() - 0.5 / 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shares_sum_to_one_when_updates_present() {
+        let m = OpMix::new(0.6, 0.25, 0.15).unwrap();
+        assert!((m.delete_share_of_updates() + m.insert_share_of_updates() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pure_search_has_zero_update_shares() {
+        let m = OpMix::searches_only();
+        assert_eq!(m.update_fraction(), 0.0);
+        assert_eq!(m.delete_share_of_updates(), 0.0);
+        assert_eq!(m.insert_share_of_updates(), 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_mixes() {
+        assert!(OpMix::new(0.5, 0.5, 0.5).is_err());
+        assert!(OpMix::new(-0.1, 0.6, 0.5).is_err());
+        assert!(OpMix::new(f64::NAN, 0.5, 0.5).is_err());
+    }
+
+    #[test]
+    fn inserts_dominate_matches_corollary_precondition() {
+        assert!(OpMix::paper().inserts_dominate());
+        assert!(!OpMix::new(0.3, 0.35, 0.35).unwrap().inserts_dominate());
+        // exactly 5% more inserts than deletes among updates
+        let m = OpMix::new(0.0, 0.525, 0.475).unwrap();
+        assert!(m.inserts_dominate());
+    }
+}

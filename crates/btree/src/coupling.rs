@@ -1,0 +1,234 @@
+//! The Naive Lock-coupling tree (Bayer–Schkolnick).
+//!
+//! Readers crab down with shared latches (child latched before the parent
+//! is released). Updaters crab with exclusive latches and release the
+//! retained ancestor chain as soon as a newly latched child is *safe*
+//! (cannot split for inserts / cannot empty for deletes); restructuring
+//! then happens entirely under the retained chain.
+
+use crate::node::{check_invariants, Node, NodeRef};
+use crate::writepath;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A concurrent B+-tree using naive lock-coupling.
+#[derive(Debug)]
+pub struct LockCouplingTree<V> {
+    root: RwLock<NodeRef<V>>,
+    cap: usize,
+    len: AtomicUsize,
+}
+
+impl<V> LockCouplingTree<V> {
+    /// Creates an empty tree with at most `capacity` keys per node.
+    ///
+    /// # Panics
+    /// Panics when `capacity < 3`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 3, "node capacity must be at least 3");
+        LockCouplingTree {
+            root: RwLock::new(Node::new_leaf().into_ref()),
+            cap: capacity,
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Node capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Current height (levels).
+    pub fn height(&self) -> usize {
+        self.root.read().read().level
+    }
+
+    /// Inserts `key → val`; returns the previous value if the key existed.
+    pub fn insert(&self, key: u64, val: V) -> Option<V> {
+        writepath::insert_exclusive(&self.root, self.cap, key, val, || {
+            self.len.fetch_add(1, Ordering::AcqRel);
+        })
+    }
+
+    /// Removes `key`, returning its value if present.
+    pub fn remove(&self, key: &u64) -> Option<V> {
+        writepath::remove_exclusive(&self.root, *key, || {
+            self.len.fetch_sub(1, Ordering::AcqRel);
+        })
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &u64) -> bool {
+        let mut guard = writepath::lock_root_read(&self.root);
+        loop {
+            if guard.is_leaf() {
+                return guard.keys.binary_search(key).is_ok();
+            }
+            let child = guard.child_for(*key);
+            let child_guard = child.read_arc();
+            guard = child_guard;
+        }
+    }
+
+    /// Checks structural invariants (intended for quiescent moments in
+    /// tests; concurrent mutation may produce spurious reports).
+    pub fn check(&self) -> Result<(), String> {
+        check_invariants(&self.root.read(), self.cap)
+    }
+
+    /// Snapshot of the root handle (test/diagnostic use).
+    pub fn root_handle(&self) -> NodeRef<V> {
+        Arc::clone(&self.root.read())
+    }
+}
+
+impl<V: Clone> LockCouplingTree<V> {
+    /// Looks `key` up, cloning the value out.
+    pub fn get(&self, key: &u64) -> Option<V> {
+        writepath::get_coupled(&self.root, *key)
+    }
+
+    /// Ascending range scan over `[lo, hi)` via the leaf chain, one
+    /// shared latch at a time. Weakly consistent under concurrent
+    /// updates (see [`crate::node::collect_range`]).
+    pub fn range(&self, lo: u64, hi: u64) -> Vec<(u64, V)> {
+        let mut out = Vec::new();
+        if lo < hi {
+            let leaf = crate::writepath::leaf_for(&self.root, lo);
+            crate::node::collect_range(leaf, lo, hi, &mut out);
+        }
+        out
+    }
+}
+
+impl<V> Default for LockCouplingTree<V> {
+    fn default() -> Self {
+        LockCouplingTree::new(32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn sequential_matches_std_btreemap() {
+        let tree = LockCouplingTree::new(6);
+        let mut model = BTreeMap::new();
+        let mut state = 0x1234_5678_u64;
+        for _ in 0..4000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let key = (state >> 33) % 500;
+            match state % 3 {
+                0 => assert_eq!(tree.insert(key, state), model.insert(key, state)),
+                1 => assert_eq!(tree.remove(&key), model.remove(&key)),
+                _ => assert_eq!(tree.get(&key), model.get(&key).copied()),
+            }
+            assert_eq!(tree.len(), model.len());
+        }
+        tree.check().unwrap();
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts() {
+        let tree = Arc::new(LockCouplingTree::new(8));
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let tree = Arc::clone(&tree);
+                s.spawn(move || {
+                    for i in 0..2_000u64 {
+                        tree.insert(t * 1_000_000 + i, t);
+                    }
+                });
+            }
+        });
+        assert_eq!(tree.len(), 16_000);
+        tree.check().unwrap();
+        for t in 0..8u64 {
+            assert_eq!(tree.get(&(t * 1_000_000 + 1999)), Some(t));
+        }
+    }
+
+    #[test]
+    fn concurrent_mixed_workload_conserves_keys() {
+        let tree = Arc::new(LockCouplingTree::new(5));
+        // Pre-populate evens; threads remove evens and insert odds over
+        // disjoint stripes; final state is exactly the odds.
+        for k in (0..4000u64).step_by(2) {
+            tree.insert(k, 0u64);
+        }
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let tree = Arc::clone(&tree);
+                s.spawn(move || {
+                    for k in t * 1000..(t + 1) * 1000 {
+                        if k % 2 == 0 {
+                            assert!(tree.remove(&k).is_some());
+                        } else {
+                            assert!(tree.insert(k, 1).is_none());
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(tree.len(), 2000);
+        tree.check().unwrap();
+        for k in 0..4000u64 {
+            assert_eq!(tree.contains_key(&k), k % 2 == 1, "key {k}");
+        }
+    }
+
+    #[test]
+    fn readers_run_against_writers() {
+        let tree = Arc::new(LockCouplingTree::new(8));
+        for k in 0..1000u64 {
+            tree.insert(k, k);
+        }
+        std::thread::scope(|s| {
+            let w = Arc::clone(&tree);
+            s.spawn(move || {
+                for k in 1000..3000u64 {
+                    w.insert(k, k);
+                }
+            });
+            for _ in 0..2 {
+                let r = Arc::clone(&tree);
+                s.spawn(move || {
+                    for k in 0..1000u64 {
+                        // Keys present before the writer started must
+                        // always be found.
+                        assert_eq!(r.get(&k), Some(k));
+                    }
+                });
+            }
+        });
+        assert_eq!(tree.len(), 3000);
+        tree.check().unwrap();
+    }
+
+    #[test]
+    fn default_and_accessors() {
+        let t: LockCouplingTree<()> = LockCouplingTree::default();
+        assert!(t.is_empty());
+        assert_eq!(t.capacity(), 32);
+        assert_eq!(t.height(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn tiny_capacity_rejected() {
+        let _: LockCouplingTree<()> = LockCouplingTree::new(2);
+    }
+}

@@ -1,0 +1,192 @@
+//! Protocol-erased facade: pick the concurrency-control algorithm at run
+//! time, as the paper's comparisons do.
+
+use crate::{BLinkTree, LockCouplingTree, OptimisticTree, TwoPhaseTree};
+
+/// The three latching protocols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// Naive Lock-coupling (Bayer–Schkolnick).
+    LockCoupling,
+    /// Optimistic Descent (Bayer–Schkolnick).
+    OptimisticDescent,
+    /// Link-type / B-link (Lehman–Yao).
+    BLink,
+    /// Strict Two-Phase latching over the whole path (baseline).
+    TwoPhase,
+}
+
+impl Protocol {
+    /// The paper's three protocols, in its presentation order.
+    pub const ALL: [Protocol; 3] = [
+        Protocol::LockCoupling,
+        Protocol::OptimisticDescent,
+        Protocol::BLink,
+    ];
+
+    /// The paper's protocols plus the Two-Phase baseline.
+    pub const ALL_WITH_BASELINE: [Protocol; 4] = [
+        Protocol::TwoPhase,
+        Protocol::LockCoupling,
+        Protocol::OptimisticDescent,
+        Protocol::BLink,
+    ];
+
+    /// Short display name used in benchmark tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Protocol::LockCoupling => "lock-coupling",
+            Protocol::OptimisticDescent => "optimistic",
+            Protocol::BLink => "b-link",
+            Protocol::TwoPhase => "two-phase",
+        }
+    }
+}
+
+/// A concurrent B+-tree with the protocol chosen at construction.
+#[derive(Debug)]
+pub enum ConcurrentBTree<V> {
+    /// Naive lock-coupling tree.
+    Coupling(LockCouplingTree<V>),
+    /// Optimistic-descent tree.
+    Optimistic(OptimisticTree<V>),
+    /// B-link tree.
+    BLink(BLinkTree<V>),
+    /// Two-phase latching tree (baseline).
+    TwoPhase(TwoPhaseTree<V>),
+}
+
+impl<V> ConcurrentBTree<V> {
+    /// Creates an empty tree with the given protocol and node capacity.
+    pub fn new(protocol: Protocol, capacity: usize) -> Self {
+        match protocol {
+            Protocol::LockCoupling => ConcurrentBTree::Coupling(LockCouplingTree::new(capacity)),
+            Protocol::OptimisticDescent => {
+                ConcurrentBTree::Optimistic(OptimisticTree::new(capacity))
+            }
+            Protocol::BLink => ConcurrentBTree::BLink(BLinkTree::new(capacity)),
+            Protocol::TwoPhase => ConcurrentBTree::TwoPhase(TwoPhaseTree::new(capacity)),
+        }
+    }
+
+    /// The protocol in use.
+    pub fn protocol(&self) -> Protocol {
+        match self {
+            ConcurrentBTree::Coupling(_) => Protocol::LockCoupling,
+            ConcurrentBTree::Optimistic(_) => Protocol::OptimisticDescent,
+            ConcurrentBTree::BLink(_) => Protocol::BLink,
+            ConcurrentBTree::TwoPhase(_) => Protocol::TwoPhase,
+        }
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> usize {
+        match self {
+            ConcurrentBTree::Coupling(t) => t.len(),
+            ConcurrentBTree::Optimistic(t) => t.len(),
+            ConcurrentBTree::BLink(t) => t.len(),
+            ConcurrentBTree::TwoPhase(t) => t.len(),
+        }
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts `key → val`; returns the previous value if the key existed.
+    pub fn insert(&self, key: u64, val: V) -> Option<V> {
+        match self {
+            ConcurrentBTree::Coupling(t) => t.insert(key, val),
+            ConcurrentBTree::Optimistic(t) => t.insert(key, val),
+            ConcurrentBTree::BLink(t) => t.insert(key, val),
+            ConcurrentBTree::TwoPhase(t) => t.insert(key, val),
+        }
+    }
+
+    /// Removes `key`, returning its value if present.
+    pub fn remove(&self, key: &u64) -> Option<V> {
+        match self {
+            ConcurrentBTree::Coupling(t) => t.remove(key),
+            ConcurrentBTree::Optimistic(t) => t.remove(key),
+            ConcurrentBTree::BLink(t) => t.remove(key),
+            ConcurrentBTree::TwoPhase(t) => t.remove(key),
+        }
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &u64) -> bool {
+        match self {
+            ConcurrentBTree::Coupling(t) => t.contains_key(key),
+            ConcurrentBTree::Optimistic(t) => t.contains_key(key),
+            ConcurrentBTree::BLink(t) => t.contains_key(key),
+            ConcurrentBTree::TwoPhase(t) => t.contains_key(key),
+        }
+    }
+
+    /// Checks structural invariants (quiescent use).
+    pub fn check(&self) -> Result<(), String> {
+        match self {
+            ConcurrentBTree::Coupling(t) => t.check(),
+            ConcurrentBTree::Optimistic(t) => t.check(),
+            ConcurrentBTree::BLink(t) => t.check(),
+            ConcurrentBTree::TwoPhase(t) => t.check(),
+        }
+    }
+}
+
+impl<V: Clone> ConcurrentBTree<V> {
+    /// Looks `key` up, cloning the value out.
+    pub fn get(&self, key: &u64) -> Option<V> {
+        match self {
+            ConcurrentBTree::Coupling(t) => t.get(key),
+            ConcurrentBTree::Optimistic(t) => t.get(key),
+            ConcurrentBTree::BLink(t) => t.get(key),
+            ConcurrentBTree::TwoPhase(t) => t.get(key),
+        }
+    }
+
+    /// Ascending range scan over `[lo, hi)` (weakly consistent under
+    /// concurrent updates).
+    pub fn range(&self, lo: u64, hi: u64) -> Vec<(u64, V)> {
+        match self {
+            ConcurrentBTree::Coupling(t) => t.range(lo, hi),
+            ConcurrentBTree::Optimistic(t) => t.range(lo, hi),
+            ConcurrentBTree::BLink(t) => t.range(lo, hi),
+            ConcurrentBTree::TwoPhase(t) => t.range(lo, hi),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_protocols_behave_identically_sequentially() {
+        for p in Protocol::ALL {
+            let t = ConcurrentBTree::new(p, 6);
+            assert_eq!(t.protocol(), p);
+            assert!(t.is_empty());
+            for k in 0..300u64 {
+                assert!(t.insert(k, k * 2).is_none(), "{p:?}");
+            }
+            assert_eq!(t.len(), 300);
+            assert_eq!(t.get(&100), Some(200));
+            assert!(t.contains_key(&299));
+            assert_eq!(t.remove(&100), Some(200));
+            assert_eq!(t.get(&100), None);
+            assert_eq!(t.len(), 299);
+            t.check().unwrap();
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: std::collections::HashSet<_> = Protocol::ALL_WITH_BASELINE
+            .iter()
+            .map(|p| p.name())
+            .collect();
+        assert_eq!(names.len(), 4);
+    }
+}

@@ -1,0 +1,65 @@
+//! Real in-memory concurrent B+-trees implementing the three algorithms
+//! of Johnson & Shasha (PODS 1990), usable as an ordinary concurrent
+//! ordered map from `u64` keys to arbitrary values.
+//!
+//! Three latching protocols over the same node representation:
+//!
+//! * [`LockCouplingTree`] — Naive Lock-coupling (Bayer–Schkolnick):
+//!   readers crab with shared latches; updaters crab with exclusive
+//!   latches, retaining the latch chain above any node that might
+//!   restructure.
+//! * [`OptimisticTree`] — Optimistic Descent: updates descend like
+//!   readers and exclusively latch only the leaf; when the leaf is unsafe
+//!   the operation restarts as a full exclusive descent.
+//! * [`BLinkTree`] — the Link-type algorithm (Lehman–Yao): every node
+//!   carries a high key and a right link; operations hold **at most one
+//!   latch at a time** and recover from concurrent splits by chasing
+//!   right links.
+//!
+//! All trees are merge-at-empty with lazy reclamation (a node that loses
+//! its last key remains linked; §3.2 of the paper argues merge-at-empty
+//! is the right policy for concurrent B-trees, and with insert-dominated
+//! mixes empties are rare).
+//!
+//! # Example
+//!
+//! ```
+//! use cbtree_btree::{BLinkTree, ConcurrentBTree, Protocol};
+//! use std::sync::Arc;
+//!
+//! let tree: Arc<BLinkTree<String>> = Arc::new(BLinkTree::new(64));
+//! std::thread::scope(|s| {
+//!     for t in 0..4 {
+//!         let tree = Arc::clone(&tree);
+//!         s.spawn(move || {
+//!             for i in 0..1000u64 {
+//!                 tree.insert(t * 1000 + i, format!("v{i}"));
+//!             }
+//!         });
+//!     }
+//! });
+//! assert_eq!(tree.len(), 4000);
+//! assert_eq!(tree.get(&2999).as_deref(), Some("v999"));
+//!
+//! // Or pick the protocol dynamically:
+//! let any = ConcurrentBTree::new(Protocol::LockCoupling, 32);
+//! any.insert(1, 10u64);
+//! assert_eq!(any.get(&1), Some(10));
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod blink;
+pub mod coupling;
+pub mod facade;
+pub mod node;
+pub mod optimistic;
+pub mod two_phase;
+pub(crate) mod writepath;
+
+pub use blink::BLinkTree;
+pub use coupling::LockCouplingTree;
+pub use facade::{ConcurrentBTree, Protocol};
+pub use optimistic::OptimisticTree;
+pub use two_phase::TwoPhaseTree;

@@ -1,0 +1,421 @@
+//! Shared node representation for all three concurrent B+-trees.
+//!
+//! Nodes are `Arc<RwLock<Node<V>>>`; internal nodes hold child `Arc`s, so
+//! the structure is safely shared without a slab or unsafe code. Every
+//! node — in every protocol — maintains Lehman–Yao metadata (high key and
+//! right link): the link protocols need it for correctness, the others
+//! carry it for free and it enables one common invariant checker.
+
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Reference-counted, latch-protected node handle.
+pub type NodeRef<V> = Arc<RwLock<Node<V>>>;
+
+/// Children of a node: leaf payloads or internal child pointers.
+#[derive(Debug)]
+pub enum Children<V> {
+    /// Leaf: `vals[i]` is the value for `keys[i]`.
+    Leaf(Vec<V>),
+    /// Internal: `kids.len() == keys.len() + 1`.
+    Internal(Vec<NodeRef<V>>),
+}
+
+/// One B+-tree node.
+#[derive(Debug)]
+pub struct Node<V> {
+    /// Sorted keys (separators for internal nodes).
+    pub keys: Vec<u64>,
+    /// Leaf values or child pointers.
+    pub children: Children<V>,
+    /// Right sibling on the same level (`None` = rightmost).
+    pub right: Option<NodeRef<V>>,
+    /// Exclusive upper bound of this node's key range (`None` = +∞).
+    pub high: Option<u64>,
+    /// Height: 1 = leaf.
+    pub level: usize,
+}
+
+impl<V> Node<V> {
+    /// A fresh empty leaf.
+    pub fn new_leaf() -> Self {
+        Node {
+            keys: Vec::new(),
+            children: Children::Leaf(Vec::new()),
+            right: None,
+            high: None,
+            level: 1,
+        }
+    }
+
+    /// Wraps a node into its shared handle.
+    pub fn into_ref(self) -> NodeRef<V> {
+        Arc::new(RwLock::new(self))
+    }
+
+    /// Whether this is a leaf.
+    pub fn is_leaf(&self) -> bool {
+        self.level == 1
+    }
+
+    /// Lehman–Yao range test: does this node's key range still cover
+    /// `key`? `false` means a concurrent split moved the key right.
+    pub fn covers(&self, key: u64) -> bool {
+        self.high.is_none_or(|h| key < h)
+    }
+
+    /// Index of the child an internal node routes `key` to.
+    pub fn child_index(&self, key: u64) -> usize {
+        debug_assert!(!self.is_leaf());
+        self.keys.partition_point(|&k| k <= key)
+    }
+
+    /// The child handle for `key`.
+    ///
+    /// # Panics
+    /// Panics on leaves.
+    pub fn child_for(&self, key: u64) -> NodeRef<V> {
+        match &self.children {
+            Children::Internal(kids) => Arc::clone(&kids[self.child_index(key)]),
+            Children::Leaf(_) => panic!("child_for on a leaf"),
+        }
+    }
+
+    /// Leaf lookup.
+    pub fn leaf_get(&self, key: u64) -> Option<&V> {
+        match &self.children {
+            Children::Leaf(vals) => self.keys.binary_search(&key).ok().map(|i| &vals[i]),
+            Children::Internal(_) => panic!("leaf_get on internal node"),
+        }
+    }
+
+    /// Leaf insert/replace; returns the previous value if the key existed.
+    pub fn leaf_insert(&mut self, key: u64, val: V) -> Option<V> {
+        let pos = match self.keys.binary_search(&key) {
+            Ok(i) => {
+                if let Children::Leaf(vals) = &mut self.children {
+                    return Some(std::mem::replace(&mut vals[i], val));
+                }
+                unreachable!()
+            }
+            Err(i) => i,
+        };
+        self.keys.insert(pos, key);
+        if let Children::Leaf(vals) = &mut self.children {
+            vals.insert(pos, val);
+        }
+        None
+    }
+
+    /// Leaf removal; returns the value if the key existed.
+    pub fn leaf_remove(&mut self, key: u64) -> Option<V> {
+        match self.keys.binary_search(&key) {
+            Ok(i) => {
+                self.keys.remove(i);
+                if let Children::Leaf(vals) = &mut self.children {
+                    Some(vals.remove(i))
+                } else {
+                    unreachable!()
+                }
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Whether an insert into this node could force a split at node
+    /// capacity `cap` — the lock-coupling "insert-unsafe" test.
+    pub fn insert_unsafe(&self, cap: usize) -> bool {
+        self.keys.len() >= cap
+    }
+
+    /// Whether a delete could empty this node.
+    pub fn delete_unsafe(&self) -> bool {
+        self.keys.len() <= 1
+    }
+
+    /// Whether the node holds more than `cap` keys and must split.
+    pub fn overfull(&self, cap: usize) -> bool {
+        self.keys.len() > cap
+    }
+
+    /// Half-splits this node in place, returning `(separator,
+    /// new_right_sibling)`. Maintains right links and high keys. The
+    /// caller must hold this node's exclusive latch and is responsible
+    /// for publishing the separator to the parent.
+    pub fn half_split(&mut self) -> (u64, NodeRef<V>) {
+        let len = self.keys.len();
+        debug_assert!(len >= 2);
+        let mid = len / 2;
+        let (sep, right_keys, right_children) = match &mut self.children {
+            Children::Leaf(vals) => {
+                let right_keys = self.keys.split_off(mid);
+                let right_vals = vals.split_off(mid);
+                (right_keys[0], right_keys, Children::Leaf(right_vals))
+            }
+            Children::Internal(kids) => {
+                let right_keys = self.keys.split_off(mid + 1);
+                let sep = self.keys.pop().expect("mid >= 1");
+                let right_kids = kids.split_off(mid + 1);
+                (sep, right_keys, Children::Internal(right_kids))
+            }
+        };
+        let sibling = Node {
+            keys: right_keys,
+            children: right_children,
+            right: self.right.take(),
+            high: self.high,
+            level: self.level,
+        }
+        .into_ref();
+        self.right = Some(Arc::clone(&sibling));
+        self.high = Some(sep);
+        (sep, sibling)
+    }
+
+    /// Inserts a separator/child pair into this internal node.
+    pub fn insert_separator(&mut self, sep: u64, child: NodeRef<V>) {
+        debug_assert!(!self.is_leaf());
+        let pos = self.keys.partition_point(|&k| k < sep);
+        self.keys.insert(pos, sep);
+        if let Children::Internal(kids) = &mut self.children {
+            kids.insert(pos + 1, child);
+        }
+    }
+}
+
+/// Makes a new root over `left` and `right` separated by `sep`.
+pub fn make_root<V>(left: NodeRef<V>, sep: u64, right: NodeRef<V>, level: usize) -> NodeRef<V> {
+    Node {
+        keys: vec![sep],
+        children: Children::Internal(vec![left, right]),
+        right: None,
+        high: None,
+        level,
+    }
+    .into_ref()
+}
+
+/// Collects `[lo, hi)` by walking the leaf chain rightward from `leaf`,
+/// holding one shared latch at a time. Weakly consistent under concurrent
+/// updates: keys present for the whole scan are returned exactly once
+/// (splits only move keys right, and the walk follows right links), but
+/// concurrent inserts/removes may or may not be observed.
+pub fn collect_range<V: Clone>(leaf: NodeRef<V>, lo: u64, hi: u64, out: &mut Vec<(u64, V)>) {
+    let mut cur = leaf;
+    loop {
+        let next = {
+            let g = cur.read();
+            if !g.covers(lo) {
+                // A split moved our range right before we latched.
+                Arc::clone(
+                    g.right
+                        .as_ref()
+                        .expect("finite high key implies right link"),
+                )
+            } else {
+                if let Children::Leaf(vals) = &g.children {
+                    for (i, &k) in g.keys.iter().enumerate() {
+                        if k >= lo && k < hi {
+                            out.push((k, vals[i].clone()));
+                        }
+                    }
+                }
+                let exhausted = g.high.is_none_or(|h| h >= hi);
+                if exhausted {
+                    return;
+                }
+                Arc::clone(g.right.as_ref().expect("finite high key"))
+            }
+        };
+        cur = next;
+    }
+}
+
+/// Walks the whole tree (quiescently — callers must ensure no concurrent
+/// mutation) checking structural invariants. Returns a description of the
+/// first violation.
+pub fn check_invariants<V>(root: &NodeRef<V>, cap: usize) -> Result<(), String> {
+    fn walk<V>(
+        node: &NodeRef<V>,
+        cap: usize,
+        min: Option<u64>,
+        high: Option<u64>,
+    ) -> Result<usize, String> {
+        let n = node.read();
+        if !n.keys.windows(2).all(|w| w[0] < w[1]) {
+            return Err("keys not strictly sorted".into());
+        }
+        if n.keys.len() > cap {
+            return Err(format!("node overfull: {} > {cap}", n.keys.len()));
+        }
+        if let Some(h) = n.high {
+            if n.keys.iter().any(|&k| k >= h) {
+                return Err("key at or above high key".into());
+            }
+        }
+        if n.right.is_some() != n.high.is_some() {
+            return Err("right link / high key mismatch".into());
+        }
+        if n.high != high {
+            return Err(format!(
+                "high key {:?} disagrees with parent bound {high:?}",
+                n.high
+            ));
+        }
+        if let Some(lo) = min {
+            if n.keys.iter().any(|&k| k < lo) {
+                return Err("key below subtree lower bound".into());
+            }
+        }
+        match &n.children {
+            Children::Leaf(vals) => {
+                if vals.len() != n.keys.len() {
+                    return Err("leaf vals/keys length mismatch".into());
+                }
+                Ok(1)
+            }
+            Children::Internal(kids) => {
+                if kids.len() != n.keys.len() + 1 {
+                    Err(format!(
+                        "internal node has {} kids for {} keys",
+                        kids.len(),
+                        n.keys.len()
+                    ))?;
+                }
+                let mut height = None;
+                for (i, kid) in kids.iter().enumerate() {
+                    let lo = if i == 0 { min } else { Some(n.keys[i - 1]) };
+                    let hi = if i == kids.len() - 1 {
+                        n.high
+                    } else {
+                        Some(n.keys[i])
+                    };
+                    let h = walk(kid, cap, lo, hi)?;
+                    if *height.get_or_insert(h) != h {
+                        return Err("children at unequal heights".into());
+                    }
+                }
+                Ok(height.unwrap_or(0) + 1)
+            }
+        }
+    }
+    walk(root, cap, None, None).map(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf_with(keys: &[u64]) -> Node<u64> {
+        let mut n = Node::new_leaf();
+        for &k in keys {
+            n.leaf_insert(k, k * 10);
+        }
+        n
+    }
+
+    #[test]
+    fn leaf_insert_get_remove() {
+        let mut n = leaf_with(&[5, 1, 3]);
+        assert_eq!(n.keys, vec![1, 3, 5]);
+        assert_eq!(n.leaf_get(3), Some(&30));
+        assert_eq!(n.leaf_insert(3, 99), Some(30));
+        assert_eq!(n.leaf_get(3), Some(&99));
+        assert_eq!(n.leaf_remove(1), Some(10));
+        assert_eq!(n.leaf_remove(1), None);
+        assert_eq!(n.keys, vec![3, 5]);
+    }
+
+    #[test]
+    fn leaf_split_keeps_order_and_links() {
+        let mut n = leaf_with(&[1, 2, 3, 4, 5]);
+        let (sep, sib) = n.half_split();
+        assert_eq!(sep, 3);
+        assert_eq!(n.keys, vec![1, 2]);
+        assert_eq!(n.high, Some(3));
+        let s = sib.read();
+        assert_eq!(s.keys, vec![3, 4, 5]);
+        assert!(n.right.as_ref().is_some_and(|r| Arc::ptr_eq(r, &sib)));
+    }
+
+    #[test]
+    fn internal_split_moves_separator_up() {
+        let kids: Vec<NodeRef<u64>> = (0..6).map(|_| Node::new_leaf().into_ref()).collect();
+        let mut n = Node {
+            keys: vec![10, 20, 30, 40, 50],
+            children: Children::Internal(kids),
+            right: None,
+            high: None,
+            level: 2,
+        };
+        let (sep, sib) = n.half_split();
+        assert_eq!(sep, 30);
+        assert_eq!(n.keys, vec![10, 20]);
+        let s = sib.read();
+        assert_eq!(s.keys, vec![40, 50]);
+        match (&n.children, &s.children) {
+            (Children::Internal(a), Children::Internal(b)) => {
+                assert_eq!(a.len(), 3);
+                assert_eq!(b.len(), 3);
+            }
+            _ => panic!("expected internal"),
+        }
+    }
+
+    #[test]
+    fn covers_and_safety_checks() {
+        let mut n = leaf_with(&[1, 2, 3]);
+        assert!(n.covers(1_000_000));
+        n.high = Some(10);
+        assert!(n.covers(9));
+        assert!(!n.covers(10));
+        assert!(n.insert_unsafe(3));
+        assert!(!n.insert_unsafe(4));
+        assert!(!n.delete_unsafe());
+        let one = leaf_with(&[7]);
+        assert!(one.delete_unsafe());
+    }
+
+    #[test]
+    fn child_index_routing() {
+        let kids: Vec<NodeRef<u64>> = (0..3).map(|_| Node::new_leaf().into_ref()).collect();
+        let n = Node {
+            keys: vec![10, 20],
+            children: Children::Internal(kids),
+            right: None,
+            high: None,
+            level: 2,
+        };
+        assert_eq!(n.child_index(5), 0);
+        assert_eq!(n.child_index(10), 1);
+        assert_eq!(n.child_index(15), 1);
+        assert_eq!(n.child_index(20), 2);
+        assert_eq!(n.child_index(99), 2);
+    }
+
+    #[test]
+    fn invariant_checker_accepts_valid_tree() {
+        let left = leaf_with(&[1, 2]).into_ref();
+        let right = leaf_with(&[5, 6]).into_ref();
+        {
+            let mut l = left.write();
+            l.high = Some(5);
+            l.right = Some(Arc::clone(&right));
+        }
+        let root = make_root(left, 5, right, 2);
+        check_invariants(&root, 4).unwrap();
+    }
+
+    #[test]
+    fn invariant_checker_rejects_bad_separator() {
+        let left = leaf_with(&[1, 9]).into_ref(); // 9 >= separator 5
+        let right = leaf_with(&[5, 6]).into_ref();
+        {
+            let mut l = left.write();
+            l.high = Some(5);
+            l.right = Some(Arc::clone(&right));
+        }
+        let root = make_root(left, 5, right, 2);
+        assert!(check_invariants(&root, 4).is_err());
+    }
+}

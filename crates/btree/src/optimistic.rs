@@ -1,0 +1,280 @@
+//! The Optimistic Descent tree (Bayer–Schkolnick).
+//!
+//! Updates gamble that the leaf will be safe: the first pass descends
+//! with shared latches (read-crabbing) and takes an exclusive latch only
+//! on the leaf, acquired while still holding the parent's shared latch.
+//! If the leaf turns out to be unsafe, everything is released and the
+//! operation redoes itself as a full exclusive descent — exactly the
+//! Naive Lock-coupling write path, shared with `LockCouplingTree`.
+
+use crate::node::{check_invariants, Node, NodeRef};
+use crate::writepath::{self, WriteGuard};
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A concurrent B+-tree using optimistic descent.
+#[derive(Debug)]
+pub struct OptimisticTree<V> {
+    root: RwLock<NodeRef<V>>,
+    cap: usize,
+    len: AtomicUsize,
+    redos: AtomicU64,
+}
+
+impl<V> OptimisticTree<V> {
+    /// Creates an empty tree with at most `capacity` keys per node.
+    ///
+    /// # Panics
+    /// Panics when `capacity < 3`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 3, "node capacity must be at least 3");
+        OptimisticTree {
+            root: RwLock::new(Node::new_leaf().into_ref()),
+            cap: capacity,
+            len: AtomicUsize::new(0),
+            redos: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Node capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Current height (levels).
+    pub fn height(&self) -> usize {
+        self.root.read().read().level
+    }
+
+    /// How many updates had to redo with a full exclusive descent — the
+    /// statistic the paper's analysis predicts as `q_i·Pr[F(1)]` per
+    /// operation.
+    pub fn redo_count(&self) -> u64 {
+        self.redos.load(Ordering::Relaxed)
+    }
+
+    /// First optimistic pass: read-crab to the leaf's parent, then take
+    /// the leaf's exclusive latch while still holding the parent's shared
+    /// latch. Returns the exclusively latched leaf.
+    fn first_pass_leaf(&self, key: u64) -> WriteGuard<V> {
+        loop {
+            // Root cases need pointer revalidation after latching.
+            let root = Arc::clone(&self.root.read());
+            if root.read().is_leaf() {
+                let guard = root.write_arc();
+                if Arc::ptr_eq(&root, &self.root.read()) && guard.is_leaf() {
+                    return guard;
+                }
+                continue; // root split under us: retry
+            }
+            let guard = root.read_arc();
+            if !Arc::ptr_eq(&root, &self.root.read()) {
+                continue;
+            }
+            // Descend with shared crabbing; exclusive-latch the leaf.
+            let mut parent = guard;
+            loop {
+                let child = parent.child_for(key);
+                if parent.level == 2 {
+                    let leaf = child.write_arc();
+                    debug_assert!(leaf.is_leaf());
+                    return leaf; // parent shared latch drops here
+                }
+                let child_guard = child.read_arc();
+                parent = child_guard;
+            }
+        }
+    }
+
+    /// Inserts `key → val`; returns the previous value if the key existed.
+    pub fn insert(&self, key: u64, val: V) -> Option<V> {
+        {
+            let mut leaf = self.first_pass_leaf(key);
+            debug_assert!(leaf.covers(key));
+            let exists = leaf.keys.binary_search(&key).is_ok();
+            if exists || !leaf.insert_unsafe(self.cap) {
+                let old = leaf.leaf_insert(key, val);
+                if old.is_none() {
+                    self.len.fetch_add(1, Ordering::AcqRel);
+                }
+                return old;
+            }
+            // Unsafe leaf: release and redo pessimistically.
+        }
+        self.redos.fetch_add(1, Ordering::Relaxed);
+        writepath::insert_exclusive(&self.root, self.cap, key, val, || {
+            self.len.fetch_add(1, Ordering::AcqRel);
+        })
+    }
+
+    /// Removes `key`, returning its value if present.
+    pub fn remove(&self, key: &u64) -> Option<V> {
+        {
+            let mut leaf = self.first_pass_leaf(*key);
+            if !leaf.delete_unsafe() {
+                let old = leaf.leaf_remove(*key);
+                if old.is_some() {
+                    self.len.fetch_sub(1, Ordering::AcqRel);
+                }
+                return old;
+            }
+        }
+        self.redos.fetch_add(1, Ordering::Relaxed);
+        writepath::remove_exclusive(&self.root, *key, || {
+            self.len.fetch_sub(1, Ordering::AcqRel);
+        })
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &u64) -> bool {
+        let mut guard = writepath::lock_root_read(&self.root);
+        loop {
+            if guard.is_leaf() {
+                return guard.keys.binary_search(key).is_ok();
+            }
+            let child = guard.child_for(*key);
+            let child_guard = child.read_arc();
+            guard = child_guard;
+        }
+    }
+
+    /// Checks structural invariants (quiescent use).
+    pub fn check(&self) -> Result<(), String> {
+        check_invariants(&self.root.read(), self.cap)
+    }
+}
+
+impl<V: Clone> OptimisticTree<V> {
+    /// Looks `key` up, cloning the value out.
+    pub fn get(&self, key: &u64) -> Option<V> {
+        writepath::get_coupled(&self.root, *key)
+    }
+
+    /// Ascending range scan over `[lo, hi)` via the leaf chain, one
+    /// shared latch at a time. Weakly consistent under concurrent
+    /// updates (see [`crate::node::collect_range`]).
+    pub fn range(&self, lo: u64, hi: u64) -> Vec<(u64, V)> {
+        let mut out = Vec::new();
+        if lo < hi {
+            let leaf = crate::writepath::leaf_for(&self.root, lo);
+            crate::node::collect_range(leaf, lo, hi, &mut out);
+        }
+        out
+    }
+}
+
+impl<V> Default for OptimisticTree<V> {
+    fn default() -> Self {
+        OptimisticTree::new(32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn sequential_matches_std_btreemap() {
+        let tree = OptimisticTree::new(5);
+        let mut model = BTreeMap::new();
+        let mut state = 0xDEAD_BEEF_u64;
+        for _ in 0..4000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(7);
+            let key = (state >> 33) % 400;
+            match state % 3 {
+                0 => assert_eq!(tree.insert(key, state), model.insert(key, state)),
+                1 => assert_eq!(tree.remove(&key), model.remove(&key)),
+                _ => assert_eq!(tree.get(&key), model.get(&key).copied()),
+            }
+            assert_eq!(tree.len(), model.len());
+        }
+        tree.check().unwrap();
+    }
+
+    #[test]
+    fn redos_happen_but_rarely() {
+        let tree = OptimisticTree::new(13);
+        for k in 0..20_000u64 {
+            tree.insert(k.wrapping_mul(0x9E37_79B9) % 1_000_000, k);
+        }
+        let redo_rate = tree.redo_count() as f64 / 20_000.0;
+        assert!(tree.redo_count() > 0, "some leaves must have been full");
+        assert!(redo_rate < 0.25, "redo rate {redo_rate} too high");
+        tree.check().unwrap();
+    }
+
+    #[test]
+    fn concurrent_inserts_from_many_threads() {
+        let tree = Arc::new(OptimisticTree::new(7));
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let tree = Arc::clone(&tree);
+                s.spawn(move || {
+                    for i in 0..2_000u64 {
+                        tree.insert(i * 8 + t, t);
+                    }
+                });
+            }
+        });
+        assert_eq!(tree.len(), 16_000);
+        tree.check().unwrap();
+    }
+
+    #[test]
+    fn concurrent_mixed_conserves_keys() {
+        let tree = Arc::new(OptimisticTree::new(5));
+        for k in (0..4000u64).step_by(2) {
+            tree.insert(k, 0u64);
+        }
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let tree = Arc::clone(&tree);
+                s.spawn(move || {
+                    for k in t * 1000..(t + 1) * 1000 {
+                        if k % 2 == 0 {
+                            assert!(tree.remove(&k).is_some());
+                        } else {
+                            assert!(tree.insert(k, 1).is_none());
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(tree.len(), 2000);
+        for k in 0..4000u64 {
+            assert_eq!(tree.contains_key(&k), k % 2 == 1, "key {k}");
+        }
+        tree.check().unwrap();
+    }
+
+    #[test]
+    fn grows_from_leaf_root_under_contention() {
+        // Exercises the root-is-leaf first-pass path racing root growth.
+        let tree = Arc::new(OptimisticTree::new(3));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let tree = Arc::clone(&tree);
+                s.spawn(move || {
+                    for i in 0..500u64 {
+                        tree.insert(i * 4 + t, ());
+                    }
+                });
+            }
+        });
+        assert_eq!(tree.len(), 2000);
+        assert!(tree.height() > 2);
+        tree.check().unwrap();
+    }
+}

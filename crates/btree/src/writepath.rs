@@ -1,0 +1,216 @@
+//! Shared exclusive-descent machinery: the Bayer–Schkolnick write-crabbing
+//! path used by [`crate::LockCouplingTree`] directly and by
+//! [`crate::OptimisticTree`] as its redo pass, plus the read-crabbing
+//! lookup both trees share.
+
+use crate::node::{make_root, Children, Node, NodeRef};
+use parking_lot::{ArcRwLockReadGuard, ArcRwLockWriteGuard, RawRwLock, RwLock};
+use std::sync::Arc;
+
+pub(crate) type ReadGuard<V> = ArcRwLockReadGuard<RawRwLock, Node<V>>;
+pub(crate) type WriteGuard<V> = ArcRwLockWriteGuard<RawRwLock, Node<V>>;
+
+/// Acquires a read latch on the current root, revalidating that the
+/// locked node is still the root (a concurrent root split swings the
+/// pointer; descending from a stale root would miss the upper half of the
+/// key space in the non-link protocols).
+pub(crate) fn lock_root_read<V>(root_ptr: &RwLock<NodeRef<V>>) -> ReadGuard<V> {
+    loop {
+        let root = Arc::clone(&root_ptr.read());
+        let guard = root.read_arc();
+        if Arc::ptr_eq(&root, &root_ptr.read()) {
+            return guard;
+        }
+    }
+}
+
+/// Acquires a write latch on the current root, with the same validation.
+pub(crate) fn lock_root_write<V>(root_ptr: &RwLock<NodeRef<V>>) -> WriteGuard<V> {
+    loop {
+        let root = Arc::clone(&root_ptr.read());
+        let guard = root.write_arc();
+        if Arc::ptr_eq(&root, &root_ptr.read()) {
+            return guard;
+        }
+    }
+}
+
+/// Read-crabbing lookup: hold the parent's shared latch until the child's
+/// is granted.
+pub(crate) fn get_coupled<V: Clone>(root_ptr: &RwLock<NodeRef<V>>, key: u64) -> Option<V> {
+    let mut guard = lock_root_read(root_ptr);
+    loop {
+        match &guard.children {
+            Children::Leaf(_) => return guard.leaf_get(key).cloned(),
+            Children::Internal(_) => {
+                let child = guard.child_for(key);
+                let child_guard = child.read_arc();
+                guard = child_guard; // parent latch released on reassign
+            }
+        }
+    }
+}
+
+/// Read-crabbing descent to the leaf *handle* for `key` (the caller
+/// re-latches it; used by range scans, which continue along the leaf
+/// chain from there).
+pub(crate) fn leaf_for<V>(root_ptr: &RwLock<NodeRef<V>>, key: u64) -> NodeRef<V> {
+    let mut guard = lock_root_read(root_ptr);
+    loop {
+        match &guard.children {
+            Children::Leaf(_) => {
+                return Arc::clone(ArcRwLockReadGuard::rwlock(&guard));
+            }
+            Children::Internal(_) => {
+                let child = guard.child_for(key);
+                let child_guard = child.read_arc();
+                guard = child_guard;
+            }
+        }
+    }
+}
+
+/// Exclusive write-crabbing descent to the leaf for `key`. Retains the
+/// latch chain above every node that is unsafe per `is_unsafe`; returns
+/// the retained guards (top-first, last is the leaf).
+fn descend_exclusive<V>(
+    root_ptr: &RwLock<NodeRef<V>>,
+    key: u64,
+    is_unsafe: impl Fn(&Node<V>) -> bool,
+) -> Vec<WriteGuard<V>> {
+    let mut held: Vec<WriteGuard<V>> = vec![lock_root_write(root_ptr)];
+    loop {
+        let child = {
+            let top = held.last().expect("chain never empty");
+            if top.is_leaf() {
+                return held;
+            }
+            top.child_for(key)
+        };
+        let child_guard = child.write_arc();
+        if !is_unsafe(&child_guard) {
+            held.clear(); // child is safe: release every retained ancestor
+        }
+        held.push(child_guard);
+    }
+}
+
+/// Full exclusive insert (the Naive Lock-coupling insert; also the
+/// Optimistic redo pass). Returns the replaced value, if any. `on_grow`
+/// is invoked when a brand-new key was added.
+pub(crate) fn insert_exclusive<V>(
+    root_ptr: &RwLock<NodeRef<V>>,
+    cap: usize,
+    key: u64,
+    val: V,
+    on_grow: impl FnOnce(),
+) -> Option<V> {
+    let mut held = descend_exclusive(root_ptr, key, |n| n.insert_unsafe(cap));
+    let leaf = held.last_mut().expect("descent reaches a leaf");
+    debug_assert!(leaf.covers(key), "coupled descents never go stale");
+    let old = leaf.leaf_insert(key, val);
+    if old.is_some() {
+        return old; // replacement: no growth, no split
+    }
+    on_grow();
+    // Split upward through the retained chain.
+    let mut idx = held.len() - 1;
+    while held[idx].overfull(cap) {
+        let (sep, sib) = held[idx].half_split();
+        if idx == 0 {
+            // Only the true root can overflow at the chain's top: any
+            // other chain top was safe when latched and gained at most
+            // one separator.
+            let old_root = Arc::clone(ArcRwLockWriteGuard::rwlock(&held[0]));
+            let level = held[0].level + 1;
+            let new_root = make_root(old_root, sep, sib, level);
+            let mut ptr = root_ptr.write();
+            debug_assert!(
+                Arc::ptr_eq(&ptr, ArcRwLockWriteGuard::rwlock(&held[0])),
+                "chain top overflowed but was not the root"
+            );
+            *ptr = new_root;
+            break;
+        }
+        held[idx - 1].insert_separator(sep, sib);
+        idx -= 1;
+    }
+    None
+}
+
+/// Full exclusive remove (merge-at-empty with lazy reclamation: the
+/// protocol retains latches above delete-unsafe nodes, but an emptied
+/// node simply persists). Returns the removed value.
+pub(crate) fn remove_exclusive<V>(
+    root_ptr: &RwLock<NodeRef<V>>,
+    key: u64,
+    on_shrink: impl FnOnce(),
+) -> Option<V> {
+    let mut held = descend_exclusive(root_ptr, key, |n| n.delete_unsafe());
+    let leaf = held.last_mut().expect("descent reaches a leaf");
+    let old = leaf.leaf_remove(key);
+    if old.is_some() {
+        on_shrink();
+    }
+    old
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::check_invariants;
+
+    fn empty_tree() -> RwLock<NodeRef<u32>> {
+        RwLock::new(Node::new_leaf().into_ref())
+    }
+
+    #[test]
+    fn insert_and_get_sequentially() {
+        let root = empty_tree();
+        let mut grew = 0;
+        for k in 0..500u64 {
+            let old = insert_exclusive(&root, 8, k * 3, k as u32, || grew += 1);
+            assert!(old.is_none());
+        }
+        assert_eq!(grew, 500);
+        for k in 0..500u64 {
+            assert_eq!(get_coupled(&root, k * 3), Some(k as u32));
+            assert_eq!(get_coupled(&root, k * 3 + 1), None);
+        }
+        check_invariants(&root.read(), 8).unwrap();
+    }
+
+    #[test]
+    fn replacement_returns_old_value() {
+        let root = empty_tree();
+        insert_exclusive(&root, 8, 7, 1, || {});
+        let old = insert_exclusive(&root, 8, 7, 2, || panic!("no growth on replace"));
+        assert_eq!(old, Some(1));
+        assert_eq!(get_coupled(&root, 7), Some(2));
+    }
+
+    #[test]
+    fn remove_roundtrip() {
+        let root = empty_tree();
+        for k in 0..200u64 {
+            insert_exclusive(&root, 8, k, k as u32, || {});
+        }
+        let mut shrunk = 0;
+        assert_eq!(remove_exclusive(&root, 100, || shrunk += 1), Some(100));
+        assert_eq!(remove_exclusive(&root, 100, || shrunk += 1), None);
+        assert_eq!(shrunk, 1);
+        assert_eq!(get_coupled(&root, 100), None);
+        check_invariants(&root.read(), 8).unwrap();
+    }
+
+    #[test]
+    fn root_grows_through_multiple_levels() {
+        let root = empty_tree();
+        for k in 0..5000u64 {
+            insert_exclusive(&root, 4, k, 0, || {});
+        }
+        let height = root.read().read().level;
+        assert!(height >= 5, "height {height}");
+        check_invariants(&root.read(), 4).unwrap();
+    }
+}

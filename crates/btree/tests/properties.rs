@@ -1,0 +1,129 @@
+//! Property-based tests: every protocol must behave exactly like
+//! `std::collections::BTreeMap` under arbitrary operation sequences, and
+//! structural invariants must hold at every quiescent point.
+
+use cbtree_btree::{ConcurrentBTree, Protocol};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u64),
+    Remove(u64),
+    Get(u64),
+    Contains(u64),
+}
+
+fn op_strategy(key_space: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..key_space, any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        (0..key_space).prop_map(Op::Remove),
+        (0..key_space).prop_map(Op::Get),
+        (0..key_space).prop_map(Op::Contains),
+    ]
+}
+
+fn check_against_model(protocol: Protocol, cap: usize, ops: &[Op]) -> Result<(), TestCaseError> {
+    let tree = ConcurrentBTree::new(protocol, cap);
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    for op in ops {
+        match *op {
+            Op::Insert(k, v) => {
+                prop_assert_eq!(tree.insert(k, v), model.insert(k, v), "insert {}", k);
+            }
+            Op::Remove(k) => {
+                prop_assert_eq!(tree.remove(&k), model.remove(&k), "remove {}", k);
+            }
+            Op::Get(k) => {
+                prop_assert_eq!(tree.get(&k), model.get(&k).copied(), "get {}", k);
+            }
+            Op::Contains(k) => {
+                prop_assert_eq!(
+                    tree.contains_key(&k),
+                    model.contains_key(&k),
+                    "contains {}",
+                    k
+                );
+            }
+        }
+        prop_assert_eq!(tree.len(), model.len());
+    }
+    tree.check()
+        .map_err(|e| TestCaseError::fail(format!("invariant violated: {e}")))?;
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lock_coupling_matches_model(
+        ops in prop::collection::vec(op_strategy(200), 1..400),
+        cap in 3usize..16,
+    ) {
+        check_against_model(Protocol::LockCoupling, cap, &ops)?;
+    }
+
+    #[test]
+    fn optimistic_matches_model(
+        ops in prop::collection::vec(op_strategy(200), 1..400),
+        cap in 3usize..16,
+    ) {
+        check_against_model(Protocol::OptimisticDescent, cap, &ops)?;
+    }
+
+    #[test]
+    fn blink_matches_model(
+        ops in prop::collection::vec(op_strategy(200), 1..400),
+        cap in 3usize..16,
+    ) {
+        check_against_model(Protocol::BLink, cap, &ops)?;
+    }
+
+    #[test]
+    fn two_phase_matches_model(
+        ops in prop::collection::vec(op_strategy(200), 1..400),
+        cap in 3usize..16,
+    ) {
+        check_against_model(Protocol::TwoPhase, cap, &ops)?;
+    }
+
+    /// Dense ascending inserts are the classic splitting worst case;
+    /// every protocol must keep the tree valid and complete.
+    #[test]
+    fn ascending_inserts_stay_valid(n in 1usize..800, cap in 3usize..10) {
+        for p in Protocol::ALL_WITH_BASELINE {
+            let tree = ConcurrentBTree::new(p, cap);
+            for k in 0..n as u64 {
+                prop_assert!(tree.insert(k, k).is_none());
+            }
+            prop_assert_eq!(tree.len(), n);
+            for k in 0..n as u64 {
+                prop_assert!(tree.contains_key(&k));
+            }
+            tree.check().map_err(TestCaseError::fail)?;
+        }
+    }
+
+    /// Range scans agree with the model's range on a quiescent tree,
+    /// for every protocol.
+    #[test]
+    fn range_matches_model(
+        entries in prop::collection::btree_map(0u64..1000, any::<u64>(), 0..300),
+        lo in 0u64..1000,
+        width in 0u64..400,
+        cap in 3usize..12,
+    ) {
+        let hi = lo.saturating_add(width);
+        let expect: Vec<(u64, u64)> =
+            entries.range(lo..hi).map(|(&k, &v)| (k, v)).collect();
+        for p in Protocol::ALL_WITH_BASELINE {
+            let tree = ConcurrentBTree::new(p, cap);
+            for (&k, &v) in &entries {
+                tree.insert(k, v);
+            }
+            let got = tree.range(lo, hi);
+            prop_assert_eq!(&got, &expect, "{:?}", p);
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Model configuration: tree shape, operation mix, costs, fullness
+//! probabilities, and recovery policy.
+
+use crate::{AnalysisError, Result};
+use cbtree_btree_model::{CostModel, Fullness, NodeParams, OpMix, TreeShape};
+
+/// How W locks interact with transaction recovery (paper §7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RecoveryMode {
+    /// The index is not covered by transactional recovery: W locks are
+    /// released as soon as the structural operation completes.
+    #[default]
+    None,
+    /// Naive recovery: *every* W lock an operation places is held until
+    /// the surrounding transaction commits.
+    Naive,
+    /// Leaf-only recovery (Shasha '85): only leaf-level W locks are held
+    /// until commit; non-leaf W locks are released as soon as possible.
+    LeafOnly,
+}
+
+/// Recovery configuration: mode plus the expected remaining transaction
+/// time `T_trans` after the B-tree operation finishes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryConfig {
+    /// Lock-retention policy.
+    pub mode: RecoveryMode,
+    /// Expected time until the enclosing transaction commits (the paper's
+    /// comparison uses `T_trans = 100`, "a conservative estimate").
+    pub t_trans: f64,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            mode: RecoveryMode::None,
+            t_trans: 0.0,
+        }
+    }
+}
+
+impl RecoveryConfig {
+    /// Extra W-lock hold time at the *leaf* level: `T_trans` under either
+    /// recovery mode, 0 with no recovery.
+    pub fn leaf_extra(&self) -> f64 {
+        match self.mode {
+            RecoveryMode::None => 0.0,
+            RecoveryMode::Naive | RecoveryMode::LeafOnly => self.t_trans,
+        }
+    }
+
+    /// Extra expected W-lock hold time above the leaves, given the
+    /// probability `pr_full` that the node's level makes the lock's node
+    /// part of the modified scope: `Pr[F(i)]·T_trans` under Naive
+    /// recovery, 0 otherwise (paper §7's `T'(OP,i)` definition).
+    pub fn upper_extra(&self, pr_full: f64) -> f64 {
+        match self.mode {
+            RecoveryMode::Naive => pr_full * self.t_trans,
+            RecoveryMode::None | RecoveryMode::LeafOnly => 0.0,
+        }
+    }
+}
+
+/// Everything an algorithm model needs to know about the B-tree and the
+/// workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelConfig {
+    /// Steady-state tree shape (height, fanouts).
+    pub shape: TreeShape,
+    /// Operation mix (`q_s`, `q_i`, `q_d`).
+    pub mix: OpMix,
+    /// Per-level access costs.
+    pub cost: CostModel,
+    /// Node-fullness probabilities.
+    pub fullness: Fullness,
+    /// Recovery policy (paper §7); defaults to no recovery.
+    pub recovery: RecoveryConfig,
+}
+
+impl ModelConfig {
+    /// Builds a configuration, deriving fullness probabilities from
+    /// Corollary 1 and checking that all components agree on the height.
+    pub fn new(shape: TreeShape, mix: OpMix, cost: CostModel) -> Result<Self> {
+        if cost.height() != shape.height {
+            return Err(AnalysisError::InvalidParameter {
+                name: "cost",
+                constraint: "cost model height must equal tree height",
+            });
+        }
+        let fullness = Fullness::corollary1(&shape, &mix)?;
+        Ok(ModelConfig {
+            shape,
+            mix,
+            cost,
+            fullness,
+            recovery: RecoveryConfig::default(),
+        })
+    }
+
+    /// The paper's base configuration (§5.3): `N = 13`, ~40 000 items,
+    /// 5 levels with the top 2 in memory, disk cost 5, unit root search,
+    /// mix `.3/.5/.2`.
+    pub fn paper_base() -> Self {
+        let shape = TreeShape::paper();
+        let cost =
+            CostModel::paper_style(shape.height, 2, 5.0, 1.0).expect("paper parameters are valid");
+        ModelConfig::new(shape, OpMix::paper(), cost).expect("paper parameters are valid")
+    }
+
+    /// The paper's base configuration with a different disk cost `D`
+    /// (Figures 9, 11, 15 use `D = 10`).
+    pub fn paper_with_disk_cost(disk_cost: f64) -> Result<Self> {
+        let shape = TreeShape::paper();
+        let cost = CostModel::paper_style(shape.height, 2, disk_cost, 1.0)?;
+        ModelConfig::new(shape, OpMix::paper(), cost)
+    }
+
+    /// A configuration pinned to explicit height/root-fanout/node-size —
+    /// how the figure sweeps vary `N` while keeping the tree comparable.
+    pub fn pinned(
+        max_node_size: usize,
+        height: usize,
+        root_fanout: f64,
+        memory_levels: usize,
+        disk_cost: f64,
+        base_search: f64,
+        mix: OpMix,
+    ) -> Result<Self> {
+        let node = NodeParams::with_max_size(max_node_size)?;
+        let shape = TreeShape::explicit(height, root_fanout, node)?;
+        let cost = CostModel::paper_style(height, memory_levels, disk_cost, base_search)?;
+        ModelConfig::new(shape, mix, cost)
+    }
+
+    /// Returns a copy with the given recovery configuration.
+    pub fn with_recovery(mut self, mode: RecoveryMode, t_trans: f64) -> Self {
+        self.recovery = RecoveryConfig { mode, t_trans };
+        self
+    }
+
+    /// Tree height `h`.
+    pub fn height(&self) -> usize {
+        self.shape.height
+    }
+
+    /// Validates an arrival rate argument.
+    pub(crate) fn check_lambda(&self, lambda: f64) -> Result<()> {
+        if lambda.is_finite() && lambda >= 0.0 {
+            Ok(())
+        } else {
+            Err(AnalysisError::InvalidParameter {
+                name: "lambda",
+                constraint: "must be finite and non-negative",
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_base_is_consistent() {
+        let cfg = ModelConfig::paper_base();
+        assert_eq!(cfg.height(), 5);
+        assert_eq!(cfg.cost.height(), 5);
+        assert_eq!(cfg.fullness.height(), 5);
+        assert_eq!(cfg.recovery.mode, RecoveryMode::None);
+    }
+
+    #[test]
+    fn height_mismatch_rejected() {
+        let shape = TreeShape::paper();
+        let cost = CostModel::paper_style(3, 2, 5.0, 1.0).unwrap();
+        assert!(ModelConfig::new(shape, OpMix::paper(), cost).is_err());
+    }
+
+    #[test]
+    fn recovery_extras() {
+        let none = RecoveryConfig::default();
+        assert_eq!(none.leaf_extra(), 0.0);
+        assert_eq!(none.upper_extra(0.1), 0.0);
+
+        let naive = RecoveryConfig {
+            mode: RecoveryMode::Naive,
+            t_trans: 100.0,
+        };
+        assert_eq!(naive.leaf_extra(), 100.0);
+        assert!((naive.upper_extra(0.1) - 10.0).abs() < 1e-12);
+
+        let leaf = RecoveryConfig {
+            mode: RecoveryMode::LeafOnly,
+            t_trans: 100.0,
+        };
+        assert_eq!(leaf.leaf_extra(), 100.0);
+        assert_eq!(leaf.upper_extra(0.1), 0.0);
+    }
+
+    #[test]
+    fn with_recovery_builder() {
+        let cfg = ModelConfig::paper_base().with_recovery(RecoveryMode::LeafOnly, 50.0);
+        assert_eq!(cfg.recovery.mode, RecoveryMode::LeafOnly);
+        assert_eq!(cfg.recovery.t_trans, 50.0);
+    }
+
+    #[test]
+    fn pinned_configuration() {
+        let cfg = ModelConfig::pinned(59, 4, 6.0, 2, 10.0, 1.0, OpMix::paper()).unwrap();
+        assert_eq!(cfg.height(), 4);
+        assert_eq!(cfg.shape.root_fanout(), 6.0);
+        assert_eq!(cfg.cost.se(1), 10.0);
+        assert_eq!(cfg.cost.se(4), 1.0);
+    }
+
+    #[test]
+    fn lambda_validation() {
+        let cfg = ModelConfig::paper_base();
+        assert!(cfg.check_lambda(0.0).is_ok());
+        assert!(cfg.check_lambda(-1.0).is_err());
+        assert!(cfg.check_lambda(f64::NAN).is_err());
+    }
+}

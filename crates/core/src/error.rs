@@ -1,0 +1,115 @@
+//! Error type for the analytical framework.
+
+use cbtree_btree_model::ModelError;
+use cbtree_queueing::QueueError;
+use std::fmt;
+
+/// Errors raised while evaluating an analytical model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalysisError {
+    /// Some level's lock queue has no stable operating point at the
+    /// requested arrival rate. This is the signal the maximum-throughput
+    /// search probes for.
+    Saturated {
+        /// The level whose queue saturated (1 = leaves, `h` = root).
+        level: usize,
+        /// The total arrival rate that was being evaluated.
+        lambda: f64,
+    },
+    /// An input parameter was outside its domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable constraint that was violated.
+        constraint: &'static str,
+    },
+    /// A queueing computation failed for a reason other than saturation.
+    Queue(QueueError),
+    /// A model-parameter derivation failed.
+    Model(ModelError),
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::Saturated { level, lambda } => {
+                write!(
+                    f,
+                    "lock queue at level {level} saturates at arrival rate {lambda}"
+                )
+            }
+            AnalysisError::InvalidParameter { name, constraint } => {
+                write!(f, "invalid analysis parameter `{name}`: {constraint}")
+            }
+            AnalysisError::Queue(e) => write!(f, "queueing error: {e}"),
+            AnalysisError::Model(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AnalysisError::Queue(e) => Some(e),
+            AnalysisError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for AnalysisError {
+    fn from(e: ModelError) -> Self {
+        AnalysisError::Model(e)
+    }
+}
+
+impl AnalysisError {
+    /// Converts a queueing error at a known level, mapping
+    /// [`QueueError::Saturated`] to [`AnalysisError::Saturated`] so the
+    /// throughput search can treat saturation uniformly.
+    pub fn from_queue_at_level(e: QueueError, level: usize, lambda: f64) -> Self {
+        match e {
+            QueueError::Saturated { .. } => AnalysisError::Saturated { level, lambda },
+            other => AnalysisError::Queue(other),
+        }
+    }
+
+    /// Whether this error reports saturation (as opposed to a genuine
+    /// parameter/numerical failure).
+    pub fn is_saturated(&self) -> bool {
+        matches!(self, AnalysisError::Saturated { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturation_mapping() {
+        let q = QueueError::Saturated {
+            lambda_w: 1.0,
+            lambda_r: 0.0,
+        };
+        let a = AnalysisError::from_queue_at_level(q, 5, 0.9);
+        assert!(a.is_saturated());
+        assert!(a.to_string().contains("level 5"));
+    }
+
+    #[test]
+    fn non_saturation_passthrough() {
+        let q = QueueError::NoConvergence { residual: 1.0 };
+        let a = AnalysisError::from_queue_at_level(q, 2, 0.9);
+        assert!(!a.is_saturated());
+        assert!(matches!(a, AnalysisError::Queue(_)));
+    }
+
+    #[test]
+    fn display_forms() {
+        let e = AnalysisError::InvalidParameter {
+            name: "lambda",
+            constraint: "non-negative",
+        };
+        assert!(e.to_string().contains("lambda"));
+    }
+}

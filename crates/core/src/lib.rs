@@ -1,0 +1,160 @@
+//! Analytical performance models of concurrent B-tree algorithms —
+//! the framework of **Johnson & Shasha, PODS 1990**.
+//!
+//! A concurrent B-tree is modeled as an open network of FCFS
+//! reader/writer lock queues, one *representative node* per tree level
+//! (paper Figure 1). For a given arrival rate the framework computes, per
+//! level, the writer utilization `ρ_w(i)` and the expected times `R(i)` /
+//! `W(i)` to obtain a shared / exclusive lock — and from those, operation
+//! response times (Theorem 5) and the maximum sustainable throughput
+//! (Theorem 2).
+//!
+//! Three algorithms are modeled:
+//!
+//! * [`naive_lc`] — Naive Lock-coupling (Bayer–Schkolnick; paper §5,
+//!   Theorems 1–5),
+//! * [`optimistic`] — Optimistic Descent (Bayer–Schkolnick; paper §5.1),
+//! * [`link`] — the Link-type algorithm (Lehman–Yao / Lanin–Shasha /
+//!   Sagiv; paper §5.1),
+//!
+//! plus the §6 [`rules_of_thumb`] and the §7 [`recovery`] extension
+//! (Naive vs Leaf-only W-lock retention until transaction commit).
+//!
+//! ## Conventions
+//!
+//! Levels are numbered as in the paper: leaves are level 1, the root is
+//! level `h`. Time is dimensionless; the paper's experiments normalize the
+//! root search to one time unit. Arrival rates are operations per time
+//! unit into the whole tree.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cbtree_analysis::{Algorithm, ModelConfig};
+//!
+//! let cfg = ModelConfig::paper_base();          // §5.3 parameters
+//! for alg in Algorithm::ALL {
+//!     let model = alg.model(&cfg);
+//!     let perf = model.evaluate(0.2).unwrap();  // λ = 0.2 ops/unit
+//!     println!("{alg:?}: search RT {:.2}, insert RT {:.2}",
+//!              perf.response_time_search, perf.response_time_insert);
+//! }
+//! // The paper's headline ranking: Link ≫ Optimistic ≫ Naive.
+//! let max_naive = Algorithm::NaiveLockCoupling.model(&cfg).max_throughput().unwrap();
+//! let max_opt   = Algorithm::OptimisticDescent.model(&cfg).max_throughput().unwrap();
+//! let max_link  = Algorithm::LinkType.model(&cfg).max_throughput().unwrap();
+//! assert!(max_link > max_opt && max_opt > max_naive);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod config;
+pub mod error;
+pub mod level;
+pub mod link;
+pub mod naive_lc;
+pub mod optimistic;
+pub mod recovery;
+pub mod rules_of_thumb;
+pub mod throughput;
+pub mod two_phase;
+
+pub use config::{ModelConfig, RecoveryConfig, RecoveryMode};
+pub use error::AnalysisError;
+pub use level::{LevelSolution, Performance};
+pub use link::LinkType;
+pub use naive_lc::NaiveLockCoupling;
+pub use optimistic::OptimisticDescent;
+pub use two_phase::TwoPhaseLocking;
+
+/// Convenience result alias for analysis computations.
+pub type Result<T> = std::result::Result<T, AnalysisError>;
+
+/// The three concurrent B-tree algorithms the paper analyzes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Naive Lock-coupling: R/W crabbing, W locks retained while the child
+    /// is unsafe (paper §2, analyzed in §5).
+    NaiveLockCoupling,
+    /// Optimistic Descent: R-lock descent, W lock only on the leaf;
+    /// restart with a full W descent when the leaf is unsafe (§2, §5.1).
+    OptimisticDescent,
+    /// Link-type (Lehman–Yao): right-links remove lock-coupling; at most
+    /// one lock held at a time (§2, §5.1).
+    LinkType,
+    /// Strict Two-Phase Locking over the whole descent — the baseline the
+    /// paper's §8 full version adds; every lock is retained until the
+    /// operation completes.
+    TwoPhaseLocking,
+}
+
+impl Algorithm {
+    /// The three algorithms the PODS paper analyzes, in its presentation
+    /// order.
+    pub const ALL: [Algorithm; 3] = [
+        Algorithm::NaiveLockCoupling,
+        Algorithm::OptimisticDescent,
+        Algorithm::LinkType,
+    ];
+
+    /// The paper's three algorithms plus the Two-Phase Locking baseline.
+    pub const ALL_WITH_BASELINE: [Algorithm; 4] = [
+        Algorithm::TwoPhaseLocking,
+        Algorithm::NaiveLockCoupling,
+        Algorithm::OptimisticDescent,
+        Algorithm::LinkType,
+    ];
+
+    /// Instantiates the analytical model of this algorithm for a
+    /// configuration.
+    pub fn model(self, cfg: &ModelConfig) -> Box<dyn PerformanceModel> {
+        match self {
+            Algorithm::NaiveLockCoupling => Box::new(NaiveLockCoupling::new(cfg.clone())),
+            Algorithm::OptimisticDescent => Box::new(OptimisticDescent::new(cfg.clone())),
+            Algorithm::LinkType => Box::new(LinkType::new(cfg.clone())),
+            Algorithm::TwoPhaseLocking => Box::new(TwoPhaseLocking::new(cfg.clone())),
+        }
+    }
+
+    /// Short display name used in experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::NaiveLockCoupling => "naive-lc",
+            Algorithm::OptimisticDescent => "optimistic",
+            Algorithm::LinkType => "link",
+            Algorithm::TwoPhaseLocking => "two-phase",
+        }
+    }
+}
+
+/// An analytical performance model of one algorithm on one configuration.
+pub trait PerformanceModel {
+    /// The configuration the model was built from.
+    fn config(&self) -> &ModelConfig;
+
+    /// Which algorithm this models.
+    fn algorithm(&self) -> Algorithm;
+
+    /// Evaluates the model at total arrival rate `lambda`.
+    ///
+    /// Returns [`AnalysisError::Saturated`] when some level's lock queue
+    /// has no stable operating point at this rate.
+    fn evaluate(&self, lambda: f64) -> Result<Performance>;
+
+    /// Maximum sustainable throughput: the supremum of arrival rates for
+    /// which every level is stable (Theorem 2). Found by exponential
+    /// search plus bisection on [`PerformanceModel::evaluate`].
+    fn max_throughput(&self) -> Result<f64> {
+        throughput::max_throughput(self.as_dyn())
+    }
+
+    /// The arrival rate at which the *root* writer utilization reaches
+    /// `target_rho` — the §6 "effective maximum arrival rate" uses 0.5.
+    fn lambda_at_root_rho(&self, target_rho: f64) -> Result<f64> {
+        throughput::lambda_at_root_rho(self.as_dyn(), target_rho)
+    }
+
+    /// Upcast helper so default methods can hand `self` to free functions.
+    fn as_dyn(&self) -> &dyn PerformanceModel;
+}

@@ -1,0 +1,242 @@
+//! The Link-type (Lehman–Yao) model (paper §5.1).
+//!
+//! Every node is linked to its right neighbor, so operations hold **at
+//! most one lock at a time**: R locks on the way down, and updates take a
+//! W lock only on the node they actually modify. A split half-splits the
+//! node, links the new sibling, *releases* the node's lock, and only then
+//! W-locks the parent to post the new pointer.
+//!
+//! Modeling consequences:
+//!
+//! * there is no lock-coupling, so the levels decouple — each level is an
+//!   independent FCFS R/W queue whose service times are pure node work;
+//! * the W-lock arrival rate at level `i > 1` is the rate at which splits
+//!   propagate to it: `λ_{W,i} = q_i·λ_i·∏_{k<i} Pr[F(k)]`;
+//! * R service is just `Se(i)`; W service is the node modification plus a
+//!   possible half-split while the lock is held;
+//! * link chases (an operation drifting right after a concurrent split)
+//!   are rare enough to ignore analytically — the paper's Figure 9 and our
+//!   simulator confirm the effect on response time is negligible.
+//!
+//! Because nothing couples the levels and the W rates fall geometrically
+//! with height, the algorithm saturates only at enormous arrival rates —
+//! "the Link-type algorithm has no effective maximum throughput" (§6).
+
+use crate::config::ModelConfig;
+use crate::level::{solve_level, LevelSolution, Performance};
+use crate::{Algorithm, PerformanceModel, Result};
+use cbtree_queueing::stages::{Mixture, StagedService};
+
+/// Analytical model of the Link-type algorithm.
+#[derive(Debug, Clone)]
+pub struct LinkType {
+    cfg: ModelConfig,
+}
+
+impl LinkType {
+    /// Builds the model for a configuration.
+    pub fn new(cfg: ModelConfig) -> Self {
+        LinkType { cfg }
+    }
+
+    /// Expected time to modify (insert a separator into) a level-`i` node.
+    /// The paper defines `M` only for leaves; we extend the same 2× ratio
+    /// to upper-level modifications.
+    fn modify(&self, level: usize) -> f64 {
+        2.0 * self.cfg.cost.se(level)
+    }
+}
+
+impl PerformanceModel for LinkType {
+    fn config(&self) -> &ModelConfig {
+        &self.cfg
+    }
+
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::LinkType
+    }
+
+    fn evaluate(&self, lambda: f64) -> Result<Performance> {
+        self.cfg.check_lambda(lambda)?;
+        let cfg = &self.cfg;
+        let h = cfg.height();
+        let mix = &cfg.mix;
+        let f = &cfg.fullness;
+        let c = &cfg.cost;
+        let rec = &cfg.recovery;
+        let ins_share = mix.insert_share_of_updates();
+
+        let mut sols: Vec<LevelSolution> = Vec::with_capacity(h);
+        for level in 1..=h {
+            let lambda_lvl = cfg.shape.arrival_at_level(lambda, level);
+            let mu_r = 1.0 / c.se(level);
+
+            let mut sol = if level == 1 {
+                let lambda_r = mix.q_search * lambda_lvl;
+                let lambda_w = mix.update_fraction() * lambda_lvl;
+                // Insert W service: modify + (if now overfull) half-split,
+                // all under the leaf lock. Deletes just modify.
+                let split_prob = ins_share * f.pr_full(1);
+                let m_eff = c.m() + rec.leaf_extra();
+                let sp1 = c.sp(1);
+                solve_level(1, lambda_r, lambda_w, mu_r, lambda, move |burst| {
+                    StagedService::new()
+                        .with_stage(Mixture::always(m_eff + burst))
+                        .with_stage(Mixture::optional(split_prob, sp1))
+                })?
+            } else {
+                // All operations pass through with R locks; W locks arrive
+                // only as splits propagating up from below.
+                let lambda_r = lambda_lvl;
+                let lambda_w = mix.q_insert * lambda_lvl * f.split_chain_prob(level - 1);
+                let rec_extra_prob = if rec.upper_extra(f.pr_full(level)) > 0.0 {
+                    f.pr_full(level)
+                } else {
+                    0.0
+                };
+                let t_trans = rec.t_trans;
+                let modify = self.modify(level);
+                let split_prob = f.pr_full(level);
+                let sp = c.sp(level);
+                solve_level(level, lambda_r, lambda_w, mu_r, lambda, move |burst| {
+                    let mut agg = StagedService::new()
+                        .with_stage(Mixture::always(modify + burst))
+                        .with_stage(Mixture::optional(split_prob, sp));
+                    if rec_extra_prob > 0.0 {
+                        agg.push(Mixture::optional(rec_extra_prob, t_trans));
+                    }
+                    agg
+                })?
+            };
+            // Reader-wait refinement for the link protocol. The
+            // Pollaczek–Khinchine form (right for the *writers*, who queue
+            // behind whole aggregates) overcharges readers: a reader
+            // arriving while no writer is queued joins the reader group
+            // immediately — reader-burst "work" never blocks other
+            // readers. A reader waits only when a writer is present
+            // (probability λ_w·T_a): behind the writer's remaining burst
+            // plus its hold, or behind the residual hold.
+            if sol.lambda_w > 0.0 {
+                let b = (sol.t_agg - sol.burst).max(0.0);
+                sol.r_wait = sol.lambda_w * (0.5 * sol.burst * sol.burst + sol.burst * b + b * b);
+                sol.w_wait = sol.w_wait.max(sol.r_wait + sol.burst);
+            }
+            sols.push(sol);
+        }
+
+        // Response times. Descent reads every level (one lock at a time).
+        let response_time_search: f64 = (1..=h).map(|i| c.se(i) + sols[i - 1].r_wait).sum();
+
+        // Insert: read down to the leaf's parent, W-lock the leaf, modify;
+        // then with probability ∏Pr[F] the split climbs, paying the
+        // half-split plus the next level's W wait and modification.
+        let descent: f64 = (2..=h).map(|i| c.se(i) + sols[i - 1].r_wait).sum();
+        let mut split_work = 0.0;
+        for (j, sol_above) in sols.iter().enumerate().take(h).skip(1) {
+            // j is the 0-based index of level j+1; sol_above is level j+1.
+            let reach = f.split_chain_prob(j);
+            split_work += reach * (c.sp(j) + sol_above.w_wait + self.modify(j + 1));
+        }
+        let response_time_insert = descent + sols[0].w_wait + c.m() + split_work;
+        let response_time_delete = descent + sols[0].w_wait + c.m();
+
+        Ok(Performance {
+            lambda,
+            response_time_search,
+            response_time_insert,
+            response_time_delete,
+            levels: sols,
+        })
+    }
+
+    fn as_dyn(&self) -> &dyn PerformanceModel {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NaiveLockCoupling, OptimisticDescent};
+
+    fn model() -> LinkType {
+        LinkType::new(ModelConfig::paper_base())
+    }
+
+    #[test]
+    fn zero_load_search_is_serial() {
+        let perf = model().evaluate(0.0).unwrap();
+        assert!((perf.response_time_search - 17.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn writer_rates_match_split_propagation() {
+        // λ_{W,i} = q_i·λ_i·∏_{k<i} Pr[F(k)]. Per representative node the
+        // rate is roughly flat above the leaf (E·Pr[F] ≈ 1 at steady
+        // state), far below the leaf's update rate, and smallest at the
+        // root (whose fanout is below steady state).
+        let perf = model().evaluate(1.0).unwrap();
+        let cfg = ModelConfig::paper_base();
+        for i in 2..=5 {
+            let lvl = perf.level(i);
+            let expect = cfg.mix.q_insert
+                * cfg.shape.arrival_at_level(1.0, i)
+                * cfg.fullness.split_chain_prob(i - 1);
+            assert!((lvl.lambda_w - expect).abs() < 1e-12, "level {i}");
+            assert!(lvl.lambda_w < perf.level(1).lambda_w);
+        }
+        assert!(perf.level(5).lambda_w < perf.level(4).lambda_w);
+    }
+
+    #[test]
+    fn dominates_both_other_algorithms() {
+        // Figure 12 / §8: Link ≫ Optimistic ≫ Naive.
+        let cfg = ModelConfig::paper_base();
+        let link = LinkType::new(cfg.clone()).max_throughput().unwrap();
+        let od = OptimisticDescent::new(cfg.clone())
+            .max_throughput()
+            .unwrap();
+        let naive = NaiveLockCoupling::new(cfg).max_throughput().unwrap();
+        assert!(
+            link > 3.0 * od && od > 1.5 * naive,
+            "expected link ({link}) >> od ({od}) >> naive ({naive})"
+        );
+    }
+
+    #[test]
+    fn effectively_unbounded_concurrency() {
+        // §6: "the Link-type algorithm has no effective maximum
+        // throughput" — it sustains rates far beyond the other
+        // algorithms' saturation points.
+        let m = model();
+        assert!(m.evaluate(20.0).is_ok(), "link must sustain λ=20");
+        let max = m.max_throughput().unwrap();
+        assert!(max > 50.0, "link saturation should be enormous, got {max}");
+    }
+
+    #[test]
+    fn response_time_nearly_flat_until_high_load() {
+        let m = model();
+        let lo = m.evaluate(0.1).unwrap().response_time_insert;
+        let mid = m.evaluate(2.0).unwrap().response_time_insert;
+        assert!(
+            mid < 1.5 * lo,
+            "link insert RT should stay nearly flat: {lo} → {mid}"
+        );
+    }
+
+    #[test]
+    fn search_and_delete_relationships() {
+        let perf = model().evaluate(1.0).unwrap();
+        assert!(perf.response_time_insert >= perf.response_time_delete);
+        assert!(perf.response_time_delete > perf.response_time_search);
+    }
+
+    #[test]
+    fn upper_level_readers_carry_everyone() {
+        let perf = model().evaluate(2.0).unwrap();
+        let cfg = ModelConfig::paper_base();
+        let root = perf.level(cfg.height());
+        assert!((root.lambda_r - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,340 @@
+//! The Naive Lock-coupling model (paper §5, Theorems 1–5).
+//!
+//! Searches descend with shared locks, updates with exclusive locks, and a
+//! parent's lock is released only after the child's lock is granted — and
+//! retained entirely while the child is unsafe for the operation. The
+//! consequence for the model is that the time a level-`i` lock is *held*
+//! embeds the waiting time at level `i−1` (Theorem 1), so the levels are
+//! solved bottom-up:
+//!
+//! 1. leaves: plain Theorem 6 fixed point + M/M/1 waits (Theorem 4);
+//! 2. level `i ≥ 2`: the writer's aggregate service is the staged server
+//!    of Figure 2 — search the node and absorb the reader burst
+//!    (`t_e`), hold the child's lock while it restructures with
+//!    probability `p_f` (`t_f`), and wait to acquire the child's lock
+//!    (busy branch `ρ_o`/`t_busy`, idle branch `t_idle`) — solved with the
+//!    generalized fixed point and Pollaczek–Khinchine (Theorem 3);
+//! 3. response times from Theorem 5.
+
+use crate::config::ModelConfig;
+use crate::level::{solve_level, LevelSolution, Performance};
+use crate::{Algorithm, PerformanceModel, Result};
+use cbtree_queueing::stages::{Mixture, StagedService};
+
+/// Analytical model of the Naive Lock-coupling algorithm.
+#[derive(Debug, Clone)]
+pub struct NaiveLockCoupling {
+    cfg: ModelConfig,
+    /// Ablation switch: model upper-level aggregate service as a plain
+    /// exponential with the same mean instead of Theorem 3's staged
+    /// hyperexponential server (underestimates the variance, hence the
+    /// waits — quantified by the `ablation-hyperexp` experiment).
+    exponential_approx: bool,
+}
+
+/// Per-level lock-hold times `T(o, i)` (Theorem 1), exposed for tests and
+/// for the Optimistic Descent model, which reuses the insert recursion for
+/// its redo descents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HoldTimes {
+    /// `T(S, i)`, indexed by level−1.
+    pub search: Vec<f64>,
+    /// `T(I, i)`, indexed by level−1.
+    pub insert: Vec<f64>,
+    /// `T(D, i)`, indexed by level−1.
+    pub delete: Vec<f64>,
+}
+
+impl NaiveLockCoupling {
+    /// Builds the model for a configuration.
+    pub fn new(cfg: ModelConfig) -> Self {
+        NaiveLockCoupling {
+            cfg,
+            exponential_approx: false,
+        }
+    }
+
+    /// Builds the ablation variant that replaces Theorem 3's staged
+    /// (hyperexponential) upper-level server with a plain exponential of
+    /// equal mean. "Lock coupling gives the service time distributions a
+    /// large variance" (§5) — this variant shows how much of the waiting
+    /// the naive exponential assumption misses.
+    pub fn new_exponential_approx(cfg: ModelConfig) -> Self {
+        NaiveLockCoupling {
+            cfg,
+            exponential_approx: true,
+        }
+    }
+
+    /// Evaluates the model, returning both the performance report and the
+    /// Theorem 1 hold times (the plain [`PerformanceModel::evaluate`]
+    /// discards the latter).
+    pub fn evaluate_detailed(&self, lambda: f64) -> Result<(Performance, HoldTimes)> {
+        self.cfg.check_lambda(lambda)?;
+        let cfg = &self.cfg;
+        let h = cfg.height();
+        let mix = &cfg.mix;
+        let f = &cfg.fullness;
+        let c = &cfg.cost;
+        let rec = &cfg.recovery;
+        let ins_share = mix.insert_share_of_updates();
+        let del_share = mix.delete_share_of_updates();
+
+        let mut t_s = vec![0.0; h];
+        let mut t_i = vec![0.0; h];
+        let mut t_d = vec![0.0; h];
+        let mut sols: Vec<LevelSolution> = Vec::with_capacity(h);
+
+        for level in 1..=h {
+            let lambda_lvl = cfg.shape.arrival_at_level(lambda, level);
+            let lambda_r = mix.q_search * lambda_lvl;
+            let lambda_w = mix.update_fraction() * lambda_lvl;
+
+            let sol = if level == 1 {
+                // Theorem 4: the leaf's aggregate service is one
+                // exponential stage. §7: waiters see T' = T + T_trans at
+                // the leaf under either recovery mode, but the Theorem 1
+                // recursion stays unprimed (the parent releases its lock
+                // when the structural work completes, not at commit).
+                t_s[0] = c.se(1);
+                t_i[0] = c.m();
+                t_d[0] = c.m();
+                let w_mean = ins_share * t_i[0] + del_share * t_d[0] + rec.leaf_extra();
+                let mu_r = 1.0 / t_s[0];
+                solve_level(1, lambda_r, lambda_w, mu_r, lambda, |burst| {
+                    StagedService::new().with_stage(Mixture::always(w_mean + burst))
+                })?
+            } else {
+                let prev = &sols[level - 2];
+                let i = level; // paper's level index
+
+                // Theorem 1 hold times (unprimed; recovery enters only
+                // the queue service times below, per §7).
+                t_s[i - 1] = c.se(i) + prev.r_wait;
+                t_i[i - 1] = c.se(i)
+                    + prev.w_wait
+                    + f.pr_full(i - 1) * t_i[i - 2]
+                    + c.sp(i - 1) * f.split_chain_prob(i - 1);
+                t_d[i - 1] = c.se(i)
+                    + prev.w_wait
+                    + f.pr_empty(i - 1) * t_d[i - 2]
+                    + c.mg(i - 1) * f.merge_chain_prob(i - 1);
+
+                // Theorem 3 stage parameters (all from level i−1). t_f is
+                // the *structural* child hold time: the level-i lock is
+                // released when restructuring completes, so §7's retention
+                // does not extend it (the child queue's own waits, which
+                // feed t_busy/t_idle via `prev`, already reflect T').
+                let p_f = ins_share * f.pr_full(i - 1);
+                let rho_o = prev.rho_w;
+                let t_f = t_i[i - 2] + c.sp(i - 1) * f.split_chain_prob(i.saturating_sub(2));
+                let t_busy = if rho_o > 0.0 {
+                    prev.r_wait / rho_o + prev.r_u
+                } else {
+                    0.0
+                };
+                let t_idle = prev.r_e;
+                let mu_r = 1.0 / t_s[i - 1];
+                let se_i = c.se(i);
+                let t_trans = cfg.recovery.t_trans;
+                let rec_prob = if rec.upper_extra(f.pr_full(i)) > 0.0 {
+                    f.pr_full(i)
+                } else {
+                    0.0
+                };
+                let exponential_approx = self.exponential_approx;
+
+                solve_level(i, lambda_r, lambda_w, mu_r, lambda, move |burst| {
+                    let mut agg = StagedService::theorem3_server(
+                        se_i + burst,
+                        p_f,
+                        t_f,
+                        rho_o,
+                        t_busy,
+                        t_idle,
+                    );
+                    if rec_prob > 0.0 {
+                        // Naive recovery: the W lock is retained T_trans
+                        // past the operation when the node is modified.
+                        agg.push(Mixture::optional(rec_prob, t_trans));
+                    }
+                    if exponential_approx {
+                        // Ablation: same mean, exponential variance.
+                        agg = StagedService::new().with_stage(Mixture::always(agg.mean()));
+                    }
+                    agg
+                })?
+            };
+            sols.push(sol);
+        }
+
+        // Theorem 5 response times.
+        let response_time_search: f64 = (1..=h).map(|i| c.se(i) + sols[i - 1].r_wait).sum();
+        let response_time_delete: f64 =
+            c.m() + sols[0].w_wait + (2..=h).map(|i| c.se(i) + sols[i - 1].w_wait).sum::<f64>();
+        let split_work: f64 = (1..h).map(|j| f.split_chain_prob(j) * c.sp(j)).sum();
+        let response_time_insert: f64 = c.m()
+            + (2..=h).map(|i| c.se(i)).sum::<f64>()
+            + (1..=h).map(|i| sols[i - 1].w_wait).sum::<f64>()
+            + split_work;
+
+        let perf = Performance {
+            lambda,
+            response_time_search,
+            response_time_insert,
+            response_time_delete,
+            levels: sols,
+        };
+        Ok((
+            perf,
+            HoldTimes {
+                search: t_s,
+                insert: t_i,
+                delete: t_d,
+            },
+        ))
+    }
+}
+
+impl PerformanceModel for NaiveLockCoupling {
+    fn config(&self) -> &ModelConfig {
+        &self.cfg
+    }
+
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::NaiveLockCoupling
+    }
+
+    fn evaluate(&self, lambda: f64) -> Result<Performance> {
+        Ok(self.evaluate_detailed(lambda)?.0)
+    }
+
+    fn as_dyn(&self) -> &dyn PerformanceModel {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AnalysisError;
+
+    fn model() -> NaiveLockCoupling {
+        NaiveLockCoupling::new(ModelConfig::paper_base())
+    }
+
+    #[test]
+    fn zero_load_response_is_serial_time() {
+        let (perf, _) = model().evaluate_detailed(0.0).unwrap();
+        // Serial search: Se over 5 levels = 1 + 1 + 5 + 5 + 5 = 17
+        assert!((perf.response_time_search - 17.0).abs() < 1e-9);
+        // Serial delete: M + Se(2..5) = 10 + (5 + 5 + 1 + 1) = 22
+        assert!((perf.response_time_delete - 22.0).abs() < 1e-9);
+        // Insert adds expected split work on top of the delete path shape.
+        assert!(perf.response_time_insert > perf.response_time_delete - 1e-12);
+        assert_eq!(perf.root_writer_utilization(), 0.0);
+    }
+
+    #[test]
+    fn hold_times_follow_theorem_1_shapes() {
+        let (_, hold) = model().evaluate_detailed(0.1).unwrap();
+        let c = ModelConfig::paper_base();
+        // Leaf: T(S,1) = Se(1), T(I,1) = T(D,1) = M.
+        assert_eq!(hold.search[0], c.cost.se(1));
+        assert_eq!(hold.insert[0], c.cost.m());
+        assert_eq!(hold.delete[0], c.cost.m());
+        // Upper levels hold longer than a bare search.
+        for i in 2..=c.height() {
+            assert!(hold.search[i - 1] >= c.cost.se(i));
+            assert!(hold.insert[i - 1] > hold.search[i - 1]);
+        }
+    }
+
+    #[test]
+    fn response_times_increase_with_load() {
+        let m = model();
+        let lo = m.evaluate(0.05).unwrap();
+        let hi = m.evaluate(0.25).unwrap();
+        assert!(hi.response_time_search > lo.response_time_search);
+        assert!(hi.response_time_insert > lo.response_time_insert);
+        assert!(hi.root_writer_utilization() > lo.root_writer_utilization());
+    }
+
+    #[test]
+    fn root_is_the_bottleneck() {
+        // Theorem 2: because of lock-coupling the bottleneck is the root.
+        let m = model();
+        let mut lambda = 0.4;
+        loop {
+            match m.evaluate(lambda) {
+                Ok(_) => lambda *= 1.3,
+                Err(AnalysisError::Saturated { level, .. }) => {
+                    assert_eq!(level, m.cfg.height(), "bottleneck must be the root");
+                    break;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+            assert!(lambda < 1e6, "never saturated");
+        }
+    }
+
+    #[test]
+    fn root_utilization_grows_superlinearly() {
+        // Figure 10: going from ρ_w = .5 to ρ_w = 1 takes less than a 50%
+        // increase in arrival rate.
+        let m = model();
+        let lambda_half = m.lambda_at_root_rho(0.5).unwrap();
+        let max = m.max_throughput().unwrap();
+        assert!(
+            max < 1.5 * lambda_half,
+            "lock-coupling: saturation ({max}) must come within 50% beyond \
+             the rho=.5 point ({lambda_half})"
+        );
+    }
+
+    #[test]
+    fn updates_wait_longer_than_searches() {
+        let perf = model().evaluate(0.25).unwrap();
+        for l in &perf.levels {
+            assert!(l.w_wait >= l.r_wait);
+        }
+    }
+
+    #[test]
+    fn search_only_mix_has_no_waiting() {
+        let cfg = ModelConfig::new(
+            cbtree_btree_model::TreeShape::paper(),
+            cbtree_btree_model::OpMix::searches_only(),
+            cbtree_btree_model::CostModel::paper(),
+        )
+        .unwrap();
+        let m = NaiveLockCoupling::new(cfg);
+        let perf = m.evaluate(5.0).unwrap();
+        assert!((perf.response_time_search - 17.0).abs() < 1e-9);
+        assert_eq!(perf.root_writer_utilization(), 0.0);
+    }
+
+    #[test]
+    fn rejects_negative_lambda() {
+        assert!(model().evaluate(-1.0).is_err());
+    }
+
+    #[test]
+    fn recovery_slows_the_tree_down() {
+        use crate::config::RecoveryMode;
+        let base = ModelConfig::paper_base();
+        // Naive recovery under full lock-coupling saturates very early
+        // (every update W-locks the root and retains it with probability
+        // Pr[F(h)]), so probe a low load all three variants sustain.
+        let lam = 0.04;
+        let none = NaiveLockCoupling::new(base.clone()).evaluate(lam).unwrap();
+        let naive = NaiveLockCoupling::new(base.clone().with_recovery(RecoveryMode::Naive, 100.0))
+            .evaluate(lam)
+            .unwrap();
+        let leaf = NaiveLockCoupling::new(base.with_recovery(RecoveryMode::LeafOnly, 100.0))
+            .evaluate(lam)
+            .unwrap();
+        assert!(naive.response_time_insert > leaf.response_time_insert);
+        assert!(leaf.response_time_insert > none.response_time_insert);
+    }
+}

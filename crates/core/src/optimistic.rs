@@ -1,0 +1,342 @@
+//! The Optimistic Descent model (paper §5.1).
+//!
+//! Updates first descend exactly like searches — shared locks with
+//! lock-coupling — and place an exclusive lock only on the leaf. If the
+//! leaf turns out to be unsafe, the operation releases everything and
+//! redescends placing exclusive locks all the way (a *redo-insert*, a new
+//! operation class entering at rate `q_i·Pr[F(1)]·λ`).
+//!
+//! Modeling consequences relative to Naive Lock-coupling:
+//!
+//! * above the leaves the reader class carries *all* first descents
+//!   (`λ_{R,i} = λ_i`) and the writer class only the redo operations
+//!   (`λ_{W,i} = q_i·Pr[F(1)]·λ_i`);
+//! * at the leaf, first-pass updates and redo-inserts all place W locks;
+//! * a redo-insert heads for a leaf it just found full, so its level-2
+//!   lock almost surely covers a leaf split — the redo class's
+//!   "child-unsafe" probability at level 2 is 1, not `Pr[F(1)]`
+//!   (the split-propagation chain for redos is `∏_{k=2..j} Pr[F(k)]`);
+//! * the insert response time is the first descent plus `Pr[F(1)]` times
+//!   the redo descent's response time.
+//!
+//! Redo-*deletes* are ignored: with merge-at-empty and inserts dominating,
+//! `Pr[Em(1)] ≈ 0` (Corollary 1), which the configuration reports.
+
+use crate::config::ModelConfig;
+use crate::level::{solve_level, LevelSolution, Performance};
+use crate::{Algorithm, PerformanceModel, Result};
+use cbtree_queueing::stages::{Mixture, StagedService};
+
+/// Analytical model of the Optimistic Descent algorithm.
+#[derive(Debug, Clone)]
+pub struct OptimisticDescent {
+    cfg: ModelConfig,
+}
+
+/// Detailed evaluation output: the per-level solutions plus the redo
+/// descent's response time (before weighting by `Pr[F(1)]`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimisticDetail {
+    /// The performance report (what `evaluate` returns).
+    pub perf: Performance,
+    /// Response time of a redo-insert descent, `Per(redo)`.
+    pub redo_response_time: f64,
+    /// Rate at which redo-inserts enter the tree, `q_i·Pr[F(1)]·λ`.
+    pub redo_rate: f64,
+}
+
+impl OptimisticDescent {
+    /// Builds the model for a configuration.
+    pub fn new(cfg: ModelConfig) -> Self {
+        OptimisticDescent { cfg }
+    }
+
+    /// Probability that the redo class finds its child unsafe at `level`:
+    /// 1 at level 2 (the leaf it is re-descending to was full), `Pr[F(i−1)]`
+    /// above.
+    fn redo_child_unsafe(&self, level: usize) -> f64 {
+        if level == 2 {
+            1.0
+        } else {
+            self.cfg.fullness.pr_full(level - 1)
+        }
+    }
+
+    /// `∏_{k=1..j}` of the redo class's child-unsafe probabilities — the
+    /// probability a redo-insert's split chain reaches level `j`.
+    fn redo_split_chain(&self, j: usize) -> f64 {
+        (2..=j).map(|k| self.cfg.fullness.pr_full(k)).product()
+    }
+
+    /// Evaluates the model with redo-descent detail.
+    pub fn evaluate_detailed(&self, lambda: f64) -> Result<OptimisticDetail> {
+        self.cfg.check_lambda(lambda)?;
+        let cfg = &self.cfg;
+        let h = cfg.height();
+        let mix = &cfg.mix;
+        let f = &cfg.fullness;
+        let c = &cfg.cost;
+        let rec = &cfg.recovery;
+        let prf1 = f.pr_full(1);
+        let redo_share = mix.q_insert * prf1; // of total λ
+
+        // Redo-insert hold times T(I, i), Theorem 1 recursion with the
+        // redo class's conditioning at level 2.
+        let mut t_redo = vec![0.0; h];
+        let mut t_s = vec![0.0; h];
+        let mut sols: Vec<LevelSolution> = Vec::with_capacity(h);
+
+        for level in 1..=h {
+            let lambda_lvl = cfg.shape.arrival_at_level(lambda, level);
+
+            let sol = if level == 1 {
+                t_s[0] = c.se(1);
+                t_redo[0] = c.m();
+                let lambda_r = mix.q_search * lambda_lvl;
+                // W class: first-pass inserts + first-pass deletes + redos.
+                let lambda_w = (mix.update_fraction() + redo_share) * lambda_lvl;
+                let m_eff = c.m() + rec.leaf_extra();
+                // First-pass insert: does the modify when safe, merely
+                // inspects (and restarts) when full.
+                let w_first_ins = (1.0 - prf1) * m_eff + prf1 * c.se(1);
+                let w_mean = if lambda_w > 0.0 {
+                    (mix.q_insert * w_first_ins + mix.q_delete * m_eff + redo_share * m_eff)
+                        / (mix.update_fraction() + redo_share)
+                } else {
+                    0.0
+                };
+                let mu_r = 1.0 / c.se(1);
+                solve_level(1, lambda_r, lambda_w, mu_r, lambda, |burst| {
+                    StagedService::new().with_stage(Mixture::always(w_mean + burst))
+                })?
+            } else {
+                let prev = &sols[level - 2];
+                let i = level;
+                let p_unsafe_child = self.redo_child_unsafe(i);
+
+                // Reader service: search the node, then wait for the child
+                // lock. At level 2 the update first-passes wait for the
+                // leaf's W lock; everywhere else all first descents wait
+                // for the child's R lock.
+                let child_wait = if i == 2 {
+                    mix.q_search * prev.r_wait + mix.update_fraction() * prev.w_wait
+                } else {
+                    prev.r_wait
+                };
+                t_s[i - 1] = c.se(i) + child_wait;
+
+                // Redo hold times: as Theorem 1, with the redo chain.
+                // `redo_split_chain(i−1)` is 1 at i = 2: the leaf split is
+                // (near-)certain for a redo descent. Unprimed hold times;
+                // §7's retention enters only the queue services below.
+                t_redo[i - 1] = c.se(i)
+                    + prev.w_wait
+                    + p_unsafe_child * t_redo[i - 2]
+                    + c.sp(i - 1) * self.redo_split_chain(i - 1);
+
+                let lambda_r = lambda_lvl; // all first descents
+                let lambda_w = redo_share * lambda_lvl;
+
+                let p_f = p_unsafe_child;
+                let rho_o = prev.rho_w;
+                let t_f = t_redo[i - 2] + c.sp(i - 1) * self.redo_split_chain(i - 2);
+                let t_busy = if rho_o > 0.0 {
+                    prev.r_wait / rho_o + prev.r_u
+                } else {
+                    0.0
+                };
+                let t_idle = prev.r_e;
+                let mu_r = 1.0 / t_s[i - 1];
+                let se_i = c.se(i);
+                let t_trans = cfg.recovery.t_trans;
+                let rec_prob = if rec.upper_extra(f.pr_full(i)) > 0.0 {
+                    f.pr_full(i)
+                } else {
+                    0.0
+                };
+
+                solve_level(i, lambda_r, lambda_w, mu_r, lambda, move |burst| {
+                    let mut agg = StagedService::theorem3_server(
+                        se_i + burst,
+                        p_f,
+                        t_f,
+                        rho_o,
+                        t_busy,
+                        t_idle,
+                    );
+                    if rec_prob > 0.0 {
+                        agg.push(Mixture::optional(rec_prob, t_trans));
+                    }
+                    agg
+                })?
+            };
+            sols.push(sol);
+        }
+
+        // Response times. First descents see Se(i) + R(i) above the leaf.
+        let descent: f64 = (2..=h).map(|i| c.se(i) + sols[i - 1].r_wait).sum();
+        let response_time_search = descent + c.se(1) + sols[0].r_wait;
+
+        // Redo descent: full W descent like a Naive Lock-coupling insert,
+        // with the leaf split (near-)certain.
+        let redo_split_work: f64 = (1..h)
+            .map(|j| {
+                if j == 1 {
+                    c.sp(1)
+                } else {
+                    self.redo_split_chain(j) * c.sp(j)
+                }
+            })
+            .sum();
+        let redo_response_time: f64 = c.m()
+            + (2..=h).map(|i| c.se(i)).sum::<f64>()
+            + (1..=h).map(|i| sols[i - 1].w_wait).sum::<f64>()
+            + redo_split_work;
+
+        let first_pass_leaf_work = (1.0 - prf1) * c.m() + prf1 * c.se(1);
+        let response_time_insert =
+            descent + sols[0].w_wait + first_pass_leaf_work + prf1 * redo_response_time;
+        let response_time_delete = descent + sols[0].w_wait + c.m();
+
+        let perf = Performance {
+            lambda,
+            response_time_search,
+            response_time_insert,
+            response_time_delete,
+            levels: sols,
+        };
+        Ok(OptimisticDetail {
+            perf,
+            redo_response_time,
+            redo_rate: redo_share * lambda,
+        })
+    }
+}
+
+impl PerformanceModel for OptimisticDescent {
+    fn config(&self) -> &ModelConfig {
+        &self.cfg
+    }
+
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::OptimisticDescent
+    }
+
+    fn evaluate(&self, lambda: f64) -> Result<Performance> {
+        Ok(self.evaluate_detailed(lambda)?.perf)
+    }
+
+    fn as_dyn(&self) -> &dyn PerformanceModel {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NaiveLockCoupling;
+
+    fn model() -> OptimisticDescent {
+        OptimisticDescent::new(ModelConfig::paper_base())
+    }
+
+    #[test]
+    fn zero_load_search_is_serial() {
+        let perf = model().evaluate(0.0).unwrap();
+        assert!((perf.response_time_search - 17.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn redo_rate_matches_formula() {
+        let d = model().evaluate_detailed(0.3).unwrap();
+        let cfg = ModelConfig::paper_base();
+        let expect = cfg.mix.q_insert * cfg.fullness.pr_full(1) * 0.3;
+        assert!((d.redo_rate - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn beats_naive_lock_coupling() {
+        // Figure 12 / §8: Optimistic Descent significantly outperforms
+        // Naive Lock-coupling.
+        let cfg = ModelConfig::paper_base();
+        let od = OptimisticDescent::new(cfg.clone());
+        let nl = NaiveLockCoupling::new(cfg);
+        let max_od = od.max_throughput().unwrap();
+        let max_nl = nl.max_throughput().unwrap();
+        assert!(
+            max_od > 1.5 * max_nl,
+            "OD max throughput {max_od} must clearly beat naive {max_nl}"
+        );
+        // And at a load naive can still sustain, OD's insert RT is lower.
+        let lam = 0.8 * max_nl;
+        let rt_od = od.evaluate(lam).unwrap().response_time_insert;
+        let rt_nl = nl.evaluate(lam).unwrap().response_time_insert;
+        assert!(rt_od < rt_nl, "insert RT: od={rt_od} naive={rt_nl}");
+    }
+
+    #[test]
+    fn writer_rate_above_leaf_is_redo_only() {
+        let perf = model().evaluate(0.3).unwrap();
+        let cfg = ModelConfig::paper_base();
+        let root = perf.level(cfg.height());
+        let expect_w = cfg.mix.q_insert * cfg.fullness.pr_full(1) * 0.3;
+        assert!((root.lambda_w - expect_w).abs() < 1e-12);
+        assert!(
+            (root.lambda_r - 0.3).abs() < 1e-12,
+            "all first descents read the root"
+        );
+    }
+
+    #[test]
+    fn insert_slower_than_search_and_delete() {
+        let perf = model().evaluate(0.3).unwrap();
+        assert!(perf.response_time_insert > perf.response_time_delete);
+        assert!(perf.response_time_delete > perf.response_time_search);
+    }
+
+    #[test]
+    fn response_grows_with_load() {
+        let m = model();
+        let lo = m.evaluate(0.1).unwrap();
+        let hi = m.evaluate(0.6).unwrap();
+        assert!(hi.response_time_insert > lo.response_time_insert);
+        assert!(hi.response_time_search > lo.response_time_search);
+    }
+
+    #[test]
+    fn larger_nodes_help_od_specifically() {
+        // §6: OD's effective max grows with node size; the redo rate falls
+        // as 1/N.
+        let mk = |n: usize| {
+            ModelConfig::pinned(n, 5, 6.0, 2, 5.0, 1.0, cbtree_btree_model::OpMix::paper()).unwrap()
+        };
+        let small = OptimisticDescent::new(mk(13)).max_throughput().unwrap();
+        let large = OptimisticDescent::new(mk(59)).max_throughput().unwrap();
+        assert!(large > 2.0 * small, "N=59 ({large}) vs N=13 ({small})");
+    }
+
+    #[test]
+    fn recovery_ranking_matches_section_7() {
+        use crate::config::RecoveryMode;
+        let base = ModelConfig::paper_with_disk_cost(10.0).unwrap();
+        let lam = 0.25;
+        let none = OptimisticDescent::new(base.clone()).evaluate(lam).unwrap();
+        let leaf =
+            OptimisticDescent::new(base.clone().with_recovery(RecoveryMode::LeafOnly, 100.0))
+                .evaluate(lam)
+                .unwrap();
+        let naive = OptimisticDescent::new(base.with_recovery(RecoveryMode::Naive, 100.0))
+            .evaluate(lam)
+            .unwrap();
+        assert!(
+            naive.response_time_insert > leaf.response_time_insert,
+            "naive recovery ({}) must be worse than leaf-only ({})",
+            naive.response_time_insert,
+            leaf.response_time_insert
+        );
+        assert!(leaf.response_time_insert >= none.response_time_insert);
+        // "Leaf-only has slightly worse performance than no-recovery" —
+        // within a small factor, not catastrophically worse.
+        assert!(leaf.response_time_insert < 1.5 * none.response_time_insert);
+    }
+}

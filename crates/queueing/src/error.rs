@@ -1,0 +1,121 @@
+//! Error types for queueing computations.
+
+use std::fmt;
+
+/// Errors produced by the analytical queueing solvers.
+///
+/// Saturation is an *expected* outcome — the maximum-throughput search in
+/// the analysis crate works by probing arrival rates until it observes
+/// [`QueueError::Saturated`] — so it carries enough context to report which
+/// load failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueueError {
+    /// The queue has no stable operating point: the offered load keeps the
+    /// server busy with probability ≥ 1 and waiting times diverge.
+    Saturated {
+        /// Arrival rate of exclusive (writer) customers at the queue.
+        lambda_w: f64,
+        /// Arrival rate of shared (reader) customers at the queue.
+        lambda_r: f64,
+    },
+    /// An input parameter was outside its domain (negative rate,
+    /// non-positive service time, NaN, ...).
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The fixed-point iteration failed to converge to the requested
+    /// tolerance within the iteration budget. This indicates numerically
+    /// pathological inputs rather than saturation.
+    NoConvergence {
+        /// Residual `|g(ρ)|` at the last iterate.
+        residual: f64,
+    },
+}
+
+impl fmt::Display for QueueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueueError::Saturated { lambda_w, lambda_r } => write!(
+                f,
+                "queue is saturated (no stable writer utilization in [0,1)) at \
+                 lambda_w={lambda_w}, lambda_r={lambda_r}"
+            ),
+            QueueError::InvalidParameter { name, value } => {
+                write!(f, "invalid queueing parameter {name}={value}")
+            }
+            QueueError::NoConvergence { residual } => {
+                write!(f, "fixed point did not converge (residual {residual:e})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueueError {}
+
+/// Validates that `value` is finite and non-negative, returning it on success.
+pub(crate) fn check_nonneg(name: &'static str, value: f64) -> crate::Result<f64> {
+    if value.is_finite() && value >= 0.0 {
+        Ok(value)
+    } else {
+        Err(QueueError::InvalidParameter { name, value })
+    }
+}
+
+/// Validates that `value` is finite and strictly positive, returning it on success.
+pub(crate) fn check_pos(name: &'static str, value: f64) -> crate::Result<f64> {
+    if value.is_finite() && value > 0.0 {
+        Ok(value)
+    } else {
+        Err(QueueError::InvalidParameter { name, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_saturated() {
+        let e = QueueError::Saturated {
+            lambda_w: 1.0,
+            lambda_r: 2.0,
+        };
+        assert!(e.to_string().contains("saturated"));
+        assert!(e.to_string().contains("lambda_w=1"));
+    }
+
+    #[test]
+    fn display_invalid() {
+        let e = QueueError::InvalidParameter {
+            name: "mu_r",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("mu_r=-1"));
+    }
+
+    #[test]
+    fn display_no_convergence() {
+        let e = QueueError::NoConvergence { residual: 1e-3 };
+        assert!(e.to_string().contains("converge"));
+    }
+
+    #[test]
+    fn check_nonneg_accepts_zero() {
+        assert_eq!(check_nonneg("x", 0.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn check_nonneg_rejects_nan_and_negative() {
+        assert!(check_nonneg("x", f64::NAN).is_err());
+        assert!(check_nonneg("x", -0.5).is_err());
+    }
+
+    #[test]
+    fn check_pos_rejects_zero() {
+        assert!(check_pos("x", 0.0).is_err());
+        assert!(check_pos("x", 1.0).is_ok());
+    }
+}

@@ -1,0 +1,41 @@
+//! Queueing-theory substrate for the concurrent B-tree performance framework.
+//!
+//! Johnson & Shasha (PODS 1990) model a concurrent B-tree as an open network
+//! of FCFS reader/writer lock queues, one per tree level. Every quantity the
+//! framework computes reduces to a handful of classical results plus one
+//! non-classical ingredient:
+//!
+//! * [`mm1`] — the M/M/1 queue (waiting time `ρ/((1−ρ)μ)`), used for the
+//!   leaf level (paper Theorem 4).
+//! * [`mg1`] — the M/G/1 queue via the Pollaczek–Khinchine formula
+//!   `W = λ·E[X²]/(2(1−ρ))`, used for the upper levels (paper Theorem 3).
+//! * [`stages`] — staged service distributions (sums of probabilistic
+//!   exponential stages, i.e. generalized hyperexponential servers) with
+//!   exact first and second moments and Laplace transforms. Theorem 3's
+//!   aggregate server is a three-stage instance.
+//! * [`rw`] — the FCFS reader/writer queue of Johnson (SIGMETRICS '90),
+//!   reproduced in the paper's appendix as Theorem 6: shared readers,
+//!   exclusive writers, FCFS grant order, with the writer utilization
+//!   `ρ_w` defined by a fixed point.
+//! * [`solve`] — the numerical machinery (sign-change scan + bisection)
+//!   shared by the fixed-point and maximum-throughput computations.
+//!
+//! All times are dimensionless "time units" (the paper normalizes the time
+//! to search the root to 1); rates are per time unit.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod error;
+pub mod mg1;
+pub mod mm1;
+pub mod rw;
+pub mod solve;
+pub mod stages;
+
+pub use error::QueueError;
+pub use rw::{RwQueue, RwSolution};
+pub use stages::{Mixture, StagedService};
+
+/// Convenience result alias for queueing computations.
+pub type Result<T> = std::result::Result<T, QueueError>;

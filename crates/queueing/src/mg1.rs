@@ -1,0 +1,165 @@
+//! The M/G/1 queue via the Pollaczek–Khinchine mean-value formula.
+//!
+//! Theorem 3 of the paper computes the lock waiting time at a non-leaf level
+//! as the M/G/1 waiting time of "aggregate customers" (a writer plus the
+//! reader burst it must wait for) whose service distribution is the staged
+//! server of Figure 2. The only facts needed from M/G/1 theory are the
+//! first two moments of the service time:
+//!
+//! ```text
+//! W_q = λ·E[X²] / (2·(1−ρ)),   ρ = λ·E[X].
+//! ```
+
+use crate::error::{check_nonneg, check_pos};
+use crate::stages::StagedService;
+use crate::{QueueError, Result};
+
+/// First and second moments of a service-time distribution.
+///
+/// This is the minimal interface the Pollaczek–Khinchine formula needs;
+/// [`StagedService`] converts into it, and models can also supply moments
+/// directly (e.g. exponential: `E[X] = m`, `E[X²] = 2m²`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceMoments {
+    /// `E[X]`, the mean service time.
+    pub mean: f64,
+    /// `E[X²]`, the second raw moment.
+    pub second: f64,
+}
+
+impl ServiceMoments {
+    /// Moments of an exponential service time with the given mean.
+    pub fn exponential(mean: f64) -> Self {
+        ServiceMoments {
+            mean,
+            second: 2.0 * mean * mean,
+        }
+    }
+
+    /// Moments of a deterministic service time.
+    pub fn deterministic(value: f64) -> Self {
+        ServiceMoments {
+            mean: value,
+            second: value * value,
+        }
+    }
+
+    /// Squared coefficient of variation `c² = Var[X]/E[X]²`.
+    ///
+    /// 0 for deterministic, 1 for exponential, > 1 for the hyperexponential
+    /// aggregate servers the lock-coupling analysis produces ("lock coupling
+    /// gives the service time distributions a large variance", §5).
+    pub fn scv(&self) -> f64 {
+        if self.mean == 0.0 {
+            return 0.0;
+        }
+        (self.second - self.mean * self.mean) / (self.mean * self.mean)
+    }
+}
+
+impl From<&StagedService> for ServiceMoments {
+    fn from(s: &StagedService) -> Self {
+        ServiceMoments {
+            mean: s.mean(),
+            second: s.second_moment(),
+        }
+    }
+}
+
+/// Expected waiting time in queue for an M/G/1 server,
+/// `W_q = λ·E[X²]/(2(1−ρ))`.
+///
+/// Returns [`QueueError::Saturated`] when `ρ = λ·E[X] ≥ 1`.
+pub fn waiting_time(lambda: f64, service: ServiceMoments) -> Result<f64> {
+    check_nonneg("lambda", lambda)?;
+    check_nonneg("service.mean", service.mean)?;
+    check_nonneg("service.second", service.second)?;
+    let rho = lambda * service.mean;
+    if rho >= 1.0 {
+        return Err(QueueError::Saturated {
+            lambda_w: lambda,
+            lambda_r: 0.0,
+        });
+    }
+    Ok(lambda * service.second / (2.0 * (1.0 - rho)))
+}
+
+/// Expected sojourn time (waiting + service).
+pub fn sojourn_time(lambda: f64, service: ServiceMoments) -> Result<f64> {
+    Ok(waiting_time(lambda, service)? + service.mean)
+}
+
+/// Expected waiting time when the caller already knows the server
+/// utilization `rho` (it may include work other than these arrivals).
+///
+/// This is the exact form used in the proof of Theorem 3: the paper plugs
+/// the writer utilization `ρ_w(i)` — which includes reader bursts — into
+/// `W = λ·x̄²/(2(1−ρ))` with `λ` the *writer* arrival rate.
+pub fn waiting_time_with_rho(lambda: f64, second_moment: f64, rho: f64) -> Result<f64> {
+    check_nonneg("lambda", lambda)?;
+    check_nonneg("second_moment", second_moment)?;
+    check_pos("1-rho", 1.0 - rho)?;
+    Ok(lambda * second_moment / (2.0 * (1.0 - rho)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn reduces_to_mm1_for_exponential_service() {
+        let (lambda, mu) = (0.6_f64, 1.3_f64);
+        let pk = waiting_time(lambda, ServiceMoments::exponential(1.0 / mu)).unwrap();
+        let mm1 = crate::mm1::waiting_time(lambda, mu).unwrap();
+        assert!((pk - mm1).abs() < EPS, "pk={pk} mm1={mm1}");
+    }
+
+    #[test]
+    fn deterministic_service_halves_mm1_wait() {
+        // M/D/1 waits exactly half of M/M/1 at equal mean service.
+        let (lambda, mean) = (0.5, 1.0);
+        let md1 = waiting_time(lambda, ServiceMoments::deterministic(mean)).unwrap();
+        let mm1 = waiting_time(lambda, ServiceMoments::exponential(mean)).unwrap();
+        assert!((md1 - 0.5 * mm1).abs() < EPS);
+    }
+
+    #[test]
+    fn scv_values() {
+        assert_eq!(ServiceMoments::deterministic(3.0).scv(), 0.0);
+        assert!((ServiceMoments::exponential(3.0).scv() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn saturation_detected() {
+        let s = ServiceMoments::exponential(1.0);
+        assert!(matches!(
+            waiting_time(1.0, s),
+            Err(QueueError::Saturated { .. })
+        ));
+    }
+
+    #[test]
+    fn with_rho_matches_direct_form() {
+        let lambda = 0.4;
+        let s = ServiceMoments::exponential(1.2);
+        let direct = waiting_time(lambda, s).unwrap();
+        let via_rho = waiting_time_with_rho(lambda, s.second, lambda * s.mean).unwrap();
+        assert!((direct - via_rho).abs() < EPS);
+    }
+
+    #[test]
+    fn zero_load_waits_nothing() {
+        assert_eq!(
+            waiting_time(0.0, ServiceMoments::exponential(5.0)).unwrap(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(waiting_time(-0.1, ServiceMoments::exponential(1.0)).is_err());
+        assert!(waiting_time_with_rho(0.5, 1.0, 1.0).is_err());
+    }
+}

@@ -1,0 +1,122 @@
+//! The M/M/1 queue: Poisson arrivals, exponential service, one server.
+//!
+//! The paper uses M/M/1 results in two places: the leaf-level lock queue
+//! (Theorem 4 — "model their service time by an exponential distribution")
+//! and the textbook reference point for the hockey-stick response-time
+//! curves in §5.3 ("the rapid increase in the response time can be
+//! predicted from standard M/M/1 queueing theory").
+
+use crate::error::{check_nonneg, check_pos};
+use crate::{QueueError, Result};
+
+/// Server utilization `ρ = λ/μ`.
+pub fn utilization(lambda: f64, mu: f64) -> Result<f64> {
+    check_nonneg("lambda", lambda)?;
+    check_pos("mu", mu)?;
+    Ok(lambda / mu)
+}
+
+/// Expected *waiting* time in queue (excluding service), `W_q = ρ/((1−ρ)·μ)`.
+///
+/// Returns [`QueueError::Saturated`] when `ρ ≥ 1`.
+pub fn waiting_time(lambda: f64, mu: f64) -> Result<f64> {
+    let rho = utilization(lambda, mu)?;
+    if rho >= 1.0 {
+        return Err(QueueError::Saturated {
+            lambda_w: lambda,
+            lambda_r: 0.0,
+        });
+    }
+    Ok(rho / ((1.0 - rho) * mu))
+}
+
+/// Expected *sojourn* (response) time `T = 1/(μ−λ)`, i.e. waiting + service.
+pub fn sojourn_time(lambda: f64, mu: f64) -> Result<f64> {
+    Ok(waiting_time(lambda, mu)? + 1.0 / mu)
+}
+
+/// Expected number of customers in the *system*, `L = ρ/(1−ρ)`.
+pub fn mean_number_in_system(lambda: f64, mu: f64) -> Result<f64> {
+    let rho = utilization(lambda, mu)?;
+    if rho >= 1.0 {
+        return Err(QueueError::Saturated {
+            lambda_w: lambda,
+            lambda_r: 0.0,
+        });
+    }
+    Ok(rho / (1.0 - rho))
+}
+
+/// Steady-state probability of exactly `n` customers, `(1−ρ)ρⁿ`.
+pub fn prob_n_in_system(lambda: f64, mu: f64, n: u32) -> Result<f64> {
+    let rho = utilization(lambda, mu)?;
+    if rho >= 1.0 {
+        return Err(QueueError::Saturated {
+            lambda_w: lambda,
+            lambda_r: 0.0,
+        });
+    }
+    Ok((1.0 - rho) * rho.powi(n as i32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn waiting_matches_closed_form() {
+        // λ=0.5, μ=1: ρ=0.5, Wq = 0.5/0.5 = 1.0
+        assert!((waiting_time(0.5, 1.0).unwrap() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn sojourn_is_one_over_mu_minus_lambda() {
+        let t = sojourn_time(0.3, 1.0).unwrap();
+        assert!((t - 1.0 / 0.7).abs() < EPS);
+    }
+
+    #[test]
+    fn littles_law_holds() {
+        // L = λ·T
+        let (lambda, mu) = (0.7, 1.3);
+        let l = mean_number_in_system(lambda, mu).unwrap();
+        let t = sojourn_time(lambda, mu).unwrap();
+        assert!((l - lambda * t).abs() < 1e-10);
+    }
+
+    #[test]
+    fn saturation_detected() {
+        assert!(matches!(
+            waiting_time(1.0, 1.0),
+            Err(QueueError::Saturated { .. })
+        ));
+        assert!(matches!(
+            waiting_time(2.0, 1.0),
+            Err(QueueError::Saturated { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_queue_at_zero_load() {
+        assert_eq!(waiting_time(0.0, 2.0).unwrap(), 0.0);
+        assert!((prob_n_in_system(0.0, 2.0, 0).unwrap() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let (lambda, mu) = (0.6, 1.0);
+        let total: f64 = (0..200)
+            .map(|n| prob_n_in_system(lambda, mu, n).unwrap())
+            .sum();
+        assert!((total - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(waiting_time(-1.0, 1.0).is_err());
+        assert!(waiting_time(1.0, 0.0).is_err());
+        assert!(waiting_time(f64::NAN, 1.0).is_err());
+    }
+}

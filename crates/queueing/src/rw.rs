@@ -1,0 +1,268 @@
+//! The FCFS reader/writer queue of Johnson (SIGMETRICS '90) — the paper's
+//! Appendix, Theorem 6.
+//!
+//! Readers hold shared locks, writers hold exclusive locks, and grants are
+//! strictly first-come-first-served. The approximate analysis groups each
+//! writer with the burst of readers immediately ahead of it into an
+//! *aggregate customer*; because `n` concurrent readers finish in time that
+//! grows only logarithmically in `n`, the expected reader-burst service is
+//!
+//! ```text
+//! r_u = ln(1 + ρ_w·λ_r/λ_w) / μ_r            (another writer was queued)
+//! r_e = ln(1 + (1+ρ_w)·λ_r/(μ_r+λ_w)) / μ_r  (queue had no writer)
+//! ```
+//!
+//! and the writer utilization `ρ_w` is the root of the fixed point
+//!
+//! ```text
+//! ρ_w = λ_w · ( b + ρ_w·r_u(ρ_w) + (1−ρ_w)·r_e(ρ_w) )
+//! ```
+//!
+//! where `b` is the exclusive part of the aggregate service time (`1/μ_w`
+//! for a plain queue; for lock-coupling levels the analysis crate passes
+//! the larger staged mean of Theorem 3). The aggregate service time is
+//! `T_a = b + ρ_w·r_u + (1−ρ_w)·r_e`.
+
+use crate::error::{check_nonneg, check_pos};
+use crate::solve;
+use crate::{QueueError, Result};
+
+/// Parameters of a FCFS R/W queue with exponential-ish service.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RwQueue {
+    /// Reader (shared-lock) arrival rate `λ_r`.
+    pub lambda_r: f64,
+    /// Writer (exclusive-lock) arrival rate `λ_w`.
+    pub lambda_w: f64,
+    /// Reader service rate `μ_r` (readers finish at this rate once granted).
+    pub mu_r: f64,
+    /// Writer service rate `μ_w` (exclusive work only, excluding reader bursts).
+    pub mu_w: f64,
+}
+
+/// Solution of the Theorem 6 fixed point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RwSolution {
+    /// Probability a writer is present in the queue (writer utilization).
+    pub rho_w: f64,
+    /// Expected reader-burst wait when the writer found another writer queued.
+    pub r_u: f64,
+    /// Expected reader-burst wait when the writer found no writer queued.
+    pub r_e: f64,
+    /// Aggregate-customer service time `T_a = b + ρ_w·r_u + (1−ρ_w)·r_e`.
+    pub t_agg: f64,
+    /// The exclusive base service `b` used in the fixed point.
+    pub base: f64,
+}
+
+impl RwSolution {
+    /// Expected reader-burst wait for a newly arriving writer,
+    /// `ρ_w·r_u + (1−ρ_w)·r_e` — the extra wait readers impose on writers
+    /// beyond the M/G/1 queueing delay.
+    pub fn reader_burst_wait(&self) -> f64 {
+        self.rho_w * self.r_u + (1.0 - self.rho_w) * self.r_e
+    }
+}
+
+impl RwQueue {
+    /// Creates a queue description, validating parameter domains.
+    pub fn new(lambda_r: f64, lambda_w: f64, mu_r: f64, mu_w: f64) -> Result<Self> {
+        check_nonneg("lambda_r", lambda_r)?;
+        check_nonneg("lambda_w", lambda_w)?;
+        check_pos("mu_r", mu_r)?;
+        check_pos("mu_w", mu_w)?;
+        Ok(RwQueue {
+            lambda_r,
+            lambda_w,
+            mu_r,
+            mu_w,
+        })
+    }
+
+    /// Reader-burst waits `(r_u, r_e)` at a given writer utilization.
+    pub fn reader_bursts(&self, rho_w: f64) -> (f64, f64) {
+        reader_bursts(self.lambda_r, self.lambda_w, self.mu_r, rho_w)
+    }
+
+    /// Solves the Theorem 6 fixed point with exclusive base service `1/μ_w`.
+    pub fn solve(&self) -> Result<RwSolution> {
+        solve_with_base(self.lambda_r, self.lambda_w, self.mu_r, |_| 1.0 / self.mu_w)
+    }
+}
+
+/// Reader-burst waits `(r_u, r_e)` from the Theorem 6 closed forms.
+///
+/// When `λ_w = 0` the busy-queue case cannot arise; `r_u` is reported as 0
+/// (its weight `ρ_w` is 0 anyway) and `r_e` keeps its closed form.
+pub fn reader_bursts(lambda_r: f64, lambda_w: f64, mu_r: f64, rho_w: f64) -> (f64, f64) {
+    let r_e = ((1.0 + rho_w) * lambda_r / (mu_r + lambda_w)).ln_1p() / mu_r;
+    let r_u = if lambda_w > 0.0 {
+        (rho_w * lambda_r / lambda_w).ln_1p() / mu_r
+    } else {
+        0.0
+    };
+    (r_u, r_e)
+}
+
+/// Solves the generalized fixed point
+/// `ρ_w = λ_w·(base(ρ_w) + ρ_w·r_u(ρ_w) + (1−ρ_w)·r_e(ρ_w))` on `[0, 1)`.
+///
+/// `base` supplies the exclusive part of the aggregate service as a function
+/// of `ρ_w`; for a plain Theorem 6 queue it is the constant `1/μ_w`, for the
+/// lock-coupling levels of Theorem 3 it is `Se(i) + p_f·t_f + t_o` (constant
+/// in `ρ_w(i)` since `t_o`, `t_f` only involve level `i−1`), and for queues
+/// whose exclusive service itself depends on local congestion a genuine
+/// function may be passed.
+///
+/// Returns [`QueueError::Saturated`] when no root exists below 1.
+pub fn solve_with_base(
+    lambda_r: f64,
+    lambda_w: f64,
+    mu_r: f64,
+    base: impl Fn(f64) -> f64,
+) -> Result<RwSolution> {
+    check_nonneg("lambda_r", lambda_r)?;
+    check_nonneg("lambda_w", lambda_w)?;
+    check_pos("mu_r", mu_r)?;
+
+    if lambda_w == 0.0 {
+        let (r_u, r_e) = reader_bursts(lambda_r, 0.0, mu_r, 0.0);
+        let b = base(0.0);
+        return Ok(RwSolution {
+            rho_w: 0.0,
+            r_u,
+            r_e,
+            t_agg: b + r_e,
+            base: b,
+        });
+    }
+
+    let t_agg_at = |rho: f64| -> f64 {
+        let (r_u, r_e) = reader_bursts(lambda_r, lambda_w, mu_r, rho);
+        base(rho) + rho * r_u + (1.0 - rho) * r_e
+    };
+    // g(ρ) = λ_w·T_a(ρ) − ρ; g(0) > 0 whenever λ_w > 0, so the smallest
+    // root in [0,1) is the stable operating point. Scan+bisect for
+    // robustness (see crate::solve).
+    let g = |rho: f64| lambda_w * t_agg_at(rho) - rho;
+    const UPPER: f64 = 1.0 - 1e-9;
+    match solve::first_root(0.0, UPPER, 512, solve::DEFAULT_TOL, g) {
+        Some(rho_w) => {
+            let (r_u, r_e) = reader_bursts(lambda_r, lambda_w, mu_r, rho_w);
+            let b = base(rho_w);
+            Ok(RwSolution {
+                rho_w,
+                r_u,
+                r_e,
+                t_agg: b + rho_w * r_u + (1.0 - rho_w) * r_e,
+                base: b,
+            })
+        }
+        None => Err(QueueError::Saturated { lambda_w, lambda_r }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// With no readers the queue must behave exactly like M/M/1 on writers:
+    /// ρ_w = λ_w/μ_w.
+    #[test]
+    fn reduces_to_mm1_without_readers() {
+        let q = RwQueue::new(0.0, 0.4, 1.0, 0.8).unwrap();
+        let s = q.solve().unwrap();
+        assert!((s.rho_w - 0.5).abs() < 1e-9, "rho_w={}", s.rho_w);
+        assert_eq!(s.r_u, 0.0);
+        assert!((s.r_e - 0.0).abs() < 1e-12);
+        assert!((s.t_agg - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_writers_is_trivially_stable() {
+        let q = RwQueue::new(5.0, 0.0, 1.0, 1.0).unwrap();
+        let s = q.solve().unwrap();
+        assert_eq!(s.rho_w, 0.0);
+        assert!(s.r_e > 0.0); // readers still burst
+    }
+
+    #[test]
+    fn readers_inflate_writer_utilization() {
+        let without = RwQueue::new(0.0, 0.3, 1.0, 1.0).unwrap().solve().unwrap();
+        let with = RwQueue::new(2.0, 0.3, 1.0, 1.0).unwrap().solve().unwrap();
+        assert!(
+            with.rho_w > without.rho_w,
+            "readers must increase rho_w: {} vs {}",
+            with.rho_w,
+            without.rho_w
+        );
+    }
+
+    #[test]
+    fn solution_satisfies_fixed_point() {
+        let q = RwQueue::new(1.5, 0.25, 1.2, 0.9).unwrap();
+        let s = q.solve().unwrap();
+        let resid = q.lambda_w * s.t_agg - s.rho_w;
+        assert!(resid.abs() < 1e-8, "residual {resid}");
+    }
+
+    #[test]
+    fn r_u_less_than_r_e_at_low_load() {
+        // An idle queue accumulates a bigger reader burst than a busy one
+        // only when rho is large; at small rho, r_u (log of small x) is
+        // smaller than r_e. Check the closed forms directly.
+        let (r_u, r_e) = reader_bursts(1.0, 0.5, 1.0, 0.1);
+        assert!(r_u < r_e, "r_u={r_u} r_e={r_e}");
+    }
+
+    #[test]
+    fn saturation_when_writer_load_too_high() {
+        let q = RwQueue::new(0.0, 2.0, 1.0, 1.0).unwrap();
+        assert!(matches!(q.solve(), Err(QueueError::Saturated { .. })));
+    }
+
+    #[test]
+    fn rho_monotone_in_lambda_w() {
+        let mut last = 0.0;
+        for i in 1..10 {
+            let lw = 0.05 * i as f64;
+            let s = RwQueue::new(1.0, lw, 1.0, 1.0).unwrap().solve().unwrap();
+            assert!(s.rho_w > last, "rho_w must grow with lambda_w");
+            last = s.rho_w;
+        }
+    }
+
+    #[test]
+    fn rho_monotone_in_lambda_r() {
+        let mut last = 0.0;
+        for i in 1..10 {
+            let lr = 0.5 * i as f64;
+            let s = RwQueue::new(lr, 0.2, 1.0, 1.0).unwrap().solve().unwrap();
+            assert!(s.rho_w > last, "rho_w must grow with lambda_r");
+            last = s.rho_w;
+        }
+    }
+
+    #[test]
+    fn generalized_base_function_is_used() {
+        // base = constant 2.0 regardless of mu_w
+        let s = solve_with_base(0.0, 0.25, 1.0, |_| 2.0).unwrap();
+        assert!((s.rho_w - 0.5).abs() < 1e-9);
+        assert_eq!(s.base, 2.0);
+    }
+
+    #[test]
+    fn reader_burst_wait_combines_cases() {
+        let q = RwQueue::new(1.0, 0.2, 1.0, 1.0).unwrap();
+        let s = q.solve().unwrap();
+        let expect = s.rho_w * s.r_u + (1.0 - s.rho_w) * s.r_e;
+        assert!((s.reader_burst_wait() - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(RwQueue::new(-1.0, 0.0, 1.0, 1.0).is_err());
+        assert!(RwQueue::new(0.0, 0.0, 0.0, 1.0).is_err());
+        assert!(RwQueue::new(0.0, f64::INFINITY, 1.0, 1.0).is_err());
+    }
+}

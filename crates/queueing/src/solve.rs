@@ -1,0 +1,168 @@
+//! Scalar root-finding used by the fixed-point and throughput solvers.
+//!
+//! Everything the framework solves numerically is a one-dimensional root of
+//! a continuous function on a bounded interval: the writer-utilization fixed
+//! point `ρ = λ_w·T_a(ρ)` on `[0, 1)` and the maximum-throughput search on
+//! `[0, λ_hi]`. We deliberately use the most robust tools available —
+//! a sign-change scan followed by bisection — rather than Newton iterations:
+//! the service-time expressions contain `ln(1 + …)` terms whose derivatives
+//! near saturation make Newton steps overshoot, and the solvers run at most
+//! a few thousand times per experiment, so robustness wins over speed.
+
+/// Default relative/absolute tolerance for bisection.
+pub const DEFAULT_TOL: f64 = 1e-12;
+
+/// Maximum bisection iterations (2^-90 < 1e-27, far below any tolerance we use).
+const MAX_BISECT_ITERS: usize = 200;
+
+/// Finds a root of `f` in `[lo, hi]` given `f(lo)` and `f(hi)` have opposite
+/// signs, by bisection. Returns the midpoint of the final bracket.
+///
+/// # Panics
+/// Panics if `lo > hi`. Callers must guarantee the sign change; this is an
+/// internal building block, so the precondition is checked with
+/// `debug_assert!` only.
+pub fn bisect(mut lo: f64, mut hi: f64, tol: f64, mut f: impl FnMut(f64) -> f64) -> f64 {
+    assert!(lo <= hi, "bisect: empty interval [{lo}, {hi}]");
+    let mut flo = f(lo);
+    if flo == 0.0 {
+        return lo;
+    }
+    let fhi = f(hi);
+    if fhi == 0.0 {
+        return hi;
+    }
+    debug_assert!(
+        flo.signum() != fhi.signum(),
+        "bisect: no sign change on [{lo}, {hi}] (f(lo)={flo}, f(hi)={fhi})"
+    );
+    for _ in 0..MAX_BISECT_ITERS {
+        let mid = 0.5 * (lo + hi);
+        if hi - lo <= tol * (1.0 + mid.abs()) {
+            return mid;
+        }
+        let fmid = f(mid);
+        if fmid == 0.0 {
+            return mid;
+        }
+        if fmid.signum() == flo.signum() {
+            lo = mid;
+            flo = fmid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Finds the *smallest* root of `f` in `[lo, hi]` by scanning `steps`
+/// sub-intervals for the first sign change, then bisecting inside it.
+///
+/// Returns `None` when no sign change is found (within floating-point
+/// evaluation of `f` at the grid points). The scan makes the solver robust
+/// to the (theoretically possible, practically rare) case of multiple fixed
+/// points: the smallest root of `λ_w·T_a(ρ) − ρ` is the physically
+/// meaningful operating point reached from an empty queue.
+pub fn first_root(
+    lo: f64,
+    hi: f64,
+    steps: usize,
+    tol: f64,
+    mut f: impl FnMut(f64) -> f64,
+) -> Option<f64> {
+    assert!(steps >= 1);
+    let mut x0 = lo;
+    let mut f0 = f(x0);
+    if f0 == 0.0 {
+        return Some(x0);
+    }
+    let dx = (hi - lo) / steps as f64;
+    for k in 1..=steps {
+        let x1 = if k == steps { hi } else { lo + dx * k as f64 };
+        let f1 = f(x1);
+        if f1 == 0.0 {
+            return Some(x1);
+        }
+        if f0.signum() != f1.signum() {
+            return Some(bisect(x0, x1, tol, &mut f));
+        }
+        x0 = x1;
+        f0 = f1;
+    }
+    None
+}
+
+/// Damped fixed-point iteration `x ← (1−α)·x + α·g(x)` clamped to `[lo, hi]`.
+///
+/// Used as a fast path before falling back to [`first_root`]; returns
+/// `Some(x)` when `|g(x) − x|` drops below `tol`, `None` otherwise.
+pub fn damped_fixed_point(
+    mut x: f64,
+    lo: f64,
+    hi: f64,
+    alpha: f64,
+    tol: f64,
+    max_iters: usize,
+    mut g: impl FnMut(f64) -> f64,
+) -> Option<f64> {
+    for _ in 0..max_iters {
+        let gx = g(x);
+        if !gx.is_finite() {
+            return None;
+        }
+        if (gx - x).abs() <= tol * (1.0 + x.abs()) {
+            return Some(x);
+        }
+        x = ((1.0 - alpha) * x + alpha * gx).clamp(lo, hi);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_finds_sqrt2() {
+        let r = bisect(0.0, 2.0, 1e-14, |x| x * x - 2.0);
+        assert!((r - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bisect_exact_endpoint() {
+        assert_eq!(bisect(0.0, 1.0, 1e-12, |x| x), 0.0);
+        assert_eq!(bisect(-1.0, 0.0, 1e-12, |x| x), 0.0);
+    }
+
+    #[test]
+    fn first_root_picks_smallest() {
+        // roots at 0.2 and 0.8
+        let f = |x: f64| (x - 0.2) * (x - 0.8);
+        let r = first_root(0.0, 1.0, 100, 1e-13, f).unwrap();
+        assert!((r - 0.2).abs() < 1e-10, "got {r}");
+    }
+
+    #[test]
+    fn first_root_none_when_no_root() {
+        assert!(first_root(0.0, 1.0, 50, 1e-12, |x| x + 1.0).is_none());
+    }
+
+    #[test]
+    fn first_root_handles_root_at_grid_point() {
+        let r = first_root(0.0, 1.0, 10, 1e-13, |x| x - 0.5).unwrap();
+        assert!((r - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn damped_fixed_point_converges_on_contraction() {
+        // g(x) = cos(x) has fixed point ~0.739085
+        let x = damped_fixed_point(0.5, 0.0, 1.0, 1.0, 1e-12, 500, |x| x.cos()).unwrap();
+        assert!((x - 0.739_085_133_215).abs() < 1e-9);
+    }
+
+    #[test]
+    fn damped_fixed_point_gives_up() {
+        // divergent map
+        assert!(damped_fixed_point(0.5, 0.0, 1e6, 1.0, 1e-12, 20, |x| 2.0 * x + 1.0).is_none());
+    }
+}

@@ -1,0 +1,335 @@
+//! Staged (generalized hyperexponential) service distributions.
+//!
+//! Section 5 of the paper: "we cannot model the service time distribution
+//! as being exponential; instead we model the distribution as a series of
+//! exponential distributions". Figure 2's Naive Lock-coupling server is a
+//! sum of three independent stages:
+//!
+//! 1. an exponential stage always taken (node search + wait for readers),
+//! 2. with probability `p_f`, an exponential stage for holding the child's
+//!    lock while it restructures,
+//! 3. a two-branch mixture for acquiring the child's lock (busy-child
+//!    branch with probability `ρ_o`, idle-child branch otherwise).
+//!
+//! A [`StagedService`] is a sum of independent [`Mixture`] stages, each a
+//! probabilistic choice among exponential branches (with any leftover
+//! probability contributing zero time). Exact first and second moments and
+//! the Laplace transform `B*(s)` are available; the moments reproduce the
+//! bracket of Theorem 3, and the transform lets tests verify the moments by
+//! numerical differentiation exactly the way the paper's proof does
+//! ("differentiating the Laplace transform twice and evaluating at zero").
+
+use crate::mg1::ServiceMoments;
+
+/// One branch of a mixture stage: taken with probability `prob`, and when
+/// taken contributes an exponentially distributed time with mean `mean`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Branch {
+    /// Probability this branch is taken.
+    pub prob: f64,
+    /// Mean of the exponential time contributed when taken.
+    pub mean: f64,
+}
+
+/// A probabilistic mixture of exponential branches. Probabilities may sum
+/// to less than 1; the remaining mass contributes zero time (a skipped
+/// stage, like the restructuring stage when the child is safe).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Mixture {
+    branches: Vec<Branch>,
+}
+
+impl Mixture {
+    /// A stage that is always taken, exponential with the given mean.
+    pub fn always(mean: f64) -> Self {
+        Mixture {
+            branches: vec![Branch { prob: 1.0, mean }],
+        }
+    }
+
+    /// A stage taken with probability `prob` (exponential with mean `mean`
+    /// when taken, zero otherwise).
+    pub fn optional(prob: f64, mean: f64) -> Self {
+        Mixture {
+            branches: vec![Branch { prob, mean }],
+        }
+    }
+
+    /// A two-branch mixture: exponential `mean_a` with probability `prob_a`,
+    /// exponential `mean_b` with the remaining probability.
+    pub fn either(prob_a: f64, mean_a: f64, mean_b: f64) -> Self {
+        Mixture {
+            branches: vec![
+                Branch {
+                    prob: prob_a,
+                    mean: mean_a,
+                },
+                Branch {
+                    prob: 1.0 - prob_a,
+                    mean: mean_b,
+                },
+            ],
+        }
+    }
+
+    /// An arbitrary mixture from explicit branches.
+    ///
+    /// # Panics
+    /// Panics if probabilities are negative or sum to more than 1 (+1e-9).
+    pub fn from_branches(branches: Vec<Branch>) -> Self {
+        let total: f64 = branches.iter().map(|b| b.prob).sum();
+        assert!(
+            branches.iter().all(|b| b.prob >= 0.0 && b.mean >= 0.0) && total <= 1.0 + 1e-9,
+            "mixture probabilities must be non-negative and sum to at most 1 (got {total})"
+        );
+        Mixture { branches }
+    }
+
+    /// The branches of this mixture.
+    pub fn branches(&self) -> &[Branch] {
+        &self.branches
+    }
+
+    /// `E[X]` for this stage.
+    pub fn mean(&self) -> f64 {
+        self.branches.iter().map(|b| b.prob * b.mean).sum()
+    }
+
+    /// `E[X²]` for this stage (exponential branch: `E[X²|taken] = 2·mean²`).
+    pub fn second_moment(&self) -> f64 {
+        self.branches
+            .iter()
+            .map(|b| b.prob * 2.0 * b.mean * b.mean)
+            .sum()
+    }
+
+    /// Laplace–Stieltjes transform of this stage at `s`:
+    /// `Σ p_b·μ_b/(s+μ_b) + (1 − Σ p_b)` with `μ_b = 1/mean_b`.
+    /// A zero-mean branch contributes its probability directly (no delay).
+    pub fn laplace(&self, s: f64) -> f64 {
+        let mut taken = 0.0;
+        let mut value = 0.0;
+        for b in &self.branches {
+            taken += b.prob;
+            if b.mean == 0.0 {
+                value += b.prob;
+            } else {
+                let mu = 1.0 / b.mean;
+                value += b.prob * mu / (s + mu);
+            }
+        }
+        value + (1.0 - taken)
+    }
+}
+
+/// A service time distributed as the sum of independent mixture stages.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StagedService {
+    stages: Vec<Mixture>,
+}
+
+impl StagedService {
+    /// An empty (zero-time) service.
+    pub fn new() -> Self {
+        StagedService::default()
+    }
+
+    /// Appends a stage, builder style.
+    pub fn with_stage(mut self, stage: Mixture) -> Self {
+        self.stages.push(stage);
+        self
+    }
+
+    /// Appends a stage in place.
+    pub fn push(&mut self, stage: Mixture) {
+        self.stages.push(stage);
+    }
+
+    /// The stages of this service.
+    pub fn stages(&self) -> &[Mixture] {
+        &self.stages
+    }
+
+    /// `E[X] = Σ E[X_i]` (stages are independent).
+    pub fn mean(&self) -> f64 {
+        self.stages.iter().map(Mixture::mean).sum()
+    }
+
+    /// `E[X²] = Σ E[X_i²] + 2·Σ_{i<j} E[X_i]·E[X_j]`.
+    pub fn second_moment(&self) -> f64 {
+        let mut own = 0.0;
+        let mut cum_mean = 0.0;
+        let mut cross = 0.0;
+        for st in &self.stages {
+            let m = st.mean();
+            own += st.second_moment();
+            cross += 2.0 * cum_mean * m;
+            cum_mean += m;
+        }
+        own + cross
+    }
+
+    /// First and second moments, for the Pollaczek–Khinchine formula.
+    pub fn moments(&self) -> ServiceMoments {
+        self.into()
+    }
+
+    /// Laplace–Stieltjes transform `B*(s) = Π_i B_i*(s)`.
+    pub fn laplace(&self, s: f64) -> f64 {
+        self.stages.iter().map(|st| st.laplace(s)).product()
+    }
+
+    /// Numerical `(-1)^n·dⁿB*(s)/dsⁿ |_{s=0}` via central differences —
+    /// the raw `n`-th moment (n = 1 or 2). Exposed for cross-validation of
+    /// the closed-form moments; not meant for production use.
+    pub fn numeric_moment(&self, n: u32) -> f64 {
+        let h = 1e-4 / (1.0 + self.mean());
+        match n {
+            1 => -(self.laplace(h) - self.laplace(-h)) / (2.0 * h),
+            2 => (self.laplace(h) - 2.0 * self.laplace(0.0) + self.laplace(-h)) / (h * h),
+            _ => panic!("numeric_moment supports n=1,2 only"),
+        }
+    }
+
+    /// The three-stage aggregate server of the paper's Figure 2 / Theorem 3.
+    ///
+    /// * `t_e` — mean of the always-taken stage (node search + wait for the
+    ///   readers ahead of the writer),
+    /// * `p_f`, `t_f` — probability and mean of the restructuring stage
+    ///   (child is insert-unsafe),
+    /// * `rho_o`, `t_busy`, `t_idle` — the child-lock acquisition stage:
+    ///   with probability `ρ_o` the child queue holds a writer (mean wait
+    ///   `t_busy = R(i−1)/ρ_w(i−1) + r_u(i−1)`), otherwise the wait is the
+    ///   idle-queue reader burst `t_idle = r_e(i−1)`.
+    pub fn theorem3_server(
+        t_e: f64,
+        p_f: f64,
+        t_f: f64,
+        rho_o: f64,
+        t_busy: f64,
+        t_idle: f64,
+    ) -> Self {
+        StagedService::new()
+            .with_stage(Mixture::always(t_e))
+            .with_stage(Mixture::optional(p_f, t_f))
+            .with_stage(Mixture::either(rho_o, t_busy, t_idle))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn single_exponential_moments() {
+        let s = StagedService::new().with_stage(Mixture::always(2.0));
+        assert!((s.mean() - 2.0).abs() < EPS);
+        assert!((s.second_moment() - 8.0).abs() < EPS);
+    }
+
+    #[test]
+    fn sum_of_two_exponentials() {
+        // X = A + B, A~exp(mean 1), B~exp(mean 3):
+        // E[X] = 4, E[X²] = 2·1 + 2·9 + 2·1·3 = 26
+        let s = StagedService::new()
+            .with_stage(Mixture::always(1.0))
+            .with_stage(Mixture::always(3.0));
+        assert!((s.mean() - 4.0).abs() < EPS);
+        assert!((s.second_moment() - 26.0).abs() < EPS);
+    }
+
+    #[test]
+    fn optional_stage_moments() {
+        // taken w.p. 0.25, mean 4: E = 1, E[X²] = 0.25·32 = 8
+        let m = Mixture::optional(0.25, 4.0);
+        assert!((m.mean() - 1.0).abs() < EPS);
+        assert!((m.second_moment() - 8.0).abs() < EPS);
+    }
+
+    #[test]
+    fn either_stage_covers_both_branches() {
+        let m = Mixture::either(0.3, 2.0, 5.0);
+        assert!((m.mean() - (0.3 * 2.0 + 0.7 * 5.0)).abs() < EPS);
+        assert!((m.second_moment() - (0.3 * 8.0 + 0.7 * 50.0)).abs() < EPS);
+    }
+
+    #[test]
+    fn laplace_at_zero_is_one() {
+        let s = StagedService::theorem3_server(1.0, 0.1, 5.0, 0.4, 3.0, 0.5);
+        assert!((s.laplace(0.0) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn closed_form_moments_match_laplace_derivatives() {
+        let s = StagedService::theorem3_server(1.3, 0.07, 6.0, 0.35, 2.5, 0.4);
+        let m1 = s.numeric_moment(1);
+        let m2 = s.numeric_moment(2);
+        assert!(
+            (m1 - s.mean()).abs() < 1e-5 * s.mean(),
+            "m1={m1} vs {}",
+            s.mean()
+        );
+        assert!(
+            (m2 - s.second_moment()).abs() < 1e-4 * s.second_moment(),
+            "m2={m2} vs {}",
+            s.second_moment()
+        );
+    }
+
+    #[test]
+    fn theorem3_bracket_matches_paper_expansion() {
+        // The paper's Theorem 3 bracket is x̄²/2 for this exact server:
+        // t_o·t_e + p_f·t_f·t_e + t_e² + p_f·t_o·t_f + ρ_o/μ_o² + p_f·t_f²
+        //   + (1−ρ_o)·r_e²
+        let (t_e, p_f, t_f, rho_o, t_busy, r_e) = (1.1, 0.08, 7.0, 0.3, 4.0, 0.6);
+        let t_o = rho_o * t_busy + (1.0 - rho_o) * r_e;
+        let bracket = t_o * t_e
+            + p_f * t_f * t_e
+            + t_e * t_e
+            + p_f * t_o * t_f
+            + rho_o * t_busy * t_busy
+            + p_f * t_f * t_f
+            + (1.0 - rho_o) * r_e * r_e;
+        let s = StagedService::theorem3_server(t_e, p_f, t_f, rho_o, t_busy, r_e);
+        assert!(
+            (s.second_moment() / 2.0 - bracket).abs() < 1e-10,
+            "staged={} bracket={}",
+            s.second_moment() / 2.0,
+            bracket
+        );
+    }
+
+    #[test]
+    fn zero_mean_branch_in_laplace() {
+        let m = Mixture::from_branches(vec![Branch {
+            prob: 0.5,
+            mean: 0.0,
+        }]);
+        assert!((m.laplace(10.0) - 1.0).abs() < EPS); // 0.5 direct + 0.5 untaken
+    }
+
+    #[test]
+    #[should_panic(expected = "mixture probabilities")]
+    fn from_branches_rejects_overfull() {
+        let _ = Mixture::from_branches(vec![
+            Branch {
+                prob: 0.7,
+                mean: 1.0,
+            },
+            Branch {
+                prob: 0.7,
+                mean: 1.0,
+            },
+        ]);
+    }
+
+    #[test]
+    fn empty_service_is_zero() {
+        let s = StagedService::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.second_moment(), 0.0);
+        assert_eq!(s.laplace(3.0), 1.0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Exponential service-time sampling per node level, mirroring the
+//! analysis's cost model (§5.3): in-memory levels cost `base`, on-disk
+//! levels cost `base·D`; modify = 2× search, split/merge = 3× search.
+//!
+//! Levels are counted from the leaves (level 1) and the *top*
+//! `memory_levels` levels of the current tree are in memory. If the
+//! simulated tree grows during the run, the new root is in memory and the
+//! memory boundary shifts with it, exactly as a buffer pool pinning the
+//! top of the tree would behave.
+
+use cbtree_workload::{Exponential, Rng};
+
+/// Service-time model for the simulator.
+#[derive(Debug, Clone)]
+pub struct SimCosts {
+    /// In-memory search time for one node.
+    pub base: f64,
+    /// Disk-access cost multiplier `D`.
+    pub disk_cost: f64,
+    /// Number of tree levels (from the root down) held in memory.
+    pub memory_levels: usize,
+}
+
+impl SimCosts {
+    /// The paper's base model: unit search, `D = 5`, two in-memory levels.
+    pub fn paper() -> Self {
+        SimCosts {
+            base: 1.0,
+            disk_cost: 5.0,
+            memory_levels: 2,
+        }
+    }
+
+    /// Mean search time of a node at `level` in a tree of height `height`.
+    pub fn se(&self, level: usize, height: usize) -> f64 {
+        if level + self.memory_levels > height {
+            self.base
+        } else {
+            self.base * self.disk_cost
+        }
+    }
+
+    /// Mean leaf-modify time (`M = 2·Se(1)`).
+    pub fn m(&self, height: usize) -> f64 {
+        2.0 * self.se(1, height)
+    }
+
+    /// Mean time to modify an internal node at `level`.
+    pub fn modify(&self, level: usize, height: usize) -> f64 {
+        2.0 * self.se(level, height)
+    }
+
+    /// Mean split time at `level` (`Sp = 3·Se`).
+    pub fn sp(&self, level: usize, height: usize) -> f64 {
+        3.0 * self.se(level, height)
+    }
+
+    /// Samples an exponential service time with the given mean.
+    pub fn sample(&self, mean: f64, rng: &mut Rng) -> f64 {
+        Exponential::with_mean(mean).sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_costs() {
+        let c = SimCosts::paper();
+        // height 5, top two levels (5, 4) in memory
+        assert_eq!(c.se(5, 5), 1.0);
+        assert_eq!(c.se(4, 5), 1.0);
+        assert_eq!(c.se(3, 5), 5.0);
+        assert_eq!(c.se(1, 5), 5.0);
+        assert_eq!(c.m(5), 10.0);
+        assert_eq!(c.sp(1, 5), 15.0);
+        assert_eq!(c.modify(4, 5), 2.0);
+    }
+
+    #[test]
+    fn growth_shifts_memory_boundary() {
+        let c = SimCosts::paper();
+        // At height 5, level 4 is in memory; if the tree grows to 6
+        // levels, level 4 drops to disk.
+        assert_eq!(c.se(4, 5), 1.0);
+        assert_eq!(c.se(4, 6), 5.0);
+        assert_eq!(c.se(6, 6), 1.0);
+    }
+
+    #[test]
+    fn all_in_memory_when_levels_cover_height() {
+        let c = SimCosts {
+            base: 1.0,
+            disk_cost: 10.0,
+            memory_levels: 8,
+        };
+        for level in 1..=5 {
+            assert_eq!(c.se(level, 5), 1.0);
+        }
+    }
+
+    #[test]
+    fn sampling_matches_mean() {
+        let c = SimCosts::paper();
+        let mut rng = Rng::new(3);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| c.sample(5.0, &mut rng)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+    }
+}

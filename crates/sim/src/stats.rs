@@ -1,0 +1,361 @@
+//! Statistics accumulators: Welford online mean/variance, time-weighted
+//! averages for utilizations, and cross-seed summaries with confidence
+//! intervals.
+
+/// Online mean/variance accumulator (Welford's algorithm, numerically
+//  stable for long runs).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// A fresh accumulator.
+    pub fn new() -> Self {
+        Welford::default()
+    }
+
+    /// Adds an observation.
+    #[inline]
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 with fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_error(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Half-width of an approximate 95% confidence interval
+    /// (normal-approximation, 1.96·SE).
+    pub fn ci95_half_width(&self) -> f64 {
+        1.96 * self.std_error()
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.n += other.n;
+    }
+}
+
+/// Time-weighted average of a piecewise-constant signal (utilizations,
+/// queue lengths). Call [`TimeWeighted::advance`] at every event with the
+/// *current* value of the signal since the previous event.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TimeWeighted {
+    area: f64,
+    last_t: f64,
+    started: bool,
+    start_t: f64,
+}
+
+impl TimeWeighted {
+    /// A fresh accumulator starting at time `t0`.
+    pub fn starting_at(t0: f64) -> Self {
+        TimeWeighted {
+            area: 0.0,
+            last_t: t0,
+            started: true,
+            start_t: t0,
+        }
+    }
+
+    /// Accumulates `value` over the interval since the previous call.
+    pub fn advance(&mut self, now: f64, value: f64) {
+        if !self.started {
+            *self = TimeWeighted::starting_at(now);
+            return;
+        }
+        debug_assert!(now + 1e-9 >= self.last_t, "time must not go backwards");
+        self.area += (now - self.last_t).max(0.0) * value;
+        self.last_t = now;
+    }
+
+    /// The time-weighted mean over the observed span (0 before any span).
+    pub fn mean(&self) -> f64 {
+        let span = self.last_t - self.start_t;
+        if span <= 0.0 {
+            0.0
+        } else {
+            self.area / span
+        }
+    }
+
+    /// Total observed time span.
+    pub fn span(&self) -> f64 {
+        if self.started {
+            self.last_t - self.start_t
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Batch-means accumulator: consecutive observations are grouped into
+/// fixed-size batches and the confidence interval is computed over the
+/// batch means. Within a simulation run successive response times are
+/// positively autocorrelated (they share queue backlogs), so a raw
+/// per-sample CI badly understates the variance; batching is the
+/// standard remedy (and why the paper reruns with independent seeds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchMeans {
+    batch_size: u64,
+    current: Welford,
+    batches: Welford,
+}
+
+impl BatchMeans {
+    /// A fresh accumulator with the given batch size (≥ 1).
+    pub fn new(batch_size: u64) -> Self {
+        BatchMeans {
+            batch_size: batch_size.max(1),
+            current: Welford::new(),
+            batches: Welford::new(),
+        }
+    }
+
+    /// Adds an observation; completes a batch every `batch_size` adds.
+    pub fn add(&mut self, x: f64) {
+        self.current.add(x);
+        if self.current.count() >= self.batch_size {
+            self.batches.add(self.current.mean());
+            self.current = Welford::new();
+        }
+    }
+
+    /// Number of completed batches.
+    pub fn batch_count(&self) -> u64 {
+        self.batches.count()
+    }
+
+    /// The configured batch size.
+    pub fn batch_size(&self) -> u64 {
+        self.batch_size
+    }
+
+    /// Mean over completed batches (equal-sized, so also the sample mean
+    /// over the observations they cover).
+    pub fn mean(&self) -> f64 {
+        self.batches.mean()
+    }
+
+    /// 95% CI half-width over batch means (0 until two batches complete).
+    pub fn ci95_half_width(&self) -> f64 {
+        self.batches.ci95_half_width()
+    }
+}
+
+/// A point estimate with spread, as reported across seeds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Summary {
+    /// Mean across observations.
+    pub mean: f64,
+    /// Half-width of the 95% confidence interval.
+    pub ci95: f64,
+    /// Number of observations.
+    pub n: u64,
+}
+
+impl Summary {
+    /// Builds a summary from a Welford accumulator.
+    pub fn from_welford(w: &Welford) -> Self {
+        Summary {
+            mean: w.mean(),
+            ci95: w.ci95_half_width(),
+            n: w.count(),
+        }
+    }
+
+    /// Builds a summary from raw values.
+    pub fn from_values(values: &[f64]) -> Self {
+        let mut w = Welford::new();
+        for &v in values {
+            w.add(v);
+        }
+        Summary::from_welford(&w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_closed_form() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.add(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        // population variance is 4, sample variance = 32/7
+        assert!((w.variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_empty_and_single() {
+        let mut w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        w.add(3.0);
+        assert_eq!(w.mean(), 3.0);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.std_error(), 0.0);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = Welford::new();
+        for &x in &xs {
+            all.add(x);
+        }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &xs[..37] {
+            a.add(x);
+        }
+        for &x in &xs[37..] {
+            b.add(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-10);
+        assert!((a.variance() - all.variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Welford::new();
+        a.add(1.0);
+        a.add(2.0);
+        let before = a;
+        a.merge(&Welford::new());
+        assert_eq!(a, before);
+        let mut empty = Welford::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn time_weighted_square_wave() {
+        let mut tw = TimeWeighted::starting_at(0.0);
+        tw.advance(1.0, 1.0); // value 1 over [0,1)
+        tw.advance(3.0, 0.0); // value 0 over [1,3)
+        tw.advance(4.0, 1.0); // value 1 over [3,4)
+        assert!((tw.mean() - 0.5).abs() < 1e-12);
+        assert_eq!(tw.span(), 4.0);
+    }
+
+    #[test]
+    fn time_weighted_empty_is_zero() {
+        let tw = TimeWeighted::starting_at(5.0);
+        assert_eq!(tw.mean(), 0.0);
+        assert_eq!(tw.span(), 0.0);
+    }
+
+    #[test]
+    fn batch_means_basic() {
+        let mut b = BatchMeans::new(3);
+        for x in [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0] {
+            b.add(x);
+        }
+        // Two completed batches: means 2 and 5; the trailing 7 is pending.
+        assert_eq!(b.batch_count(), 2);
+        assert!((b.mean() - 3.5).abs() < 1e-12);
+        assert!(b.ci95_half_width() > 0.0);
+    }
+
+    #[test]
+    fn batch_means_single_batch_has_no_ci() {
+        let mut b = BatchMeans::new(10);
+        for _ in 0..10 {
+            b.add(1.0);
+        }
+        assert_eq!(b.batch_count(), 1);
+        assert_eq!(b.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn batch_means_tighter_than_raw_for_correlated_data() {
+        // A slowly wandering series: raw per-sample CI treats the drift
+        // as independent noise and understates it; batch means see it.
+        let mut raw = Welford::new();
+        let mut batched = BatchMeans::new(50);
+        let mut level = 0.0;
+        let mut state = 1u64;
+        for _ in 0..2000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let noise = ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5;
+            level = 0.99 * level + noise;
+            let x = 10.0 + level;
+            raw.add(x);
+            batched.add(x);
+        }
+        assert!(
+            batched.ci95_half_width() > raw.ci95_half_width(),
+            "batch CI {} must exceed the optimistic raw CI {}",
+            batched.ci95_half_width(),
+            raw.ci95_half_width()
+        );
+    }
+
+    #[test]
+    fn summary_from_values() {
+        let s = Summary::from_values(&[1.0, 2.0, 3.0]);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert_eq!(s.n, 3);
+        assert!(s.ci95 > 0.0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Property tests of the FCFS reader/writer lock table — the simulator's
+//! most safety-critical component (Theorem 6 models exactly this
+//! discipline, so any deviation silently skews every validation).
+
+use cbtree_sim::locks::{LockTable, Mode, NodeId, OpId};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Step {
+    Request {
+        op: OpId,
+        node: NodeId,
+        exclusive: bool,
+    },
+    /// Release the i-th currently-held (op, node) pair, modulo count.
+    Release(usize),
+}
+
+fn steps() -> impl Strategy<Value = Vec<Step>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0usize..40, 0usize..3, any::<bool>()).prop_map(|(op, node, exclusive)| {
+                Step::Request {
+                    op,
+                    node,
+                    exclusive,
+                }
+            }),
+            (0usize..64).prop_map(Step::Release),
+        ],
+        1..200,
+    )
+}
+
+/// Mirror of the lock table's externally observable state.
+#[derive(Default)]
+struct Mirror {
+    /// (node → ops currently holding it with mode).
+    holders: HashMap<NodeId, Vec<(OpId, Mode)>>,
+    /// (node → FCFS arrival order of ops still waiting).
+    waiting: HashMap<NodeId, Vec<(OpId, Mode)>>,
+}
+
+impl Mirror {
+    fn grant(&mut self, node: NodeId, op: OpId, mode: Mode) {
+        self.holders.entry(node).or_default().push((op, mode));
+    }
+
+    fn check_exclusion(&self) -> Result<(), TestCaseError> {
+        for (node, hs) in &self.holders {
+            let writers = hs.iter().filter(|(_, m)| *m == Mode::Exclusive).count();
+            prop_assert!(writers <= 1, "node {node}: {writers} concurrent writers");
+            if writers == 1 {
+                prop_assert_eq!(
+                    hs.len(),
+                    1,
+                    "node {}: writer shares with {} holders",
+                    node,
+                    hs.len()
+                );
+            }
+        }
+        Ok(())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Mutual exclusion, FCFS prefix grants, and hold/queue bookkeeping
+    /// hold on arbitrary request/release interleavings.
+    #[test]
+    fn lock_table_is_a_fcfs_rw_lock(script in steps()) {
+        let mut table = LockTable::new();
+        let mut mirror = Mirror::default();
+        // Ops may hold several nodes; remember (op, node) pairs to release.
+        let mut held_pairs: Vec<(OpId, NodeId)> = Vec::new();
+        let mut now = 0.0;
+
+        for step in script {
+            now += 1.0;
+            match step {
+                Step::Request { op, node, exclusive } => {
+                    // One op never requests the same node twice while
+                    // holding/waiting (the simulator never does).
+                    let already = held_pairs.iter().any(|&(o, n)| o == op && n == node)
+                        || mirror
+                            .waiting
+                            .get(&node)
+                            .is_some_and(|w| w.iter().any(|&(o, _)| o == op));
+                    if already {
+                        continue;
+                    }
+                    let mode = if exclusive { Mode::Exclusive } else { Mode::Shared };
+                    let granted = table.request(node, op, mode, now);
+                    let queue_empty =
+                        mirror.waiting.get(&node).is_none_or(Vec::is_empty);
+                    let holders = mirror.holders.get(&node);
+                    let compatible = match mode {
+                        Mode::Shared => holders
+                            .is_none_or(|h| h.iter().all(|(_, m)| *m == Mode::Shared)),
+                        Mode::Exclusive => holders.is_none_or(Vec::is_empty),
+                    };
+                    // Immediate grant iff FCFS-compatible.
+                    prop_assert_eq!(granted, queue_empty && compatible,
+                        "node {}: grant {} vs queue_empty {} compatible {}",
+                        node, granted, queue_empty, compatible);
+                    if granted {
+                        mirror.grant(node, op, mode);
+                        held_pairs.push((op, node));
+                    } else {
+                        mirror.waiting.entry(node).or_default().push((op, mode));
+                    }
+                }
+                Step::Release(i) => {
+                    if held_pairs.is_empty() {
+                        continue;
+                    }
+                    let (op, node) = held_pairs.remove(i % held_pairs.len());
+                    let hs = mirror.holders.get_mut(&node).expect("held");
+                    let pos = hs.iter().position(|&(o, _)| o == op).expect("held");
+                    hs.remove(pos);
+                    let grants = table.release(node, op, now);
+                    // Grants must be the maximal compatible FCFS prefix of
+                    // the waiting queue.
+                    let queue = mirror.waiting.entry(node).or_default();
+                    let holders_empty =
+                        mirror.holders.get(&node).is_none_or(Vec::is_empty);
+                    let mut expect: Vec<(OpId, Mode)> = Vec::new();
+                    let readers_only = !mirror
+                        .holders
+                        .get(&node)
+                        .is_some_and(|h| h.iter().any(|(_, m)| *m == Mode::Exclusive));
+                    let mut can_take_writer = holders_empty;
+                    for &(wop, wmode) in queue.iter() {
+                        match wmode {
+                            Mode::Shared if readers_only => {
+                                expect.push((wop, wmode));
+                                can_take_writer = false;
+                            }
+                            Mode::Exclusive if can_take_writer && expect.is_empty() => {
+                                expect.push((wop, wmode));
+                                break;
+                            }
+                            _ => break,
+                        }
+                    }
+                    let got: Vec<(OpId, Mode)> =
+                        grants.iter().map(|g| (g.op, g.mode)).collect();
+                    prop_assert_eq!(&got, &expect, "node {} grant prefix", node);
+                    for g in &grants {
+                        prop_assert!(g.waited >= 0.0);
+                        prop_assert!(g.node == node);
+                    }
+                    // Apply to the mirror.
+                    queue.drain(..expect.len());
+                    for (gop, gmode) in expect {
+                        mirror.grant(node, gop, gmode);
+                        held_pairs.push((gop, node));
+                    }
+                }
+            }
+            mirror.check_exclusion()?;
+            // writer_present must agree with the mirror.
+            for node in 0..3usize {
+                let expect = mirror
+                    .holders
+                    .get(&node)
+                    .is_some_and(|h| h.iter().any(|(_, m)| *m == Mode::Exclusive))
+                    || mirror
+                        .waiting
+                        .get(&node)
+                        .is_some_and(|w| w.iter().any(|(_, m)| *m == Mode::Exclusive));
+                prop_assert_eq!(table.writer_present(node), expect, "node {}", node);
+            }
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Sampling distributions: exponential service times and key-space
+//! distributions (uniform, Zipf, sequential).
+
+use crate::rng::Rng;
+
+/// Exponential distribution with a given mean (the paper's simulator:
+/// "all service times have exponential distributions").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    mean: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with the given mean.
+    ///
+    /// # Panics
+    /// Panics unless `mean` is finite and non-negative (a zero mean gives
+    /// a degenerate distribution at 0, useful for "free" steps).
+    pub fn with_mean(mean: f64) -> Self {
+        assert!(
+            mean.is_finite() && mean >= 0.0,
+            "invalid exponential mean {mean}"
+        );
+        Exponential { mean }
+    }
+
+    /// Creates an exponential distribution with the given rate `μ`
+    /// (mean `1/μ`).
+    pub fn with_rate(rate: f64) -> Self {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "invalid exponential rate {rate}"
+        );
+        Exponential { mean: 1.0 / rate }
+    }
+
+    /// The distribution's mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Draws a sample by inverse-CDF: `-mean·ln(U)`, `U ∈ (0, 1]`.
+    #[inline]
+    pub fn sample(&self, rng: &mut Rng) -> f64 {
+        if self.mean == 0.0 {
+            return 0.0;
+        }
+        -self.mean * rng.next_f64_open().ln()
+    }
+}
+
+/// Distribution of keys drawn by the workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDist {
+    /// Uniform over `[lo, hi)`.
+    Uniform {
+        /// Inclusive lower bound.
+        lo: u64,
+        /// Exclusive upper bound.
+        hi: u64,
+    },
+    /// Zipf-distributed ranks over `[0, n)` mapped through a fixed
+    /// pseudo-random permutation, exponent `theta` (hot keys spread across
+    /// the key space rather than clustered at one end).
+    Zipf {
+        /// Number of distinct ranks.
+        n: u64,
+        /// Skew exponent (`0` = uniform; YCSB uses ~0.99).
+        theta: f64,
+    },
+    /// Monotonically increasing keys (classic worst case for rightmost-
+    /// leaf contention). Stateless here: sampled keys are drawn near the
+    /// top of the current counter supplied by the caller.
+    Sequential,
+}
+
+impl KeyDist {
+    /// Draws a key. `counter` supports [`KeyDist::Sequential`] (the
+    /// caller's monotonically growing high-water mark); other variants
+    /// ignore it.
+    pub fn sample(&self, rng: &mut Rng, counter: u64) -> u64 {
+        match *self {
+            KeyDist::Uniform { lo, hi } => rng.range_u64(lo, hi),
+            KeyDist::Zipf { n, theta } => {
+                let rank = zipf_rank(rng, n, theta);
+                // Scatter hot keys across the space via a bijection on
+                // [0, n) so the distribution over ranks is preserved.
+                permute_below(rank, n)
+            }
+            KeyDist::Sequential => counter,
+        }
+    }
+}
+
+/// Samples a Zipf(θ) rank in `[0, n)` by rejection-inversion
+/// (approximation adequate for workload skew; exact for θ = 0).
+fn zipf_rank(rng: &mut Rng, n: u64, theta: f64) -> u64 {
+    if n <= 1 {
+        return 0;
+    }
+    if theta <= 0.0 {
+        return rng.next_below(n);
+    }
+    // Inverse-CDF on the continuous approximation of the generalized
+    // harmonic CDF: P(X ≤ x) ≈ (x^(1−θ) − 1)/(n^(1−θ) − 1) for θ ≠ 1.
+    let u = rng.next_f64_open();
+    let x = if (theta - 1.0).abs() < 1e-9 {
+        // θ = 1: CDF ≈ ln(x)/ln(n)
+        (n as f64).powf(u)
+    } else {
+        let s = 1.0 - theta;
+        ((u * ((n as f64).powf(s) - 1.0)) + 1.0).powf(1.0 / s)
+    };
+    (x as u64).min(n - 1)
+}
+
+/// A fixed pseudo-random *permutation* of `[0, n)`: a bijective mix on the
+/// next power of two, cycle-walked back into range. Bijectivity matters —
+/// a plain hash-mod-n would merge ranks and distort the distribution.
+fn permute_below(rank: u64, n: u64) -> u64 {
+    if n <= 1 {
+        return 0;
+    }
+    let bits = 64 - (n - 1).leading_zeros();
+    let mask = if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    };
+    let mut x = rank;
+    loop {
+        // Each step is invertible modulo 2^bits: odd multiply, xor-shift.
+        x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15 | 1) & mask;
+        x ^= x >> (bits / 2).max(1);
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9 | 1) & mask;
+        if x < n {
+            return x;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_mean_matches() {
+        let d = Exponential::with_mean(3.0);
+        let mut rng = Rng::new(17);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| d.sample(&mut rng)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_variance_matches() {
+        let d = Exponential::with_mean(2.0);
+        let mut rng = Rng::new(23);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn rate_and_mean_agree() {
+        assert!((Exponential::with_rate(4.0).mean() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_mean_is_degenerate() {
+        let d = Exponential::with_mean(0.0);
+        let mut rng = Rng::new(1);
+        assert_eq!(d.sample(&mut rng), 0.0);
+    }
+
+    #[test]
+    fn samples_nonnegative() {
+        let d = Exponential::with_mean(1.0);
+        let mut rng = Rng::new(2);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn uniform_keys_cover_range() {
+        let kd = KeyDist::Uniform { lo: 100, hi: 110 };
+        let mut rng = Rng::new(3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            let k = kd.sample(&mut rng, 0);
+            assert!((100..110).contains(&k));
+            seen.insert(k);
+        }
+        assert_eq!(seen.len(), 10);
+    }
+
+    #[test]
+    fn zipf_skews_toward_few_keys() {
+        let kd = KeyDist::Zipf {
+            n: 1000,
+            theta: 0.99,
+        };
+        let mut rng = Rng::new(4);
+        let mut counts = std::collections::HashMap::new();
+        let n = 50_000;
+        for _ in 0..n {
+            *counts.entry(kd.sample(&mut rng, 0)).or_insert(0u32) += 1;
+        }
+        let mut freqs: Vec<u32> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: u32 = freqs.iter().take(10).sum();
+        assert!(
+            top10 as f64 > 0.2 * n as f64,
+            "top-10 keys should dominate a skewed workload: {top10}/{n}"
+        );
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_uniform() {
+        let kd = KeyDist::Zipf { n: 10, theta: 0.0 };
+        let mut rng = Rng::new(6);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[kd.sample(&mut rng, 0) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "bucket {c}");
+        }
+    }
+
+    #[test]
+    fn permute_below_is_a_bijection() {
+        for n in [1u64, 2, 7, 10, 64, 1000] {
+            let mut seen = std::collections::HashSet::new();
+            for r in 0..n {
+                let p = permute_below(r, n);
+                assert!(p < n);
+                assert!(seen.insert(p), "collision at n={n}, rank={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_returns_counter() {
+        let kd = KeyDist::Sequential;
+        let mut rng = Rng::new(5);
+        assert_eq!(kd.sample(&mut rng, 42), 42);
+    }
+}

@@ -1,0 +1,113 @@
+//! Per-level deep dive: the framework's internal quantities — writer
+//! utilization `ρ_w(i)`, shared/exclusive lock waits `R(i)`/`W(i)` —
+//! side by side with the simulator's measured per-level statistics, for
+//! one algorithm at one operating point.
+//!
+//! This is the view behind the paper's Figure 1: the B-tree as a column
+//! of FCFS R/W lock queues.
+//!
+//! ```text
+//! cargo run --release --example per_level_diagnostics [naive|optimistic|link|two-phase] [frac_of_max]
+//! ```
+
+use cbtree::analysis::{Algorithm, ModelConfig};
+use cbtree::model::{CostModel, OpMix};
+use cbtree::sim::costs::SimCosts;
+use cbtree::sim::runner::{construction_phase, matched_tree_shape};
+use cbtree::sim::{SimAlgorithm, SimConfig, Simulator};
+use cbtree::workload::{Operation, PoissonArrivals};
+
+fn main() {
+    let alg_name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "naive".to_string());
+    let frac: f64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.7);
+    let (algorithm, sim_alg) = match alg_name.as_str() {
+        "naive" => (
+            Algorithm::NaiveLockCoupling,
+            SimAlgorithm::NaiveLockCoupling,
+        ),
+        "optimistic" => (
+            Algorithm::OptimisticDescent,
+            SimAlgorithm::OptimisticDescent,
+        ),
+        "link" => (Algorithm::LinkType, SimAlgorithm::LinkType),
+        "two-phase" => (Algorithm::TwoPhaseLocking, SimAlgorithm::TwoPhaseLocking),
+        other => {
+            eprintln!("unknown algorithm `{other}` (naive|optimistic|link|two-phase)");
+            std::process::exit(2);
+        }
+    };
+
+    // Model the exact tree the simulator builds.
+    let base_cfg = SimConfig::paper(sim_alg, 1.0, 1);
+    let shape = matched_tree_shape(&base_cfg).expect("valid shape");
+    let cost = CostModel::paper_style(shape.height, 2, 5.0, 1.0).unwrap();
+    let cfg = ModelConfig::new(shape, OpMix::paper(), cost).unwrap();
+    let model = algorithm.model(&cfg);
+    let max = model.max_throughput().expect("finite or capped");
+    let lambda = frac * max.min(1e4);
+    println!(
+        "{} at λ = {lambda:.4} ({:.0}% of max throughput {max:.4}), D = 5\n",
+        algorithm.name(),
+        frac * 100.0,
+    );
+
+    let perf = model.evaluate(lambda).expect("stable");
+
+    // Run the simulator once at the same point and pull per-level stats.
+    let mut sim_cfg = base_cfg.clone();
+    sim_cfg.arrival_rate = lambda;
+    sim_cfg = sim_cfg.with_min_window(120.0, 400.0);
+    let (tree, mut stream) = construction_phase(&sim_cfg).unwrap();
+    let mut sim = Simulator::new(tree, SimCosts::paper(), sim_alg, sim_cfg.warmup_ops, 1);
+    let mut arrivals = PoissonArrivals::new(lambda, 7);
+    sim.schedule_arrival(arrivals.next_arrival());
+    let target = sim_cfg.warmup_ops + sim_cfg.measured_ops;
+    sim.run_until(target, sim_cfg.max_concurrent, move || {
+        use cbtree::sim::driver::OpKind;
+        let (kind, key) = match stream.next_op() {
+            Operation::Search(k) => (OpKind::Search, k),
+            Operation::Insert(k) => (OpKind::Insert, k),
+            Operation::Delete(k) => (OpKind::Delete, k),
+        };
+        (kind, key, arrivals.next_arrival())
+    })
+    .expect("stable at this rate");
+
+    println!(
+        "{:>5} {:>10} {:>10} | {:>8} {:>8} | {:>8} {:>8} | {:>9}",
+        "level",
+        "λ_R/node",
+        "λ_W/node",
+        "R(i) mdl",
+        "R(i) sim",
+        "W(i) mdl",
+        "W(i) sim",
+        "ρ_w model"
+    );
+    for l in perf.levels.iter().rev() {
+        let idx = l.level - 1;
+        let sim_r = sim.stats.wait_r.get(idx).map(|w| w.mean()).unwrap_or(0.0);
+        let sim_w = sim.stats.wait_w.get(idx).map(|w| w.mean()).unwrap_or(0.0);
+        println!(
+            "{:>5} {:>10.5} {:>10.5} | {:>8.3} {:>8.3} | {:>8.3} {:>8.3} | {:>9.3}",
+            l.level, l.lambda_r, l.lambda_w, l.r_wait, sim_r, l.w_wait, sim_w, l.rho_w
+        );
+    }
+    println!(
+        "\nresponse times  model: search {:.2}  insert {:.2} | simulated: search {:.2}  insert {:.2}",
+        perf.response_time_search,
+        perf.response_time_insert,
+        sim.stats.resp_search.mean(),
+        sim.stats.resp_insert.mean(),
+    );
+    println!(
+        "root writer utilization  model {:.3} | simulated {:.3}",
+        perf.root_writer_utilization(),
+        sim.stats.root_writer.mean()
+    );
+}

@@ -1,0 +1,157 @@
+//! Cross-crate integration: the facade crate's pieces compose — the
+//! analytical model's structural predictions hold on the *real* threaded
+//! B-trees, and the workload generators drive everything consistently.
+
+use cbtree::btree::{BLinkTree, ConcurrentBTree, OptimisticTree, Protocol};
+use cbtree::model::{Fullness, NodeParams, OpMix, TreeShape};
+use cbtree::workload::{OpStream, Operation, OpsConfig};
+use std::sync::Arc;
+
+#[test]
+fn real_od_redo_rate_tracks_corollary_1() {
+    // Corollary 1 predicts the leaf-full probability Pr[F(1)]; the real
+    // optimistic tree's redo rate per insert should sit in its vicinity
+    // once the tree is warm.
+    let n = 13usize;
+    let tree = OptimisticTree::<u64>::new(n);
+    let mut stream = OpStream::new(OpsConfig::paper(3_000_000), 42);
+    // Warm phase (not counted).
+    for _ in 0..60_000 {
+        if let Operation::Insert(k) = stream.next_op() {
+            tree.insert(k, k);
+        }
+    }
+    let redo_before = tree.redo_count();
+    let mut inserts = 0u64;
+    for _ in 0..150_000 {
+        match stream.next_op() {
+            Operation::Insert(k) => {
+                tree.insert(k, k);
+                inserts += 1;
+            }
+            Operation::Delete(k) => {
+                tree.remove(&k);
+            }
+            Operation::Search(_) => {}
+        }
+    }
+    let measured = (tree.redo_count() - redo_before) as f64 / inserts as f64;
+
+    let shape =
+        TreeShape::derive(tree.len() as u64, NodeParams::with_max_size(n).unwrap()).unwrap();
+    let fullness = Fullness::corollary1(&shape, &OpMix::paper()).unwrap();
+    let predicted = fullness.pr_full(1);
+    assert!(
+        measured > 0.2 * predicted && measured < 3.0 * predicted,
+        "real redo rate {measured:.4} vs Corollary-1 Pr[F(1)] {predicted:.4}"
+    );
+}
+
+#[test]
+fn real_tree_height_matches_shape_model() {
+    for n in [8usize, 16, 64] {
+        let tree = BLinkTree::<u64>::new(n);
+        for k in 0..30_000u64 {
+            tree.insert(k.wrapping_mul(0x9E37_79B9_7F4A_7C15), k);
+        }
+        let predicted = TreeShape::derive(tree.len() as u64, NodeParams::with_max_size(n).unwrap())
+            .unwrap()
+            .height;
+        let actual = tree.height();
+        assert!(
+            (actual as i64 - predicted as i64).abs() <= 1,
+            "N={n}: real height {actual} vs model {predicted}"
+        );
+    }
+}
+
+#[test]
+fn workload_streams_drive_all_trees_identically() {
+    // The same seeded stream applied to each protocol must leave the
+    // exact same key set (sequential application).
+    let mut contents: Vec<Vec<u64>> = Vec::new();
+    for p in Protocol::ALL {
+        let tree = ConcurrentBTree::<u64>::new(p, 8);
+        let mut stream = OpStream::new(OpsConfig::paper(5_000), 7);
+        for _ in 0..20_000 {
+            match stream.next_op() {
+                Operation::Search(_) => {}
+                Operation::Insert(k) => {
+                    tree.insert(k, k);
+                }
+                Operation::Delete(k) => {
+                    tree.remove(&k);
+                }
+            }
+        }
+        let present: Vec<u64> = (0..5_000).filter(|k| tree.contains_key(k)).collect();
+        contents.push(present);
+        tree.check().unwrap();
+    }
+    assert_eq!(contents[0], contents[1]);
+    assert_eq!(contents[1], contents[2]);
+}
+
+#[test]
+fn concurrent_paper_mix_on_all_protocols() {
+    // The paper's mix from 8 threads; every protocol must stay valid and
+    // agree with the net-insert accounting.
+    for p in Protocol::ALL {
+        let tree = Arc::new(ConcurrentBTree::<u64>::new(p, 13));
+        let net = Arc::new(std::sync::atomic::AtomicI64::new(0));
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let tree = Arc::clone(&tree);
+                let net = Arc::clone(&net);
+                s.spawn(move || {
+                    let mut stream = OpStream::new(OpsConfig::paper(500_000), 900 + t);
+                    for _ in 0..5_000 {
+                        match stream.next_op() {
+                            Operation::Search(k) => {
+                                let _ = tree.get(&k);
+                            }
+                            Operation::Insert(k) => {
+                                if tree.insert(k, k).is_none() {
+                                    net.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                }
+                            }
+                            Operation::Delete(k) => {
+                                if tree.remove(&k).is_some() {
+                                    net.fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            tree.len() as i64,
+            net.load(std::sync::atomic::Ordering::Relaxed),
+            "{p:?}"
+        );
+        tree.check().unwrap();
+    }
+}
+
+#[test]
+fn facade_reexports_compose() {
+    // The doc-advertised entry points all resolve through the facade.
+    let cfg = cbtree::analysis::ModelConfig::paper_base();
+    let model = cbtree::analysis::Algorithm::LinkType.model(&cfg);
+    let perf = model.evaluate(0.5).unwrap();
+    assert!(perf.response_time_insert > 0.0);
+
+    let q = cbtree::queueing::RwQueue::new(1.0, 0.1, 1.0, 1.0).unwrap();
+    assert!(q.solve().unwrap().rho_w > 0.0);
+
+    let report = cbtree::sim::run(
+        &cbtree::sim::SimConfig::paper(cbtree::sim::SimAlgorithm::LinkType, 0.5, 1).scaled_down(20),
+    )
+    .unwrap();
+    assert!(report.completed > 0);
+
+    let tree = cbtree::btree::BLinkTree::<&'static str>::new(16);
+    tree.insert(1, "one");
+    assert_eq!(tree.get(&1), Some("one"));
+}
