@@ -1,49 +1,62 @@
-//! Criterion benchmarks of the analytical machinery itself: the Theorem 6
+//! Microbenchmarks of the analytical machinery itself: the Theorem 6
 //! fixed point, full per-algorithm model evaluations, and the
 //! maximum-throughput search. These quantify the claim that the framework
-//! is cheap enough to use interactively for capacity planning.
+//! is cheap enough to use interactively for capacity planning. Plain
+//! `fn main()` harness over `cbtree_bench::microbench`.
 
 use cbtree_analysis::{Algorithm, ModelConfig};
+use cbtree_bench::microbench::bench;
 use cbtree_queueing::RwQueue;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn theorem6_fixed_point(c: &mut Criterion) {
-    c.bench_function("queueing/theorem6-fixed-point", |b| {
-        let q = RwQueue::new(1.5, 0.25, 1.2, 0.9).unwrap();
-        b.iter(|| std::hint::black_box(q.solve().unwrap()));
+const INNER: u64 = 1000;
+const SAMPLES: usize = 10;
+
+fn theorem6_fixed_point() {
+    let q = RwQueue::new(1.5, 0.25, 1.2, 0.9).unwrap();
+    bench("queueing/theorem6-fixed-point", INNER, SAMPLES, || {
+        for _ in 0..INNER {
+            std::hint::black_box(q.solve().unwrap());
+        }
     });
 }
 
-fn model_evaluation(c: &mut Criterion) {
+fn model_evaluation() {
     let cfg = ModelConfig::paper_base();
-    let mut group = c.benchmark_group("analysis/evaluate");
     for alg in Algorithm::ALL {
         let model = alg.model(&cfg);
         let lambda = 0.5 * model.max_throughput().unwrap();
-        group.bench_function(BenchmarkId::from_parameter(alg.name()), |b| {
-            b.iter(|| std::hint::black_box(model.evaluate(lambda).unwrap()));
-        });
+        bench(
+            &format!("analysis/evaluate/{}", alg.name()),
+            INNER,
+            SAMPLES,
+            || {
+                for _ in 0..INNER {
+                    std::hint::black_box(model.evaluate(lambda).unwrap());
+                }
+            },
+        );
     }
-    group.finish();
 }
 
-fn max_throughput_search(c: &mut Criterion) {
+fn max_throughput_search() {
     let cfg = ModelConfig::paper_base();
-    let mut group = c.benchmark_group("analysis/max-throughput");
-    group.sample_size(20);
     for alg in [Algorithm::NaiveLockCoupling, Algorithm::OptimisticDescent] {
         let model = alg.model(&cfg);
-        group.bench_function(BenchmarkId::from_parameter(alg.name()), |b| {
-            b.iter(|| std::hint::black_box(model.max_throughput().unwrap()));
-        });
+        bench(
+            &format!("analysis/max-throughput/{}", alg.name()),
+            INNER / 10,
+            SAMPLES,
+            || {
+                for _ in 0..INNER / 10 {
+                    std::hint::black_box(model.max_throughput().unwrap());
+                }
+            },
+        );
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    theorem6_fixed_point,
-    model_evaluation,
-    max_throughput_search
-);
-criterion_main!(benches);
+fn main() {
+    theorem6_fixed_point();
+    model_evaluation();
+    max_throughput_search();
+}

@@ -1,17 +1,17 @@
-//! Criterion microbenchmarks of the real concurrent B+-trees: the three
-//! latching protocols under single-threaded and multi-threaded mixed
-//! workloads. The paper's ranking (link ≥ optimistic ≥ lock-coupling
-//! under concurrency) should reproduce on real hardware in the
-//! multi-threaded groups.
+//! Microbenchmarks of the real concurrent B+-trees: the three latching
+//! protocols under single-threaded and multi-threaded mixed workloads.
+//! The paper's ranking (link ≥ optimistic ≥ lock-coupling under
+//! concurrency) should reproduce on real hardware in the multi-threaded
+//! groups. Plain `fn main()` harness over `cbtree_bench::microbench`.
 
+use cbtree_bench::microbench::bench;
 use cbtree_btree::{ConcurrentBTree, Protocol};
 use cbtree_workload::{OpStream, Operation, OpsConfig};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::sync::Arc;
-use std::time::Instant;
 
 const PREFILL: u64 = 50_000;
 const OPS_PER_ITER: usize = 20_000;
+const SAMPLES: usize = 5;
 
 fn prefilled(protocol: Protocol) -> Arc<ConcurrentBTree<u64>> {
     let tree = Arc::new(ConcurrentBTree::new(protocol, 64));
@@ -41,87 +41,83 @@ fn apply(tree: &ConcurrentBTree<u64>, op: Operation) {
     }
 }
 
-fn single_threaded(c: &mut Criterion) {
-    let mut group = c.benchmark_group("btree/single-thread-mixed");
-    group.throughput(Throughput::Elements(OPS_PER_ITER as u64));
-    group.sample_size(10);
+fn single_threaded() {
     for protocol in Protocol::ALL {
         let tree = prefilled(protocol);
-        group.bench_function(BenchmarkId::from_parameter(protocol.name()), |b| {
-            let mut stream = OpStream::new(OpsConfig::paper(1_000_000), 99);
-            b.iter(|| {
+        let mut stream = OpStream::new(OpsConfig::paper(1_000_000), 99);
+        bench(
+            &format!("btree/single-thread-mixed/{}", protocol.name()),
+            OPS_PER_ITER as u64,
+            SAMPLES,
+            || {
                 for _ in 0..OPS_PER_ITER {
                     apply(&tree, stream.next_op());
                 }
-            });
-        });
+            },
+        );
     }
-    group.finish();
 }
 
-fn multi_threaded(c: &mut Criterion) {
+fn multi_threaded() {
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
         .min(8);
-    let mut group = c.benchmark_group(format!("btree/{threads}-threads-mixed"));
-    group.throughput(Throughput::Elements((OPS_PER_ITER * threads) as u64));
-    group.sample_size(10);
     for protocol in Protocol::ALL {
         let tree = prefilled(protocol);
-        group.bench_function(BenchmarkId::from_parameter(protocol.name()), |b| {
-            b.iter_custom(|iters| {
-                let start = Instant::now();
-                for round in 0..iters {
-                    std::thread::scope(|s| {
-                        for t in 0..threads as u64 {
-                            let tree = Arc::clone(&tree);
-                            s.spawn(move || {
-                                let mut stream =
-                                    OpStream::new(OpsConfig::paper(1_000_000), round * 1000 + t);
-                                for _ in 0..OPS_PER_ITER {
-                                    apply(&tree, stream.next_op());
-                                }
-                            });
-                        }
-                    });
-                }
-                start.elapsed()
-            });
-        });
+        let mut round = 0u64;
+        bench(
+            &format!("btree/{threads}-threads-mixed/{}", protocol.name()),
+            (OPS_PER_ITER * threads) as u64,
+            SAMPLES,
+            || {
+                round += 1;
+                std::thread::scope(|s| {
+                    for t in 0..threads as u64 {
+                        let tree = Arc::clone(&tree);
+                        s.spawn(move || {
+                            let mut stream =
+                                OpStream::new(OpsConfig::paper(1_000_000), round * 1000 + t);
+                            for _ in 0..OPS_PER_ITER {
+                                apply(&tree, stream.next_op());
+                            }
+                        });
+                    }
+                });
+            },
+        );
     }
-    group.finish();
 }
 
-fn read_only_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("btree/read-only-8-threads");
-    group.throughput(Throughput::Elements((OPS_PER_ITER * 8) as u64));
-    group.sample_size(10);
+fn read_only_scaling() {
     for protocol in Protocol::ALL {
         let tree = prefilled(protocol);
-        group.bench_function(BenchmarkId::from_parameter(protocol.name()), |b| {
-            b.iter_custom(|iters| {
-                let start = Instant::now();
-                for round in 0..iters {
-                    std::thread::scope(|s| {
-                        for t in 0..8u64 {
-                            let tree = Arc::clone(&tree);
-                            s.spawn(move || {
-                                let mut x = round.wrapping_mul(0x9E37).wrapping_add(t);
-                                for _ in 0..OPS_PER_ITER {
-                                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-                                    std::hint::black_box(tree.get(&((x >> 33) % 1_000_000)));
-                                }
-                            });
-                        }
-                    });
-                }
-                start.elapsed()
-            });
-        });
+        let mut round = 0u64;
+        bench(
+            &format!("btree/read-only-8-threads/{}", protocol.name()),
+            (OPS_PER_ITER * 8) as u64,
+            SAMPLES,
+            || {
+                round += 1;
+                std::thread::scope(|s| {
+                    for t in 0..8u64 {
+                        let tree = Arc::clone(&tree);
+                        s.spawn(move || {
+                            let mut x = round.wrapping_mul(0x9E37).wrapping_add(t);
+                            for _ in 0..OPS_PER_ITER {
+                                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                                std::hint::black_box(tree.get(&((x >> 33) % 1_000_000)));
+                            }
+                        });
+                    }
+                });
+            },
+        );
     }
-    group.finish();
 }
 
-criterion_group!(benches, single_threaded, multi_threaded, read_only_scaling);
-criterion_main!(benches);
+fn main() {
+    single_threaded();
+    multi_threaded();
+    read_only_scaling();
+}

@@ -1,16 +1,16 @@
-//! Criterion benchmarks of the discrete-event simulator: events per
-//! second for each algorithm at a moderate load, and the cost of the
-//! construction phase.
+//! Microbenchmarks of the discrete-event simulator: events per second
+//! for each algorithm at a moderate load, and the cost of the
+//! construction phase. Plain `fn main()` harness over
+//! `cbtree_bench::microbench`.
 
+use cbtree_bench::microbench::bench;
 use cbtree_sim::tree::SimTree;
 use cbtree_sim::{run, SimAlgorithm, SimConfig};
 use cbtree_workload::{OpStream, OpsConfig};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-fn sim_run(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim/2000-measured-ops");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(2000));
+const SAMPLES: usize = 5;
+
+fn sim_run() {
     for (alg, rate) in [
         (SimAlgorithm::NaiveLockCoupling, 0.1),
         (SimAlgorithm::OptimisticDescent, 0.4),
@@ -18,30 +18,33 @@ fn sim_run(c: &mut Criterion) {
     ] {
         let mut cfg = SimConfig::paper(alg, rate, 1).scaled_down(5);
         cfg.measured_ops = 2000;
-        group.bench_function(BenchmarkId::from_parameter(format!("{alg:?}")), |b| {
-            b.iter(|| std::hint::black_box(run(&cfg).unwrap()));
-        });
+        bench(
+            &format!("sim/2000-measured-ops/{alg:?}"),
+            2000,
+            SAMPLES,
+            || {
+                std::hint::black_box(run(&cfg).unwrap());
+            },
+        );
     }
-    group.finish();
 }
 
-fn tree_construction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim/build-tree");
-    group.sample_size(10);
+fn tree_construction() {
     for items in [10_000usize, 40_000] {
-        group.throughput(Throughput::Elements(items as u64));
-        group.bench_function(BenchmarkId::from_parameter(items), |b| {
-            b.iter_with_setup(
-                || {
-                    let mut s = OpStream::new(OpsConfig::paper(100_000_000), 3);
-                    s.construction_sequence(items)
-                },
-                |seq| std::hint::black_box(SimTree::build(13, &seq)),
-            );
-        });
+        let mut s = OpStream::new(OpsConfig::paper(100_000_000), 3);
+        let seq = s.construction_sequence(items);
+        bench(
+            &format!("sim/build-tree/{items}"),
+            items as u64,
+            SAMPLES,
+            || {
+                std::hint::black_box(SimTree::build(13, &seq));
+            },
+        );
     }
-    group.finish();
 }
 
-criterion_group!(benches, sim_run, tree_construction);
-criterion_main!(benches);
+fn main() {
+    sim_run();
+    tree_construction();
+}

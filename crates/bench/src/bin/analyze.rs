@@ -17,10 +17,14 @@
 //! ```
 
 use cbtree_analysis::{Algorithm, ModelConfig, RecoveryMode};
+use cbtree_btree::Protocol;
 use cbtree_btree_model::{lru_cost_model, CostModel, NodeParams, OpMix, TreeShape};
+use cbtree_harness::LiveConfig;
 use cbtree_sim::costs::SimCosts;
 use cbtree_sim::{run_seeds, SimAlgorithm, SimConfig, SimRecovery};
+use cbtree_workload::{KeyDist, OpsConfig};
 use std::process::ExitCode;
+use std::time::Duration;
 
 struct Args {
     items: u64,
@@ -33,6 +37,8 @@ struct Args {
     recovery: RecoveryMode,
     t_trans: f64,
     verify: bool,
+    live: bool,
+    live_threads: usize,
 }
 
 impl Default for Args {
@@ -48,6 +54,8 @@ impl Default for Args {
             recovery: RecoveryMode::None,
             t_trans: 100.0,
             verify: false,
+            live: false,
+            live_threads: 4,
         }
     }
 }
@@ -56,7 +64,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: analyze [--items N] [--node-size N] [--mix qs,qi,qd] [--disk-cost D]\n\
          \u{20}       [--memory-levels M] [--buffer-nodes B] [--rate lambda]\n\
-         \u{20}       [--recovery none|naive|leaf-only] [--t-trans T] [--verify]"
+         \u{20}       [--recovery none|naive|leaf-only] [--t-trans T] [--verify]\n\
+         \u{20}       [--live] [--live-threads N]"
     );
     std::process::exit(2);
 }
@@ -91,6 +100,8 @@ fn parse_args() -> Args {
             }
             "--t-trans" => a.t_trans = val().parse().unwrap_or_else(|_| usage()),
             "--verify" => a.verify = true,
+            "--live" => a.live = true,
+            "--live-threads" => a.live_threads = val().parse().unwrap_or_else(|_| usage()),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -257,5 +268,159 @@ fn main() -> ExitCode {
              extrapolates the same per-level model)"
         );
     }
+
+    if args.live {
+        if let Err(e) = live_compare(&args, mix) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
+}
+
+/// Three-way comparison: the analytical model, the discrete-event
+/// simulator, and the *real* trees running on OS threads, all on an
+/// all-in-memory configuration (the live harness has no disk).
+///
+/// Units are aligned by calibration: a single-threaded uncontended
+/// search-only live run fixes the wall-clock length of one model cost
+/// unit, live throughput is converted into a model arrival rate λ, and
+/// analysis/simulation are evaluated at that same λ.
+fn live_compare(args: &Args, mix: OpMix) -> Result<(), String> {
+    let err = |e: &dyn std::fmt::Display| e.to_string();
+    let items = (args.items as usize).min(200_000);
+    let node = NodeParams::with_max_size(args.node_size).map_err(|e| err(&e))?;
+    let shape = TreeShape::derive(items as u64, node).map_err(|e| err(&e))?;
+    let height = shape.height;
+    // Every level memory-resident: the live trees never touch a disk.
+    let cost = CostModel::paper_style(height, height, args.disk_cost, 1.0).map_err(|e| err(&e))?;
+    let mcfg = ModelConfig::new(shape, mix, cost).map_err(|e| err(&e))?;
+
+    let ops = OpsConfig {
+        q_search: mix.q_search,
+        q_insert: mix.q_insert,
+        q_delete: mix.q_delete,
+        keys: KeyDist::Uniform {
+            lo: 0,
+            hi: (2 * items) as u64,
+        },
+    };
+    let base = LiveConfig {
+        protocol: Protocol::BLink,
+        threads: args.live_threads.max(1),
+        capacity: args.node_size,
+        initial_items: items,
+        ops,
+        warmup: Duration::from_millis(150),
+        measure: Duration::from_millis(500),
+        seed: 0x11FE,
+    };
+
+    // Calibrate: one model cost unit, in seconds of wall clock.
+    let calib = cbtree_harness::run(&LiveConfig {
+        threads: 1,
+        ops: OpsConfig {
+            q_search: 1.0,
+            q_insert: 0.0,
+            q_delete: 0.0,
+            ..ops
+        },
+        ..base.clone()
+    });
+    let zero_load_units = Algorithm::LinkType
+        .model(&mcfg)
+        .evaluate(1e-9)
+        .map_err(|e| err(&e))?
+        .response_time_search;
+    if calib.resp_search.n == 0 || calib.resp_search.mean <= 0.0 {
+        return Err("calibration run completed no searches".into());
+    }
+    let unit_secs = calib.resp_search.mean / zero_load_units;
+    println!(
+        "\nlive execution cross-check: {} threads, {} items in memory, capacity {}",
+        base.threads, items, args.node_size
+    );
+    println!(
+        "calibration: 1 model cost unit = {:.0} ns wall clock \
+         ({:.2} us per uncontended search / {:.2} units zero-load path)",
+        unit_secs * 1e9,
+        calib.resp_search.mean * 1e6,
+        zero_load_units
+    );
+    println!(
+        "{:<12} {:>10} {:>8} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9}",
+        "algorithm",
+        "live-thru",
+        "lambda",
+        "anl-sRT",
+        "sim-sRT",
+        "live-sRT",
+        "anl-iRT",
+        "sim-iRT",
+        "live-iRT"
+    );
+    for (protocol, alg, sim_alg) in [
+        (
+            Protocol::LockCoupling,
+            Algorithm::NaiveLockCoupling,
+            SimAlgorithm::NaiveLockCoupling,
+        ),
+        (
+            Protocol::OptimisticDescent,
+            Algorithm::OptimisticDescent,
+            SimAlgorithm::OptimisticDescent,
+        ),
+        (Protocol::BLink, Algorithm::LinkType, SimAlgorithm::LinkType),
+        (
+            Protocol::TwoPhase,
+            Algorithm::TwoPhaseLocking,
+            SimAlgorithm::TwoPhaseLocking,
+        ),
+    ] {
+        let live = cbtree_harness::run(&LiveConfig {
+            protocol,
+            ..base.clone()
+        });
+        // The live run is closed-loop; its completion rate, expressed in
+        // model cost units, is the open-loop λ the other two pillars see.
+        let lambda = live.throughput * unit_secs;
+        let fmt_units = |units: f64| format!("{units:>9.2}");
+        let (anl_s, anl_i) = match alg.model(&mcfg).evaluate(lambda) {
+            Ok(p) => (
+                fmt_units(p.response_time_search),
+                fmt_units(p.response_time_insert),
+            ),
+            Err(_) => ("      sat".into(), "      sat".into()),
+        };
+        let mut sc = SimConfig::paper(sim_alg, lambda, 1);
+        sc.node_capacity = args.node_size;
+        sc.initial_items = items;
+        sc.costs = SimCosts {
+            base: 1.0,
+            disk_cost: args.disk_cost,
+            memory_levels: height,
+        };
+        sc = sc.with_min_window(100.0, 300.0);
+        let (sim_s, sim_i) = match run_seeds(&sc, &[1, 2]) {
+            Ok(s) => (fmt_units(s.resp_search.mean), fmt_units(s.resp_insert.mean)),
+            Err(_) => ("      sat".into(), "      sat".into()),
+        };
+        println!(
+            "{:<12} {:>10.0} {:>8.4} | {} {} {} | {} {} {}",
+            protocol.name(),
+            live.throughput,
+            lambda,
+            anl_s,
+            sim_s,
+            fmt_units(live.resp_search.mean / unit_secs),
+            anl_i,
+            sim_i,
+            fmt_units(live.resp_insert.mean / unit_secs),
+        );
+    }
+    println!(
+        "(response times in model cost units; live converted via the calibrated unit; \
+         each pillar evaluated at the live run's measured λ)"
+    );
+    Ok(())
 }

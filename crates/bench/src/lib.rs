@@ -1,6 +1,6 @@
 //! Experiment harness regenerating every table and figure of Johnson &
 //! Shasha (PODS 1990), plus shared table/CSV utilities used by the
-//! `experiments` binary and the Criterion benchmarks.
+//! `experiments` binary and the std-only microbenchmarks.
 //!
 //! Each `figN` function in [`figures`] reproduces one figure of the
 //! paper's evaluation: it sweeps the same parameter the paper sweeps,
@@ -12,6 +12,7 @@
 #![deny(unsafe_code)]
 
 pub mod figures;
+pub mod microbench;
 pub mod table;
 
 pub use figures::{run_figure, ExpOptions, FIGURES};

@@ -17,7 +17,7 @@
 
 use crate::node::{check_invariants, make_root, Children, Node, NodeRef};
 use crate::writepath::WriteGuard;
-use parking_lot::RwLock;
+use cbtree_sync::FcfsRwLock as RwLock;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -135,7 +135,7 @@ impl<V> BLinkTree<V> {
         }
         // Half-split, then post separators upward.
         let (mut sep, mut sib) = guard.half_split();
-        let mut left = Arc::clone(parking_lot::ArcRwLockWriteGuard::rwlock(&guard));
+        let mut left = Arc::clone(cbtree_sync::ArcRwLockWriteGuard::rwlock(&guard));
         let mut level = guard.level;
         drop(guard);
         loop {
@@ -156,7 +156,7 @@ impl<V> BLinkTree<V> {
                 return None;
             }
             let (s, sb) = pg.half_split();
-            left = Arc::clone(parking_lot::ArcRwLockWriteGuard::rwlock(&pg));
+            left = Arc::clone(cbtree_sync::ArcRwLockWriteGuard::rwlock(&pg));
             level = pg.level;
             sep = s;
             sib = sb;
@@ -180,21 +180,32 @@ impl<V> BLinkTree<V> {
     /// (read descent from the current root; used only in the rare corner
     /// where the root grew while we were splitting the old root).
     fn find_level_ancestor(&self, level: usize, key: u64) -> NodeRef<V> {
-        let mut cur: NodeRef<V> = Arc::clone(&self.root.read());
-        loop {
-            let next = {
-                let g = cur.read();
-                if g.level == level {
-                    return Arc::clone(&cur);
-                }
-                debug_assert!(g.level > level, "root below requested level");
-                if !g.covers(key) {
-                    Arc::clone(g.right.as_ref().expect("covers"))
-                } else {
-                    g.child_for(key)
-                }
-            };
-            cur = next;
+        'restart: loop {
+            let mut cur: NodeRef<V> = Arc::clone(&self.root.read());
+            loop {
+                let next = {
+                    let g = cur.read();
+                    if g.level == level {
+                        return Arc::clone(&cur);
+                    }
+                    if g.level < level {
+                        // Another thread split the old root but has not
+                        // yet swapped the root pointer, so no node at
+                        // `level` is published yet. We hold no latches,
+                        // so the grower cannot be waiting on us: spin
+                        // until its swap lands.
+                        drop(g);
+                        std::thread::yield_now();
+                        continue 'restart;
+                    }
+                    if !g.covers(key) {
+                        Arc::clone(g.right.as_ref().expect("covers"))
+                    } else {
+                        g.child_for(key)
+                    }
+                };
+                cur = next;
+            }
         }
     }
 
@@ -231,6 +242,11 @@ impl<V> BLinkTree<V> {
     /// Checks structural invariants (quiescent use).
     pub fn check(&self) -> Result<(), String> {
         check_invariants(&self.root.read(), self.cap)
+    }
+
+    /// The current root handle (for quiescent instrumentation walks).
+    pub fn root_handle(&self) -> NodeRef<V> {
+        Arc::clone(&self.root.read())
     }
 }
 

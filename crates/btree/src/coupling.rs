@@ -8,7 +8,7 @@
 
 use crate::node::{check_invariants, Node, NodeRef};
 use crate::writepath;
-use parking_lot::RwLock;
+use cbtree_sync::FcfsRwLock as RwLock;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 

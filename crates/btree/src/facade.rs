@@ -133,6 +133,27 @@ impl<V> ConcurrentBTree<V> {
             ConcurrentBTree::TwoPhase(t) => t.check(),
         }
     }
+
+    /// Current height (levels; 1 = a lone leaf root).
+    pub fn height(&self) -> usize {
+        match self {
+            ConcurrentBTree::Coupling(t) => t.height(),
+            ConcurrentBTree::Optimistic(t) => t.height(),
+            ConcurrentBTree::BLink(t) => t.height(),
+            ConcurrentBTree::TwoPhase(t) => t.height(),
+        }
+    }
+
+    /// The current root handle (for quiescent instrumentation walks, e.g.
+    /// aggregating per-level lock statistics).
+    pub fn root_handle(&self) -> crate::node::NodeRef<V> {
+        match self {
+            ConcurrentBTree::Coupling(t) => t.root_handle(),
+            ConcurrentBTree::Optimistic(t) => t.root_handle(),
+            ConcurrentBTree::BLink(t) => t.root_handle(),
+            ConcurrentBTree::TwoPhase(t) => t.root_handle(),
+        }
+    }
 }
 
 impl<V: Clone> ConcurrentBTree<V> {

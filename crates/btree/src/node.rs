@@ -6,7 +6,7 @@
 //! right link): the link protocols need it for correctness, the others
 //! carry it for free and it enables one common invariant checker.
 
-use parking_lot::RwLock;
+use cbtree_sync::FcfsRwLock as RwLock;
 use std::sync::Arc;
 
 /// Reference-counted, latch-protected node handle.
@@ -228,6 +228,34 @@ pub fn collect_range<V: Clone>(leaf: NodeRef<V>, lo: u64, hi: u64, out: &mut Vec
             }
         };
         cur = next;
+    }
+}
+
+/// Visits every node handle in the tree, top level first. Walks the
+/// leftmost spine downward and each level's right-link chain — since all
+/// protocols maintain right links and nodes are never unlinked
+/// (merge-at-empty), this reaches every node. Callers must ensure the
+/// tree is quiescent; `f` receives `(level, handle)` and can read the
+/// handle's embedded lock statistics without latching.
+pub fn for_each_handle<V>(root: &NodeRef<V>, mut f: impl FnMut(usize, &NodeRef<V>)) {
+    let mut leftmost = Some(Arc::clone(root));
+    while let Some(first) = leftmost.take() {
+        leftmost = {
+            let g = first.read();
+            match &g.children {
+                Children::Internal(kids) => Some(Arc::clone(&kids[0])),
+                Children::Leaf(_) => None,
+            }
+        };
+        let mut cur = Some(first);
+        while let Some(node) = cur.take() {
+            let (level, right) = {
+                let g = node.read();
+                (g.level, g.right.as_ref().map(Arc::clone))
+            };
+            f(level, &node);
+            cur = right;
+        }
     }
 }
 

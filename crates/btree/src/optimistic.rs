@@ -9,7 +9,7 @@
 
 use crate::node::{check_invariants, Node, NodeRef};
 use crate::writepath::{self, WriteGuard};
-use parking_lot::RwLock;
+use cbtree_sync::FcfsRwLock as RwLock;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -152,6 +152,11 @@ impl<V> OptimisticTree<V> {
     /// Checks structural invariants (quiescent use).
     pub fn check(&self) -> Result<(), String> {
         check_invariants(&self.root.read(), self.cap)
+    }
+
+    /// The current root handle (for quiescent instrumentation walks).
+    pub fn root_handle(&self) -> NodeRef<V> {
+        Arc::clone(&self.root.read())
     }
 }
 

@@ -7,7 +7,7 @@
 
 use crate::node::{check_invariants, make_root, Node, NodeRef};
 use crate::writepath::{lock_root_read, lock_root_write, ReadGuard, WriteGuard};
-use parking_lot::RwLock;
+use cbtree_sync::FcfsRwLock as RwLock;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -82,7 +82,7 @@ impl<V> TwoPhaseTree<V> {
         while held[idx].overfull(self.cap) {
             let (sep, sib) = held[idx].half_split();
             if idx == 0 {
-                let old_root = Arc::clone(parking_lot::ArcRwLockWriteGuard::rwlock(&held[0]));
+                let old_root = Arc::clone(cbtree_sync::ArcRwLockWriteGuard::rwlock(&held[0]));
                 let level = held[0].level + 1;
                 let new_root = make_root(old_root, sep, sib, level);
                 *self.root.write() = new_root;
@@ -123,6 +123,11 @@ impl<V> TwoPhaseTree<V> {
     /// Checks structural invariants (quiescent use).
     pub fn check(&self) -> Result<(), String> {
         check_invariants(&self.root.read(), self.cap)
+    }
+
+    /// The current root handle (for quiescent instrumentation walks).
+    pub fn root_handle(&self) -> NodeRef<V> {
+        Arc::clone(&self.root.read())
     }
 }
 

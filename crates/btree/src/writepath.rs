@@ -4,11 +4,11 @@
 //! lookup both trees share.
 
 use crate::node::{make_root, Children, Node, NodeRef};
-use parking_lot::{ArcRwLockReadGuard, ArcRwLockWriteGuard, RawRwLock, RwLock};
+use cbtree_sync::{ArcRwLockReadGuard, ArcRwLockWriteGuard, FcfsRwLock as RwLock};
 use std::sync::Arc;
 
-pub(crate) type ReadGuard<V> = ArcRwLockReadGuard<RawRwLock, Node<V>>;
-pub(crate) type WriteGuard<V> = ArcRwLockWriteGuard<RawRwLock, Node<V>>;
+pub(crate) type ReadGuard<V> = ArcRwLockReadGuard<Node<V>>;
+pub(crate) type WriteGuard<V> = ArcRwLockWriteGuard<Node<V>>;
 
 /// Acquires a read latch on the current root, revalidating that the
 /// locked node is still the root (a concurrent root split swings the

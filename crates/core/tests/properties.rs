@@ -1,178 +1,283 @@
-//! Property-based tests of the analytical framework: structural
-//! invariants that must hold for *every* algorithm across randomized
-//! configurations — monotonicity in load, cost, and recovery burden;
-//! consistency between per-level solutions and response times; and
-//! saturation behavior.
+//! Randomized tests of the analytical framework: structural invariants
+//! that must hold for *every* algorithm across randomized configurations
+//! — monotonicity in load, cost, and recovery burden; consistency between
+//! per-level solutions and response times; and saturation behavior.
+//! Cases come from `cbtree_workload::Rng` and reproduce from the printed
+//! `(seed, case)` pair.
 
 use cbtree_analysis::{Algorithm, ModelConfig, RecoveryMode};
 use cbtree_btree_model::{CostModel, NodeParams, OpMix, TreeShape};
-use proptest::prelude::*;
+use cbtree_workload::Rng;
 
-fn arb_mix() -> impl Strategy<Value = OpMix> {
-    // Insert-dominated mixes (the regime the analysis targets).
-    (0.05f64..0.9, 0.05f64..0.5).prop_filter_map("inserts must dominate", |(qs, qd_frac)| {
-        let updates = 1.0 - qs;
-        let qd = updates * qd_frac.min(0.45);
-        let qi = updates - qd;
-        OpMix::new(qs, qi, qd).ok().filter(|m| m.inserts_dominate())
-    })
+const SEED: u64 = 0x5EED_C04E;
+const CASES: usize = 24;
+
+fn uniform(rng: &mut Rng, lo: f64, hi: f64) -> f64 {
+    lo + (hi - lo) * rng.next_f64()
 }
 
-fn arb_config() -> impl Strategy<Value = ModelConfig> {
-    (
-        5usize..64,         // node size
-        10_000u64..200_000, // items
-        1.0f64..12.0,       // disk cost
-        0usize..4,          // memory levels
-        arb_mix(),
-    )
-        .prop_filter_map("valid configuration", |(n, items, d, mem, mix)| {
-            let shape = TreeShape::derive(items, NodeParams::with_max_size(n).ok()?).ok()?;
-            let cost = CostModel::paper_style(shape.height, mem, d, 1.0).ok()?;
-            ModelConfig::new(shape, mix, cost).ok()
-        })
+/// Insert-dominated mixes (the regime the analysis targets).
+fn random_mix(rng: &mut Rng) -> OpMix {
+    loop {
+        let qs = uniform(rng, 0.05, 0.9);
+        let qd_frac = uniform(rng, 0.05, 0.45);
+        let updates = 1.0 - qs;
+        let qd = updates * qd_frac;
+        let qi = updates - qd;
+        if let Ok(m) = OpMix::new(qs, qi, qd) {
+            if m.inserts_dominate() {
+                return m;
+            }
+        }
+    }
+}
+
+fn random_config(rng: &mut Rng) -> ModelConfig {
+    loop {
+        let n = 5 + rng.next_below(59) as usize;
+        let items = rng.range_u64(10_000, 200_000);
+        let d = uniform(rng, 1.0, 12.0);
+        let mem = rng.next_below(4) as usize;
+        let mix = random_mix(rng);
+        let Ok(params) = NodeParams::with_max_size(n) else {
+            continue;
+        };
+        let Ok(shape) = TreeShape::derive(items, params) else {
+            continue;
+        };
+        let Ok(cost) = CostModel::paper_style(shape.height, mem, d, 1.0) else {
+            continue;
+        };
+        if let Ok(cfg) = ModelConfig::new(shape, mix, cost) {
+            return cfg;
+        }
+    }
 }
 
 fn algorithms() -> [Algorithm; 4] {
     Algorithm::ALL_WITH_BASELINE
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// At zero load every response time equals its serial cost: positive,
-    /// finite, and independent of the algorithm's lock discipline for
-    /// searches.
-    #[test]
-    fn zero_load_is_serial_and_wait_free(cfg in arb_config()) {
+/// At zero load every response time equals its serial cost: positive,
+/// finite, and independent of the algorithm's lock discipline for
+/// searches.
+#[test]
+fn zero_load_is_serial_and_wait_free() {
+    let mut rng = Rng::new(SEED);
+    for case in 0..CASES {
+        let cfg = random_config(&mut rng);
         let serial_search: f64 = (1..=cfg.height()).map(|i| cfg.cost.se(i)).sum();
         for alg in algorithms() {
             let perf = alg.model(&cfg).evaluate(0.0).unwrap();
-            prop_assert!((perf.response_time_search - serial_search).abs() < 1e-6,
-                "{alg:?}: {} vs serial {serial_search}", perf.response_time_search);
-            prop_assert!(perf.response_time_insert.is_finite());
-            prop_assert!(perf.response_time_insert > 0.0);
+            assert!(
+                (perf.response_time_search - serial_search).abs() < 1e-6,
+                "{alg:?} case={case}: {} vs serial {serial_search}",
+                perf.response_time_search
+            );
+            assert!(perf.response_time_insert.is_finite());
+            assert!(perf.response_time_insert > 0.0);
             for l in &perf.levels {
-                prop_assert_eq!(l.rho_w, 0.0);
-                prop_assert_eq!(l.r_wait, 0.0);
+                assert_eq!(l.rho_w, 0.0, "{alg:?} case={case}");
+                assert_eq!(l.r_wait, 0.0, "{alg:?} case={case}");
             }
         }
     }
+}
 
-    /// Response times and the root utilization are monotone in the
-    /// arrival rate, for every algorithm.
-    #[test]
-    fn monotone_in_lambda(cfg in arb_config(), f1 in 0.05f64..0.45, f2 in 0.5f64..0.9) {
+/// Response times and the root utilization are monotone in the arrival
+/// rate, for every algorithm.
+#[test]
+fn monotone_in_lambda() {
+    let mut rng = Rng::new(SEED ^ 1);
+    for case in 0..CASES {
+        let cfg = random_config(&mut rng);
+        let f1 = uniform(&mut rng, 0.05, 0.45);
+        let f2 = uniform(&mut rng, 0.5, 0.9);
         for alg in algorithms() {
             let model = alg.model(&cfg);
-            let Ok(max) = model.max_throughput() else { continue };
+            let Ok(max) = model.max_throughput() else {
+                continue;
+            };
             let lo = model.evaluate(f1 * max).unwrap();
             let hi = model.evaluate(f2 * max).unwrap();
-            prop_assert!(hi.response_time_insert >= lo.response_time_insert - 1e-9,
-                "{alg:?} insert RT must grow with load");
-            prop_assert!(hi.response_time_search >= lo.response_time_search - 1e-9);
-            prop_assert!(hi.root_writer_utilization() >= lo.root_writer_utilization() - 1e-9);
+            assert!(
+                hi.response_time_insert >= lo.response_time_insert - 1e-9,
+                "{alg:?} case={case}: insert RT must grow with load"
+            );
+            assert!(hi.response_time_search >= lo.response_time_search - 1e-9);
+            assert!(hi.root_writer_utilization() >= lo.root_writer_utilization() - 1e-9);
         }
     }
+}
 
-    /// The maximum-throughput ranking 2PL ≤ naive ≤ optimistic ≤ link
-    /// holds across random configurations.
-    #[test]
-    fn ranking_invariant(cfg in arb_config()) {
+/// The maximum-throughput ranking 2PL ≤ naive ≤ optimistic ≤ link holds
+/// across random configurations.
+#[test]
+fn ranking_invariant() {
+    let mut rng = Rng::new(SEED ^ 2);
+    for case in 0..CASES {
+        let cfg = random_config(&mut rng);
         let max = |a: Algorithm| a.model(&cfg).max_throughput().unwrap();
         let tp = max(Algorithm::TwoPhaseLocking);
         let naive = max(Algorithm::NaiveLockCoupling);
         let od = max(Algorithm::OptimisticDescent);
         let link = max(Algorithm::LinkType);
-        prop_assert!(tp <= naive * 1.001, "2pl {tp} vs naive {naive}");
-        prop_assert!(naive <= od * 1.001, "naive {naive} vs od {od}");
-        prop_assert!(od <= link * 1.001, "od {od} vs link {link}");
+        assert!(
+            tp <= naive * 1.001,
+            "case={case}: 2pl {tp} vs naive {naive}"
+        );
+        assert!(naive <= od * 1.001, "case={case}: naive {naive} vs od {od}");
+        assert!(od <= link * 1.001, "case={case}: od {od} vs link {link}");
     }
+}
 
-    /// Evaluating exactly at a stable rate never errs, and just above the
-    /// maximum always saturates.
-    #[test]
-    fn saturation_boundary_is_sharp(cfg in arb_config(), frac in 0.1f64..0.95) {
-        for alg in [Algorithm::NaiveLockCoupling, Algorithm::OptimisticDescent,
-                    Algorithm::TwoPhaseLocking] {
+/// Evaluating exactly at a stable rate never errs, and just above the
+/// maximum always saturates.
+#[test]
+fn saturation_boundary_is_sharp() {
+    let mut rng = Rng::new(SEED ^ 3);
+    for case in 0..CASES {
+        let cfg = random_config(&mut rng);
+        let frac = uniform(&mut rng, 0.1, 0.95);
+        for alg in [
+            Algorithm::NaiveLockCoupling,
+            Algorithm::OptimisticDescent,
+            Algorithm::TwoPhaseLocking,
+        ] {
             let model = alg.model(&cfg);
             let max = model.max_throughput().unwrap();
-            prop_assert!(model.evaluate(frac * max).is_ok(), "{alg:?} stable below max");
-            let above = model.evaluate(max * 1.05);
-            prop_assert!(above.is_err(), "{alg:?} must saturate above max");
+            assert!(
+                model.evaluate(frac * max).is_ok(),
+                "{alg:?} case={case}: stable below max"
+            );
+            assert!(
+                model.evaluate(max * 1.05).is_err(),
+                "{alg:?} case={case}: must saturate above max"
+            );
         }
     }
+}
 
-    /// Uniform service dilation scales zero-load response times linearly
-    /// and maximum throughput inversely (§5.2).
-    #[test]
-    fn dilation_covariance(cfg in arb_config(), factor in 1.1f64..4.0) {
+/// Uniform service dilation scales zero-load response times linearly and
+/// maximum throughput inversely (§5.2).
+#[test]
+fn dilation_covariance() {
+    let mut rng = Rng::new(SEED ^ 4);
+    for case in 0..CASES {
+        let cfg = random_config(&mut rng);
+        let factor = uniform(&mut rng, 1.1, 4.0);
         let dilated = ModelConfig::new(
-            cfg.shape.clone(), cfg.mix, cfg.cost.dilated(factor).unwrap()).unwrap();
+            cfg.shape.clone(),
+            cfg.mix,
+            cfg.cost.dilated(factor).unwrap(),
+        )
+        .unwrap();
         for alg in algorithms() {
             let m0 = alg.model(&cfg);
             let m1 = alg.model(&dilated);
             let rt0 = m0.evaluate(0.0).unwrap().response_time_insert;
             let rt1 = m1.evaluate(0.0).unwrap().response_time_insert;
-            prop_assert!((rt1 / rt0 - factor).abs() < 1e-6);
+            assert!((rt1 / rt0 - factor).abs() < 1e-6, "{alg:?} case={case}");
             let max0 = m0.max_throughput().unwrap();
             let max1 = m1.max_throughput().unwrap();
-            prop_assert!((max0 / max1 - factor).abs() < 0.05 * factor,
-                "{alg:?}: max {max0} vs dilated {max1}");
+            assert!(
+                (max0 / max1 - factor).abs() < 0.05 * factor,
+                "{alg:?} case={case}: max {max0} vs dilated {max1}"
+            );
         }
     }
+}
 
-    /// Recovery ordering none ≤ leaf-only ≤ naive holds at any stable
-    /// load, for the algorithms with full W descents.
-    #[test]
-    fn recovery_ordering(cfg in arb_config(), frac in 0.1f64..0.7, t_trans in 10.0f64..300.0) {
+/// Recovery ordering none ≤ leaf-only ≤ naive holds at any stable load,
+/// for the algorithms with full W descents.
+#[test]
+fn recovery_ordering() {
+    let mut rng = Rng::new(SEED ^ 5);
+    for case in 0..CASES {
+        let cfg = random_config(&mut rng);
+        let frac = uniform(&mut rng, 0.1, 0.7);
+        let t_trans = uniform(&mut rng, 10.0, 300.0);
         for alg in [Algorithm::NaiveLockCoupling, Algorithm::OptimisticDescent] {
             let naive_cfg = cfg.clone().with_recovery(RecoveryMode::Naive, t_trans);
             let leaf_cfg = cfg.clone().with_recovery(RecoveryMode::LeafOnly, t_trans);
             let m_naive = alg.model(&naive_cfg);
-            let Ok(max) = m_naive.max_throughput() else { continue };
+            let Ok(max) = m_naive.max_throughput() else {
+                continue;
+            };
             let lambda = frac * max;
-            let rt_none = alg.model(&cfg).evaluate(lambda).unwrap().response_time_insert;
-            let rt_leaf = alg.model(&leaf_cfg).evaluate(lambda).unwrap().response_time_insert;
+            let rt_none = alg
+                .model(&cfg)
+                .evaluate(lambda)
+                .unwrap()
+                .response_time_insert;
+            let rt_leaf = alg
+                .model(&leaf_cfg)
+                .evaluate(lambda)
+                .unwrap()
+                .response_time_insert;
             let rt_naive = m_naive.evaluate(lambda).unwrap().response_time_insert;
-            prop_assert!(rt_none <= rt_leaf + 1e-9, "{alg:?}");
-            prop_assert!(rt_leaf <= rt_naive + 1e-9, "{alg:?}");
+            assert!(rt_none <= rt_leaf + 1e-9, "{alg:?} case={case}");
+            assert!(rt_leaf <= rt_naive + 1e-9, "{alg:?} case={case}");
         }
     }
+}
 
-    /// Per-level consistency: writer waits dominate reader waits, and
-    /// utilizations live in [0, 1).
-    #[test]
-    fn level_solutions_consistent(cfg in arb_config(), frac in 0.2f64..0.8) {
+/// Per-level consistency: writer waits dominate reader waits, and
+/// utilizations live in [0, 1).
+#[test]
+fn level_solutions_consistent() {
+    let mut rng = Rng::new(SEED ^ 6);
+    for case in 0..CASES {
+        let cfg = random_config(&mut rng);
+        let frac = uniform(&mut rng, 0.2, 0.8);
         for alg in algorithms() {
             let model = alg.model(&cfg);
-            let Ok(max) = model.max_throughput() else { continue };
+            let Ok(max) = model.max_throughput() else {
+                continue;
+            };
             let perf = model.evaluate(frac * max).unwrap();
             for l in &perf.levels {
-                prop_assert!((0.0..1.0).contains(&l.rho_w), "{alg:?} level {}", l.level);
-                prop_assert!(l.w_wait + 1e-9 >= l.r_wait,
-                    "{alg:?} level {}: W wait {} < R wait {}", l.level, l.w_wait, l.r_wait);
-                prop_assert!(l.r_wait >= 0.0 && l.w_wait.is_finite());
+                assert!(
+                    (0.0..1.0).contains(&l.rho_w),
+                    "{alg:?} case={case} level {}",
+                    l.level
+                );
+                assert!(
+                    l.w_wait + 1e-9 >= l.r_wait,
+                    "{alg:?} case={case} level {}: W wait {} < R wait {}",
+                    l.level,
+                    l.w_wait,
+                    l.r_wait
+                );
+                assert!(l.r_wait >= 0.0 && l.w_wait.is_finite());
             }
         }
     }
+}
 
-    /// Rules of thumb stay within an order of magnitude of the full
-    /// analysis for in-memory trees (their advertised regime).
-    #[test]
-    fn rules_of_thumb_sane_in_memory(n in 9usize..128, mix in arb_mix()) {
-        let shape = TreeShape::derive(100_000,
-            NodeParams::with_max_size(n).unwrap()).unwrap();
+/// Rules of thumb stay within an order of magnitude of the full analysis
+/// for in-memory trees (their advertised regime).
+#[test]
+fn rules_of_thumb_sane_in_memory() {
+    let mut rng = Rng::new(SEED ^ 7);
+    for case in 0..CASES {
+        let n = 9 + rng.next_below(119) as usize;
+        let mix = random_mix(&mut rng);
+        let shape = TreeShape::derive(100_000, NodeParams::with_max_size(n).unwrap()).unwrap();
         let height = shape.height;
         let cost = CostModel::paper_style(height, height, 1.0, 1.0).unwrap();
         let cfg = ModelConfig::new(shape, mix, cost).unwrap();
         if let (Ok(exact), Ok(rot)) = (
-            Algorithm::NaiveLockCoupling.model(&cfg).lambda_at_root_rho(0.5),
+            Algorithm::NaiveLockCoupling
+                .model(&cfg)
+                .lambda_at_root_rho(0.5),
             cbtree_analysis::rules_of_thumb::naive_lc_rot1(&cfg),
         ) {
             let ratio = rot / exact;
-            prop_assert!((0.2..5.0).contains(&ratio),
-                "RoT1 {rot} vs analysis {exact} at N={n}");
+            assert!(
+                (0.2..5.0).contains(&ratio),
+                "case={case}: RoT1 {rot} vs analysis {exact} at N={n}"
+            );
         }
     }
 }

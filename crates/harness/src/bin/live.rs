@@ -1,0 +1,211 @@
+//! `live`: run the real concurrent B+-trees on OS threads and print the
+//! measured per-level performance table.
+//!
+//! ```text
+//! cargo run --release -p cbtree-harness --bin live -- --algo blink --threads 8
+//! ```
+
+use cbtree_btree::Protocol;
+use cbtree_harness::{run, saturation_search, LiveConfig, LiveReport};
+use cbtree_workload::{KeyDist, OpsConfig};
+use std::time::Duration;
+
+const USAGE: &str = "\
+usage: live [options]
+
+  --algo NAME        blink | coupling | optimistic | twophase  (default blink)
+  --threads N        worker threads (default 4)
+  --capacity N       max keys per node (default 64)
+  --items N          keys prefilled before measurement (default 50000)
+  --keyspace N       key space size (default 1000000)
+  --mix S,I,D        operation mix, must sum to 1 (default 0.3,0.5,0.2)
+  --warmup-ms N      untimed warmup (default 200)
+  --measure-ms N     measured window (default 1000)
+  --seed N           workload seed (default 4606)
+  --saturate N       saturation search: double threads from 1 up to N
+  -h, --help         print this help
+";
+
+fn parse_protocol(s: &str) -> Result<Protocol, String> {
+    match s {
+        "blink" | "link" => Ok(Protocol::BLink),
+        "coupling" | "naive" => Ok(Protocol::LockCoupling),
+        "optimistic" => Ok(Protocol::OptimisticDescent),
+        "twophase" | "two-phase" => Ok(Protocol::TwoPhase),
+        other => Err(format!("unknown algorithm {other:?}")),
+    }
+}
+
+struct Args {
+    cfg: LiveConfig,
+    saturate: Option<usize>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut cfg = LiveConfig::paper(Protocol::BLink, 4);
+    let mut keyspace = 1_000_000u64;
+    let mut mix = (0.3, 0.5, 0.2);
+    let mut saturate = None;
+
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        if flag == "-h" || flag == "--help" {
+            print!("{USAGE}");
+            std::process::exit(0);
+        }
+        let mut value = || {
+            it.next()
+                .ok_or_else(|| format!("{flag} requires an argument"))
+        };
+        match flag.as_str() {
+            "--algo" => cfg.protocol = parse_protocol(&value()?)?,
+            "--threads" => cfg.threads = value()?.parse().map_err(|e| format!("{flag}: {e}"))?,
+            "--capacity" => cfg.capacity = value()?.parse().map_err(|e| format!("{flag}: {e}"))?,
+            "--items" => {
+                cfg.initial_items = value()?.parse().map_err(|e| format!("{flag}: {e}"))?;
+            }
+            "--keyspace" => keyspace = value()?.parse().map_err(|e| format!("{flag}: {e}"))?,
+            "--mix" => {
+                let v = value()?;
+                let parts: Vec<f64> = v
+                    .split(',')
+                    .map(|p| p.trim().parse::<f64>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|e| format!("--mix {v}: {e}"))?;
+                if parts.len() != 3 {
+                    return Err(format!("--mix needs three components, got {v:?}"));
+                }
+                mix = (parts[0], parts[1], parts[2]);
+            }
+            "--warmup-ms" => {
+                cfg.warmup =
+                    Duration::from_millis(value()?.parse().map_err(|e| format!("{flag}: {e}"))?);
+            }
+            "--measure-ms" => {
+                cfg.measure =
+                    Duration::from_millis(value()?.parse().map_err(|e| format!("{flag}: {e}"))?);
+            }
+            "--seed" => cfg.seed = value()?.parse().map_err(|e| format!("{flag}: {e}"))?,
+            "--saturate" => {
+                saturate = Some(value()?.parse().map_err(|e| format!("{flag}: {e}"))?);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+
+    cfg.ops = OpsConfig {
+        q_search: mix.0,
+        q_insert: mix.1,
+        q_delete: mix.2,
+        keys: KeyDist::Uniform {
+            lo: 0,
+            hi: keyspace,
+        },
+    };
+    if !cfg.ops.is_valid() {
+        return Err(format!(
+            "operation mix {}/{}/{} does not sum to 1",
+            mix.0, mix.1, mix.2
+        ));
+    }
+    Ok(Args { cfg, saturate })
+}
+
+fn us(seconds: f64) -> f64 {
+    seconds * 1e6
+}
+
+fn print_report(cfg: &LiveConfig, report: &LiveReport) {
+    println!(
+        "live execution: {} | {} threads | capacity {} | {} initial items",
+        cfg.protocol.name(),
+        report.threads,
+        cfg.capacity,
+        cfg.initial_items
+    );
+    println!(
+        "window {:.3} s | {} ops completed | throughput {:.0} ops/s",
+        report.measured_time, report.completed, report.throughput
+    );
+    println!(
+        "response time (us): search {:.2} ± {:.2} | insert {:.2} ± {:.2} | delete {:.2} ± {:.2} | mix mean {:.2}",
+        us(report.resp_search.mean),
+        us(report.resp_search.ci95),
+        us(report.resp_insert.mean),
+        us(report.resp_insert.ci95),
+        us(report.resp_delete.mean),
+        us(report.resp_delete.ci95),
+        us(report.mean_response_time()),
+    );
+    println!(
+        "final height {} | final keys {} | root writer utilization {:.4}",
+        report.final_height, report.final_len, report.root_writer_utilization
+    );
+    println!();
+    println!("per-level lock behavior (level 1 = leaves):");
+    println!(
+        "{:>5} {:>7} {:>12} {:>12} {:>9} {:>12} {:>12} {:>9}",
+        "level", "nodes", "w-acq", "r-acq", "rho_w", "w-wait(us)", "r-wait(us)", "w-cont"
+    );
+    for l in report.levels.iter().rev() {
+        println!(
+            "{:>5} {:>7} {:>12} {:>12} {:>9.4} {:>12.3} {:>12.3} {:>9.4}",
+            l.level,
+            l.nodes,
+            l.stats.w_acquires,
+            l.stats.r_acquires,
+            l.rho_w,
+            l.stats.mean_w_wait_ns() / 1e3,
+            l.stats.mean_r_wait_ns() / 1e3,
+            l.stats.w_contention_rate(),
+        );
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    match args.saturate {
+        None => {
+            let report = run(&args.cfg);
+            print_report(&args.cfg, &report);
+        }
+        Some(max_threads) => {
+            println!(
+                "saturation search: {} up to {max_threads} threads",
+                args.cfg.protocol.name()
+            );
+            println!(
+                "{:>8} {:>14} {:>16} {:>10}",
+                "threads", "ops/s", "mix-mean(us)", "root-rho_w"
+            );
+            let runs = saturation_search(&args.cfg, max_threads);
+            let mut best: Option<&(usize, LiveReport)> = None;
+            for pair in &runs {
+                let (threads, report) = pair;
+                println!(
+                    "{:>8} {:>14.0} {:>16.2} {:>10.4}",
+                    threads,
+                    report.throughput,
+                    us(report.mean_response_time()),
+                    report.root_writer_utilization
+                );
+                if best.is_none_or(|b| report.throughput > b.1.throughput) {
+                    best = Some(pair);
+                }
+            }
+            if let Some((threads, report)) = best {
+                println!(
+                    "max sustainable throughput: {:.0} ops/s at {} threads",
+                    report.throughput, threads
+                );
+            }
+        }
+    }
+}

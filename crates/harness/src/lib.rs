@@ -1,0 +1,404 @@
+//! `cbtree-harness`: the *live execution* pillar.
+//!
+//! The framework now has three ways of producing the same performance
+//! observables:
+//!
+//! 1. **Analysis** (`cbtree-analysis`): closed-form queueing models;
+//! 2. **Simulation** (`cbtree-sim`): discrete-event simulation of lock
+//!    queues on a modeled tree;
+//! 3. **Live execution** (this crate): the *real* concurrent B+-trees of
+//!    `cbtree-btree`, latched with the observable FCFS lock of
+//!    `cbtree-sync`, driven by OS threads under `cbtree-workload`
+//!    operation mixes.
+//!
+//! A [`run`] executes one measurement: prefill the tree, warm up, take a
+//! quiescent per-level snapshot of every node's lock statistics, run a
+//! timed measurement window, quiesce again, snapshot again, and diff.
+//! The resulting [`LiveReport`] mirrors the simulator's `SimReport`
+//! schema (same `Summary` type, same leaves-first per-level vectors), so
+//! the `analyze` binary can print analysis vs simulation vs live
+//! three-way tables.
+//!
+//! [`saturation_search`] finds the maximum sustainable throughput by
+//! doubling the thread count until added threads stop paying.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use cbtree_btree::node::for_each_handle;
+use cbtree_btree::{ConcurrentBTree, Protocol};
+use cbtree_sim::stats::{Summary, Welford};
+use cbtree_sync::LockStatsSnapshot;
+use cbtree_workload::{OpStream, Operation, OpsConfig, Rng};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// Configuration of one live measurement.
+#[derive(Debug, Clone)]
+pub struct LiveConfig {
+    /// Latching protocol to run.
+    pub protocol: Protocol,
+    /// Number of worker OS threads (closed-loop: each thread issues its
+    /// next operation as soon as the previous one completes).
+    pub threads: usize,
+    /// Node capacity (max keys per node).
+    pub capacity: usize,
+    /// Keys inserted before measurement starts.
+    pub initial_items: usize,
+    /// Operation mix and key distribution.
+    pub ops: OpsConfig,
+    /// Untimed warmup before the measured window.
+    pub warmup: Duration,
+    /// Length of the measured window.
+    pub measure: Duration,
+    /// Seed for all workload streams (thread `t` uses `seed ⊕ t`-forked
+    /// streams, so runs are reproducible up to OS scheduling).
+    pub seed: u64,
+}
+
+impl LiveConfig {
+    /// The paper-style default: mix `.3/.5/.2`, capacity 64, 50k initial
+    /// items over a 1M key space.
+    pub fn paper(protocol: Protocol, threads: usize) -> Self {
+        LiveConfig {
+            protocol,
+            threads,
+            capacity: 64,
+            initial_items: 50_000,
+            ops: OpsConfig::paper(1_000_000),
+            warmup: Duration::from_millis(200),
+            measure: Duration::from_millis(1000),
+            seed: 0x11FE,
+        }
+    }
+
+    /// A fast variant for smoke tests.
+    pub fn quick(protocol: Protocol, threads: usize) -> Self {
+        LiveConfig {
+            capacity: 16,
+            initial_items: 4_000,
+            warmup: Duration::from_millis(30),
+            measure: Duration::from_millis(120),
+            ..LiveConfig::paper(protocol, threads)
+        }
+    }
+}
+
+/// Measured lock behavior of one tree level over the window.
+#[derive(Debug, Clone)]
+pub struct LevelLive {
+    /// Level number (1 = leaves).
+    pub level: usize,
+    /// Nodes on this level at the end of the window.
+    pub nodes: u64,
+    /// Aggregated lock counters accumulated during the window.
+    pub stats: LockStatsSnapshot,
+    /// Measured writer utilization `ρ_w` of this level: total exclusive
+    /// hold time divided by `nodes · window` — the per-lock average.
+    pub rho_w: f64,
+}
+
+/// Result of one live measurement, schema-aligned with
+/// `cbtree_sim::SimReport`.
+#[derive(Debug, Clone)]
+pub struct LiveReport {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Completions per second over the measured window.
+    pub throughput: f64,
+    /// Operations completed in the measured window.
+    pub completed: u64,
+    /// Duration of the measured window in seconds.
+    pub measured_time: f64,
+    /// Mean/CI of search response times, in seconds.
+    pub resp_search: Summary,
+    /// Mean/CI of insert response times, in seconds.
+    pub resp_insert: Summary,
+    /// Mean/CI of delete response times, in seconds.
+    pub resp_delete: Summary,
+    /// Mean exclusive-lock wait per level in seconds (leaves first).
+    pub wait_w_by_level: Vec<f64>,
+    /// Mean shared-lock wait per level in seconds (leaves first).
+    pub wait_r_by_level: Vec<f64>,
+    /// Measured writer utilization of the root's level.
+    pub root_writer_utilization: f64,
+    /// Full per-level measurements (leaves first).
+    pub levels: Vec<LevelLive>,
+    /// Tree height at the end of the run.
+    pub final_height: usize,
+    /// Keys in the tree at the end of the run.
+    pub final_len: usize,
+}
+
+impl LiveReport {
+    /// Mean response time across the operation mix, in seconds.
+    pub fn mean_response_time(&self) -> f64 {
+        let total = self.resp_search.n + self.resp_insert.n + self.resp_delete.n;
+        if total == 0 {
+            return 0.0;
+        }
+        (self.resp_search.mean * self.resp_search.n as f64
+            + self.resp_insert.mean * self.resp_insert.n as f64
+            + self.resp_delete.mean * self.resp_delete.n as f64)
+            / total as f64
+    }
+}
+
+/// Worker phases, driven by the coordinator through one atomic.
+const PHASE_WARMUP: u8 = 0;
+const PHASE_MEASURE: u8 = 1;
+const PHASE_DONE: u8 = 2;
+
+/// Per-thread measurement accumulators.
+#[derive(Default)]
+struct ThreadStats {
+    search: Welford,
+    insert: Welford,
+    delete: Welford,
+    completed: u64,
+}
+
+/// Per-level aggregate of every node's lock snapshot.
+fn level_snapshots(tree: &ConcurrentBTree<u64>) -> Vec<(u64, LockStatsSnapshot)> {
+    let height = tree.height();
+    let mut agg: Vec<(u64, LockStatsSnapshot)> = vec![(0, LockStatsSnapshot::default()); height];
+    for_each_handle(&tree.root_handle(), |level, node| {
+        // Level 1 = leaves = index 0 (leaves-first, like SimReport).
+        if let Some((count, snap)) = agg.get_mut(level - 1) {
+            *count += 1;
+            snap.merge(&node.stats().snapshot());
+        }
+    });
+    agg
+}
+
+/// Prefills `tree` with `items` distinct keys drawn from the workload's
+/// key distribution (independent of the operation mix, so read-only
+/// mixes still get a populated tree).
+fn prefill(tree: &ConcurrentBTree<u64>, cfg: &LiveConfig) {
+    let mut rng = Rng::new(cfg.seed ^ 0x9E37_79B9_7F4A_7C15);
+    let mut inserted = 0u64;
+    while (inserted as usize) < cfg.initial_items {
+        let k = cfg.ops.keys.sample(&mut rng, inserted);
+        if tree.insert(k, k).is_none() {
+            inserted += 1;
+        }
+    }
+}
+
+fn apply(tree: &ConcurrentBTree<u64>, op: Operation) {
+    match op {
+        Operation::Search(k) => {
+            std::hint::black_box(tree.get(&k));
+        }
+        Operation::Insert(k) => {
+            std::hint::black_box(tree.insert(k, k));
+        }
+        Operation::Delete(k) => {
+            std::hint::black_box(tree.remove(&k));
+        }
+    }
+}
+
+/// Runs one live measurement.
+///
+/// Choreography: worker threads run the closed-loop workload through a
+/// warmup phase; the coordinator then parks everyone on a barrier
+/// (quiescing the tree), walks it to snapshot every lock's counters,
+/// releases the workers into the timed window, quiesces again, snapshots
+/// again, and diffs the two snapshots per level.
+///
+/// # Panics
+/// Panics when `threads == 0` or the operation mix is invalid.
+pub fn run(cfg: &LiveConfig) -> LiveReport {
+    assert!(cfg.threads > 0, "need at least one worker thread");
+    assert!(cfg.ops.is_valid(), "operation mix must sum to 1");
+
+    let tree = Arc::new(ConcurrentBTree::new(cfg.protocol, cfg.capacity));
+    prefill(&tree, cfg);
+
+    let phase = Arc::new(AtomicU8::new(PHASE_WARMUP));
+    // Two rendezvous per quiesce point: workers arrive (tree quiescent),
+    // the coordinator snapshots, everyone departs together.
+    let quiesce_a = Arc::new(Barrier::new(cfg.threads + 1));
+    let resume_a = Arc::new(Barrier::new(cfg.threads + 1));
+    let quiesce_b = Arc::new(Barrier::new(cfg.threads + 1));
+    let resume_b = Arc::new(Barrier::new(cfg.threads + 1));
+
+    let (reports, snap_a, snap_b, elapsed) = std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(cfg.threads);
+        for t in 0..cfg.threads as u64 {
+            let tree = Arc::clone(&tree);
+            let phase = Arc::clone(&phase);
+            let (qa, ra) = (Arc::clone(&quiesce_a), Arc::clone(&resume_a));
+            let (qb, rb) = (Arc::clone(&quiesce_b), Arc::clone(&resume_b));
+            let mut stream = OpStream::new(cfg.ops, cfg.seed ^ (0xA5A5 + t));
+            handles.push(s.spawn(move || {
+                // Warmup: run until the coordinator flips the phase.
+                while phase.load(Ordering::Acquire) == PHASE_WARMUP {
+                    apply(&tree, stream.next_op());
+                }
+                qa.wait();
+                ra.wait();
+                // Measured window.
+                let mut stats = ThreadStats::default();
+                while phase.load(Ordering::Acquire) == PHASE_MEASURE {
+                    let op = stream.next_op();
+                    let t0 = Instant::now();
+                    apply(&tree, op);
+                    let dt = t0.elapsed().as_secs_f64();
+                    match op {
+                        Operation::Search(_) => stats.search.add(dt),
+                        Operation::Insert(_) => stats.insert.add(dt),
+                        Operation::Delete(_) => stats.delete.add(dt),
+                    }
+                    stats.completed += 1;
+                }
+                qb.wait();
+                rb.wait();
+                stats
+            }));
+        }
+
+        std::thread::sleep(cfg.warmup);
+        phase.store(PHASE_MEASURE, Ordering::Release);
+        quiesce_a.wait(); // all workers parked; tree quiescent
+        let snap_a = level_snapshots(&tree);
+        let t0 = Instant::now();
+        resume_a.wait();
+        std::thread::sleep(cfg.measure);
+        phase.store(PHASE_DONE, Ordering::Release);
+        quiesce_b.wait(); // quiescent again
+        let elapsed = t0.elapsed();
+        let snap_b = level_snapshots(&tree);
+        resume_b.wait();
+
+        let reports: Vec<ThreadStats> = handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect();
+        (reports, snap_a, snap_b, elapsed)
+    });
+
+    let mut search = Welford::new();
+    let mut insert = Welford::new();
+    let mut delete = Welford::new();
+    let mut completed = 0;
+    for r in &reports {
+        search.merge(&r.search);
+        insert.merge(&r.insert);
+        delete.merge(&r.delete);
+        completed += r.completed;
+    }
+
+    let elapsed_secs = elapsed.as_secs_f64();
+    let elapsed_ns = elapsed.as_nanos() as u64;
+    // The tree may have grown during the window: align per level, using
+    // the end-of-window shape (new nodes have zero baseline counters).
+    let mut levels = Vec::with_capacity(snap_b.len());
+    for (i, (nodes, after)) in snap_b.iter().enumerate() {
+        let window = match snap_a.get(i) {
+            Some((_, before)) => after.since(before),
+            None => *after,
+        };
+        levels.push(LevelLive {
+            level: i + 1,
+            nodes: *nodes,
+            rho_w: window.writer_utilization(elapsed_ns, *nodes),
+            stats: window,
+        });
+    }
+
+    LiveReport {
+        threads: cfg.threads,
+        throughput: if elapsed_secs > 0.0 {
+            completed as f64 / elapsed_secs
+        } else {
+            0.0
+        },
+        completed,
+        measured_time: elapsed_secs,
+        resp_search: Summary::from_welford(&search),
+        resp_insert: Summary::from_welford(&insert),
+        resp_delete: Summary::from_welford(&delete),
+        wait_w_by_level: levels
+            .iter()
+            .map(|l| l.stats.mean_w_wait_ns() * 1e-9)
+            .collect(),
+        wait_r_by_level: levels
+            .iter()
+            .map(|l| l.stats.mean_r_wait_ns() * 1e-9)
+            .collect(),
+        root_writer_utilization: levels.last().map_or(0.0, |l| l.rho_w),
+        final_height: levels.len(),
+        final_len: tree.len(),
+        levels,
+    }
+}
+
+/// Finds the maximum sustainable throughput by doubling the worker count
+/// from 1 up to `max_threads`, stopping once extra threads gain less
+/// than 5%. Returns every `(threads, report)` pair tried, in order; the
+/// peak is the maximum of `report.throughput`.
+pub fn saturation_search(base: &LiveConfig, max_threads: usize) -> Vec<(usize, LiveReport)> {
+    let mut out = Vec::new();
+    let mut best = 0.0f64;
+    let mut threads = 1;
+    while threads <= max_threads.max(1) {
+        let report = run(&LiveConfig {
+            threads,
+            ..base.clone()
+        });
+        let tp = report.throughput;
+        out.push((threads, report));
+        if tp < best * 1.05 && threads > 1 {
+            break;
+        }
+        best = best.max(tp);
+        threads *= 2;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_snapshot_covers_whole_tree() {
+        let tree = ConcurrentBTree::new(Protocol::BLink, 4);
+        for k in 0..500u64 {
+            tree.insert(k, k);
+        }
+        let snaps = level_snapshots(&tree);
+        assert_eq!(snaps.len(), tree.height());
+        // Leaves-first: many leaves, exactly one root.
+        assert!(snaps[0].0 > 1);
+        assert_eq!(snaps.last().unwrap().0, 1);
+        // Every insert touched a leaf lock at least once.
+        assert!(snaps[0].1.w_acquires >= 500);
+    }
+
+    #[test]
+    fn single_thread_run_reports_consistent_counts() {
+        let mut cfg = LiveConfig::quick(Protocol::LockCoupling, 1);
+        cfg.measure = Duration::from_millis(60);
+        let report = run(&cfg);
+        assert_eq!(report.threads, 1);
+        assert!(report.completed > 0, "no operations completed");
+        let n = report.resp_search.n + report.resp_insert.n + report.resp_delete.n;
+        assert_eq!(n, report.completed);
+        assert!(report.throughput > 0.0);
+        assert!(report.measured_time > 0.0);
+        assert_eq!(report.levels.len(), report.final_height);
+        for l in &report.levels {
+            assert!(
+                (0.0..=1.0).contains(&l.rho_w),
+                "level {}: {}",
+                l.level,
+                l.rho_w
+            );
+        }
+    }
+}

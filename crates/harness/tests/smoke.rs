@@ -1,0 +1,128 @@
+//! Smoke tests for the live-execution harness: each protocol completes a
+//! short 4-thread run with internally consistent counters, and measured
+//! writer utilizations are proper fractions.
+
+use cbtree_btree::Protocol;
+use cbtree_harness::{run, LiveConfig};
+
+const PROTOCOLS: [Protocol; 4] = [
+    Protocol::LockCoupling,
+    Protocol::OptimisticDescent,
+    Protocol::BLink,
+    Protocol::TwoPhase,
+];
+
+fn smoke_cfg(protocol: Protocol) -> LiveConfig {
+    LiveConfig::quick(protocol, 4)
+}
+
+#[test]
+fn four_thread_run_completes_for_every_protocol() {
+    for protocol in PROTOCOLS {
+        let report = run(&smoke_cfg(protocol));
+        assert!(
+            report.completed > 0,
+            "{}: no operations completed",
+            protocol.name()
+        );
+        assert!(report.throughput > 0.0, "{}", protocol.name());
+        assert!(report.measured_time > 0.0, "{}", protocol.name());
+        assert!(report.final_height >= 1, "{}", protocol.name());
+        assert!(report.final_len > 0, "{}", protocol.name());
+    }
+}
+
+#[test]
+fn op_counts_are_consistent() {
+    for protocol in PROTOCOLS {
+        let report = run(&smoke_cfg(protocol));
+        // Per-class counts sum to the total, and throughput is exactly
+        // completed / window.
+        let n = report.resp_search.n + report.resp_insert.n + report.resp_delete.n;
+        assert_eq!(n, report.completed, "{}", protocol.name());
+        let tp = report.completed as f64 / report.measured_time;
+        assert!(
+            (report.throughput - tp).abs() < 1e-6 * tp.max(1.0),
+            "{}: throughput {} vs {}",
+            protocol.name(),
+            report.throughput,
+            tp
+        );
+        // All three classes appear under the paper's .3/.5/.2 mix.
+        assert!(report.resp_search.n > 0, "{}", protocol.name());
+        assert!(report.resp_insert.n > 0, "{}", protocol.name());
+        assert!(report.resp_delete.n > 0, "{}", protocol.name());
+    }
+}
+
+#[test]
+fn per_level_writer_utilization_is_a_fraction() {
+    for protocol in PROTOCOLS {
+        let report = run(&smoke_cfg(protocol));
+        assert_eq!(
+            report.levels.len(),
+            report.final_height,
+            "{}",
+            protocol.name()
+        );
+        assert_eq!(
+            report.levels.len(),
+            report.wait_w_by_level.len(),
+            "{}",
+            protocol.name()
+        );
+        for l in &report.levels {
+            assert!(
+                (0.0..=1.0).contains(&l.rho_w),
+                "{} level {}: rho_w = {}",
+                protocol.name(),
+                l.level,
+                l.rho_w
+            );
+            assert!(l.nodes > 0, "{} level {}", protocol.name(), l.level);
+        }
+        // Leaves-first ordering: exactly one root, more leaves than roots.
+        assert_eq!(
+            report.levels.last().unwrap().nodes,
+            1,
+            "{}",
+            protocol.name()
+        );
+        assert!(report.levels[0].nodes > 1, "{}", protocol.name());
+        // The measured window saw real lock traffic on the leaves.
+        let leaf = &report.levels[0].stats;
+        assert!(
+            leaf.r_acquires + leaf.w_acquires > 0,
+            "{}: leaves saw no lock traffic",
+            protocol.name()
+        );
+    }
+}
+
+#[test]
+fn read_only_mix_runs_and_scales_with_cores() {
+    // A pure-search mix must still get a populated tree (prefill is
+    // independent of the mix) and complete work on every thread count.
+    let mut cfg = LiveConfig::quick(Protocol::BLink, 1);
+    cfg.ops.q_search = 1.0;
+    cfg.ops.q_insert = 0.0;
+    cfg.ops.q_delete = 0.0;
+    let one = run(&cfg);
+    assert!(one.completed > 0);
+    assert_eq!(one.resp_search.n, one.completed);
+    cfg.threads = 4;
+    let four = run(&cfg);
+    assert!(four.completed > 0);
+    // Scaling is only observable with real parallelism; single-core CI
+    // boxes time-slice the four threads and gain nothing.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores >= 4 {
+        assert!(
+            four.completed as f64 > 1.2 * one.completed as f64,
+            "1 thread: {}, 4 threads: {} on {} cores",
+            one.completed,
+            four.completed,
+            cores
+        );
+    }
+}

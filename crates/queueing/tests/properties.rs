@@ -1,126 +1,165 @@
-//! Property-based tests of the queueing substrate.
+//! Randomized tests of the queueing substrate, driven by the workspace's
+//! deterministic PRNG (`cbtree_workload::Rng`) so every case reproduces
+//! from the printed `(seed, case)` pair.
 
 use cbtree_queueing::mg1::ServiceMoments;
 use cbtree_queueing::rw::{solve_with_base, RwQueue};
 use cbtree_queueing::stages::{Mixture, StagedService};
 use cbtree_queueing::{mg1, mm1, QueueError};
-use proptest::prelude::*;
+use cbtree_workload::Rng;
 
-proptest! {
-    /// M/M/1 waiting time is non-negative, finite, and increasing in load
-    /// below saturation.
-    #[test]
-    fn mm1_wait_monotone_in_lambda(mu in 0.1f64..10.0, frac in 0.01f64..0.98) {
-        let lambda_lo = frac * mu * 0.5;
-        let lambda_hi = frac * mu;
-        let w_lo = mm1::waiting_time(lambda_lo, mu).unwrap();
-        let w_hi = mm1::waiting_time(lambda_hi, mu).unwrap();
-        prop_assert!(w_lo >= 0.0 && w_lo.is_finite());
-        prop_assert!(w_hi >= w_lo);
+const SEED: u64 = 0x5EED_0002;
+const CASES: usize = 256;
+
+fn uniform(rng: &mut Rng, lo: f64, hi: f64) -> f64 {
+    lo + (hi - lo) * rng.next_f64()
+}
+
+/// M/M/1 waiting time is non-negative, finite, and increasing in load
+/// below saturation.
+#[test]
+fn mm1_wait_monotone_in_lambda() {
+    let mut rng = Rng::new(SEED);
+    for case in 0..CASES {
+        let mu = uniform(&mut rng, 0.1, 10.0);
+        let frac = uniform(&mut rng, 0.01, 0.98);
+        let w_lo = mm1::waiting_time(frac * mu * 0.5, mu).unwrap();
+        let w_hi = mm1::waiting_time(frac * mu, mu).unwrap();
+        assert!(w_lo >= 0.0 && w_lo.is_finite(), "case={case}");
+        assert!(w_hi >= w_lo, "case={case}: {w_hi} < {w_lo}");
     }
+}
 
-    /// Pollaczek–Khinchine with exponential moments equals M/M/1 for any
-    /// stable load.
-    #[test]
-    fn pk_equals_mm1_for_exponential(mu in 0.1f64..10.0, frac in 0.01f64..0.95) {
-        let lambda = frac * mu;
+/// Pollaczek–Khinchine with exponential moments equals M/M/1 for any
+/// stable load.
+#[test]
+fn pk_equals_mm1_for_exponential() {
+    let mut rng = Rng::new(SEED ^ 1);
+    for case in 0..CASES {
+        let mu = uniform(&mut rng, 0.1, 10.0);
+        let lambda = uniform(&mut rng, 0.01, 0.95) * mu;
         let pk = mg1::waiting_time(lambda, ServiceMoments::exponential(1.0 / mu)).unwrap();
         let mm = mm1::waiting_time(lambda, mu).unwrap();
-        prop_assert!((pk - mm).abs() <= 1e-9 * (1.0 + mm));
+        assert!((pk - mm).abs() <= 1e-9 * (1.0 + mm), "case={case}");
     }
+}
 
-    /// Staged-service closed-form moments agree with numeric Laplace
-    /// differentiation for arbitrary 3-stage servers.
-    #[test]
-    fn staged_moments_match_laplace(
-        t_e in 0.01f64..10.0,
-        p_f in 0.0f64..1.0,
-        t_f in 0.01f64..20.0,
-        rho_o in 0.0f64..1.0,
-        t_busy in 0.01f64..20.0,
-        t_idle in 0.0f64..5.0,
-    ) {
+/// Staged-service closed-form moments agree with numeric Laplace
+/// differentiation for arbitrary 3-stage servers.
+#[test]
+fn staged_moments_match_laplace() {
+    let mut rng = Rng::new(SEED ^ 2);
+    for case in 0..CASES {
+        let t_e = uniform(&mut rng, 0.01, 10.0);
+        let p_f = rng.next_f64();
+        let t_f = uniform(&mut rng, 0.01, 20.0);
+        let rho_o = rng.next_f64();
+        let t_busy = uniform(&mut rng, 0.01, 20.0);
+        let t_idle = uniform(&mut rng, 0.0, 5.0);
         let s = StagedService::theorem3_server(t_e, p_f, t_f, rho_o, t_busy, t_idle);
         let m1 = s.numeric_moment(1);
         let m2 = s.numeric_moment(2);
-        prop_assert!((m1 - s.mean()).abs() <= 1e-3 * (1.0 + s.mean()));
-        prop_assert!((m2 - s.second_moment()).abs() <= 1e-2 * (1.0 + s.second_moment()));
+        assert!(
+            (m1 - s.mean()).abs() <= 1e-3 * (1.0 + s.mean()),
+            "case={case}"
+        );
+        assert!(
+            (m2 - s.second_moment()).abs() <= 1e-2 * (1.0 + s.second_moment()),
+            "case={case}"
+        );
     }
+}
 
-    /// Staged second moment always at least the squared mean (variance ≥ 0).
-    #[test]
-    fn staged_variance_nonnegative(
-        means in prop::collection::vec(0.0f64..10.0, 1..6),
-    ) {
+/// Staged second moment always at least the squared mean (variance ≥ 0).
+#[test]
+fn staged_variance_nonnegative() {
+    let mut rng = Rng::new(SEED ^ 3);
+    for case in 0..CASES {
         let mut s = StagedService::new();
-        for m in &means {
-            s.push(Mixture::always(*m));
+        for _ in 0..1 + rng.next_below(5) {
+            s.push(Mixture::always(uniform(&mut rng, 0.0, 10.0)));
         }
-        prop_assert!(s.second_moment() + 1e-12 >= s.mean() * s.mean());
+        assert!(
+            s.second_moment() + 1e-12 >= s.mean() * s.mean(),
+            "case={case}"
+        );
     }
+}
 
-    /// The Theorem 6 solution always satisfies its own fixed point and lies
-    /// in [0, 1); saturation is reported rather than silently clamped.
-    #[test]
-    fn rw_fixed_point_residual_small(
-        lambda_r in 0.0f64..3.0,
-        lambda_w in 0.0f64..1.5,
-        mu_r in 0.2f64..5.0,
-        mu_w in 0.2f64..5.0,
-    ) {
+/// The Theorem 6 solution always satisfies its own fixed point and lies
+/// in [0, 1); saturation is reported rather than silently clamped.
+#[test]
+fn rw_fixed_point_residual_small() {
+    let mut rng = Rng::new(SEED ^ 4);
+    for case in 0..CASES {
+        let lambda_r = uniform(&mut rng, 0.0, 3.0);
+        let lambda_w = uniform(&mut rng, 0.0, 1.5);
+        let mu_r = uniform(&mut rng, 0.2, 5.0);
+        let mu_w = uniform(&mut rng, 0.2, 5.0);
         let q = RwQueue::new(lambda_r, lambda_w, mu_r, mu_w).unwrap();
         match q.solve() {
             Ok(s) => {
-                prop_assert!((0.0..1.0).contains(&s.rho_w));
+                assert!((0.0..1.0).contains(&s.rho_w), "case={case}");
                 let resid = lambda_w * s.t_agg - s.rho_w;
-                prop_assert!(resid.abs() < 1e-6, "residual {resid}");
-                prop_assert!(s.r_u >= 0.0 && s.r_e >= 0.0);
+                assert!(resid.abs() < 1e-6, "case={case} residual {resid}");
+                assert!(s.r_u >= 0.0 && s.r_e >= 0.0, "case={case}");
             }
             Err(QueueError::Saturated { .. }) => {
                 // The fixed point g(ρ) = λ_w·T_a(ρ) − ρ has no root in
                 // [0,1) only if g stays positive there; verify at ρ→1.
-                let (r_u, _) = cbtree_queueing::rw::reader_bursts(
-                    lambda_r, lambda_w, mu_r, 1.0);
+                let (r_u, _) = cbtree_queueing::rw::reader_bursts(lambda_r, lambda_w, mu_r, 1.0);
                 let t_a_at_one = 1.0 / mu_w + r_u;
-                prop_assert!(lambda_w * t_a_at_one > 1.0 - 1e-6,
-                    "reported saturation but g(1) = {} ≤ 0",
-                    lambda_w * t_a_at_one - 1.0);
+                assert!(
+                    lambda_w * t_a_at_one > 1.0 - 1e-6,
+                    "case={case}: reported saturation but g(1) = {} ≤ 0",
+                    lambda_w * t_a_at_one - 1.0
+                );
             }
-            Err(e) => return Err(TestCaseError::fail(format!("unexpected error {e}"))),
+            Err(e) => panic!("case={case}: unexpected error {e}"),
         }
     }
+}
 
-    /// Writer utilization grows monotonically with writer arrivals until
-    /// saturation.
-    #[test]
-    fn rw_rho_monotone(lambda_r in 0.0f64..2.0, mu_r in 0.5f64..3.0) {
+/// Writer utilization grows monotonically with writer arrivals until
+/// saturation.
+#[test]
+fn rw_rho_monotone() {
+    let mut rng = Rng::new(SEED ^ 5);
+    for case in 0..CASES {
+        let lambda_r = uniform(&mut rng, 0.0, 2.0);
+        let mu_r = uniform(&mut rng, 0.5, 3.0);
         let mut last = -1.0;
         for k in 1..12 {
             let lambda_w = 0.04 * k as f64;
             match RwQueue::new(lambda_r, lambda_w, mu_r, 1.0).unwrap().solve() {
                 Ok(s) => {
-                    prop_assert!(s.rho_w >= last - 1e-9,
-                        "rho must be monotone: {} then {}", last, s.rho_w);
+                    assert!(
+                        s.rho_w >= last - 1e-9,
+                        "case={case}: rho must be monotone: {last} then {}",
+                        s.rho_w
+                    );
                     last = s.rho_w;
                 }
                 Err(_) => break, // once saturated, stays saturated
             }
         }
     }
+}
 
-    /// A larger exclusive base service can only raise the fixed point.
-    #[test]
-    fn rw_base_monotone(
-        lambda_r in 0.0f64..2.0,
-        lambda_w in 0.01f64..0.4,
-        mu_r in 0.5f64..3.0,
-        b1 in 0.05f64..1.0,
-        extra in 0.0f64..1.0,
-    ) {
+/// A larger exclusive base service can only raise the fixed point.
+#[test]
+fn rw_base_monotone() {
+    let mut rng = Rng::new(SEED ^ 6);
+    for case in 0..CASES {
+        let lambda_r = uniform(&mut rng, 0.0, 2.0);
+        let lambda_w = uniform(&mut rng, 0.01, 0.4);
+        let mu_r = uniform(&mut rng, 0.5, 3.0);
+        let b1 = uniform(&mut rng, 0.05, 1.0);
+        let extra = rng.next_f64();
         let s1 = solve_with_base(lambda_r, lambda_w, mu_r, |_| b1);
         let s2 = solve_with_base(lambda_r, lambda_w, mu_r, |_| b1 + extra);
         if let (Ok(a), Ok(b)) = (s1, s2) {
-            prop_assert!(b.rho_w + 1e-9 >= a.rho_w);
+            assert!(b.rho_w + 1e-9 >= a.rho_w, "case={case}");
         }
     }
 }

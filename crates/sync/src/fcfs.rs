@@ -1,0 +1,455 @@
+//! The FCFS reader/writer lock.
+//!
+//! Requests are served strictly in arrival order from a single ticketed
+//! queue: a reader that arrives behind a waiting writer queues behind it
+//! (no reader overtaking), and when a writer releases, the maximal
+//! *prefix* of queued readers is admitted as one burst. This is exactly
+//! the lock discipline of the paper's queueing model (Theorem 6 solves an
+//! FCFS R/W queue with arrival-order reader bursts) and of the simulator's
+//! `LockTable` — so measurements taken on this lock are directly
+//! comparable with both.
+//!
+//! The implementation is dependency-free: one `std::sync::Mutex` guards
+//! the queue state and one `Condvar` parks waiters. An uncontended
+//! acquisition locks the mutex once and takes a single `Instant` reading
+//! (the hold-time start); a contended one additionally timestamps its
+//! queue entry so the embedded [`LockStats`] can histogram the wait.
+
+use crate::stats::LockStats;
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+/// Queue/holder state, all under one mutex.
+#[derive(Debug, Default)]
+struct State {
+    active_readers: usize,
+    writer_active: bool,
+    next_id: u64,
+    /// Waiting requests in arrival order: `(ticket, exclusive)`.
+    queue: VecDeque<(u64, bool)>,
+    /// Tickets granted by a releaser but not yet observed by their waiter
+    /// (holder counts are already updated when a ticket lands here).
+    granted: Vec<u64>,
+}
+
+impl State {
+    fn compatible(&self, exclusive: bool) -> bool {
+        if exclusive {
+            !self.writer_active && self.active_readers == 0
+        } else {
+            !self.writer_active
+        }
+    }
+
+    fn admit(&mut self, exclusive: bool) {
+        if exclusive {
+            self.writer_active = true;
+        } else {
+            self.active_readers += 1;
+        }
+    }
+}
+
+/// The raw (untyped) FCFS lock: queue discipline only, no data.
+#[derive(Debug, Default)]
+struct RawFcfs {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl RawFcfs {
+    fn lock_state(&self) -> MutexGuard<'_, State> {
+        // A panic while holding a *guard* never happens inside the lock's
+        // own critical sections, so poison here only means a panicking
+        // interleaved user thread; the state itself is always consistent.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Blocks until granted. Returns `(granted_at, wait_ns, contended)`.
+    fn acquire(&self, exclusive: bool) -> (Instant, u64, bool) {
+        let mut st = self.lock_state();
+        if st.queue.is_empty() && st.compatible(exclusive) {
+            st.admit(exclusive);
+            drop(st);
+            return (Instant::now(), 0, false);
+        }
+        let id = st.next_id;
+        st.next_id += 1;
+        st.queue.push_back((id, exclusive));
+        let enqueued_at = Instant::now();
+        loop {
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+            if let Some(pos) = st.granted.iter().position(|&g| g == id) {
+                st.granted.swap_remove(pos);
+                break;
+            }
+        }
+        drop(st);
+        let granted_at = Instant::now();
+        let wait = granted_at.duration_since(enqueued_at).as_nanos() as u64;
+        (granted_at, wait, true)
+    }
+
+    /// Releases one holder and grants the maximal compatible FCFS prefix
+    /// of the waiting queue (a writer, or an arrival-order reader burst).
+    fn release(&self, exclusive: bool) {
+        let mut st = self.lock_state();
+        if exclusive {
+            debug_assert!(st.writer_active, "release of an unheld writer lock");
+            st.writer_active = false;
+        } else {
+            debug_assert!(st.active_readers > 0, "release of an unheld reader lock");
+            st.active_readers -= 1;
+        }
+        let mut granted_any = false;
+        while let Some(&(id, exc)) = st.queue.front() {
+            if exc {
+                if st.compatible(true) {
+                    st.queue.pop_front();
+                    st.writer_active = true;
+                    st.granted.push(id);
+                    granted_any = true;
+                }
+                break; // a granted or still-blocked writer ends the prefix
+            } else if st.compatible(false) {
+                st.queue.pop_front();
+                st.active_readers += 1;
+                st.granted.push(id);
+                granted_any = true; // keep admitting the reader burst
+            } else {
+                break;
+            }
+        }
+        if granted_any {
+            drop(st);
+            self.cv.notify_all();
+        }
+    }
+
+    fn queued(&self) -> usize {
+        self.lock_state().queue.len()
+    }
+}
+
+/// A first-come-first-served reader/writer lock around a value, with
+/// built-in wait/hold observability.
+///
+/// # Example
+///
+/// ```
+/// use cbtree_sync::FcfsRwLock;
+/// use std::sync::Arc;
+///
+/// let lock = Arc::new(FcfsRwLock::new(0u64));
+/// *lock.write() += 1;
+/// assert_eq!(*lock.read(), 1);
+/// let snap = lock.stats().snapshot();
+/// assert_eq!(snap.r_acquires, 1);
+/// assert_eq!(snap.w_acquires, 1);
+/// ```
+#[derive(Default)]
+pub struct FcfsRwLock<T: ?Sized> {
+    raw: RawFcfs,
+    stats: LockStats,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: the lock mediates all access to `data`; sending the lock sends
+// the value, sharing the lock hands out `&T`/`&mut T` only under the
+// reader/writer protocol, so the std `RwLock<T>` bounds apply verbatim.
+#[allow(unsafe_code)]
+unsafe impl<T: ?Sized + Send> Send for FcfsRwLock<T> {}
+#[allow(unsafe_code)]
+unsafe impl<T: ?Sized + Send + Sync> Sync for FcfsRwLock<T> {}
+
+impl<T> FcfsRwLock<T> {
+    /// Wraps a value.
+    pub fn new(value: T) -> Self {
+        FcfsRwLock {
+            raw: RawFcfs::default(),
+            stats: LockStats::default(),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> FcfsRwLock<T> {
+    fn start_read(&self) -> Instant {
+        let (granted_at, wait_ns, contended) = self.raw.acquire(false);
+        self.stats.record_acquire(false, wait_ns, contended);
+        granted_at
+    }
+
+    fn start_write(&self) -> Instant {
+        let (granted_at, wait_ns, contended) = self.raw.acquire(true);
+        self.stats.record_acquire(true, wait_ns, contended);
+        granted_at
+    }
+
+    fn finish(&self, exclusive: bool, granted_at: Instant) {
+        self.stats
+            .record_release(exclusive, granted_at.elapsed().as_nanos() as u64);
+        self.raw.release(exclusive);
+    }
+
+    /// Acquires a shared latch, blocking FCFS behind earlier arrivals.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard {
+            lock: self,
+            granted_at: self.start_read(),
+        }
+    }
+
+    /// Acquires the exclusive latch, blocking FCFS behind earlier arrivals.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard {
+            lock: self,
+            granted_at: self.start_write(),
+        }
+    }
+
+    /// Shared latch with an owned (`Arc`-holding) guard, usable past the
+    /// borrow of the `Arc` it was taken from — the latch-crabbing shape.
+    pub fn read_arc(self: &Arc<Self>) -> ArcRwLockReadGuard<T> {
+        ArcRwLockReadGuard {
+            granted_at: self.start_read(),
+            lock: Arc::clone(self),
+        }
+    }
+
+    /// Exclusive latch with an owned (`Arc`-holding) guard.
+    pub fn write_arc(self: &Arc<Self>) -> ArcRwLockWriteGuard<T> {
+        ArcRwLockWriteGuard {
+            granted_at: self.start_write(),
+            lock: Arc::clone(self),
+        }
+    }
+
+    /// The lock's embedded statistics.
+    pub fn stats(&self) -> &LockStats {
+        &self.stats
+    }
+
+    /// Number of requests currently queued (diagnostic; racy by nature).
+    pub fn queued(&self) -> usize {
+        self.raw.queued()
+    }
+
+    /// Mutable access without locking (requires `&mut`, hence exclusive).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+impl<T: ?Sized> fmt::Debug for FcfsRwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FcfsRwLock").finish_non_exhaustive()
+    }
+}
+
+/// Shared guard borrowing the lock.
+#[must_use = "dropping the guard releases the latch"]
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    lock: &'a FcfsRwLock<T>,
+    granted_at: Instant,
+}
+
+/// Exclusive guard borrowing the lock.
+#[must_use = "dropping the guard releases the latch"]
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    lock: &'a FcfsRwLock<T>,
+    granted_at: Instant,
+}
+
+/// Shared guard owning a strong reference to the lock.
+#[must_use = "dropping the guard releases the latch"]
+pub struct ArcRwLockReadGuard<T: ?Sized> {
+    lock: Arc<FcfsRwLock<T>>,
+    granted_at: Instant,
+}
+
+/// Exclusive guard owning a strong reference to the lock.
+#[must_use = "dropping the guard releases the latch"]
+pub struct ArcRwLockWriteGuard<T: ?Sized> {
+    lock: Arc<FcfsRwLock<T>>,
+    granted_at: Instant,
+}
+
+impl<T: ?Sized> ArcRwLockReadGuard<T> {
+    /// The lock this guard holds (associated fn, like `parking_lot`'s, so
+    /// it cannot shadow a method of `T`).
+    pub fn rwlock(this: &Self) -> &Arc<FcfsRwLock<T>> {
+        &this.lock
+    }
+}
+
+impl<T: ?Sized> ArcRwLockWriteGuard<T> {
+    /// The lock this guard holds.
+    pub fn rwlock(this: &Self) -> &Arc<FcfsRwLock<T>> {
+        &this.lock
+    }
+}
+
+macro_rules! impl_guard {
+    ($guard:ident, $($lt:lifetime,)? deref_mut: $mutable:tt, exclusive: $exclusive:expr) => {
+        impl<$($lt,)? T: ?Sized> Deref for $guard<$($lt,)? T> {
+            type Target = T;
+            fn deref(&self) -> &T {
+                // SAFETY: the guard proves the latch is held in a mode
+                // that permits this access until `Drop` runs.
+                #[allow(unsafe_code)]
+                unsafe {
+                    &*self.lock.data.get()
+                }
+            }
+        }
+        impl_guard!(@mut $guard, $($lt,)? $mutable);
+        impl<$($lt,)? T: ?Sized> Drop for $guard<$($lt,)? T> {
+            fn drop(&mut self) {
+                self.lock.finish($exclusive, self.granted_at);
+            }
+        }
+        impl<$($lt,)? T: ?Sized + fmt::Debug> fmt::Debug for $guard<$($lt,)? T> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Debug::fmt(&**self, f)
+            }
+        }
+    };
+    (@mut $guard:ident, $($lt:lifetime,)? yes) => {
+        impl<$($lt,)? T: ?Sized> DerefMut for $guard<$($lt,)? T> {
+            fn deref_mut(&mut self) -> &mut T {
+                // SAFETY: exclusive latch held for the guard's lifetime.
+                #[allow(unsafe_code)]
+                unsafe {
+                    &mut *self.lock.data.get()
+                }
+            }
+        }
+    };
+    (@mut $guard:ident, $($lt:lifetime,)? no) => {};
+}
+
+impl_guard!(RwLockReadGuard, 'a, deref_mut: no, exclusive: false);
+impl_guard!(RwLockWriteGuard, 'a, deref_mut: yes, exclusive: true);
+impl_guard!(ArcRwLockReadGuard, deref_mut: no, exclusive: false);
+impl_guard!(ArcRwLockWriteGuard, deref_mut: yes, exclusive: true);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn read_write_roundtrip() {
+        let lock = FcfsRwLock::new(vec![1, 2, 3]);
+        assert_eq!(lock.read().len(), 3);
+        lock.write().push(4);
+        assert_eq!(*lock.read(), vec![1, 2, 3, 4]);
+        assert_eq!(lock.into_inner(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn arc_guards_outlive_their_borrow() {
+        let lock = Arc::new(FcfsRwLock::new(7u64));
+        let guard = {
+            let alias = Arc::clone(&lock);
+            alias.read_arc()
+        };
+        assert_eq!(*guard, 7);
+        assert!(Arc::ptr_eq(ArcRwLockReadGuard::rwlock(&guard), &lock));
+        drop(guard);
+        *lock.write_arc() = 8;
+        assert_eq!(*lock.read(), 8);
+    }
+
+    #[test]
+    fn readers_share_writers_exclude() {
+        let lock = Arc::new(FcfsRwLock::new(0u64));
+        let in_cs = Arc::new(AtomicUsize::new(0));
+        let overlapped = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let lock = Arc::clone(&lock);
+                let in_cs = Arc::clone(&in_cs);
+                let overlapped = Arc::clone(&overlapped);
+                s.spawn(move || {
+                    let _g = lock.read();
+                    let now = in_cs.fetch_add(1, Ordering::SeqCst) + 1;
+                    overlapped.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    in_cs.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert!(
+            overlapped.load(Ordering::SeqCst) >= 2,
+            "readers never overlapped"
+        );
+
+        // Writers: strict mutual exclusion on a non-atomic counter.
+        let total = 64;
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let lock = Arc::clone(&lock);
+                s.spawn(move || {
+                    for _ in 0..total / 8 {
+                        let mut g = lock.write();
+                        let v = *g;
+                        std::thread::yield_now();
+                        *g = v + 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*lock.read(), total);
+    }
+
+    #[test]
+    fn get_mut_bypasses_locking() {
+        let mut lock = FcfsRwLock::new(1);
+        *lock.get_mut() = 5;
+        assert_eq!(*lock.read(), 5);
+        assert_eq!(lock.queued(), 0);
+    }
+
+    #[test]
+    fn stats_count_contention() {
+        let lock = Arc::new(FcfsRwLock::new(()));
+        let g = lock.write();
+        let t = {
+            let lock = Arc::clone(&lock);
+            std::thread::spawn(move || {
+                let _g = lock.read(); // must queue behind the writer
+            })
+        };
+        while lock.queued() == 0 {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        drop(g);
+        t.join().unwrap();
+        let snap = lock.stats().snapshot();
+        assert_eq!(snap.w_acquires, 1);
+        assert_eq!(snap.r_acquires, 1);
+        assert_eq!(snap.r_contended, 1);
+        assert!(snap.r_wait_ns >= 1_000_000, "waited ≥ the 5ms sleep");
+        assert!(snap.w_hold_ns >= 1_000_000);
+    }
+
+    #[test]
+    fn debug_does_not_block() {
+        let lock = FcfsRwLock::new(3);
+        let _g = lock.write();
+        let s = format!("{lock:?}");
+        assert!(s.contains("FcfsRwLock"));
+    }
+}

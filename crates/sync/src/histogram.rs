@@ -1,0 +1,186 @@
+//! Log-bucketed duration histogram with lock-free recording.
+//!
+//! Bucket `b` holds observations whose nanosecond value has `b`
+//! significant bits, i.e. durations in `[2^(b-1), 2^b)` ns (bucket 0 is
+//! exactly 0 ns). Recording is a single relaxed `fetch_add`, so writer
+//! threads never serialize on the histogram itself — the property the
+//! measurement harness needs to observe lock waits without creating a
+//! second contention point.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: enough for 0 ns up to ≥ 2^39 ns ≈ 9 minutes, far
+/// beyond any plausible latch wait.
+pub const BUCKETS: usize = 40;
+
+/// Lock-free log₂-bucketed histogram of nanosecond durations.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// The bucket index a nanosecond duration falls into.
+#[inline]
+pub fn bucket_of(ns: u64) -> usize {
+    ((u64::BITS - ns.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+/// Lower bound (inclusive) of a bucket, in nanoseconds.
+pub fn bucket_floor(bucket: usize) -> u64 {
+    if bucket == 0 {
+        0
+    } else {
+        1u64 << (bucket - 1)
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one observation (relaxed; safe from any thread).
+    #[inline]
+    pub fn record(&self, ns: u64) {
+        self.buckets[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reads the current bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut counts = [0u64; BUCKETS];
+        for (c, b) in counts.iter_mut().zip(&self.buckets) {
+            *c = b.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot { counts }
+    }
+}
+
+/// A plain-integer copy of a [`Histogram`] at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts.
+    pub counts: [u64; BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            counts: [0; BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Counts recorded since `earlier` (bucket-wise saturating diff).
+    pub fn since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut counts = [0u64; BUCKETS];
+        for (c, (a, b)) in counts
+            .iter_mut()
+            .zip(self.counts.iter().zip(&earlier.counts))
+        {
+            *c = a.saturating_sub(*b);
+        }
+        HistogramSnapshot { counts }
+    }
+
+    /// Adds another snapshot's counts into this one.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+
+    /// Approximate quantile (`0.0 ≤ q ≤ 1.0`) in nanoseconds, using each
+    /// bucket's lower bound. 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.total();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_floor(i);
+            }
+        }
+        bucket_floor(BUCKETS - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        for b in 1..BUCKETS {
+            assert_eq!(bucket_of(bucket_floor(b)), b, "floor of bucket {b}");
+        }
+    }
+
+    #[test]
+    fn record_and_snapshot() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(100); // 7 bits
+        h.record(100);
+        let s = h.snapshot();
+        assert_eq!(s.total(), 4);
+        assert_eq!(s.counts[0], 1);
+        assert_eq!(s.counts[1], 1);
+        assert_eq!(s.counts[bucket_of(100)], 2);
+    }
+
+    #[test]
+    fn since_and_merge() {
+        let h = Histogram::new();
+        h.record(5);
+        let a = h.snapshot();
+        h.record(5);
+        h.record(7);
+        let b = h.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.total(), 2);
+        let mut m = a;
+        m.merge(&d);
+        assert_eq!(m, b);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_data() {
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.record(10);
+        }
+        h.record(1_000_000);
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.5), bucket_floor(bucket_of(10)));
+        assert_eq!(s.quantile(1.0), bucket_floor(bucket_of(1_000_000)));
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), 0);
+    }
+}

@@ -1,0 +1,34 @@
+//! `cbtree-sync`: a dependency-free FCFS reader/writer lock with
+//! built-in observability.
+//!
+//! This crate is the synchronization substrate of the *live execution*
+//! pillar. It provides [`FcfsRwLock`], a reader/writer lock whose queue
+//! discipline matches the paper's Appendix queueing model and the
+//! discrete-event simulator's `LockTable`:
+//!
+//! - requests are served **first-come-first-served** from a single
+//!   arrival-order queue (no reader overtaking, no writer preference);
+//! - when the lock frees up, the **maximal compatible prefix** of the
+//!   queue is admitted — a single writer, or a burst of consecutive
+//!   readers granted together;
+//! - every lock embeds [`LockStats`]: relaxed-atomic counters and
+//!   log₂-bucketed wait histograms, so a measurement harness can read
+//!   per-lock waiting times, hold times, and writer utilization `ρ_w`
+//!   without perturbing the lock's hot path.
+//!
+//! All `unsafe` in the workspace's locking layer is confined to this
+//! crate (the `UnsafeCell` data access behind the guards); the B-tree
+//! crate itself stays `#![deny(unsafe_code)]`.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+mod fcfs;
+mod histogram;
+mod stats;
+
+pub use fcfs::{
+    ArcRwLockReadGuard, ArcRwLockWriteGuard, FcfsRwLock, RwLockReadGuard, RwLockWriteGuard,
+};
+pub use histogram::{bucket_floor, bucket_of, Histogram, HistogramSnapshot, BUCKETS};
+pub use stats::{LockStats, LockStatsSnapshot};

@@ -1,0 +1,234 @@
+//! Per-lock observability: atomic counters and wait histograms.
+//!
+//! Every [`crate::FcfsRwLock`] embeds one [`LockStats`]. Recording uses
+//! relaxed atomics only — no extra synchronization on the hot path — and
+//! readers take [`LockStatsSnapshot`]s that can be diffed across a
+//! measurement window and merged across the locks of one B-tree level.
+//! The derived quantities are exactly the observables of the paper's
+//! queueing model: writer utilization `ρ_w = Σ hold_W / elapsed`, mean
+//! reader/writer waits, and contention rates.
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomic per-lock counters, updated by the lock itself.
+#[derive(Debug, Default)]
+pub struct LockStats {
+    pub(crate) r_acquires: AtomicU64,
+    pub(crate) w_acquires: AtomicU64,
+    pub(crate) r_contended: AtomicU64,
+    pub(crate) w_contended: AtomicU64,
+    pub(crate) r_wait_ns: AtomicU64,
+    pub(crate) w_wait_ns: AtomicU64,
+    pub(crate) r_hold_ns: AtomicU64,
+    pub(crate) w_hold_ns: AtomicU64,
+    pub(crate) r_wait_hist: Histogram,
+    pub(crate) w_wait_hist: Histogram,
+}
+
+impl LockStats {
+    pub(crate) fn record_acquire(&self, exclusive: bool, wait_ns: u64, contended: bool) {
+        let (acq, cont, wait, hist) = if exclusive {
+            (
+                &self.w_acquires,
+                &self.w_contended,
+                &self.w_wait_ns,
+                &self.w_wait_hist,
+            )
+        } else {
+            (
+                &self.r_acquires,
+                &self.r_contended,
+                &self.r_wait_ns,
+                &self.r_wait_hist,
+            )
+        };
+        acq.fetch_add(1, Ordering::Relaxed);
+        if contended {
+            cont.fetch_add(1, Ordering::Relaxed);
+        }
+        wait.fetch_add(wait_ns, Ordering::Relaxed);
+        hist.record(wait_ns);
+    }
+
+    pub(crate) fn record_release(&self, exclusive: bool, hold_ns: u64) {
+        if exclusive {
+            self.w_hold_ns.fetch_add(hold_ns, Ordering::Relaxed);
+        } else {
+            self.r_hold_ns.fetch_add(hold_ns, Ordering::Relaxed);
+        }
+    }
+
+    /// A plain-integer copy of the counters at this instant.
+    pub fn snapshot(&self) -> LockStatsSnapshot {
+        LockStatsSnapshot {
+            r_acquires: self.r_acquires.load(Ordering::Relaxed),
+            w_acquires: self.w_acquires.load(Ordering::Relaxed),
+            r_contended: self.r_contended.load(Ordering::Relaxed),
+            w_contended: self.w_contended.load(Ordering::Relaxed),
+            r_wait_ns: self.r_wait_ns.load(Ordering::Relaxed),
+            w_wait_ns: self.w_wait_ns.load(Ordering::Relaxed),
+            r_hold_ns: self.r_hold_ns.load(Ordering::Relaxed),
+            w_hold_ns: self.w_hold_ns.load(Ordering::Relaxed),
+            r_wait_hist: self.r_wait_hist.snapshot(),
+            w_wait_hist: self.w_wait_hist.snapshot(),
+        }
+    }
+}
+
+/// Counters of one lock (or a merged group of locks) at one instant, or
+/// the difference of two such snapshots over a measurement window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LockStatsSnapshot {
+    /// Shared acquisitions granted.
+    pub r_acquires: u64,
+    /// Exclusive acquisitions granted.
+    pub w_acquires: u64,
+    /// Shared acquisitions that had to queue.
+    pub r_contended: u64,
+    /// Exclusive acquisitions that had to queue.
+    pub w_contended: u64,
+    /// Total nanoseconds shared requesters spent queued.
+    pub r_wait_ns: u64,
+    /// Total nanoseconds exclusive requesters spent queued.
+    pub w_wait_ns: u64,
+    /// Total nanoseconds the lock was held shared (summed over holders).
+    pub r_hold_ns: u64,
+    /// Total nanoseconds the lock was held exclusively.
+    pub w_hold_ns: u64,
+    /// Histogram of shared wait times.
+    pub r_wait_hist: HistogramSnapshot,
+    /// Histogram of exclusive wait times.
+    pub w_wait_hist: HistogramSnapshot,
+}
+
+impl LockStatsSnapshot {
+    /// Counters accumulated since `earlier` (field-wise saturating diff).
+    pub fn since(&self, earlier: &LockStatsSnapshot) -> LockStatsSnapshot {
+        LockStatsSnapshot {
+            r_acquires: self.r_acquires.saturating_sub(earlier.r_acquires),
+            w_acquires: self.w_acquires.saturating_sub(earlier.w_acquires),
+            r_contended: self.r_contended.saturating_sub(earlier.r_contended),
+            w_contended: self.w_contended.saturating_sub(earlier.w_contended),
+            r_wait_ns: self.r_wait_ns.saturating_sub(earlier.r_wait_ns),
+            w_wait_ns: self.w_wait_ns.saturating_sub(earlier.w_wait_ns),
+            r_hold_ns: self.r_hold_ns.saturating_sub(earlier.r_hold_ns),
+            w_hold_ns: self.w_hold_ns.saturating_sub(earlier.w_hold_ns),
+            r_wait_hist: self.r_wait_hist.since(&earlier.r_wait_hist),
+            w_wait_hist: self.w_wait_hist.since(&earlier.w_wait_hist),
+        }
+    }
+
+    /// Adds another snapshot's counters into this one (aggregation across
+    /// the locks of a tree level).
+    pub fn merge(&mut self, other: &LockStatsSnapshot) {
+        self.r_acquires += other.r_acquires;
+        self.w_acquires += other.w_acquires;
+        self.r_contended += other.r_contended;
+        self.w_contended += other.w_contended;
+        self.r_wait_ns += other.r_wait_ns;
+        self.w_wait_ns += other.w_wait_ns;
+        self.r_hold_ns += other.r_hold_ns;
+        self.w_hold_ns += other.w_hold_ns;
+        self.r_wait_hist.merge(&other.r_wait_hist);
+        self.w_wait_hist.merge(&other.w_wait_hist);
+    }
+
+    /// Mean exclusive wait in nanoseconds (0 when no acquisitions).
+    pub fn mean_w_wait_ns(&self) -> f64 {
+        if self.w_acquires == 0 {
+            0.0
+        } else {
+            self.w_wait_ns as f64 / self.w_acquires as f64
+        }
+    }
+
+    /// Mean shared wait in nanoseconds (0 when no acquisitions).
+    pub fn mean_r_wait_ns(&self) -> f64 {
+        if self.r_acquires == 0 {
+            0.0
+        } else {
+            self.r_wait_ns as f64 / self.r_acquires as f64
+        }
+    }
+
+    /// Measured writer utilization over a window of `elapsed_ns`
+    /// spanning `locks` locks: `Σ hold_W / (locks · elapsed)` — the live
+    /// counterpart of the model's `ρ_w`.
+    pub fn writer_utilization(&self, elapsed_ns: u64, locks: u64) -> f64 {
+        let denom = elapsed_ns.saturating_mul(locks.max(1));
+        if denom == 0 {
+            0.0
+        } else {
+            (self.w_hold_ns as f64 / denom as f64).min(1.0)
+        }
+    }
+
+    /// Fraction of exclusive acquisitions that queued.
+    pub fn w_contention_rate(&self) -> f64 {
+        if self.w_acquires == 0 {
+            0.0
+        } else {
+            self.w_contended as f64 / self.w_acquires as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_roundtrip() {
+        let s = LockStats::default();
+        s.record_acquire(false, 100, false);
+        s.record_acquire(true, 200, true);
+        s.record_release(false, 1_000);
+        s.record_release(true, 2_000);
+        let snap = s.snapshot();
+        assert_eq!(snap.r_acquires, 1);
+        assert_eq!(snap.w_acquires, 1);
+        assert_eq!(snap.r_contended, 0);
+        assert_eq!(snap.w_contended, 1);
+        assert_eq!(snap.r_wait_ns, 100);
+        assert_eq!(snap.w_wait_ns, 200);
+        assert_eq!(snap.r_hold_ns, 1_000);
+        assert_eq!(snap.w_hold_ns, 2_000);
+        assert_eq!(snap.r_wait_hist.total(), 1);
+        assert_eq!(snap.w_wait_hist.total(), 1);
+    }
+
+    #[test]
+    fn since_and_merge_compose() {
+        let s = LockStats::default();
+        s.record_acquire(true, 10, true);
+        let a = s.snapshot();
+        s.record_acquire(true, 30, false);
+        s.record_release(true, 50);
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.w_acquires, 1);
+        assert_eq!(d.w_contended, 0);
+        assert_eq!(d.w_wait_ns, 30);
+        assert_eq!(d.w_hold_ns, 50);
+        let mut m = a;
+        m.merge(&d);
+        assert_eq!(m, b);
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let mut snap = LockStatsSnapshot::default();
+        assert_eq!(snap.mean_w_wait_ns(), 0.0);
+        assert_eq!(snap.writer_utilization(0, 0), 0.0);
+        snap.w_acquires = 4;
+        snap.w_contended = 1;
+        snap.w_wait_ns = 400;
+        snap.w_hold_ns = 500;
+        assert_eq!(snap.mean_w_wait_ns(), 100.0);
+        assert_eq!(snap.w_contention_rate(), 0.25);
+        assert_eq!(snap.writer_utilization(1_000, 1), 0.5);
+        assert_eq!(snap.writer_utilization(1_000, 2), 0.25);
+        assert_eq!(snap.writer_utilization(100, 1), 1.0, "clamped at 1");
+    }
+}

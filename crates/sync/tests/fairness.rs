@@ -1,0 +1,183 @@
+//! FCFS fairness tests for [`cbtree_sync::FcfsRwLock`].
+//!
+//! The paper's Appendix queueing model (and the simulator's `LockTable`)
+//! assume locks grant strictly in arrival order, with consecutive queued
+//! readers admitted together as one burst. These tests pin that behavior
+//! on the real lock: writers complete in arrival order, readers queued
+//! between writers run concurrently as a burst, and under a seeded
+//! 16-thread storm every thread makes progress (no starvation).
+
+use cbtree_sync::FcfsRwLock;
+use cbtree_workload::Rng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Spin until `lock` reports `n` queued waiters (with a 5 s watchdog) —
+/// the `queued()` observability hook lets tests sequence arrivals
+/// without relying on sleeps.
+fn await_queue_len<T>(lock: &FcfsRwLock<T>, n: usize) {
+    let t0 = Instant::now();
+    while lock.queued() < n {
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "queue never reached {n} waiters (at {})",
+            lock.queued()
+        );
+        std::thread::yield_now();
+    }
+}
+
+/// Writers that arrive while the lock is held are granted in arrival
+/// order, so the written history is exactly the arrival sequence.
+#[test]
+fn writers_complete_in_arrival_order() {
+    const WRITERS: usize = 8;
+    let lock = Arc::new(FcfsRwLock::new(Vec::<usize>::new()));
+
+    std::thread::scope(|s| {
+        // Hold the lock exclusively while the writers queue up one by
+        // one; `await_queue_len` serializes their arrival order.
+        let gate = lock.write();
+        for i in 0..WRITERS {
+            await_queue_len(&lock, i);
+            let l = Arc::clone(&lock);
+            s.spawn(move || {
+                l.write().push(i);
+            });
+            await_queue_len(&lock, i + 1);
+        }
+        drop(gate);
+    });
+
+    let history = lock.read().clone();
+    assert_eq!(history, (0..WRITERS).collect::<Vec<_>>());
+}
+
+/// Readers queued between two writers are admitted together, as one
+/// concurrent burst, after the first writer and before the second.
+#[test]
+fn queued_readers_run_as_one_burst_between_writers() {
+    const READERS: usize = 4;
+    let lock = Arc::new(FcfsRwLock::new(Vec::<&'static str>::new()));
+    let inside = Arc::new(AtomicUsize::new(0));
+    let peak = Arc::new(AtomicUsize::new(0));
+
+    std::thread::scope(|s| {
+        let gate = lock.write();
+
+        // Arrival order behind the gate: W1, then R x READERS, then W2.
+        {
+            let lock = Arc::clone(&lock);
+            s.spawn(move || {
+                lock.write().push("w1");
+            });
+        }
+        await_queue_len(&lock, 1);
+        for _ in 0..READERS {
+            let l = Arc::clone(&lock);
+            let inside = Arc::clone(&inside);
+            let peak = Arc::clone(&peak);
+            let n = lock.queued();
+            s.spawn(move || {
+                let guard = l.read();
+                let now = inside.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                // Linger so the whole burst can overlap; the last writer
+                // is still queued behind us, so this cannot admit it.
+                std::thread::sleep(Duration::from_millis(20));
+                assert!(guard.is_empty() || guard[0] == "w1");
+                inside.fetch_sub(1, Ordering::SeqCst);
+                drop(guard);
+            });
+            await_queue_len(&lock, n + 1);
+        }
+        let n = lock.queued();
+        {
+            let lock = Arc::clone(&lock);
+            s.spawn(move || {
+                lock.write().push("w2");
+            });
+        }
+        await_queue_len(&lock, n + 1);
+
+        drop(gate);
+    });
+
+    // FCFS: w1 first, w2 last; every reader saw at most w1.
+    assert_eq!(lock.read().clone(), vec!["w1", "w2"]);
+    // Burst: all READERS readers were inside the lock simultaneously.
+    assert_eq!(
+        peak.load(Ordering::SeqCst),
+        READERS,
+        "readers between two writers must be admitted as one burst"
+    );
+}
+
+/// A writer queued behind readers blocks later-arriving readers (no
+/// reader sneaks past a waiting writer), which is what rules out writer
+/// starvation by a continuous reader stream.
+#[test]
+fn late_readers_do_not_overtake_a_queued_writer() {
+    let lock = Arc::new(FcfsRwLock::new(0u64));
+
+    std::thread::scope(|s| {
+        let r = lock.read();
+        {
+            let lock = Arc::clone(&lock);
+            s.spawn(move || {
+                *lock.write() += 1;
+            });
+        }
+        await_queue_len(&lock, 1);
+        // A reader arriving now must queue behind the writer even though
+        // the lock is currently held shared.
+        {
+            let lock = Arc::clone(&lock);
+            s.spawn(move || {
+                let g = lock.read();
+                assert_eq!(*g, 1, "reader overtook the queued writer");
+            });
+        }
+        await_queue_len(&lock, 2);
+        drop(r);
+    });
+}
+
+/// 16 threads hammer one lock with a seeded random read/write mix; every
+/// thread completes its full quota (no starvation, no lost wakeups), and
+/// the write count matches the sum of increments.
+#[test]
+fn sixteen_thread_storm_starves_no_one() {
+    const THREADS: u64 = 16;
+    const OPS: u64 = 400;
+    const SEED: u64 = 0x5EED_FA1A;
+
+    let lock = Arc::new(FcfsRwLock::new(0u64));
+    let mut expected_writes = 0u64;
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            // Decide each thread's op sequence up front with the shared
+            // deterministic generator so the expected total is exact.
+            let mut rng = Rng::new(SEED ^ t);
+            let ops: Vec<bool> = (0..OPS).map(|_| rng.chance(0.25)).collect();
+            expected_writes += ops.iter().filter(|&&w| w).count() as u64;
+            let lock = Arc::clone(&lock);
+            s.spawn(move || {
+                for write in ops {
+                    if write {
+                        *lock.write() += 1;
+                    } else {
+                        std::hint::black_box(*lock.read());
+                    }
+                }
+            });
+        }
+    });
+
+    assert_eq!(*lock.read(), expected_writes);
+    let snap = lock.stats().snapshot();
+    assert_eq!(snap.w_acquires, expected_writes);
+    assert_eq!(snap.r_acquires, THREADS * OPS - expected_writes + 1);
+}

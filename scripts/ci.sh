@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# CI gate for the cbtree workspace. Everything runs offline: the
+# workspace has zero external dependencies, in the build graph or in
+# dev-dependencies.
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (-D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "==> ok"

@@ -20,6 +20,10 @@
 //!   service, per-node FCFS R/W lock queues on actual B-trees).
 //! * [`btree`] — real in-memory concurrent B+-trees with the three latching
 //!   protocols.
+//! * [`sync`] — from-scratch FCFS reader/writer lock with built-in lock
+//!   statistics (waits, holds, writer utilization) used by [`btree`].
+//! * [`harness`] — live-execution measurement: the real trees on OS
+//!   threads, reporting the same per-level observables as [`sim`].
 //! * [`workload`] — deterministic workload generation shared by all of the
 //!   above.
 //!
@@ -41,6 +45,8 @@
 pub use cbtree_analysis as analysis;
 pub use cbtree_btree as btree;
 pub use cbtree_btree_model as model;
+pub use cbtree_harness as harness;
 pub use cbtree_queueing as queueing;
 pub use cbtree_sim as sim;
+pub use cbtree_sync as sync;
 pub use cbtree_workload as workload;
