@@ -138,6 +138,10 @@ impl<V> BLinkTree<V> {
         let mut left = Arc::clone(cbtree_sync::ArcRwLockWriteGuard::rwlock(&guard));
         let mut level = guard.level;
         drop(guard);
+        // The sibling is linked and reachable, but its separator is not
+        // yet posted in the parent — the Lehman–Yao window every other
+        // operation must tolerate via right-link chases.
+        cbtree_sync::inject::perturb(cbtree_sync::inject::Site::HalfSplit);
         loop {
             let parent = match stack.pop() {
                 Some(p) => p,
@@ -161,6 +165,8 @@ impl<V> BLinkTree<V> {
             sep = s;
             sib = sb;
             drop(pg);
+            // Same unposted-separator window, one level up.
+            cbtree_sync::inject::perturb(cbtree_sync::inject::Site::HalfSplit);
         }
     }
 

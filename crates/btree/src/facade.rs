@@ -89,6 +89,16 @@ impl<V> ConcurrentBTree<V> {
         }
     }
 
+    /// Node capacity (max keys per node) the tree was built with.
+    pub fn capacity(&self) -> usize {
+        match self {
+            ConcurrentBTree::Coupling(t) => t.capacity(),
+            ConcurrentBTree::Optimistic(t) => t.capacity(),
+            ConcurrentBTree::BLink(t) => t.capacity(),
+            ConcurrentBTree::TwoPhase(t) => t.capacity(),
+        }
+    }
+
     /// Whether the tree is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0

@@ -259,6 +259,37 @@ pub fn for_each_handle<V>(root: &NodeRef<V>, mut f: impl FnMut(usize, &NodeRef<V
     }
 }
 
+/// The leftmost node of every level, top level first (audit accessor:
+/// each entry is the head of that level's right-link chain). Callers
+/// must ensure the tree is quiescent.
+pub fn level_heads<V>(root: &NodeRef<V>) -> Vec<NodeRef<V>> {
+    let mut heads = Vec::new();
+    let mut cur = Some(Arc::clone(root));
+    while let Some(node) = cur.take() {
+        cur = {
+            let g = node.read();
+            match &g.children {
+                Children::Internal(kids) => Some(Arc::clone(&kids[0])),
+                Children::Leaf(_) => None,
+            }
+        };
+        heads.push(node);
+    }
+    heads
+}
+
+/// Every node of one level, in right-link order starting from `head`
+/// (audit accessor; quiescent use).
+pub fn level_chain<V>(head: &NodeRef<V>) -> Vec<NodeRef<V>> {
+    let mut chain = Vec::new();
+    let mut cur = Some(Arc::clone(head));
+    while let Some(node) = cur.take() {
+        cur = node.read().right.as_ref().map(Arc::clone);
+        chain.push(node);
+    }
+    chain
+}
+
 /// Walks the whole tree (quiescently — callers must ensure no concurrent
 /// mutation) checking structural invariants. Returns a description of the
 /// first violation.

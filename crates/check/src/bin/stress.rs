@@ -1,0 +1,236 @@
+//! Concurrency stress sweep: protocol × seed, with linearizability
+//! checking, structural audits, and seeded schedule perturbation.
+//!
+//! ```text
+//! stress --quick                 CI mode: 3 protocols x 16 seeds, ~seconds
+//! stress --full                  manual deep sweep (more seeds, ops, threads)
+//! stress --replay 7 --protocol b-link
+//!                                re-run one failing (protocol, seed) pair;
+//!                                the perturbation decision stream is a pure
+//!                                function of the seed, so the run replays
+//!                                the same schedule pressure
+//! stress --demo-bug              run the known-bad reader; exits 0 iff the
+//!                                checker convicts it
+//! ```
+//!
+//! Exits non-zero on any failure so CI can gate on it.
+
+use cbtree_btree::Protocol;
+use cbtree_check::stress::{run_stress, run_stress_on, StressConfig};
+use cbtree_check::{buggy::SkipRightLink, Verdict};
+
+#[derive(Debug, Clone)]
+struct Args {
+    quick: bool,
+    full: bool,
+    demo_bug: bool,
+    replay: Option<u64>,
+    protocol: Option<Protocol>,
+    threads: Option<usize>,
+    ops: Option<usize>,
+    seeds: usize,
+    seed_base: u64,
+    no_inject: bool,
+}
+
+fn parse_protocol(s: &str) -> Result<Protocol, String> {
+    Protocol::ALL_WITH_BASELINE
+        .into_iter()
+        .find(|p| p.name() == s)
+        .ok_or_else(|| {
+            let names: Vec<_> = Protocol::ALL_WITH_BASELINE
+                .iter()
+                .map(|p| p.name())
+                .collect();
+            format!("unknown protocol {s:?}; expected one of {names:?}")
+        })
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        quick: false,
+        full: false,
+        demo_bug: false,
+        replay: None,
+        protocol: None,
+        threads: None,
+        ops: None,
+        seeds: 16,
+        seed_base: 1,
+        no_inject: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--quick" => args.quick = true,
+            "--full" => args.full = true,
+            "--demo-bug" => args.demo_bug = true,
+            "--no-inject" => args.no_inject = true,
+            "--replay" => {
+                args.replay = Some(
+                    value("--replay")?
+                        .parse()
+                        .map_err(|e| format!("--replay: {e}"))?,
+                )
+            }
+            "--protocol" => args.protocol = Some(parse_protocol(&value("--protocol")?)?),
+            "--threads" => {
+                args.threads = Some(
+                    value("--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?,
+                )
+            }
+            "--ops" => args.ops = Some(value("--ops")?.parse().map_err(|e| format!("--ops: {e}"))?),
+            "--seeds" => {
+                args.seeds = value("--seeds")?
+                    .parse()
+                    .map_err(|e| format!("--seeds: {e}"))?
+            }
+            "--seed-base" => {
+                args.seed_base = value("--seed-base")?
+                    .parse()
+                    .map_err(|e| format!("--seed-base: {e}"))?
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: stress [--quick|--full] [--protocol NAME] [--threads N] \
+                     [--ops N] [--seeds N] [--seed-base N] [--no-inject] \
+                     [--replay SEED] [--demo-bug]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if !(args.quick || args.full || args.demo_bug || args.replay.is_some()) {
+        args.quick = true;
+    }
+    Ok(args)
+}
+
+fn shape(args: &Args, protocol: Protocol, seed: u64) -> StressConfig {
+    let mut cfg = if args.full {
+        StressConfig::full(protocol, seed)
+    } else {
+        StressConfig::quick(protocol, seed)
+    };
+    if let Some(t) = args.threads {
+        cfg.threads = t;
+    }
+    if let Some(o) = args.ops {
+        cfg.ops_per_thread = o;
+    }
+    if args.no_inject {
+        cfg.inject = None;
+    }
+    cfg
+}
+
+fn verdict_name(v: &Verdict) -> &'static str {
+    match v {
+        Verdict::Linearizable { .. } => "linearizable",
+        Verdict::SequentiallyConsistent { .. } => "seq-consistent",
+        Verdict::Violation(_) => "VIOLATION",
+        Verdict::Inconclusive => "inconclusive",
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("stress: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    if args.demo_bug {
+        std::process::exit(demo_bug(&args));
+    }
+
+    let protocols: Vec<Protocol> = match args.protocol {
+        Some(p) => vec![p],
+        None => Protocol::ALL.to_vec(),
+    };
+    let seeds: Vec<u64> = match args.replay {
+        Some(s) => vec![s],
+        None => (0..args.seeds as u64).map(|i| args.seed_base + i).collect(),
+    };
+
+    let mut failures = 0usize;
+    println!(
+        "{:<14} {:>6} {:>8} {:>15} {:>9} {:>8}  outcome",
+        "protocol", "seed", "ops", "verdict", "perturbs", "ms"
+    );
+    for &protocol in &protocols {
+        for &seed in &seeds {
+            let cfg = shape(&args, protocol, seed);
+            let t0 = std::time::Instant::now();
+            let out = run_stress(&cfg);
+            let ms = t0.elapsed().as_millis();
+            let perturbs = out.inject_stats.yields + out.inject_stats.spins;
+            let ok = out.passed();
+            println!(
+                "{:<14} {:>6} {:>8} {:>15} {:>9} {:>8}  {}",
+                protocol.name(),
+                seed,
+                out.ops,
+                verdict_name(&out.verdict),
+                perturbs,
+                ms,
+                if ok { "ok" } else { "FAIL" }
+            );
+            if !ok {
+                failures += 1;
+                if let Some(why) = out.failure() {
+                    eprintln!("\n--- {} seed {} ---\n{}", protocol.name(), seed, why);
+                    eprintln!(
+                        "replay with: stress --replay {} --protocol {}{}\n",
+                        seed,
+                        protocol.name(),
+                        if args.full { " --full" } else { "" }
+                    );
+                }
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("stress: {failures} failing run(s)");
+        std::process::exit(1);
+    }
+    println!(
+        "stress: {} runs passed ({} protocols x {} seeds)",
+        protocols.len() * seeds.len(),
+        protocols.len(),
+        seeds.len()
+    );
+}
+
+/// Runs the known-bad reader until the checker convicts it. Exit 0 =
+/// the pillar has teeth; exit 1 = the bug escaped every seed.
+fn demo_bug(args: &Args) -> i32 {
+    println!("driving SkipRightLink (B-link reader that skips the post-latch covers() re-check)");
+    for seed in 0..args.seeds as u64 {
+        let seed = args.seed_base + seed;
+        let cfg = shape(args, Protocol::BLink, seed);
+        let map = SkipRightLink::new(cfg.capacity);
+        let out = run_stress_on(&map, &cfg);
+        println!(
+            "  seed {:>4}: {:>15} {}",
+            seed,
+            verdict_name(&out.verdict),
+            if out.passed() { "(escaped)" } else { "CAUGHT" }
+        );
+        if !out.passed() {
+            if let Some(why) = out.failure() {
+                println!("\n{why}");
+            }
+            println!("bug caught at seed {seed}; the checker has teeth.");
+            return 0;
+        }
+    }
+    eprintln!("demo-bug: the deliberately broken reader escaped all seeds");
+    1
+}

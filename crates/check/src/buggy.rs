@@ -1,0 +1,107 @@
+//! Deliberately broken map implementations that the checker must catch.
+//!
+//! The correctness pillar is only trustworthy if it demonstrably rejects
+//! wrong implementations, so this module keeps a known-bad reader around
+//! as a permanent regression target: [`SkipRightLink`] re-creates the
+//! classic Lehman–Yao reader bug of trusting a stale leaf choice —
+//! reading the leaf it descended to *without* re-checking `covers()` and
+//! chasing right links after latching. When a concurrent half-split
+//! moves the key right in the window between descent and read, the read
+//! misses a present key: a linearizability violation (stale read) that
+//! no quiescent structural audit can see, because the tree itself stays
+//! perfectly well-formed.
+
+use crate::history::ConcurrentMap;
+use cbtree_btree::node::Children;
+use cbtree_btree::{ConcurrentBTree, Protocol};
+use std::sync::Arc;
+
+/// A B-link tree whose `get` skips the post-latch `covers()` re-check
+/// and right-link chase at the leaf level. Writes delegate to the
+/// correct tree, so all structure stays valid — only reads race.
+#[derive(Debug)]
+pub struct SkipRightLink {
+    inner: ConcurrentBTree<u64>,
+    /// Spin iterations between choosing the leaf and reading it, modeling
+    /// a reader that holds its (unprotected) leaf choice across a delay.
+    /// Widens the race so stress runs expose the bug reliably.
+    window_spin: u32,
+}
+
+impl SkipRightLink {
+    /// A buggy reader over a fresh B-link tree of the given capacity.
+    pub fn new(capacity: usize) -> Self {
+        SkipRightLink {
+            inner: ConcurrentBTree::new(Protocol::BLink, capacity),
+            window_spin: 400_000,
+        }
+    }
+}
+
+impl ConcurrentMap for SkipRightLink {
+    fn get(&self, key: u64) -> Option<u64> {
+        // Correct descent: chase right links on the way down.
+        let mut cur = self.inner.root_handle();
+        loop {
+            let next = {
+                let g = cur.read();
+                if !g.covers(key) {
+                    Some(Arc::clone(
+                        g.right.as_ref().expect("finite high key implies right"),
+                    ))
+                } else {
+                    match &g.children {
+                        Children::Leaf(_) => None,
+                        Children::Internal(_) => Some(g.child_for(key)),
+                    }
+                }
+            };
+            match next {
+                Some(n) => cur = n,
+                None => break,
+            }
+        }
+        // The window a correct reader closes by re-checking coverage
+        // under the latch; a split landing here moves `key` right.
+        for _ in 0..self.window_spin {
+            std::hint::spin_loop();
+        }
+        std::thread::yield_now();
+        let g = cur.read();
+        // BUG: no `covers()` re-check, no right-link chase.
+        g.leaf_get(key).copied()
+    }
+
+    fn insert(&self, key: u64, val: u64) -> Option<u64> {
+        self.inner.insert(key, val)
+    }
+
+    fn remove(&self, key: u64) -> Option<u64> {
+        ConcurrentBTree::remove(&self.inner, &key)
+    }
+
+    fn tree(&self) -> Option<&ConcurrentBTree<u64>> {
+        // The underlying tree is structurally sound — auditors pass; only
+        // the linearizability checker can convict this implementation.
+        Some(&self.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_use_is_correct() {
+        // Without concurrency the skipped re-check never matters.
+        let m = SkipRightLink::new(4);
+        for k in 0..200u64 {
+            assert_eq!(m.insert(k, k * 7), None);
+        }
+        for k in 0..200u64 {
+            assert_eq!(m.get(k), Some(k * 7));
+        }
+        assert_eq!(m.remove(13), Some(91));
+        assert_eq!(m.get(13), None);
+    }
+}

@@ -1,0 +1,651 @@
+//! Linearizability checking against a sequential `BTreeMap` oracle.
+//!
+//! Implements the Wing–Gong search (with Lowe's entry-list formulation):
+//! repeatedly try to *lift* a minimal operation — one whose invocation
+//! precedes every un-linearized response — apply it to the sequential
+//! model, and recurse; on a dead end, undo and try the next candidate.
+//! Because map operations on distinct keys commute, the search prunes
+//! heavily in practice, but its worst case is exponential, so the search
+//! carries a step budget and a concurrency-window bound. When either is
+//! exceeded the checker falls back to a *sequential-consistency* check
+//! (respecting only per-thread program order), which is weaker but still
+//! catches lost updates and phantom reads.
+
+use crate::history::{History, Op, OpRecord};
+use std::collections::BTreeMap;
+
+/// Search-tuning knobs for [`check_history`].
+#[derive(Debug, Clone, Copy)]
+pub struct CheckConfig {
+    /// Maximum concurrent-operation window the full linearizability
+    /// search will attempt; histories wider than this go straight to the
+    /// sequential-consistency fallback.
+    pub max_window: usize,
+    /// Backtracking-step budget for either search before giving up and
+    /// (for the full search) falling back to sequential consistency.
+    pub step_budget: u64,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            max_window: 64,
+            step_budget: 20_000_000,
+        }
+    }
+}
+
+/// Outcome of checking one history.
+#[derive(Debug, Clone)]
+pub enum Verdict {
+    /// A valid linearization exists; `final_state` is the oracle contents
+    /// after it (useful for a post-run content audit of the real tree).
+    Linearizable {
+        /// Oracle contents after the witnessing linearization.
+        final_state: BTreeMap<u64, u64>,
+    },
+    /// The full search was skipped or exhausted, but the history is at
+    /// least sequentially consistent.
+    SequentiallyConsistent {
+        /// Oracle contents after the witnessing serialization.
+        final_state: BTreeMap<u64, u64>,
+    },
+    /// No valid ordering exists — a real correctness violation.
+    Violation(ViolationWitness),
+    /// Both searches ran out of budget without a decision.
+    Inconclusive,
+}
+
+impl Verdict {
+    /// Whether the history passed (linearizable or at least SC).
+    pub fn passed(&self) -> bool {
+        matches!(
+            self,
+            Verdict::Linearizable { .. } | Verdict::SequentiallyConsistent { .. }
+        )
+    }
+
+    /// The witnessed final oracle state, when the history passed.
+    pub fn final_state(&self) -> Option<&BTreeMap<u64, u64>> {
+        match self {
+            Verdict::Linearizable { final_state }
+            | Verdict::SequentiallyConsistent { final_state } => Some(final_state),
+            _ => None,
+        }
+    }
+}
+
+/// Evidence for a violation, minimized for human consumption.
+#[derive(Debug, Clone)]
+pub struct ViolationWitness {
+    /// The operation no linearization could accommodate (the first
+    /// response the search could never justify).
+    pub stuck: OpRecord,
+    /// Operations concurrent with `stuck` (candidate interleavings the
+    /// search exhausted).
+    pub concurrent: Vec<OpRecord>,
+    /// All operations touching `stuck`'s key, in invocation order — the
+    /// minimal per-key trace that exhibits the contradiction.
+    pub key_trace: Vec<OpRecord>,
+}
+
+impl ViolationWitness {
+    /// Renders the witness as a compact multi-line report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let fmt = |r: &OpRecord| {
+            format!(
+                "  t{:<2} [{:>6},{:>6}] {:?} -> {:?}",
+                r.thread, r.invoked, r.returned, r.op, r.ret
+            )
+        };
+        out.push_str("unjustifiable response:\n");
+        out.push_str(&fmt(&self.stuck));
+        out.push('\n');
+        if !self.concurrent.is_empty() {
+            out.push_str("concurrent operations:\n");
+            for r in &self.concurrent {
+                out.push_str(&fmt(r));
+                out.push('\n');
+            }
+        }
+        out.push_str(&format!(
+            "history of key {} (invocation order):\n",
+            self.stuck.op.key()
+        ));
+        for r in &self.key_trace {
+            out.push_str(&fmt(r));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// What a sequential map does with `op`: `(new_value_for_key, response)`.
+/// Applying means storing `new_value_for_key` under the key (None =
+/// absent); the previous binding is the undo record.
+fn apply(model: &mut BTreeMap<u64, u64>, op: Op) -> (Option<u64>, Option<u64>) {
+    match op {
+        Op::Get(k) => {
+            let cur = model.get(&k).copied();
+            (cur, cur)
+        }
+        Op::Insert(k, v) => {
+            let prev = model.insert(k, v);
+            (prev, prev)
+        }
+        Op::Remove(k) => {
+            let prev = model.remove(&k);
+            (prev, prev)
+        }
+    }
+}
+
+fn undo(model: &mut BTreeMap<u64, u64>, op: Op, prev: Option<u64>) {
+    let k = op.key();
+    match (op, prev) {
+        (Op::Get(..), _) => {}
+        (_, Some(v)) => {
+            model.insert(k, v);
+        }
+        (_, None) => {
+            model.remove(&k);
+        }
+    }
+}
+
+/// Checks `history` for linearizability (falling back to sequential
+/// consistency when the search is infeasible).
+///
+/// Exploits the map structure: every operation touches exactly one key
+/// and its response depends only on that key's state, so operations on
+/// distinct keys commute and the history is linearizable iff every
+/// per-key subhistory is. The search therefore partitions by key first —
+/// without this, the un-memoized backtracking search re-explores
+/// factorially many equivalent interleavings of independent keys and a
+/// violation proof (which must exhaust the space) never terminates in
+/// practice. Per-key results combine as: all linearizable ⇒
+/// linearizable; any violation ⇒ violation; otherwise degrade to the
+/// weakest verdict reached.
+pub fn check_history(history: &History, cfg: CheckConfig) -> Verdict {
+    let init: BTreeMap<u64, u64> = history.init.iter().copied().collect();
+    if history.ops.is_empty() {
+        return Verdict::Linearizable { final_state: init };
+    }
+    // Partition ops by key, preserving invocation order.
+    let mut by_key: BTreeMap<u64, Vec<OpRecord>> = BTreeMap::new();
+    for r in &history.ops {
+        by_key.entry(r.op.key()).or_default().push(*r);
+    }
+    let mut final_state = init.clone();
+    let mut degraded = false;
+    for (key, ops) in by_key {
+        let sub = History {
+            init: init.get(&key).map(|&v| vec![(key, v)]).unwrap_or_default(),
+            ops,
+        };
+        match check_single_key(&sub, cfg) {
+            Verdict::Linearizable { final_state: fs } => {
+                sync_key(&mut final_state, key, &fs);
+            }
+            Verdict::SequentiallyConsistent { final_state: fs } => {
+                degraded = true;
+                sync_key(&mut final_state, key, &fs);
+            }
+            v @ (Verdict::Violation(_) | Verdict::Inconclusive) => return v,
+        }
+    }
+    if degraded {
+        Verdict::SequentiallyConsistent { final_state }
+    } else {
+        Verdict::Linearizable { final_state }
+    }
+}
+
+/// Copies `key`'s binding from a per-key result into the merged state.
+fn sync_key(state: &mut BTreeMap<u64, u64>, key: u64, sub: &BTreeMap<u64, u64>) {
+    match sub.get(&key) {
+        Some(&v) => {
+            state.insert(key, v);
+        }
+        None => {
+            state.remove(&key);
+        }
+    }
+}
+
+/// The raw (non-partitioned) check over one subhistory: full Wing–Gong
+/// search when the concurrency window permits, sequential-consistency
+/// fallback otherwise.
+fn check_single_key(history: &History, cfg: CheckConfig) -> Verdict {
+    let init: BTreeMap<u64, u64> = history.init.iter().copied().collect();
+    if history.ops.is_empty() {
+        return Verdict::Linearizable { final_state: init };
+    }
+    if history.max_concurrency() <= cfg.max_window {
+        match wgl_search(history, &init, cfg.step_budget) {
+            SearchResult::Ok(final_state) => return Verdict::Linearizable { final_state },
+            SearchResult::Violation(w) => return Verdict::Violation(w),
+            SearchResult::OutOfBudget => {}
+        }
+    }
+    match sc_search(history, &init, cfg.step_budget) {
+        SearchResult::Ok(final_state) => Verdict::SequentiallyConsistent { final_state },
+        SearchResult::Violation(w) => Verdict::Violation(w),
+        SearchResult::OutOfBudget => Verdict::Inconclusive,
+    }
+}
+
+enum SearchResult {
+    Ok(BTreeMap<u64, u64>),
+    Violation(ViolationWitness),
+    OutOfBudget,
+}
+
+const NIL: usize = usize::MAX;
+
+/// Doubly-linked list over op indices, ordered by invocation tick.
+/// `lift` unlinks an entry; `unlift` restores it (valid in LIFO order,
+/// which is exactly how the backtracking stack uses it).
+struct EntryList {
+    next: Vec<usize>,
+    prev: Vec<usize>,
+    head: usize,
+}
+
+impl EntryList {
+    fn new(n: usize) -> Self {
+        // Entry i links to i±1; head sentinel is implicit via `head`.
+        let next: Vec<usize> = (0..n)
+            .map(|i| if i + 1 < n { i + 1 } else { NIL })
+            .collect();
+        let prev: Vec<usize> = (0..n).map(|i| if i == 0 { NIL } else { i - 1 }).collect();
+        EntryList {
+            next,
+            prev,
+            head: if n == 0 { NIL } else { 0 },
+        }
+    }
+
+    fn lift(&mut self, i: usize) {
+        let (p, n) = (self.prev[i], self.next[i]);
+        if p == NIL {
+            self.head = n;
+        } else {
+            self.next[p] = n;
+        }
+        if n != NIL {
+            self.prev[n] = p;
+        }
+    }
+
+    fn unlift(&mut self, i: usize) {
+        let (p, n) = (self.prev[i], self.next[i]);
+        if p == NIL {
+            self.head = i;
+        } else {
+            self.next[p] = i;
+        }
+        if n != NIL {
+            self.prev[n] = i;
+        }
+    }
+}
+
+/// Wing–Gong/Lowe search: ops are pre-sorted by invocation tick. At each
+/// step the candidates are the ops from the head of the remaining list
+/// whose invocation precedes the first un-linearized response; an op can
+/// be linearized now iff the model reproduces its recorded response.
+fn wgl_search(history: &History, init: &BTreeMap<u64, u64>, budget: u64) -> SearchResult {
+    let ops = &history.ops;
+    let n = ops.len();
+    let mut list = EntryList::new(n);
+    let mut model = init.clone();
+    // Backtracking stack: (op index, undo record).
+    let mut stack: Vec<(usize, Option<u64>)> = Vec::with_capacity(n);
+    // Next candidate to try at the current depth; NIL = start from head.
+    let mut cursor = list.head;
+    let mut steps = 0u64;
+
+    loop {
+        // First response tick among un-linearized ops bounds the
+        // candidate window: an op invoked after some pending op has
+        // already returned cannot be linearized before it.
+        let min_ret = {
+            let mut m = u64::MAX;
+            let mut i = list.head;
+            while i != NIL {
+                m = m.min(ops[i].returned);
+                i = list.next[i];
+            }
+            m
+        };
+        let mut advanced = false;
+        let mut i = cursor;
+        while i != NIL && ops[i].invoked < min_ret {
+            steps += 1;
+            if steps > budget {
+                return SearchResult::OutOfBudget;
+            }
+            let (prev, resp) = apply(&mut model, ops[i].op);
+            if resp == ops[i].ret {
+                stack.push((i, prev));
+                list.lift(i);
+                cursor = list.head;
+                advanced = true;
+                break;
+            }
+            undo(&mut model, ops[i].op, prev);
+            i = list.next[i];
+        }
+        if advanced {
+            if list.head == NIL {
+                return SearchResult::Ok(model);
+            }
+            continue;
+        }
+        // Dead end: backtrack.
+        match stack.pop() {
+            Some((j, prev)) => {
+                list.unlift(j);
+                undo(&mut model, ops[j].op, prev);
+                cursor = list.next[j];
+            }
+            None => {
+                return SearchResult::Violation(build_witness(history, list.head));
+            }
+        }
+    }
+}
+
+/// Sequential-consistency fallback: only per-thread program order is
+/// preserved, so the candidates at each step are simply each thread's
+/// next un-linearized op. DFS with memoization-free backtracking (the
+/// budget bounds it).
+fn sc_search(history: &History, init: &BTreeMap<u64, u64>, budget: u64) -> SearchResult {
+    let ops = &history.ops;
+    let n = ops.len();
+    let nthreads = ops.iter().map(|r| r.thread + 1).max().unwrap_or(0);
+    // Per-thread op index sequences, in program (invocation) order.
+    let mut by_thread: Vec<Vec<usize>> = vec![Vec::new(); nthreads];
+    for (i, r) in ops.iter().enumerate() {
+        by_thread[r.thread].push(i);
+    }
+    let mut pos = vec![0usize; nthreads];
+    let mut model = init.clone();
+    // Stack of (thread chosen, undo record); cursor = next thread to try.
+    let mut stack: Vec<(usize, Option<u64>)> = Vec::with_capacity(n);
+    let mut cursor = 0usize;
+    let mut done = 0usize;
+    let mut steps = 0u64;
+
+    loop {
+        let mut advanced = false;
+        let mut t = cursor;
+        while t < nthreads {
+            if pos[t] < by_thread[t].len() {
+                steps += 1;
+                if steps > budget {
+                    return SearchResult::OutOfBudget;
+                }
+                let i = by_thread[t][pos[t]];
+                let (prev, resp) = apply(&mut model, ops[i].op);
+                if resp == ops[i].ret {
+                    stack.push((t, prev));
+                    pos[t] += 1;
+                    done += 1;
+                    cursor = 0;
+                    advanced = true;
+                    break;
+                }
+                undo(&mut model, ops[i].op, prev);
+            }
+            t += 1;
+        }
+        if advanced {
+            if done == n {
+                return SearchResult::Ok(model);
+            }
+            continue;
+        }
+        match stack.pop() {
+            Some((t, prev)) => {
+                pos[t] -= 1;
+                done -= 1;
+                undo(&mut model, ops[t_index(&by_thread, t, pos[t])].op, prev);
+                cursor = t + 1;
+            }
+            None => {
+                // The stuck op: the earliest-invoked op still pending.
+                let stuck = (0..nthreads)
+                    .filter(|&t| pos[t] < by_thread[t].len())
+                    .map(|t| by_thread[t][pos[t]])
+                    .min_by_key(|&i| ops[i].invoked)
+                    .unwrap_or(0);
+                return SearchResult::Violation(build_witness_at(history, stuck));
+            }
+        }
+    }
+}
+
+fn t_index(by_thread: &[Vec<usize>], t: usize, p: usize) -> usize {
+    by_thread[t][p]
+}
+
+/// Builds a witness around the head of the un-linearized list (the
+/// earliest-invoked op the exhausted search could never place).
+fn build_witness(history: &History, head: usize) -> ViolationWitness {
+    build_witness_at(history, if head == NIL { 0 } else { head })
+}
+
+fn build_witness_at(history: &History, stuck_idx: usize) -> ViolationWitness {
+    let ops = &history.ops;
+    let stuck = ops[stuck_idx];
+    let concurrent: Vec<OpRecord> = ops
+        .iter()
+        .enumerate()
+        .filter(|&(i, r)| {
+            i != stuck_idx && r.invoked < stuck.returned && stuck.invoked < r.returned
+        })
+        .map(|(_, r)| *r)
+        .collect();
+    let key = stuck.op.key();
+    let key_trace: Vec<OpRecord> = ops.iter().filter(|r| r.op.key() == key).copied().collect();
+    ViolationWitness {
+        stuck,
+        concurrent,
+        key_trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::History;
+
+    fn rec(thread: usize, op: Op, ret: Option<u64>, invoked: u64, returned: u64) -> OpRecord {
+        OpRecord {
+            thread,
+            op,
+            ret,
+            invoked,
+            returned,
+        }
+    }
+
+    fn check(init: Vec<(u64, u64)>, ops: Vec<OpRecord>) -> Verdict {
+        let h = History::from_threads(init, vec![ops]);
+        check_history(&h, CheckConfig::default())
+    }
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        assert!(check(vec![(1, 10)], Vec::new()).passed());
+    }
+
+    #[test]
+    fn sequential_correct_history_passes() {
+        let v = check(
+            Vec::new(),
+            vec![
+                rec(0, Op::Insert(1, 10), None, 0, 1),
+                rec(0, Op::Get(1), Some(10), 2, 3),
+                rec(0, Op::Remove(1), Some(10), 4, 5),
+                rec(0, Op::Get(1), None, 6, 7),
+            ],
+        );
+        assert!(matches!(v, Verdict::Linearizable { .. }), "{v:?}");
+        assert!(v.final_state().unwrap().is_empty());
+    }
+
+    #[test]
+    fn stale_read_after_insert_is_violation() {
+        // Insert completes strictly before the get, yet the get misses.
+        let v = check(
+            Vec::new(),
+            vec![
+                rec(0, Op::Insert(7, 70), None, 0, 1),
+                rec(1, Op::Get(7), None, 2, 3),
+            ],
+        );
+        assert!(matches!(v, Verdict::Violation(_)), "{v:?}");
+        if let Verdict::Violation(w) = v {
+            assert_eq!(w.key_trace.len(), 2);
+            assert!(!w.render().is_empty());
+        }
+    }
+
+    #[test]
+    fn concurrent_read_may_see_either_state() {
+        // Get overlaps the insert: both None and Some(70) are valid.
+        for ret in [None, Some(70)] {
+            let v = check(
+                Vec::new(),
+                vec![
+                    rec(0, Op::Insert(7, 70), None, 0, 3),
+                    rec(1, Op::Get(7), ret, 1, 2),
+                ],
+            );
+            assert!(matches!(v, Verdict::Linearizable { .. }), "{ret:?} {v:?}");
+        }
+    }
+
+    #[test]
+    fn double_remove_success_is_violation() {
+        // Two removes of one key both claim to have removed it.
+        let v = check(
+            vec![(3, 30)],
+            vec![
+                rec(0, Op::Remove(3), Some(30), 0, 3),
+                rec(1, Op::Remove(3), Some(30), 1, 2),
+            ],
+        );
+        assert!(matches!(v, Verdict::Violation(_)), "{v:?}");
+    }
+
+    #[test]
+    fn lost_update_is_violation() {
+        // Both inserts on an existing key claim prev = initial value,
+        // then a later read sees one of them: the other update was lost.
+        let v = check(
+            vec![(5, 1)],
+            vec![
+                rec(0, Op::Insert(5, 2), Some(1), 0, 3),
+                rec(1, Op::Insert(5, 3), Some(1), 1, 2),
+                rec(0, Op::Get(5), Some(2), 4, 5),
+            ],
+        );
+        assert!(matches!(v, Verdict::Violation(_)), "{v:?}");
+    }
+
+    #[test]
+    fn init_state_is_respected() {
+        let v = check(vec![(9, 90)], vec![rec(0, Op::Get(9), Some(90), 0, 1)]);
+        assert!(matches!(v, Verdict::Linearizable { .. }), "{v:?}");
+    }
+
+    #[test]
+    fn reordering_needed_across_threads() {
+        // t1's get(1)=None must linearize BEFORE t0's insert even though
+        // t0's insert was invoked first — requires real backtracking.
+        let v = check(
+            Vec::new(),
+            vec![
+                rec(0, Op::Insert(1, 11), None, 0, 5),
+                rec(1, Op::Get(1), None, 1, 2),
+                rec(1, Op::Get(1), Some(11), 3, 4),
+            ],
+        );
+        assert!(matches!(v, Verdict::Linearizable { .. }), "{v:?}");
+    }
+
+    #[test]
+    fn sc_fallback_accepts_thread_local_reorder() {
+        // Non-overlapping cross-thread ops that contradict real-time
+        // order: NOT linearizable, but sequentially consistent.
+        let v = check(
+            Vec::new(),
+            vec![
+                rec(0, Op::Insert(2, 20), None, 0, 1),
+                rec(1, Op::Get(2), None, 2, 3),
+            ],
+        );
+        // Under the default window the full search correctly flags it...
+        assert!(matches!(v, Verdict::Violation(_)), "{v:?}");
+        // ...but with window 0 we skip straight to the SC fallback,
+        // which accepts (get serialized before the insert).
+        let h = History::from_threads(
+            Vec::new(),
+            vec![vec![
+                rec(0, Op::Insert(2, 20), None, 0, 1),
+                rec(1, Op::Get(2), None, 2, 3),
+            ]],
+        );
+        let v = check_history(
+            &h,
+            CheckConfig {
+                max_window: 0,
+                step_budget: 1_000,
+            },
+        );
+        assert!(matches!(v, Verdict::SequentiallyConsistent { .. }), "{v:?}");
+    }
+
+    #[test]
+    fn sc_fallback_still_catches_per_thread_violations() {
+        let h = History::from_threads(
+            Vec::new(),
+            vec![vec![
+                rec(0, Op::Insert(4, 40), None, 0, 1),
+                rec(0, Op::Get(4), None, 2, 3),
+            ]],
+        );
+        let v = check_history(
+            &h,
+            CheckConfig {
+                max_window: 0,
+                step_budget: 1_000,
+            },
+        );
+        assert!(matches!(v, Verdict::Violation(_)), "{v:?}");
+    }
+
+    #[test]
+    fn tiny_budget_is_inconclusive() {
+        let h = History::from_threads(
+            Vec::new(),
+            vec![vec![
+                rec(0, Op::Insert(1, 1), None, 0, 3),
+                rec(1, Op::Insert(2, 2), None, 1, 2),
+            ]],
+        );
+        let v = check_history(
+            &h,
+            CheckConfig {
+                max_window: 64,
+                step_budget: 0,
+            },
+        );
+        assert!(matches!(v, Verdict::Inconclusive), "{v:?}");
+    }
+}

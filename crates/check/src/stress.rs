@@ -1,0 +1,258 @@
+//! The stress harness: drive N recording threads over a shared map with
+//! a reproducible workload (optionally under schedule-perturbation
+//! injection), then check linearizability and run the structural
+//! auditors on the quiesced tree.
+//!
+//! Everything is a pure function of [`StressConfig`], so a failing
+//! `(protocol, seed)` pair replays the identical operation streams and
+//! perturbation decisions: `stress --replay SEED` in the binary.
+
+use crate::audit::{audit, audit_with_contents, AuditReport};
+use crate::history::{record, Clock, ConcurrentMap, History, Op};
+use crate::linearize::{check_history, CheckConfig, Verdict};
+use cbtree_btree::{ConcurrentBTree, Protocol};
+use cbtree_sync::inject;
+use cbtree_sync::InjectConfig;
+use cbtree_workload::{OpStream, Operation, OpsConfig};
+use std::sync::{Barrier, Mutex};
+
+/// Serializes stress runs within a process: the injector is global, so
+/// two concurrent runs would clobber each other's seed/epoch and break
+/// replay determinism. Parallelism lives *inside* a run.
+static RUN_GATE: Mutex<()> = Mutex::new(());
+
+/// One stress run, fully determined by this value.
+#[derive(Debug, Clone, Copy)]
+pub struct StressConfig {
+    /// Latching protocol under test.
+    pub protocol: Protocol,
+    /// Worker thread count.
+    pub threads: usize,
+    /// Operations each worker performs.
+    pub ops_per_thread: usize,
+    /// Node capacity (small values force frequent splits).
+    pub capacity: usize,
+    /// Keys are drawn from `[0, key_space)` (small values force
+    /// contention on shared nodes).
+    pub key_space: u64,
+    /// Keys pre-inserted before recording starts (the history's initial
+    /// state).
+    pub prefill: usize,
+    /// Master seed; per-thread streams derive from it.
+    pub seed: u64,
+    /// Schedule-perturbation settings; `None` runs un-perturbed.
+    pub inject: Option<InjectConfig>,
+    /// Linearizability-search tuning.
+    pub check: CheckConfig,
+}
+
+impl StressConfig {
+    /// The CI quick-mode shape: few hundred ops per thread, tiny nodes,
+    /// hot key space, injection on.
+    pub fn quick(protocol: Protocol, seed: u64) -> Self {
+        StressConfig {
+            protocol,
+            threads: 8,
+            ops_per_thread: 400,
+            capacity: 4,
+            key_space: 512,
+            prefill: 128,
+            seed,
+            inject: Some(InjectConfig::default()),
+            check: CheckConfig::default(),
+        }
+    }
+
+    /// A heavier shape for the manual full sweep.
+    pub fn full(protocol: Protocol, seed: u64) -> Self {
+        StressConfig {
+            threads: 16,
+            ops_per_thread: 2_000,
+            key_space: 2_048,
+            prefill: 512,
+            ..StressConfig::quick(protocol, seed)
+        }
+    }
+}
+
+/// Result of one stress run.
+#[derive(Debug)]
+pub struct StressOutcome {
+    /// The linearizability verdict.
+    pub verdict: Verdict,
+    /// Structural-audit result (`Err` = invariant violation) — `None`
+    /// when the map under test exposes no auditable tree.
+    pub audit: Option<Result<AuditReport, String>>,
+    /// Total recorded operations.
+    pub ops: usize,
+    /// Perturbations performed (zeros when injection was off or compiled
+    /// out).
+    pub inject_stats: inject::InjectStats,
+}
+
+impl StressOutcome {
+    /// Whether the run found no problem.
+    pub fn passed(&self) -> bool {
+        self.verdict.passed() && !matches!(&self.audit, Some(Err(_)))
+    }
+
+    /// Human-readable failure description, if any.
+    pub fn failure(&self) -> Option<String> {
+        match &self.verdict {
+            Verdict::Violation(w) => {
+                return Some(format!("linearizability violation\n{}", w.render()))
+            }
+            Verdict::Inconclusive => return Some("checker ran out of budget".into()),
+            _ => {}
+        }
+        if let Some(Err(e)) = &self.audit {
+            return Some(format!("structural audit failed: {e}"));
+        }
+        None
+    }
+}
+
+fn mix(stream_seed: u64, t: u64) -> u64 {
+    // splitmix64-style avalanche so nearby seeds give unrelated streams.
+    let mut z = stream_seed
+        .wrapping_add(t.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs the stress protocol against the canonical tree for
+/// `cfg.protocol`.
+pub fn run_stress(cfg: &StressConfig) -> StressOutcome {
+    let tree = ConcurrentBTree::new(cfg.protocol, cfg.capacity);
+    run_stress_on(&tree, cfg)
+}
+
+/// Runs the stress protocol against an arbitrary [`ConcurrentMap`] —
+/// used by tests to prove deliberately buggy implementations are caught.
+pub fn run_stress_on<M: ConcurrentMap>(map: &M, cfg: &StressConfig) -> StressOutcome {
+    let _serial = RUN_GATE.lock().unwrap_or_else(|e| e.into_inner());
+    // Deterministic prefill: evenly spread keys, value = key.
+    let mut init: Vec<(u64, u64)> = Vec::with_capacity(cfg.prefill);
+    if cfg.prefill > 0 {
+        let stride = (cfg.key_space / cfg.prefill as u64).max(1);
+        for i in 0..cfg.prefill as u64 {
+            let k = (i * stride) % cfg.key_space.max(1);
+            if map.insert(k, k).is_none() {
+                init.push((k, k));
+            }
+        }
+    }
+
+    if let Some(icfg) = cfg.inject {
+        inject::enable(cfg.seed, icfg);
+    } else {
+        inject::disable();
+    }
+
+    let clock = Clock::new();
+    let barrier = Barrier::new(cfg.threads);
+    let ops_cfg = OpsConfig::paper(cfg.key_space.max(1));
+    let batches: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.threads)
+            .map(|t| {
+                let clock = &clock;
+                let barrier = &barrier;
+                s.spawn(move || {
+                    inject::register_thread(t as u64);
+                    let mut stream = OpStream::new(ops_cfg, mix(cfg.seed, t as u64));
+                    let mut out = Vec::with_capacity(cfg.ops_per_thread);
+                    barrier.wait();
+                    for i in 0..cfg.ops_per_thread {
+                        let op = match stream.next_op() {
+                            Operation::Search(k) => Op::Get(k),
+                            // Unique insert values let the checker tell
+                            // which insert a later read observed.
+                            Operation::Insert(k) => {
+                                Op::Insert(k, ((t as u64 + 1) << 32) | i as u64)
+                            }
+                            Operation::Delete(k) => Op::Remove(k),
+                        };
+                        out.push(record(map, clock, t, op));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Counters reset on `enable`, so only meaningful when we enabled.
+    let inject_stats = if cfg.inject.is_some() {
+        inject::stats()
+    } else {
+        inject::InjectStats::default()
+    };
+    inject::disable();
+
+    let history = History::from_threads(init, batches);
+    let ops = history.ops.len();
+    let verdict = check_history(&history, cfg.check);
+
+    // Workers are joined, so the tree is quiescent: audit structure, and
+    // when the verdict pinned down a final state, contents too.
+    let audit_result = map.tree().map(|tree| match &verdict {
+        Verdict::Linearizable { final_state } => audit_with_contents(tree, final_state),
+        _ => audit(tree),
+    });
+
+    StressOutcome {
+        verdict,
+        audit: audit_result,
+        ops,
+        inject_stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_passes_for_all_protocols() {
+        for p in Protocol::ALL {
+            let cfg = StressConfig {
+                threads: 4,
+                ops_per_thread: 120,
+                ..StressConfig::quick(p, 7)
+            };
+            let out = run_stress(&cfg);
+            assert!(out.passed(), "{p:?}: {}", out.failure().unwrap_or_default());
+            assert_eq!(out.ops, cfg.threads * cfg.ops_per_thread);
+        }
+    }
+
+    #[test]
+    fn injection_actually_perturbs() {
+        let cfg = StressConfig {
+            threads: 4,
+            ops_per_thread: 100,
+            ..StressConfig::quick(Protocol::BLink, 11)
+        };
+        let out = run_stress(&cfg);
+        assert!(out.passed(), "{}", out.failure().unwrap_or_default());
+        assert!(
+            out.inject_stats.visits > 0,
+            "injection sites should be visited under the inject feature"
+        );
+    }
+
+    #[test]
+    fn unperturbed_run_records_no_injections() {
+        let cfg = StressConfig {
+            threads: 2,
+            ops_per_thread: 50,
+            inject: None,
+            ..StressConfig::quick(Protocol::LockCoupling, 3)
+        };
+        let out = run_stress(&cfg);
+        assert!(out.passed(), "{}", out.failure().unwrap_or_default());
+        assert_eq!(out.inject_stats, inject::InjectStats::default());
+    }
+}

@@ -281,6 +281,12 @@ pub fn run(cfg: &LiveConfig) -> LiveReport {
         (reports, snap_a, snap_b, elapsed)
     });
 
+    // Final quiescent structural check: every live run ends with the tree
+    // still satisfying its own invariants (key ordering, high keys, link
+    // chains) — a measurement taken on a corrupted tree is worthless.
+    tree.check()
+        .unwrap_or_else(|e| panic!("post-run structural check failed: {e}"));
+
     let mut search = Welford::new();
     let mut insert = Welford::new();
     let mut delete = Welford::new();

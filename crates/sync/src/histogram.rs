@@ -104,14 +104,21 @@ impl HistogramSnapshot {
         }
     }
 
-    /// Approximate quantile (`0.0 ≤ q ≤ 1.0`) in nanoseconds, using each
-    /// bucket's lower bound. 0 when empty.
+    /// Approximate quantile in nanoseconds, using each bucket's lower
+    /// bound. `q` is clamped into `[0.0, 1.0]` (NaN acts as 0). Returns
+    /// 0 when empty; `q = 0.0` is the minimum observed bucket and
+    /// `q = 1.0` the maximum.
     pub fn quantile(&self, q: f64) -> u64 {
         let total = self.total();
         if total == 0 {
             return 0;
         }
-        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+        // Clamp the rank into [1, total]: near 2^53 observations, f64
+        // rounding can push `ceil(q * total)` past `total`, which would
+        // walk off the scan and report the top bucket for data that
+        // never reached it.
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
         let mut seen = 0;
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
@@ -182,5 +189,86 @@ mod tests {
         assert_eq!(s.quantile(0.5), bucket_floor(bucket_of(10)));
         assert_eq!(s.quantile(1.0), bucket_floor(bucket_of(1_000_000)));
         assert_eq!(HistogramSnapshot::default().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn quantile_extremes_and_clamping() {
+        let h = Histogram::new();
+        h.record(1); // bucket 1
+        for _ in 0..8 {
+            h.record(100); // bucket 7
+        }
+        h.record(1_000_000); // bucket 20
+        let s = h.snapshot();
+        // q = 0 is the minimum, q = 1 the maximum; out-of-range and NaN
+        // inputs clamp rather than panic or walk off the array.
+        assert_eq!(s.quantile(0.0), bucket_floor(1));
+        assert_eq!(s.quantile(1.0), bucket_floor(20));
+        assert_eq!(s.quantile(-3.5), s.quantile(0.0));
+        assert_eq!(s.quantile(7.0), s.quantile(1.0));
+        assert_eq!(s.quantile(f64::NAN), s.quantile(0.0));
+    }
+
+    #[test]
+    fn quantile_single_bucket_is_constant() {
+        let h = Histogram::new();
+        for _ in 0..5 {
+            h.record(700); // all in one bucket
+        }
+        let s = h.snapshot();
+        let floor = bucket_floor(bucket_of(700));
+        for q in [0.0, 0.25, 0.5, 0.999, 1.0] {
+            assert_eq!(s.quantile(q), floor, "q = {q}");
+        }
+    }
+
+    #[test]
+    fn quantile_rank_clamps_near_f64_precision_limit() {
+        // 2^53 + 3 is not representable as f64 and rounds UP, so an
+        // unclamped ceil(1.0 * total) exceeds total and the scan would
+        // fall through to the top bucket. The rank clamp must keep the
+        // answer inside the data.
+        let mut s = HistogramSnapshot::default();
+        s.counts[2] = (1u64 << 53) + 3;
+        assert_eq!(s.quantile(1.0), bucket_floor(2));
+        assert_eq!(s.quantile(0.5), bucket_floor(2));
+    }
+
+    #[test]
+    fn quantile_zero_duration_observations() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(0);
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.0), 0);
+        assert_eq!(s.quantile(1.0), 0);
+        assert_eq!(s.total(), 2);
+    }
+
+    #[test]
+    fn since_merge_round_trip_preserves_quantiles() {
+        let h = Histogram::new();
+        h.record(10);
+        h.record(10_000);
+        let early = h.snapshot();
+        for ns in [3, 33, 333, 3_333, 33_333] {
+            h.record(ns);
+        }
+        let late = h.snapshot();
+        let delta = late.since(&early);
+        assert_eq!(delta.total(), 5);
+        // since() then merge() reconstructs the later snapshot exactly,
+        // so every quantile agrees.
+        let mut rebuilt = early;
+        rebuilt.merge(&delta);
+        assert_eq!(rebuilt, late);
+        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            assert_eq!(rebuilt.quantile(q), late.quantile(q), "q = {q}");
+        }
+        // since() against a *newer* snapshot saturates at zero rather
+        // than underflowing.
+        let backwards = early.since(&late);
+        assert_eq!(backwards.total(), 0);
+        assert_eq!(backwards.quantile(0.5), 0);
     }
 }

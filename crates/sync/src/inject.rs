@@ -1,0 +1,326 @@
+//! Schedule-perturbation fault injection.
+//!
+//! Concurrency bugs hide in narrow timing windows — a reader that chose
+//! its leaf an instant before a half-split moved the key right, a root
+//! swap racing an ascent. The OS scheduler explores only a thin slice of
+//! the interleaving space, so a stress run can pass thousands of times
+//! while a one-in-a-million window stays closed. This module widens those
+//! windows on purpose: *injection points* placed at lock acquire/release
+//! and inside the B-link half-split window consult a **seeded** decision
+//! stream and either yield the thread or spin-delay it.
+//!
+//! Determinism model: every perturbation decision is a pure function of
+//! `(seed, thread ordinal, call index)` — re-running a failing seed
+//! replays the identical decision stream, which in practice reproduces
+//! the same class of interleaving (exact thread timing still belongs to
+//! the OS; the decisions, and therefore the perturbation pattern, are
+//! exactly reproducible). Worker threads that want stable ordinals across
+//! runs call [`register_thread`] before their first injected operation;
+//! unregistered threads draw ordinals from a global counter in first-use
+//! order.
+//!
+//! The module is compiled only with the `inject` cargo feature. Without
+//! the feature every entry point is an inlined no-op, so production
+//! builds carry zero cost. With the feature on but no injector enabled,
+//! the cost per site is one relaxed atomic load.
+
+/// Where in the locking protocol a perturbation point sits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Site {
+    /// Immediately before requesting a shared latch.
+    AcquireShared,
+    /// Immediately before requesting an exclusive latch.
+    AcquireExclusive,
+    /// Immediately after releasing a latch.
+    Release,
+    /// Inside a B-link half-split: the sibling is linked and reachable,
+    /// but the separator has not yet been posted to the parent.
+    HalfSplit,
+}
+
+/// Tuning knobs of the injector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectConfig {
+    /// Probability (per mille) that a lock-site visit yields the thread.
+    pub yield_per_mille: u32,
+    /// Probability (per mille) that a lock-site visit spin-delays.
+    pub spin_per_mille: u32,
+    /// Maximum spin iterations per delay (each iteration is a
+    /// `spin_loop` hint; thousands ≈ a microsecond).
+    pub max_spin: u32,
+    /// Spin iterations applied on *every* [`Site::HalfSplit`] visit —
+    /// the half-split window is the structurally interesting one, so it
+    /// is always widened rather than probabilistically.
+    pub split_window_spin: u32,
+}
+
+impl Default for InjectConfig {
+    fn default() -> Self {
+        InjectConfig {
+            yield_per_mille: 50,
+            spin_per_mille: 200,
+            max_spin: 2_000,
+            split_window_spin: 4_000,
+        }
+    }
+}
+
+/// Counters of perturbations actually performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InjectStats {
+    /// Injection-point visits while enabled.
+    pub visits: u64,
+    /// Thread yields injected.
+    pub yields: u64,
+    /// Spin delays injected.
+    pub spins: u64,
+}
+
+#[cfg(feature = "inject")]
+mod imp {
+    use super::{InjectConfig, InjectStats, Site};
+    use std::cell::Cell;
+    use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+
+    static ENABLED: AtomicBool = AtomicBool::new(false);
+    /// Bumped on every `enable`, invalidating thread-local streams.
+    static EPOCH: AtomicU64 = AtomicU64::new(0);
+    static SEED: AtomicU64 = AtomicU64::new(0);
+    static YIELD_PM: AtomicU32 = AtomicU32::new(0);
+    static SPIN_PM: AtomicU32 = AtomicU32::new(0);
+    static MAX_SPIN: AtomicU32 = AtomicU32::new(0);
+    static SPLIT_SPIN: AtomicU32 = AtomicU32::new(0);
+    static NEXT_ORDINAL: AtomicU64 = AtomicU64::new(0);
+
+    static VISITS: AtomicU64 = AtomicU64::new(0);
+    static YIELDS: AtomicU64 = AtomicU64::new(0);
+    static SPINS: AtomicU64 = AtomicU64::new(0);
+
+    thread_local! {
+        /// `(epoch, rng state)` of this thread's decision stream.
+        static STREAM: Cell<(u64, u64)> = const { Cell::new((0, 0)) };
+        /// Explicitly registered ordinal (`u64::MAX` = unregistered).
+        static ORDINAL: Cell<u64> = const { Cell::new(u64::MAX) };
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    pub fn enable(seed: u64, cfg: InjectConfig) -> bool {
+        SEED.store(seed, Ordering::Relaxed);
+        YIELD_PM.store(cfg.yield_per_mille.min(1000), Ordering::Relaxed);
+        SPIN_PM.store(cfg.spin_per_mille.min(1000), Ordering::Relaxed);
+        MAX_SPIN.store(cfg.max_spin.max(1), Ordering::Relaxed);
+        SPLIT_SPIN.store(cfg.split_window_spin, Ordering::Relaxed);
+        NEXT_ORDINAL.store(0, Ordering::Relaxed);
+        VISITS.store(0, Ordering::Relaxed);
+        YIELDS.store(0, Ordering::Relaxed);
+        SPINS.store(0, Ordering::Relaxed);
+        EPOCH.fetch_add(1, Ordering::Relaxed);
+        ENABLED.store(true, Ordering::Release);
+        true
+    }
+
+    pub fn disable() {
+        ENABLED.store(false, Ordering::Release);
+    }
+
+    pub fn is_enabled() -> bool {
+        ENABLED.load(Ordering::Acquire)
+    }
+
+    pub fn register_thread(ordinal: u64) {
+        ORDINAL.with(|o| o.set(ordinal));
+        // Invalidate the local stream so the next visit reseeds from the
+        // registered ordinal.
+        STREAM.with(|s| s.set((0, 0)));
+    }
+
+    pub fn stats() -> InjectStats {
+        InjectStats {
+            visits: VISITS.load(Ordering::Relaxed),
+            yields: YIELDS.load(Ordering::Relaxed),
+            spins: SPINS.load(Ordering::Relaxed),
+        }
+    }
+
+    #[inline]
+    pub fn perturb(site: Site) {
+        if !ENABLED.load(Ordering::Relaxed) {
+            return;
+        }
+        perturb_slow(site);
+    }
+
+    #[cold]
+    fn perturb_slow(site: Site) {
+        VISITS.fetch_add(1, Ordering::Relaxed);
+        if site == Site::HalfSplit {
+            let n = SPLIT_SPIN.load(Ordering::Relaxed);
+            if n > 0 {
+                SPINS.fetch_add(1, Ordering::Relaxed);
+                for _ in 0..n {
+                    std::hint::spin_loop();
+                }
+                std::thread::yield_now();
+            }
+            return;
+        }
+        let epoch = EPOCH.load(Ordering::Relaxed);
+        let draw = STREAM.with(|s| {
+            let (e, mut state) = s.get();
+            if e != epoch {
+                let ordinal = ORDINAL.with(|o| {
+                    let v = o.get();
+                    if v != u64::MAX {
+                        v
+                    } else {
+                        NEXT_ORDINAL.fetch_add(1, Ordering::Relaxed)
+                    }
+                });
+                let mut sm =
+                    SEED.load(Ordering::Relaxed) ^ ordinal.wrapping_mul(0xA24B_AED4_963E_E407);
+                state = splitmix64(&mut sm);
+            }
+            let draw = splitmix64(&mut state);
+            s.set((epoch, state));
+            draw
+        });
+        let roll = (draw % 1000) as u32;
+        let y = YIELD_PM.load(Ordering::Relaxed);
+        if roll < y {
+            YIELDS.fetch_add(1, Ordering::Relaxed);
+            std::thread::yield_now();
+        } else if roll < y + SPIN_PM.load(Ordering::Relaxed) {
+            SPINS.fetch_add(1, Ordering::Relaxed);
+            let n = 1 + ((draw >> 32) as u32 % MAX_SPIN.load(Ordering::Relaxed));
+            for _ in 0..n {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+#[cfg(not(feature = "inject"))]
+mod imp {
+    use super::{InjectConfig, InjectStats, Site};
+
+    pub fn enable(_seed: u64, _cfg: InjectConfig) -> bool {
+        false
+    }
+    pub fn disable() {}
+    pub fn is_enabled() -> bool {
+        false
+    }
+    pub fn register_thread(_ordinal: u64) {}
+    pub fn stats() -> InjectStats {
+        InjectStats::default()
+    }
+    #[inline(always)]
+    pub fn perturb(_site: Site) {}
+}
+
+/// Installs the injector: subsequent injection-point visits draw from the
+/// decision stream seeded by `seed`. Returns `false` (and does nothing)
+/// when the crate was built without the `inject` feature.
+pub fn enable(seed: u64, cfg: InjectConfig) -> bool {
+    imp::enable(seed, cfg)
+}
+
+/// Turns injection off (sites return to near-zero-cost no-ops).
+pub fn disable() {
+    imp::disable()
+}
+
+/// Whether an injector is currently installed.
+pub fn is_enabled() -> bool {
+    imp::is_enabled()
+}
+
+/// Pins this thread's decision-stream ordinal (call before the thread's
+/// first injected operation to make its stream reproducible across runs
+/// regardless of spawn order).
+pub fn register_thread(ordinal: u64) {
+    imp::register_thread(ordinal)
+}
+
+/// Perturbation counters since the last [`enable`].
+pub fn stats() -> InjectStats {
+    imp::stats()
+}
+
+/// An injection point: possibly yields or spin-delays the calling thread.
+/// No-op unless [`enable`]d (and compiled with the `inject` feature).
+#[inline]
+pub fn perturb(site: Site) {
+    imp::perturb(site)
+}
+
+#[cfg(all(test, feature = "inject"))]
+mod tests {
+    use super::*;
+
+    /// Serialize tests that toggle the global injector.
+    static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn disabled_by_default_and_after_disable() {
+        let _g = GATE.lock().unwrap();
+        disable();
+        assert!(!is_enabled());
+        perturb(Site::AcquireShared); // must be a no-op
+        assert!(enable(42, InjectConfig::default()));
+        assert!(is_enabled());
+        disable();
+        assert!(!is_enabled());
+    }
+
+    #[test]
+    fn visits_counted_and_decisions_deterministic() {
+        let _g = GATE.lock().unwrap();
+        let cfg = InjectConfig {
+            yield_per_mille: 100,
+            spin_per_mille: 300,
+            max_spin: 4,
+            split_window_spin: 2,
+        };
+        let run = |seed: u64| {
+            enable(seed, cfg);
+            register_thread(7);
+            for _ in 0..500 {
+                perturb(Site::AcquireExclusive);
+                perturb(Site::Release);
+            }
+            perturb(Site::HalfSplit);
+            let s = stats();
+            disable();
+            s
+        };
+        let a = run(1234);
+        let b = run(1234);
+        let c = run(9999);
+        assert_eq!(a, b, "same seed must replay the same decisions");
+        assert_eq!(a.visits, 1001);
+        assert!(a.spins >= 1, "half-split window always widens");
+        // Different seeds should (overwhelmingly) make different choices.
+        assert_ne!(a, c, "distinct seeds should differ");
+    }
+
+    #[test]
+    fn half_split_site_always_spins() {
+        let _g = GATE.lock().unwrap();
+        enable(5, InjectConfig::default());
+        register_thread(0);
+        let before = stats();
+        perturb(Site::HalfSplit);
+        let after = stats();
+        disable();
+        assert_eq!(after.spins, before.spins + 1);
+    }
+}

@@ -19,16 +19,24 @@
 //! All `unsafe` in the workspace's locking layer is confined to this
 //! crate (the `UnsafeCell` data access behind the guards); the B-tree
 //! crate itself stays `#![deny(unsafe_code)]`.
+//!
+//! With the `inject` cargo feature, the lock also exposes
+//! [`inject`] — seeded schedule-perturbation fault injection used by the
+//! `cbtree-check` concurrency-correctness pillar to explore many more
+//! interleavings per stress run and to replay a failing seed's decision
+//! stream.
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
 mod fcfs;
 mod histogram;
+pub mod inject;
 mod stats;
 
 pub use fcfs::{
     ArcRwLockReadGuard, ArcRwLockWriteGuard, FcfsRwLock, RwLockReadGuard, RwLockWriteGuard,
 };
 pub use histogram::{bucket_floor, bucket_of, Histogram, HistogramSnapshot, BUCKETS};
+pub use inject::{InjectConfig, InjectStats};
 pub use stats::{LockStats, LockStatsSnapshot};

@@ -83,9 +83,19 @@ fn queued_readers_run_as_one_burst_between_writers() {
                 let guard = l.read();
                 let now = inside.fetch_add(1, Ordering::SeqCst) + 1;
                 peak.fetch_max(now, Ordering::SeqCst);
-                // Linger so the whole burst can overlap; the last writer
-                // is still queued behind us, so this cannot admit it.
-                std::thread::sleep(Duration::from_millis(20));
+                // Hold the latch until the whole burst is inside: the
+                // release that ends w1 grants all queued readers in one
+                // step, so every reader arrives while we linger and the
+                // rendezvous completes without any sleep. The watchdog
+                // only trips if the burst was wrongly split.
+                let t0 = Instant::now();
+                while peak.load(Ordering::SeqCst) < READERS {
+                    assert!(
+                        t0.elapsed() < Duration::from_secs(5),
+                        "reader burst was split"
+                    );
+                    std::thread::yield_now();
+                }
                 assert!(guard.is_empty() || guard[0] == "w1");
                 inside.fetch_sub(1, Ordering::SeqCst);
                 drop(guard);

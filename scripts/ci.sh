@@ -19,4 +19,10 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> correctness pillar: quick stress sweep (3 protocols x 16 seeds)"
+cargo run --release -p cbtree-check --bin stress -- --quick
+
+echo "==> correctness pillar: injected-bug demo (checker must convict)"
+cargo run --release -p cbtree-check --bin stress -- --demo-bug
+
 echo "==> ok"
