@@ -22,6 +22,7 @@ use cbtree_btree_model::{lru_cost_model, CostModel, NodeParams, OpMix, TreeShape
 use cbtree_harness::LiveConfig;
 use cbtree_sim::costs::SimCosts;
 use cbtree_sim::{run_seeds, SimAlgorithm, SimConfig, SimRecovery};
+use cbtree_sync::SamplePeriod;
 use cbtree_workload::{KeyDist, OpsConfig};
 use std::process::ExitCode;
 use std::time::Duration;
@@ -39,6 +40,7 @@ struct Args {
     verify: bool,
     live: bool,
     live_threads: usize,
+    sample_every: u64,
 }
 
 impl Default for Args {
@@ -56,6 +58,7 @@ impl Default for Args {
             verify: false,
             live: false,
             live_threads: 4,
+            sample_every: 1,
         }
     }
 }
@@ -65,7 +68,7 @@ fn usage() -> ! {
         "usage: analyze [--items N] [--node-size N] [--mix qs,qi,qd] [--disk-cost D]\n\
          \u{20}       [--memory-levels M] [--buffer-nodes B] [--rate lambda]\n\
          \u{20}       [--recovery none|naive|leaf-only] [--t-trans T] [--verify]\n\
-         \u{20}       [--live] [--live-threads N]"
+         \u{20}       [--live] [--live-threads N] [--sample-every N]"
     );
     std::process::exit(2);
 }
@@ -102,6 +105,7 @@ fn parse_args() -> Args {
             "--verify" => a.verify = true,
             "--live" => a.live = true,
             "--live-threads" => a.live_threads = val().parse().unwrap_or_else(|_| usage()),
+            "--sample-every" => a.sample_every = val().parse().unwrap_or_else(|_| usage()),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -314,6 +318,7 @@ fn live_compare(args: &Args, mix: OpMix) -> Result<(), String> {
         warmup: Duration::from_millis(150),
         measure: Duration::from_millis(500),
         seed: 0x11FE,
+        stats_sampling: SamplePeriod::every(args.sample_every),
     };
 
     // Calibrate: one model cost unit, in seconds of wall clock.

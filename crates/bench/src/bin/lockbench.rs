@@ -1,0 +1,396 @@
+//! `lockbench`: before/after microbenchmark of the FCFS lock.
+//!
+//! Compares three locks on the same scenarios:
+//!
+//! - **baseline**: an inline replica of the original `FcfsRwLock` — every
+//!   acquire and release takes the queue `Mutex`, and every acquisition
+//!   reads `Instant::now()` twice (wait and hold timing always on);
+//! - **fcfs/exact**: today's packed-word fast-path lock with exact
+//!   (N = 1) timing;
+//! - **fcfs/sampled**: the same lock timing 1 in 64 acquisitions.
+//!
+//! Scenarios: uncontended shared and exclusive acquire+release (the hot
+//! path of every B-tree descent), a contended all-writer burst, and a
+//! mixed 15/16-read workload. Results print as a table and are written to
+//! `BENCH_lock.json` (hand-rolled JSON, no dependencies) so CI can track
+//! the perf trajectory.
+//!
+//! ```text
+//! cargo run --release -p cbtree-bench --bin lockbench            # full
+//! cargo run --release -p cbtree-bench --bin lockbench -- --smoke # CI
+//! ```
+
+use cbtree_bench::microbench::bench;
+use cbtree_sync::{FcfsRwLock, SamplePeriod};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------
+// Baseline: the pre-fast-path lock, reproduced verbatim in miniature.
+// Acquire and release each take the mutex; wait and hold durations are
+// measured on every acquisition, like the original `LockStats` did.
+// ---------------------------------------------------------------------
+
+#[derive(Default)]
+struct BaselineState {
+    active_readers: usize,
+    writer_active: bool,
+    next_id: u64,
+    queue: VecDeque<(u64, bool)>,
+    granted: Vec<u64>,
+}
+
+struct BaselineStats {
+    acquires: AtomicU64,
+    wait_ns: AtomicU64,
+    hold_ns: AtomicU64,
+    wait_hist: [AtomicU64; 40],
+}
+
+impl Default for BaselineStats {
+    fn default() -> Self {
+        Self {
+            acquires: AtomicU64::new(0),
+            wait_ns: AtomicU64::new(0),
+            hold_ns: AtomicU64::new(0),
+            wait_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+#[derive(Default)]
+struct BaselineLock {
+    state: Mutex<BaselineState>,
+    cv: Condvar,
+    stats: BaselineStats,
+}
+
+impl BaselineLock {
+    fn acquire(&self, exclusive: bool) -> Instant {
+        let t_arrive = Instant::now();
+        let mut st = self.state.lock().unwrap();
+        let compatible = !st.writer_active && (!exclusive || st.active_readers == 0);
+        if st.queue.is_empty() && compatible {
+            if exclusive {
+                st.writer_active = true;
+            } else {
+                st.active_readers += 1;
+            }
+        } else {
+            let id = st.next_id;
+            st.next_id += 1;
+            st.queue.push_back((id, exclusive));
+            loop {
+                st = self.cv.wait(st).unwrap();
+                if let Some(pos) = st.granted.iter().position(|&g| g == id) {
+                    st.granted.swap_remove(pos);
+                    break;
+                }
+            }
+        }
+        drop(st);
+        let wait = t_arrive.elapsed().as_nanos() as u64;
+        self.stats.acquires.fetch_add(1, Ordering::Relaxed);
+        self.stats.wait_ns.fetch_add(wait, Ordering::Relaxed);
+        let bucket = (64 - u64::leading_zeros(wait.max(1)) as usize - 1).min(39);
+        self.stats.wait_hist[bucket].fetch_add(1, Ordering::Relaxed);
+        Instant::now()
+    }
+
+    fn release(&self, exclusive: bool, granted_at: Instant) {
+        self.stats
+            .hold_ns
+            .fetch_add(granted_at.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let mut st = self.state.lock().unwrap();
+        if exclusive {
+            st.writer_active = false;
+        } else {
+            st.active_readers -= 1;
+        }
+        let mut granted_any = false;
+        while let Some(&(id, exc)) = st.queue.front() {
+            let compatible = !st.writer_active && (!exc || st.active_readers == 0);
+            if !compatible {
+                break;
+            }
+            st.queue.pop_front();
+            if exc {
+                st.writer_active = true;
+                st.granted.push(id);
+                granted_any = true;
+                break;
+            }
+            st.active_readers += 1;
+            st.granted.push(id);
+            granted_any = true;
+        }
+        drop(st);
+        if granted_any {
+            self.cv.notify_all();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scenario drivers, generic over the lock via closures.
+// ---------------------------------------------------------------------
+
+/// Single-thread acquire+release round trips.
+fn uncontended(n: u64, mut cycle: impl FnMut()) {
+    for _ in 0..n {
+        cycle();
+    }
+}
+
+/// `threads` workers hammer the same lock concurrently; `op(t, i)` runs
+/// one acquire+release cycle.
+fn hammer(threads: u64, per_thread: u64, op: impl Fn(u64, u64) + Sync) {
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let op = &op;
+            s.spawn(move || {
+                for i in 0..per_thread {
+                    op(t, i);
+                }
+            });
+        }
+    });
+}
+
+struct Scenario {
+    name: &'static str,
+    ops: u64,
+    ns_per_op: f64,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (n_unc, n_burst_per_thread, n_mixed_per_thread, samples) = if smoke {
+        (50_000u64, 10_000u64, 20_000u64, 3usize)
+    } else {
+        (1_000_000, 100_000, 200_000, 7)
+    };
+    let threads = 4u64;
+
+    println!(
+        "lockbench ({} mode): {} uncontended ops, {} threads x {} burst ops\n",
+        if smoke { "smoke" } else { "full" },
+        n_unc,
+        threads,
+        n_burst_per_thread
+    );
+
+    let mut results: Vec<Scenario> = Vec::new();
+    let mut record = |name: &'static str, ops: u64, m: &cbtree_bench::microbench::Measurement| {
+        results.push(Scenario {
+            name,
+            ops,
+            ns_per_op: m.best().as_secs_f64() * 1e9 / ops as f64,
+        });
+    };
+
+    // --- uncontended shared ---
+    {
+        let lock = BaselineLock::default();
+        let m = bench("uncontended-read/baseline", n_unc, samples, || {
+            uncontended(n_unc, || {
+                let g = lock.acquire(false);
+                lock.release(false, g);
+            })
+        });
+        record("uncontended-read/baseline", n_unc, &m);
+    }
+    {
+        let lock = FcfsRwLock::new(0u64);
+        let m = bench("uncontended-read/fcfs-exact", n_unc, samples, || {
+            uncontended(n_unc, || {
+                std::hint::black_box(*lock.read());
+            })
+        });
+        record("uncontended-read/fcfs-exact", n_unc, &m);
+    }
+    {
+        let lock = FcfsRwLock::with_sampling(0u64, SamplePeriod::every(64));
+        let m = bench("uncontended-read/fcfs-sampled", n_unc, samples, || {
+            uncontended(n_unc, || {
+                std::hint::black_box(*lock.read());
+            })
+        });
+        record("uncontended-read/fcfs-sampled", n_unc, &m);
+    }
+
+    // --- uncontended exclusive ---
+    {
+        let lock = BaselineLock::default();
+        let m = bench("uncontended-write/baseline", n_unc, samples, || {
+            uncontended(n_unc, || {
+                let g = lock.acquire(true);
+                lock.release(true, g);
+            })
+        });
+        record("uncontended-write/baseline", n_unc, &m);
+    }
+    {
+        let lock = FcfsRwLock::new(0u64);
+        let m = bench("uncontended-write/fcfs-exact", n_unc, samples, || {
+            uncontended(n_unc, || {
+                *lock.write() += 1;
+            })
+        });
+        record("uncontended-write/fcfs-exact", n_unc, &m);
+    }
+    {
+        let lock = FcfsRwLock::with_sampling(0u64, SamplePeriod::every(64));
+        let m = bench("uncontended-write/fcfs-sampled", n_unc, samples, || {
+            uncontended(n_unc, || {
+                *lock.write() += 1;
+            })
+        });
+        record("uncontended-write/fcfs-sampled", n_unc, &m);
+    }
+
+    // --- contended all-writer burst ---
+    let burst_ops = threads * n_burst_per_thread;
+    {
+        let lock = Arc::new(BaselineLock::default());
+        let m = bench("contended-burst/baseline", burst_ops, samples, || {
+            hammer(threads, n_burst_per_thread, |_, _| {
+                let g = lock.acquire(true);
+                lock.release(true, g);
+            })
+        });
+        record("contended-burst/baseline", burst_ops, &m);
+    }
+    {
+        let lock = Arc::new(FcfsRwLock::new(0u64));
+        let m = bench("contended-burst/fcfs-exact", burst_ops, samples, || {
+            hammer(threads, n_burst_per_thread, |_, _| {
+                *lock.write() += 1;
+            })
+        });
+        record("contended-burst/fcfs-exact", burst_ops, &m);
+    }
+    {
+        let lock = Arc::new(FcfsRwLock::with_sampling(0u64, SamplePeriod::every(64)));
+        let m = bench("contended-burst/fcfs-sampled", burst_ops, samples, || {
+            hammer(threads, n_burst_per_thread, |_, _| {
+                *lock.write() += 1;
+            })
+        });
+        record("contended-burst/fcfs-sampled", burst_ops, &m);
+    }
+
+    // --- mixed 15/16-read workload ---
+    let mixed_ops = threads * n_mixed_per_thread;
+    {
+        let lock = Arc::new(BaselineLock::default());
+        let m = bench("mixed-15r1w/baseline", mixed_ops, samples, || {
+            hammer(threads, n_mixed_per_thread, |_, i| {
+                let exclusive = i % 16 == 0;
+                let g = lock.acquire(exclusive);
+                lock.release(exclusive, g);
+            })
+        });
+        record("mixed-15r1w/baseline", mixed_ops, &m);
+    }
+    {
+        let lock = Arc::new(FcfsRwLock::new(0u64));
+        let m = bench("mixed-15r1w/fcfs-exact", mixed_ops, samples, || {
+            hammer(threads, n_mixed_per_thread, |_, i| {
+                if i % 16 == 0 {
+                    *lock.write() += 1;
+                } else {
+                    std::hint::black_box(*lock.read());
+                }
+            })
+        });
+        record("mixed-15r1w/fcfs-exact", mixed_ops, &m);
+    }
+    {
+        let lock = Arc::new(FcfsRwLock::with_sampling(0u64, SamplePeriod::every(64)));
+        let m = bench("mixed-15r1w/fcfs-sampled", mixed_ops, samples, || {
+            hammer(threads, n_mixed_per_thread, |_, i| {
+                if i % 16 == 0 {
+                    *lock.write() += 1;
+                } else {
+                    std::hint::black_box(*lock.read());
+                }
+            })
+        });
+        record("mixed-15r1w/fcfs-sampled", mixed_ops, &m);
+    }
+
+    // --- before/after table ---
+    let ns_of = |name: &str| results.iter().find(|s| s.name == name).map(|s| s.ns_per_op);
+    println!("\nbefore/after overhead (ns per acquire+release):");
+    println!(
+        "{:<20} {:>10} {:>12} {:>14} {:>9}",
+        "scenario", "baseline", "fcfs-exact", "fcfs-sampled", "speedup"
+    );
+    let mut speedups = Vec::new();
+    for scenario in [
+        "uncontended-read",
+        "uncontended-write",
+        "contended-burst",
+        "mixed-15r1w",
+    ] {
+        let base = ns_of(&format!("{scenario}/baseline")).unwrap_or(f64::NAN);
+        let exact = ns_of(&format!("{scenario}/fcfs-exact")).unwrap_or(f64::NAN);
+        let sampled = ns_of(&format!("{scenario}/fcfs-sampled")).unwrap_or(f64::NAN);
+        let speedup = base / sampled;
+        println!(
+            "{:<20} {:>10.1} {:>12.1} {:>14.1} {:>8.2}x",
+            scenario, base, exact, sampled, speedup
+        );
+        speedups.push((scenario, speedup));
+    }
+
+    // --- BENCH_lock.json ---
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"lock\",\n");
+    json.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if smoke { "smoke" } else { "full" }
+    ));
+    json.push_str(&format!("  \"threads_contended\": {threads},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, s) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ops\": {}, \"ns_per_op\": {:.2}}}{}\n",
+            s.name,
+            s.ops,
+            s.ns_per_op,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"speedup_vs_baseline\": {\n");
+    for (i, (scenario, speedup)) in speedups.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{}\": {:.2}{}\n",
+            scenario,
+            speedup,
+            if i + 1 == speedups.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write("BENCH_lock.json", &json).expect("write BENCH_lock.json");
+    println!("\nwrote BENCH_lock.json");
+
+    // The fast path exists to make uncontended latching cheap; fail loudly
+    // if the build being benchmarked has lost that property.
+    for scenario in ["uncontended-read", "uncontended-write"] {
+        let (_, speedup) = speedups
+            .iter()
+            .find(|(s, _)| s == &scenario)
+            .expect("scenario present");
+        if *speedup < 2.0 {
+            eprintln!(
+                "warning: {scenario} speedup {speedup:.2}x below the 2x target \
+                 (noisy machine, debug build, or a regression)"
+            );
+        }
+    }
+}

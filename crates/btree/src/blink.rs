@@ -17,7 +17,7 @@
 
 use crate::node::{check_invariants, make_root, Children, Node, NodeRef};
 use crate::writepath::WriteGuard;
-use cbtree_sync::FcfsRwLock as RwLock;
+use cbtree_sync::{FcfsRwLock as RwLock, SamplePeriod};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -28,20 +28,32 @@ pub struct BLinkTree<V> {
     cap: usize,
     len: AtomicUsize,
     crossings: AtomicU64,
+    sample: SamplePeriod,
 }
 
 impl<V> BLinkTree<V> {
-    /// Creates an empty tree with at most `capacity` keys per node.
+    /// Creates an empty tree with at most `capacity` keys per node and
+    /// exact lock timing.
     ///
     /// # Panics
     /// Panics when `capacity < 3`.
     pub fn new(capacity: usize) -> Self {
+        BLinkTree::with_sampling(capacity, SamplePeriod::EXACT)
+    }
+
+    /// Creates an empty tree whose node locks time one in
+    /// `sample.period()` acquisitions (counts stay exact).
+    ///
+    /// # Panics
+    /// Panics when `capacity < 3`.
+    pub fn with_sampling(capacity: usize, sample: SamplePeriod) -> Self {
         assert!(capacity >= 3, "node capacity must be at least 3");
         BLinkTree {
-            root: RwLock::new(Node::new_leaf().into_ref()),
+            root: RwLock::new(Node::new_leaf().into_ref_sampled(sample)),
             cap: capacity,
             len: AtomicUsize::new(0),
             crossings: AtomicU64::new(0),
+            sample,
         }
     }
 
@@ -134,7 +146,7 @@ impl<V> BLinkTree<V> {
             return None;
         }
         // Half-split, then post separators upward.
-        let (mut sep, mut sib) = guard.half_split();
+        let (mut sep, mut sib) = guard.half_split(self.sample);
         let mut left = Arc::clone(cbtree_sync::ArcRwLockWriteGuard::rwlock(&guard));
         let mut level = guard.level;
         drop(guard);
@@ -159,7 +171,7 @@ impl<V> BLinkTree<V> {
             if !pg.overfull(self.cap) {
                 return None;
             }
-            let (s, sb) = pg.half_split();
+            let (s, sb) = pg.half_split(self.sample);
             left = Arc::clone(cbtree_sync::ArcRwLockWriteGuard::rwlock(&pg));
             level = pg.level;
             sep = s;
@@ -175,7 +187,13 @@ impl<V> BLinkTree<V> {
     fn try_grow_root(&self, left: &NodeRef<V>, sep: u64, sib: &NodeRef<V>, level: usize) -> bool {
         let mut ptr = self.root.write();
         if Arc::ptr_eq(&ptr, left) {
-            *ptr = make_root(Arc::clone(left), sep, Arc::clone(sib), level + 1);
+            *ptr = make_root(
+                Arc::clone(left),
+                sep,
+                Arc::clone(sib),
+                level + 1,
+                self.sample,
+            );
             true
         } else {
             false

@@ -8,7 +8,7 @@
 
 use crate::node::{check_invariants, Node, NodeRef};
 use crate::writepath;
-use cbtree_sync::FcfsRwLock as RwLock;
+use cbtree_sync::{FcfsRwLock as RwLock, SamplePeriod};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -18,19 +18,31 @@ pub struct LockCouplingTree<V> {
     root: RwLock<NodeRef<V>>,
     cap: usize,
     len: AtomicUsize,
+    sample: SamplePeriod,
 }
 
 impl<V> LockCouplingTree<V> {
-    /// Creates an empty tree with at most `capacity` keys per node.
+    /// Creates an empty tree with at most `capacity` keys per node and
+    /// exact lock timing.
     ///
     /// # Panics
     /// Panics when `capacity < 3`.
     pub fn new(capacity: usize) -> Self {
+        LockCouplingTree::with_sampling(capacity, SamplePeriod::EXACT)
+    }
+
+    /// Creates an empty tree whose node locks time one in
+    /// `sample.period()` acquisitions (counts stay exact).
+    ///
+    /// # Panics
+    /// Panics when `capacity < 3`.
+    pub fn with_sampling(capacity: usize, sample: SamplePeriod) -> Self {
         assert!(capacity >= 3, "node capacity must be at least 3");
         LockCouplingTree {
-            root: RwLock::new(Node::new_leaf().into_ref()),
+            root: RwLock::new(Node::new_leaf().into_ref_sampled(sample)),
             cap: capacity,
             len: AtomicUsize::new(0),
+            sample,
         }
     }
 
@@ -56,9 +68,16 @@ impl<V> LockCouplingTree<V> {
 
     /// Inserts `key → val`; returns the previous value if the key existed.
     pub fn insert(&self, key: u64, val: V) -> Option<V> {
-        writepath::insert_exclusive(&self.root, self.cap, key, val, || {
-            self.len.fetch_add(1, Ordering::AcqRel);
-        })
+        writepath::insert_exclusive(
+            &self.root,
+            self.cap,
+            key,
+            val,
+            || {
+                self.len.fetch_add(1, Ordering::AcqRel);
+            },
+            self.sample,
+        )
     }
 
     /// Removes `key`, returning its value if present.

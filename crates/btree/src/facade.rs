@@ -2,6 +2,7 @@
 //! time, as the paper's comparisons do.
 
 use crate::{BLinkTree, LockCouplingTree, OptimisticTree, TwoPhaseTree};
+use cbtree_sync::SamplePeriod;
 
 /// The three latching protocols.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -57,15 +58,27 @@ pub enum ConcurrentBTree<V> {
 }
 
 impl<V> ConcurrentBTree<V> {
-    /// Creates an empty tree with the given protocol and node capacity.
+    /// Creates an empty tree with the given protocol and node capacity
+    /// (exact lock timing).
     pub fn new(protocol: Protocol, capacity: usize) -> Self {
+        ConcurrentBTree::with_sampling(protocol, capacity, SamplePeriod::EXACT)
+    }
+
+    /// Creates an empty tree whose node locks time one in
+    /// `sample.period()` acquisitions (counts stay exact; sampled
+    /// durations are scaled so derived statistics stay unbiased).
+    pub fn with_sampling(protocol: Protocol, capacity: usize, sample: SamplePeriod) -> Self {
         match protocol {
-            Protocol::LockCoupling => ConcurrentBTree::Coupling(LockCouplingTree::new(capacity)),
-            Protocol::OptimisticDescent => {
-                ConcurrentBTree::Optimistic(OptimisticTree::new(capacity))
+            Protocol::LockCoupling => {
+                ConcurrentBTree::Coupling(LockCouplingTree::with_sampling(capacity, sample))
             }
-            Protocol::BLink => ConcurrentBTree::BLink(BLinkTree::new(capacity)),
-            Protocol::TwoPhase => ConcurrentBTree::TwoPhase(TwoPhaseTree::new(capacity)),
+            Protocol::OptimisticDescent => {
+                ConcurrentBTree::Optimistic(OptimisticTree::with_sampling(capacity, sample))
+            }
+            Protocol::BLink => ConcurrentBTree::BLink(BLinkTree::with_sampling(capacity, sample)),
+            Protocol::TwoPhase => {
+                ConcurrentBTree::TwoPhase(TwoPhaseTree::with_sampling(capacity, sample))
+            }
         }
     }
 

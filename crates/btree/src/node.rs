@@ -7,6 +7,7 @@
 //! carry it for free and it enables one common invariant checker.
 
 use cbtree_sync::FcfsRwLock as RwLock;
+use cbtree_sync::SamplePeriod;
 use std::sync::Arc;
 
 /// Reference-counted, latch-protected node handle.
@@ -48,9 +49,15 @@ impl<V> Node<V> {
         }
     }
 
-    /// Wraps a node into its shared handle.
+    /// Wraps a node into its shared handle with exact lock timing.
     pub fn into_ref(self) -> NodeRef<V> {
         Arc::new(RwLock::new(self))
+    }
+
+    /// Wraps a node into its shared handle whose lock times only one in
+    /// `sample.period()` acquisitions (see [`SamplePeriod`]).
+    pub fn into_ref_sampled(self, sample: SamplePeriod) -> NodeRef<V> {
+        Arc::new(RwLock::with_sampling(self, sample))
     }
 
     /// Whether this is a leaf.
@@ -139,10 +146,11 @@ impl<V> Node<V> {
     }
 
     /// Half-splits this node in place, returning `(separator,
-    /// new_right_sibling)`. Maintains right links and high keys. The
-    /// caller must hold this node's exclusive latch and is responsible
-    /// for publishing the separator to the parent.
-    pub fn half_split(&mut self) -> (u64, NodeRef<V>) {
+    /// new_right_sibling)`. Maintains right links and high keys; the
+    /// sibling's lock inherits `sample` (the tree's stats-sampling
+    /// period). The caller must hold this node's exclusive latch and is
+    /// responsible for publishing the separator to the parent.
+    pub fn half_split(&mut self, sample: SamplePeriod) -> (u64, NodeRef<V>) {
         let len = self.keys.len();
         debug_assert!(len >= 2);
         let mid = len / 2;
@@ -166,7 +174,7 @@ impl<V> Node<V> {
             high: self.high,
             level: self.level,
         }
-        .into_ref();
+        .into_ref_sampled(sample);
         self.right = Some(Arc::clone(&sibling));
         self.high = Some(sep);
         (sep, sibling)
@@ -183,8 +191,15 @@ impl<V> Node<V> {
     }
 }
 
-/// Makes a new root over `left` and `right` separated by `sep`.
-pub fn make_root<V>(left: NodeRef<V>, sep: u64, right: NodeRef<V>, level: usize) -> NodeRef<V> {
+/// Makes a new root over `left` and `right` separated by `sep`; its lock
+/// inherits `sample`, the tree's stats-sampling period.
+pub fn make_root<V>(
+    left: NodeRef<V>,
+    sep: u64,
+    right: NodeRef<V>,
+    level: usize,
+    sample: SamplePeriod,
+) -> NodeRef<V> {
     Node {
         keys: vec![sep],
         children: Children::Internal(vec![left, right]),
@@ -192,7 +207,7 @@ pub fn make_root<V>(left: NodeRef<V>, sep: u64, right: NodeRef<V>, level: usize)
         high: None,
         level,
     }
-    .into_ref()
+    .into_ref_sampled(sample)
 }
 
 /// Collects `[lo, hi)` by walking the leaf chain rightward from `leaf`,
@@ -388,7 +403,7 @@ mod tests {
     #[test]
     fn leaf_split_keeps_order_and_links() {
         let mut n = leaf_with(&[1, 2, 3, 4, 5]);
-        let (sep, sib) = n.half_split();
+        let (sep, sib) = n.half_split(SamplePeriod::EXACT);
         assert_eq!(sep, 3);
         assert_eq!(n.keys, vec![1, 2]);
         assert_eq!(n.high, Some(3));
@@ -407,7 +422,7 @@ mod tests {
             high: None,
             level: 2,
         };
-        let (sep, sib) = n.half_split();
+        let (sep, sib) = n.half_split(SamplePeriod::EXACT);
         assert_eq!(sep, 30);
         assert_eq!(n.keys, vec![10, 20]);
         let s = sib.read();
@@ -461,7 +476,7 @@ mod tests {
             l.high = Some(5);
             l.right = Some(Arc::clone(&right));
         }
-        let root = make_root(left, 5, right, 2);
+        let root = make_root(left, 5, right, 2, SamplePeriod::EXACT);
         check_invariants(&root, 4).unwrap();
     }
 
@@ -474,7 +489,7 @@ mod tests {
             l.high = Some(5);
             l.right = Some(Arc::clone(&right));
         }
-        let root = make_root(left, 5, right, 2);
+        let root = make_root(left, 5, right, 2, SamplePeriod::EXACT);
         assert!(check_invariants(&root, 4).is_err());
     }
 }

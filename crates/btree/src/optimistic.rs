@@ -9,7 +9,7 @@
 
 use crate::node::{check_invariants, Node, NodeRef};
 use crate::writepath::{self, WriteGuard};
-use cbtree_sync::FcfsRwLock as RwLock;
+use cbtree_sync::{FcfsRwLock as RwLock, SamplePeriod};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -20,20 +20,32 @@ pub struct OptimisticTree<V> {
     cap: usize,
     len: AtomicUsize,
     redos: AtomicU64,
+    sample: SamplePeriod,
 }
 
 impl<V> OptimisticTree<V> {
-    /// Creates an empty tree with at most `capacity` keys per node.
+    /// Creates an empty tree with at most `capacity` keys per node and
+    /// exact lock timing.
     ///
     /// # Panics
     /// Panics when `capacity < 3`.
     pub fn new(capacity: usize) -> Self {
+        OptimisticTree::with_sampling(capacity, SamplePeriod::EXACT)
+    }
+
+    /// Creates an empty tree whose node locks time one in
+    /// `sample.period()` acquisitions (counts stay exact).
+    ///
+    /// # Panics
+    /// Panics when `capacity < 3`.
+    pub fn with_sampling(capacity: usize, sample: SamplePeriod) -> Self {
         assert!(capacity >= 3, "node capacity must be at least 3");
         OptimisticTree {
-            root: RwLock::new(Node::new_leaf().into_ref()),
+            root: RwLock::new(Node::new_leaf().into_ref_sampled(sample)),
             cap: capacity,
             len: AtomicUsize::new(0),
             redos: AtomicU64::new(0),
+            sample,
         }
     }
 
@@ -113,9 +125,16 @@ impl<V> OptimisticTree<V> {
             // Unsafe leaf: release and redo pessimistically.
         }
         self.redos.fetch_add(1, Ordering::Relaxed);
-        writepath::insert_exclusive(&self.root, self.cap, key, val, || {
-            self.len.fetch_add(1, Ordering::AcqRel);
-        })
+        writepath::insert_exclusive(
+            &self.root,
+            self.cap,
+            key,
+            val,
+            || {
+                self.len.fetch_add(1, Ordering::AcqRel);
+            },
+            self.sample,
+        )
     }
 
     /// Removes `key`, returning its value if present.

@@ -7,7 +7,7 @@
 
 use crate::node::{check_invariants, make_root, Node, NodeRef};
 use crate::writepath::{lock_root_read, lock_root_write, ReadGuard, WriteGuard};
-use cbtree_sync::FcfsRwLock as RwLock;
+use cbtree_sync::{FcfsRwLock as RwLock, SamplePeriod};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -17,19 +17,31 @@ pub struct TwoPhaseTree<V> {
     root: RwLock<NodeRef<V>>,
     cap: usize,
     len: AtomicUsize,
+    sample: SamplePeriod,
 }
 
 impl<V> TwoPhaseTree<V> {
-    /// Creates an empty tree with at most `capacity` keys per node.
+    /// Creates an empty tree with at most `capacity` keys per node and
+    /// exact lock timing.
     ///
     /// # Panics
     /// Panics when `capacity < 3`.
     pub fn new(capacity: usize) -> Self {
+        TwoPhaseTree::with_sampling(capacity, SamplePeriod::EXACT)
+    }
+
+    /// Creates an empty tree whose node locks time one in
+    /// `sample.period()` acquisitions (counts stay exact).
+    ///
+    /// # Panics
+    /// Panics when `capacity < 3`.
+    pub fn with_sampling(capacity: usize, sample: SamplePeriod) -> Self {
         assert!(capacity >= 3, "node capacity must be at least 3");
         TwoPhaseTree {
-            root: RwLock::new(Node::new_leaf().into_ref()),
+            root: RwLock::new(Node::new_leaf().into_ref_sampled(sample)),
             cap: capacity,
             len: AtomicUsize::new(0),
+            sample,
         }
     }
 
@@ -80,11 +92,11 @@ impl<V> TwoPhaseTree<V> {
         // Split upward; the whole path is latched.
         let mut idx = held.len() - 1;
         while held[idx].overfull(self.cap) {
-            let (sep, sib) = held[idx].half_split();
+            let (sep, sib) = held[idx].half_split(self.sample);
             if idx == 0 {
                 let old_root = Arc::clone(cbtree_sync::ArcRwLockWriteGuard::rwlock(&held[0]));
                 let level = held[0].level + 1;
-                let new_root = make_root(old_root, sep, sib, level);
+                let new_root = make_root(old_root, sep, sib, level, self.sample);
                 *self.root.write() = new_root;
                 break;
             }

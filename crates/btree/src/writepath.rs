@@ -4,7 +4,7 @@
 //! lookup both trees share.
 
 use crate::node::{make_root, Children, Node, NodeRef};
-use cbtree_sync::{ArcRwLockReadGuard, ArcRwLockWriteGuard, FcfsRwLock as RwLock};
+use cbtree_sync::{ArcRwLockReadGuard, ArcRwLockWriteGuard, FcfsRwLock as RwLock, SamplePeriod};
 use std::sync::Arc;
 
 pub(crate) type ReadGuard<V> = ArcRwLockReadGuard<Node<V>>;
@@ -97,13 +97,15 @@ fn descend_exclusive<V>(
 
 /// Full exclusive insert (the Naive Lock-coupling insert; also the
 /// Optimistic redo pass). Returns the replaced value, if any. `on_grow`
-/// is invoked when a brand-new key was added.
+/// is invoked when a brand-new key was added; `sample` is the tree's
+/// stats-sampling period, inherited by any nodes created by splits.
 pub(crate) fn insert_exclusive<V>(
     root_ptr: &RwLock<NodeRef<V>>,
     cap: usize,
     key: u64,
     val: V,
     on_grow: impl FnOnce(),
+    sample: SamplePeriod,
 ) -> Option<V> {
     let mut held = descend_exclusive(root_ptr, key, |n| n.insert_unsafe(cap));
     let leaf = held.last_mut().expect("descent reaches a leaf");
@@ -116,14 +118,14 @@ pub(crate) fn insert_exclusive<V>(
     // Split upward through the retained chain.
     let mut idx = held.len() - 1;
     while held[idx].overfull(cap) {
-        let (sep, sib) = held[idx].half_split();
+        let (sep, sib) = held[idx].half_split(sample);
         if idx == 0 {
             // Only the true root can overflow at the chain's top: any
             // other chain top was safe when latched and gained at most
             // one separator.
             let old_root = Arc::clone(ArcRwLockWriteGuard::rwlock(&held[0]));
             let level = held[0].level + 1;
-            let new_root = make_root(old_root, sep, sib, level);
+            let new_root = make_root(old_root, sep, sib, level, sample);
             let mut ptr = root_ptr.write();
             debug_assert!(
                 Arc::ptr_eq(&ptr, ArcRwLockWriteGuard::rwlock(&held[0])),
@@ -169,7 +171,8 @@ mod tests {
         let root = empty_tree();
         let mut grew = 0;
         for k in 0..500u64 {
-            let old = insert_exclusive(&root, 8, k * 3, k as u32, || grew += 1);
+            let old =
+                insert_exclusive(&root, 8, k * 3, k as u32, || grew += 1, SamplePeriod::EXACT);
             assert!(old.is_none());
         }
         assert_eq!(grew, 500);
@@ -183,8 +186,15 @@ mod tests {
     #[test]
     fn replacement_returns_old_value() {
         let root = empty_tree();
-        insert_exclusive(&root, 8, 7, 1, || {});
-        let old = insert_exclusive(&root, 8, 7, 2, || panic!("no growth on replace"));
+        insert_exclusive(&root, 8, 7, 1, || {}, SamplePeriod::EXACT);
+        let old = insert_exclusive(
+            &root,
+            8,
+            7,
+            2,
+            || panic!("no growth on replace"),
+            SamplePeriod::EXACT,
+        );
         assert_eq!(old, Some(1));
         assert_eq!(get_coupled(&root, 7), Some(2));
     }
@@ -193,7 +203,7 @@ mod tests {
     fn remove_roundtrip() {
         let root = empty_tree();
         for k in 0..200u64 {
-            insert_exclusive(&root, 8, k, k as u32, || {});
+            insert_exclusive(&root, 8, k, k as u32, || {}, SamplePeriod::EXACT);
         }
         let mut shrunk = 0;
         assert_eq!(remove_exclusive(&root, 100, || shrunk += 1), Some(100));
@@ -207,7 +217,7 @@ mod tests {
     fn root_grows_through_multiple_levels() {
         let root = empty_tree();
         for k in 0..5000u64 {
-            insert_exclusive(&root, 4, k, 0, || {});
+            insert_exclusive(&root, 4, k, 0, || {}, SamplePeriod::EXACT);
         }
         let height = root.read().read().level;
         assert!(height >= 5, "height {height}");

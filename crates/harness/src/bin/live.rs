@@ -7,6 +7,7 @@
 
 use cbtree_btree::Protocol;
 use cbtree_harness::{run, saturation_search, LiveConfig, LiveReport};
+use cbtree_sync::SamplePeriod;
 use cbtree_workload::{KeyDist, OpsConfig};
 use std::time::Duration;
 
@@ -22,6 +23,9 @@ usage: live [options]
   --warmup-ms N      untimed warmup (default 200)
   --measure-ms N     measured window (default 1000)
   --seed N           workload seed (default 4606)
+  --sample-every N   time 1 in N lock acquisitions, N rounded up to a
+                     power of two (default 1 = exact; counts stay exact
+                     and sampled stats stay unbiased either way)
   --saturate N       saturation search: double threads from 1 up to N
   -h, --help         print this help
 ";
@@ -86,6 +90,10 @@ fn parse_args() -> Result<Args, String> {
                     Duration::from_millis(value()?.parse().map_err(|e| format!("{flag}: {e}"))?);
             }
             "--seed" => cfg.seed = value()?.parse().map_err(|e| format!("{flag}: {e}"))?,
+            "--sample-every" => {
+                cfg.stats_sampling =
+                    SamplePeriod::every(value()?.parse().map_err(|e| format!("{flag}: {e}"))?);
+            }
             "--saturate" => {
                 saturate = Some(value()?.parse().map_err(|e| format!("{flag}: {e}"))?);
             }

@@ -28,7 +28,7 @@
 use cbtree_btree::node::for_each_handle;
 use cbtree_btree::{ConcurrentBTree, Protocol};
 use cbtree_sim::stats::{Summary, Welford};
-use cbtree_sync::LockStatsSnapshot;
+use cbtree_sync::{LockStatsSnapshot, SamplePeriod};
 use cbtree_workload::{OpStream, Operation, OpsConfig, Rng};
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, Barrier};
@@ -52,9 +52,16 @@ pub struct LiveConfig {
     pub warmup: Duration,
     /// Length of the measured window.
     pub measure: Duration,
-    /// Seed for all workload streams (thread `t` uses `seed ⊕ t`-forked
-    /// streams, so runs are reproducible up to OS scheduling).
+    /// Seed for all workload streams (thread `t` uses a SplitMix64-forked
+    /// stream of `(seed, t)`, so runs are reproducible up to OS
+    /// scheduling and distinct `(seed, thread)` pairs get disjoint
+    /// streams).
     pub seed: u64,
+    /// Lock-timing sampling period for the tree's node locks: one in
+    /// `stats_sampling.period()` acquisitions is timed (counts stay
+    /// exact, sampled durations are scaled so the derived statistics stay
+    /// unbiased). [`SamplePeriod::EXACT`] times everything.
+    pub stats_sampling: SamplePeriod,
 }
 
 impl LiveConfig {
@@ -70,6 +77,7 @@ impl LiveConfig {
             warmup: Duration::from_millis(200),
             measure: Duration::from_millis(1000),
             seed: 0x11FE,
+            stats_sampling: SamplePeriod::EXACT,
         }
     }
 
@@ -187,6 +195,19 @@ fn prefill(tree: &ConcurrentBTree<u64>, cfg: &LiveConfig) {
     }
 }
 
+/// Forks a per-thread workload seed with a SplitMix64 step: the stream
+/// index enters through the golden-ratio increment and the state is run
+/// through the full finalizer, so distinct `(seed, thread)` pairs
+/// collide only when `seed − seed′ = (thread′ − thread) · γ (mod 2⁶⁴)` —
+/// unlike the old `seed ^ (0xA5A5 + t)`, which aliased nearby seeds
+/// across thread indices (e.g. `(3, 0)` and `(0, 1)` shared a stream).
+fn fork_seed(seed: u64, thread: u64) -> u64 {
+    let mut z = seed.wrapping_add(thread.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 fn apply(tree: &ConcurrentBTree<u64>, op: Operation) {
     match op {
         Operation::Search(k) => {
@@ -215,7 +236,11 @@ pub fn run(cfg: &LiveConfig) -> LiveReport {
     assert!(cfg.threads > 0, "need at least one worker thread");
     assert!(cfg.ops.is_valid(), "operation mix must sum to 1");
 
-    let tree = Arc::new(ConcurrentBTree::new(cfg.protocol, cfg.capacity));
+    let tree = Arc::new(ConcurrentBTree::with_sampling(
+        cfg.protocol,
+        cfg.capacity,
+        cfg.stats_sampling,
+    ));
     prefill(&tree, cfg);
 
     let phase = Arc::new(AtomicU8::new(PHASE_WARMUP));
@@ -233,7 +258,7 @@ pub fn run(cfg: &LiveConfig) -> LiveReport {
             let phase = Arc::clone(&phase);
             let (qa, ra) = (Arc::clone(&quiesce_a), Arc::clone(&resume_a));
             let (qb, rb) = (Arc::clone(&quiesce_b), Arc::clone(&resume_b));
-            let mut stream = OpStream::new(cfg.ops, cfg.seed ^ (0xA5A5 + t));
+            let mut stream = OpStream::new(cfg.ops, fork_seed(cfg.seed, t));
             handles.push(s.spawn(move || {
                 // Warmup: run until the coordinator flips the phase.
                 while phase.load(Ordering::Acquire) == PHASE_WARMUP {
@@ -265,8 +290,12 @@ pub fn run(cfg: &LiveConfig) -> LiveReport {
         phase.store(PHASE_MEASURE, Ordering::Release);
         quiesce_a.wait(); // all workers parked; tree quiescent
         let snap_a = level_snapshots(&tree);
-        let t0 = Instant::now();
         resume_a.wait();
+        // Start the clock only after the resume barrier has released the
+        // workers: taking it earlier charged every worker's barrier
+        // wake-up latency to the window, biasing throughput low as the
+        // thread count grew.
+        let t0 = Instant::now();
         std::thread::sleep(cfg.measure);
         phase.store(PHASE_DONE, Ordering::Release);
         quiesce_b.wait(); // quiescent again
@@ -343,33 +372,107 @@ pub fn run(cfg: &LiveConfig) -> LiveReport {
     }
 }
 
+/// The saturation-search schedule, separated from measurement so it is
+/// unit-testable: visits thread counts 1, 2, 4, … doubling but clamped
+/// to `max_threads` (so a non-power-of-two maximum is still measured
+/// rather than overshot), stopping early once a point gains less than 5%
+/// over the best seen so far — with the current point's throughput
+/// folded into that best, so a flat curve stops at its first flat point.
+/// Returns the thread counts measured, in order.
+fn saturation_points(max_threads: usize, mut measure: impl FnMut(usize) -> f64) -> Vec<usize> {
+    let max = max_threads.max(1);
+    let mut visited = Vec::new();
+    let mut best = 0.0f64;
+    let mut threads = 1usize;
+    loop {
+        let tp = measure(threads);
+        visited.push(threads);
+        let improved = threads == 1 || tp >= best * 1.05;
+        best = best.max(tp);
+        if !improved || threads >= max {
+            break;
+        }
+        threads = (threads * 2).min(max);
+    }
+    visited
+}
+
 /// Finds the maximum sustainable throughput by doubling the worker count
-/// from 1 up to `max_threads`, stopping once extra threads gain less
-/// than 5%. Returns every `(threads, report)` pair tried, in order; the
-/// peak is the maximum of `report.throughput`.
+/// from 1 up to `max_threads` (always measuring `max_threads` itself,
+/// even when it is not a power of two), stopping once extra threads gain
+/// less than 5% over the best measurement so far. Returns every
+/// `(threads, report)` pair tried, in order; the peak is the maximum of
+/// `report.throughput`.
 pub fn saturation_search(base: &LiveConfig, max_threads: usize) -> Vec<(usize, LiveReport)> {
     let mut out = Vec::new();
-    let mut best = 0.0f64;
-    let mut threads = 1;
-    while threads <= max_threads.max(1) {
+    saturation_points(max_threads, |threads| {
         let report = run(&LiveConfig {
             threads,
             ..base.clone()
         });
         let tp = report.throughput;
         out.push((threads, report));
-        if tp < best * 1.05 && threads > 1 {
-            break;
-        }
-        best = best.max(tp);
-        threads *= 2;
-    }
+        tp
+    });
     out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Regression for the old `seed ^ (0xA5A5 + t)` fork, under which
+    /// e.g. `(seed=3, t=0)` and `(seed=0, t=1)` shared a workload
+    /// stream: every nearby `(seed, thread)` pair must now produce a
+    /// distinct operation prefix.
+    #[test]
+    fn nearby_seeds_fork_disjoint_streams() {
+        let ops = OpsConfig::paper(1_000_000);
+        let prefix = |seed: u64, t: u64| -> Vec<Operation> {
+            let mut stream = OpStream::new(ops, fork_seed(seed, t));
+            (0..32).map(|_| stream.next_op()).collect()
+        };
+        let mut seen = Vec::new();
+        for seed in 0..4u64 {
+            for t in 0..4u64 {
+                let p = prefix(seed, t);
+                assert!(
+                    !seen
+                        .iter()
+                        .any(|(s0, t0, p0)| { *p0 == p && (*s0, *t0) != (seed, t) }),
+                    "(seed={seed}, t={t}) collides with an earlier stream"
+                );
+                seen.push((seed, t, p));
+            }
+        }
+        assert_eq!(seen.len(), 16);
+    }
+
+    #[test]
+    fn saturation_schedule_reaches_non_power_of_two_max() {
+        // Monotone curve: doubling must clamp to 6, not overshoot to 8
+        // and exit without ever measuring max_threads.
+        let visited = saturation_points(6, |t| t as f64);
+        assert_eq!(visited, vec![1, 2, 4, 6]);
+    }
+
+    #[test]
+    fn saturation_schedule_stops_on_flat_curve() {
+        // Monotone then flat at 4 threads: the first flat point is
+        // measured (its throughput folds into best-so-far) and the
+        // search stops there.
+        let visited = saturation_points(64, |t| t.min(4) as f64);
+        assert_eq!(visited, vec![1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn saturation_schedule_degenerate_cases() {
+        assert_eq!(saturation_points(1, |t| t as f64), vec![1]);
+        assert_eq!(saturation_points(0, |t| t as f64), vec![1]);
+        // A sub-5% gain at 2 threads ends the search immediately.
+        let visited = saturation_points(16, |t| if t == 1 { 100.0 } else { 102.0 });
+        assert_eq!(visited, vec![1, 2]);
+    }
 
     #[test]
     fn level_snapshot_covers_whole_tree() {

@@ -19,14 +19,33 @@ fn smoke_cfg(protocol: Protocol) -> LiveConfig {
 #[test]
 fn four_thread_run_completes_for_every_protocol() {
     for protocol in PROTOCOLS {
-        let report = run(&smoke_cfg(protocol));
+        let cfg = smoke_cfg(protocol);
+        let report = run(&cfg);
         assert!(
             report.completed > 0,
             "{}: no operations completed",
             protocol.name()
         );
         assert!(report.throughput > 0.0, "{}", protocol.name());
-        assert!(report.measured_time > 0.0, "{}", protocol.name());
+        // The clock starts after the resume barrier and stops after the
+        // end-of-window quiesce, so the measured window is the configured
+        // length plus at most scheduling noise and one operation's tail
+        // per worker — never shorter, and nowhere near double.
+        let want = cfg.measure.as_secs_f64();
+        assert!(
+            report.measured_time >= 0.95 * want,
+            "{}: window {}s shorter than configured {}s",
+            protocol.name(),
+            report.measured_time,
+            want
+        );
+        assert!(
+            report.measured_time <= 3.0 * want,
+            "{}: window {}s far exceeds configured {}s",
+            protocol.name(),
+            report.measured_time,
+            want
+        );
         assert!(report.final_height >= 1, "{}", protocol.name());
         assert!(report.final_len > 0, "{}", protocol.name());
     }
@@ -96,6 +115,21 @@ fn per_level_writer_utilization_is_a_fraction() {
             "{}: leaves saw no lock traffic",
             protocol.name()
         );
+    }
+}
+
+#[test]
+fn sampled_stats_run_keeps_counts_and_fractions_sane() {
+    let mut cfg = smoke_cfg(Protocol::BLink);
+    cfg.stats_sampling = cbtree_sync::SamplePeriod::every(8);
+    let report = run(&cfg);
+    assert!(report.completed > 0);
+    // Acquisition counts are exact regardless of sampling.
+    let leaf = &report.levels[0].stats;
+    assert!(leaf.r_acquires + leaf.w_acquires > 0);
+    // Scaled sums keep utilization a proper fraction.
+    for l in &report.levels {
+        assert!((0.0..=1.0).contains(&l.rho_w), "level {}", l.level);
     }
 }
 

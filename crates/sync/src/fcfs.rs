@@ -9,54 +9,83 @@
 //! `LockTable` — so measurements taken on this lock are directly
 //! comparable with both.
 //!
-//! The implementation is dependency-free: one `std::sync::Mutex` guards
-//! the queue state and one `Condvar` parks waiters. An uncontended
-//! acquisition locks the mutex once and takes a single `Instant` reading
-//! (the hold-time start); a contended one additionally timestamps its
-//! queue entry so the embedded [`LockStats`] can histogram the wait.
+//! # Two-tier implementation
+//!
+//! The holder state lives in one packed `AtomicU64`:
+//!
+//! ```text
+//!   bit 63   bit 62        bits 0..=61
+//!  ┌────────┬────────────┬──────────────────┐
+//!  │ WRITER │ QUEUED     │ reader count     │
+//!  └────────┴────────────┴──────────────────┘
+//! ```
+//!
+//! While `QUEUED` is clear (nobody is waiting), shared and exclusive
+//! acquire *and* release are each a single CAS on this word — no mutex,
+//! no syscall, no `Instant` reading unless the acquisition is sampled for
+//! timing. The moment any request has to wait, it sets `QUEUED` (under
+//! the queue mutex) and every subsequent acquire/release detours through
+//! the original ticketed `Mutex`+`Condvar` queue, which preserves the
+//! FCFS discipline bit for bit: strict arrival order, no reader
+//! overtaking a queued writer, and maximal reader-burst admission on
+//! writer release. `QUEUED` is set and cleared only under the mutex, so
+//! `QUEUED == !queue.is_empty()` holds at every mutex release; a fast
+//! path can never sneak past a waiter because its CAS carries the full
+//! word (any concurrent `QUEUED` flip invalidates the expected value).
+//!
+//! Wait and hold durations are recorded by 1-in-N sampling (see
+//! [`SamplePeriod`]): acquisition *counts* stay exact, and sampled
+//! durations are scaled by N so the sums behind `writer_utilization` and
+//! the mean-wait estimators stay unbiased.
 
-use crate::stats::LockStats;
+use crate::stats::{LockStats, SamplePeriod};
 use std::cell::UnsafeCell;
 use std::collections::VecDeque;
 use std::fmt;
 use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
-/// Queue/holder state, all under one mutex.
+/// Packed-word bit assignments.
+const WRITER: u64 = 1 << 63;
+const QUEUED: u64 = 1 << 62;
+const READERS: u64 = QUEUED - 1;
+
+/// Holder bits compatible with granting a request of the given mode.
+#[inline]
+fn compatible(word: u64, exclusive: bool) -> bool {
+    if exclusive {
+        word & (WRITER | READERS) == 0
+    } else {
+        word & WRITER == 0
+    }
+}
+
+/// Queue state, all under one mutex. Holder counts live in the packed
+/// word, not here.
 #[derive(Debug, Default)]
 struct State {
-    active_readers: usize,
-    writer_active: bool,
     next_id: u64,
     /// Waiting requests in arrival order: `(ticket, exclusive)`.
     queue: VecDeque<(u64, bool)>,
     /// Tickets granted by a releaser but not yet observed by their waiter
-    /// (holder counts are already updated when a ticket lands here).
+    /// (holder bits are already in the word when a ticket lands here).
     granted: Vec<u64>,
 }
 
-impl State {
-    fn compatible(&self, exclusive: bool) -> bool {
-        if exclusive {
-            !self.writer_active && self.active_readers == 0
-        } else {
-            !self.writer_active
-        }
-    }
-
-    fn admit(&mut self, exclusive: bool) {
-        if exclusive {
-            self.writer_active = true;
-        } else {
-            self.active_readers += 1;
-        }
-    }
+/// What a slow-path acquisition observed.
+struct SlowAcquire {
+    /// Nanoseconds spent queued (0 when not sampled or not queued).
+    wait_ns: u64,
+    /// Whether the request actually entered the wait queue.
+    queued: bool,
 }
 
 /// The raw (untyped) FCFS lock: queue discipline only, no data.
 #[derive(Debug, Default)]
 struct RawFcfs {
+    word: AtomicU64,
     state: Mutex<State>,
     cv: Condvar,
 }
@@ -69,18 +98,66 @@ impl RawFcfs {
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Blocks until granted. Returns `(granted_at, wait_ns, contended)`.
-    fn acquire(&self, exclusive: bool) -> (Instant, u64, bool) {
+    /// Uncontended acquire: one CAS, succeeds only while nobody waits and
+    /// the holder bits are compatible.
+    #[inline]
+    fn try_acquire_fast(&self, exclusive: bool) -> bool {
+        let mut cur = self.word.load(Ordering::Relaxed);
+        loop {
+            if cur & QUEUED != 0 {
+                return false;
+            }
+            let next = if exclusive {
+                if cur != 0 {
+                    return false;
+                }
+                WRITER
+            } else {
+                if cur & WRITER != 0 {
+                    return false;
+                }
+                debug_assert!(cur & READERS < READERS, "reader count overflow");
+                cur + 1
+            };
+            match self
+                .word
+                .compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Relaxed)
+            {
+                Ok(_) => return true,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Slow-path acquire: joins the FCFS queue (or grabs the lock under
+    /// the mutex if it freed up in the meantime). Blocks until granted.
+    /// `sampled` controls whether the queue wait is timed.
+    fn acquire_slow(&self, exclusive: bool, sampled: bool) -> SlowAcquire {
         let mut st = self.lock_state();
-        if st.queue.is_empty() && st.compatible(exclusive) {
-            st.admit(exclusive);
-            drop(st);
-            return (Instant::now(), 0, false);
+        // Announce a potential waiter *before* re-reading the holder
+        // bits: any release CAS that lands after this `fetch_or` either
+        // already freed the lock (we see it below) or fails and detours
+        // through the mutex behind us (it will see our queue entry). The
+        // bit is only ever set or cleared under the mutex.
+        let cur = self.word.fetch_or(QUEUED, Ordering::AcqRel) | QUEUED;
+        if st.queue.is_empty() && compatible(cur, exclusive) {
+            // Second chance: the lock freed up between the failed fast
+            // path and here, and nobody is ahead of us. Admit ourselves.
+            if exclusive {
+                self.word.fetch_or(WRITER, Ordering::AcqRel);
+            } else {
+                self.word.fetch_add(1, Ordering::AcqRel);
+            }
+            self.word.fetch_and(!QUEUED, Ordering::AcqRel);
+            return SlowAcquire {
+                wait_ns: 0,
+                queued: false,
+            };
         }
         let id = st.next_id;
         st.next_id += 1;
         st.queue.push_back((id, exclusive));
-        let enqueued_at = Instant::now();
+        let enqueued_at = sampled.then(Instant::now);
         loop {
             st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
             if let Some(pos) = st.granted.iter().position(|&g| g == id) {
@@ -89,44 +166,79 @@ impl RawFcfs {
             }
         }
         drop(st);
-        let granted_at = Instant::now();
-        let wait = granted_at.duration_since(enqueued_at).as_nanos() as u64;
-        (granted_at, wait, true)
+        SlowAcquire {
+            wait_ns: enqueued_at.map_or(0, |t| t.elapsed().as_nanos() as u64),
+            queued: true,
+        }
     }
 
-    /// Releases one holder and grants the maximal compatible FCFS prefix
-    /// of the waiting queue (a writer, or an arrival-order reader burst).
-    fn release(&self, exclusive: bool) {
+    /// Uncontended release: one CAS, succeeds only while nobody waits.
+    #[inline]
+    fn try_release_fast(&self, exclusive: bool) -> bool {
+        let mut cur = self.word.load(Ordering::Relaxed);
+        loop {
+            if cur & QUEUED != 0 {
+                return false;
+            }
+            let next = if exclusive {
+                debug_assert!(cur & WRITER != 0, "release of an unheld writer lock");
+                cur & !WRITER
+            } else {
+                debug_assert!(cur & READERS > 0, "release of an unheld reader lock");
+                cur - 1
+            };
+            match self
+                .word
+                .compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Relaxed)
+            {
+                Ok(_) => return true,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Slow-path release: drops the holder bit under the mutex and grants
+    /// the maximal compatible FCFS prefix of the waiting queue (a writer,
+    /// or an arrival-order reader burst).
+    fn release_slow(&self, exclusive: bool) {
         let mut st = self.lock_state();
         if exclusive {
-            debug_assert!(st.writer_active, "release of an unheld writer lock");
-            st.writer_active = false;
+            self.word.fetch_and(!WRITER, Ordering::AcqRel);
         } else {
-            debug_assert!(st.active_readers > 0, "release of an unheld reader lock");
-            st.active_readers -= 1;
+            self.word.fetch_sub(1, Ordering::AcqRel);
         }
         let mut granted_any = false;
         while let Some(&(id, exc)) = st.queue.front() {
+            let cur = self.word.load(Ordering::Relaxed);
             if exc {
-                if st.compatible(true) {
+                if compatible(cur, true) {
                     st.queue.pop_front();
-                    st.writer_active = true;
+                    self.word.fetch_or(WRITER, Ordering::AcqRel);
                     st.granted.push(id);
                     granted_any = true;
                 }
                 break; // a granted or still-blocked writer ends the prefix
-            } else if st.compatible(false) {
+            } else if compatible(cur, false) {
                 st.queue.pop_front();
-                st.active_readers += 1;
+                self.word.fetch_add(1, Ordering::AcqRel);
                 st.granted.push(id);
                 granted_any = true; // keep admitting the reader burst
             } else {
                 break;
             }
         }
+        if st.queue.is_empty() {
+            self.word.fetch_and(!QUEUED, Ordering::AcqRel);
+        }
         if granted_any {
             drop(st);
             self.cv.notify_all();
+        }
+    }
+
+    fn release(&self, exclusive: bool) {
+        if !self.try_release_fast(exclusive) {
+            self.release_slow(exclusive);
         }
     }
 
@@ -167,11 +279,17 @@ unsafe impl<T: ?Sized + Send> Send for FcfsRwLock<T> {}
 unsafe impl<T: ?Sized + Send + Sync> Sync for FcfsRwLock<T> {}
 
 impl<T> FcfsRwLock<T> {
-    /// Wraps a value.
+    /// Wraps a value with exact (unsampled) wait/hold timing.
     pub fn new(value: T) -> Self {
+        FcfsRwLock::with_sampling(value, SamplePeriod::EXACT)
+    }
+
+    /// Wraps a value, timing only one in `sample.period()` acquisitions
+    /// (durations are scaled back up so the stats stay unbiased).
+    pub fn with_sampling(value: T, sample: SamplePeriod) -> Self {
         FcfsRwLock {
             raw: RawFcfs::default(),
-            stats: LockStats::default(),
+            stats: LockStats::with_sampling(sample),
             data: UnsafeCell::new(value),
         }
     }
@@ -183,23 +301,39 @@ impl<T> FcfsRwLock<T> {
 }
 
 impl<T: ?Sized> FcfsRwLock<T> {
-    fn start_read(&self) -> Instant {
-        crate::inject::perturb(crate::inject::Site::AcquireShared);
-        let (granted_at, wait_ns, contended) = self.raw.acquire(false);
-        self.stats.record_acquire(false, wait_ns, contended);
-        granted_at
+    /// Acquires in the given mode; returns the hold-timing start when
+    /// this acquisition was sampled.
+    fn start(&self, exclusive: bool) -> Option<Instant> {
+        crate::inject::perturb(if exclusive {
+            crate::inject::Site::AcquireExclusive
+        } else {
+            crate::inject::Site::AcquireShared
+        });
+        let sampled = self.stats.begin_acquire(exclusive);
+        if self.raw.try_acquire_fast(exclusive) {
+            if sampled {
+                self.stats.record_sampled_wait(exclusive, 0);
+                return Some(Instant::now());
+            }
+            return None;
+        }
+        let slow = self.raw.acquire_slow(exclusive, sampled);
+        if slow.queued {
+            self.stats.record_contended(exclusive);
+        }
+        if sampled {
+            self.stats.record_sampled_wait(exclusive, slow.wait_ns);
+            Some(Instant::now())
+        } else {
+            None
+        }
     }
 
-    fn start_write(&self) -> Instant {
-        crate::inject::perturb(crate::inject::Site::AcquireExclusive);
-        let (granted_at, wait_ns, contended) = self.raw.acquire(true);
-        self.stats.record_acquire(true, wait_ns, contended);
-        granted_at
-    }
-
-    fn finish(&self, exclusive: bool, granted_at: Instant) {
-        self.stats
-            .record_release(exclusive, granted_at.elapsed().as_nanos() as u64);
+    fn finish(&self, exclusive: bool, hold_start: Option<Instant>) {
+        if let Some(t0) = hold_start {
+            self.stats
+                .record_sampled_hold(exclusive, t0.elapsed().as_nanos() as u64);
+        }
         self.raw.release(exclusive);
         crate::inject::perturb(crate::inject::Site::Release);
     }
@@ -207,16 +341,16 @@ impl<T: ?Sized> FcfsRwLock<T> {
     /// Acquires a shared latch, blocking FCFS behind earlier arrivals.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
         RwLockReadGuard {
+            hold_start: self.start(false),
             lock: self,
-            granted_at: self.start_read(),
         }
     }
 
     /// Acquires the exclusive latch, blocking FCFS behind earlier arrivals.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         RwLockWriteGuard {
+            hold_start: self.start(true),
             lock: self,
-            granted_at: self.start_write(),
         }
     }
 
@@ -224,7 +358,7 @@ impl<T: ?Sized> FcfsRwLock<T> {
     /// borrow of the `Arc` it was taken from — the latch-crabbing shape.
     pub fn read_arc(self: &Arc<Self>) -> ArcRwLockReadGuard<T> {
         ArcRwLockReadGuard {
-            granted_at: self.start_read(),
+            hold_start: self.start(false),
             lock: Arc::clone(self),
         }
     }
@@ -232,7 +366,7 @@ impl<T: ?Sized> FcfsRwLock<T> {
     /// Exclusive latch with an owned (`Arc`-holding) guard.
     pub fn write_arc(self: &Arc<Self>) -> ArcRwLockWriteGuard<T> {
         ArcRwLockWriteGuard {
-            granted_at: self.start_write(),
+            hold_start: self.start(true),
             lock: Arc::clone(self),
         }
     }
@@ -263,28 +397,28 @@ impl<T: ?Sized> fmt::Debug for FcfsRwLock<T> {
 #[must_use = "dropping the guard releases the latch"]
 pub struct RwLockReadGuard<'a, T: ?Sized> {
     lock: &'a FcfsRwLock<T>,
-    granted_at: Instant,
+    hold_start: Option<Instant>,
 }
 
 /// Exclusive guard borrowing the lock.
 #[must_use = "dropping the guard releases the latch"]
 pub struct RwLockWriteGuard<'a, T: ?Sized> {
     lock: &'a FcfsRwLock<T>,
-    granted_at: Instant,
+    hold_start: Option<Instant>,
 }
 
 /// Shared guard owning a strong reference to the lock.
 #[must_use = "dropping the guard releases the latch"]
 pub struct ArcRwLockReadGuard<T: ?Sized> {
     lock: Arc<FcfsRwLock<T>>,
-    granted_at: Instant,
+    hold_start: Option<Instant>,
 }
 
 /// Exclusive guard owning a strong reference to the lock.
 #[must_use = "dropping the guard releases the latch"]
 pub struct ArcRwLockWriteGuard<T: ?Sized> {
     lock: Arc<FcfsRwLock<T>>,
-    granted_at: Instant,
+    hold_start: Option<Instant>,
 }
 
 impl<T: ?Sized> ArcRwLockReadGuard<T> {
@@ -318,7 +452,7 @@ macro_rules! impl_guard {
         impl_guard!(@mut $guard, $($lt,)? $mutable);
         impl<$($lt,)? T: ?Sized> Drop for $guard<$($lt,)? T> {
             fn drop(&mut self) {
-                self.lock.finish($exclusive, self.granted_at);
+                self.lock.finish($exclusive, self.hold_start);
             }
         }
         impl<$($lt,)? T: ?Sized + fmt::Debug> fmt::Debug for $guard<$($lt,)? T> {
@@ -358,6 +492,44 @@ mod tests {
         lock.write().push(4);
         assert_eq!(*lock.read(), vec![1, 2, 3, 4]);
         assert_eq!(lock.into_inner(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn fast_path_leaves_word_clean() {
+        let lock = FcfsRwLock::new(0u64);
+        {
+            let _r1 = lock.read();
+            let _r2 = lock.read();
+            assert_eq!(lock.raw.word.load(Ordering::Relaxed), 2);
+        }
+        assert_eq!(lock.raw.word.load(Ordering::Relaxed), 0);
+        {
+            let _w = lock.write();
+            assert_eq!(lock.raw.word.load(Ordering::Relaxed), WRITER);
+        }
+        assert_eq!(lock.raw.word.load(Ordering::Relaxed), 0);
+        assert_eq!(lock.queued(), 0);
+    }
+
+    #[test]
+    fn queued_bit_tracks_the_queue() {
+        let lock = Arc::new(FcfsRwLock::new(0u64));
+        let g = lock.write();
+        let t = {
+            let lock = Arc::clone(&lock);
+            std::thread::spawn(move || {
+                let _g = lock.read();
+            })
+        };
+        while lock.queued() == 0 {
+            std::thread::yield_now();
+        }
+        assert_ne!(lock.raw.word.load(Ordering::Relaxed) & QUEUED, 0);
+        drop(g);
+        t.join().unwrap();
+        // Granting the last waiter clears QUEUED and the word returns to
+        // zero once the reader departs.
+        assert_eq!(lock.raw.word.load(Ordering::Relaxed), 0);
     }
 
     #[test]
@@ -453,6 +625,40 @@ mod tests {
         assert_eq!(snap.r_contended, 1);
         assert!(snap.r_wait_ns > 0, "a queued acquisition records its wait");
         assert!(snap.w_hold_ns > 0, "the held span covers the handshake");
+    }
+
+    #[test]
+    fn uncontended_acquires_are_never_contended() {
+        let lock = FcfsRwLock::new(());
+        for _ in 0..100 {
+            drop(lock.read());
+            drop(lock.write());
+        }
+        let snap = lock.stats().snapshot();
+        assert_eq!(snap.r_acquires, 100);
+        assert_eq!(snap.w_acquires, 100);
+        assert_eq!(snap.r_contended, 0);
+        assert_eq!(snap.w_contended, 0);
+        assert_eq!(snap.r_wait_ns, 0);
+        assert_eq!(snap.w_wait_ns, 0);
+        // Exact sampling: every acquire records a (zero) wait observation.
+        assert_eq!(snap.r_wait_hist.total(), 100);
+        assert!(snap.w_hold_ns > 0, "holds are timed even when uncontended");
+    }
+
+    #[test]
+    fn sampled_lock_keeps_counts_exact() {
+        let lock = FcfsRwLock::with_sampling(0u64, SamplePeriod::every(4));
+        for _ in 0..101 {
+            *lock.write() += 1;
+            drop(lock.read());
+        }
+        let snap = lock.stats().snapshot();
+        assert_eq!(snap.w_acquires, 101, "counts must stay exact");
+        assert_eq!(snap.r_acquires, 101);
+        // Under the inject feature the period is forced to 1 (exact).
+        let expect = if cfg!(feature = "inject") { 101 } else { 26 };
+        assert_eq!(snap.w_wait_hist.total(), expect);
     }
 
     #[test]

@@ -11,10 +11,17 @@
 //! - when the lock frees up, the **maximal compatible prefix** of the
 //!   queue is admitted — a single writer, or a burst of consecutive
 //!   readers granted together;
+//! - **uncontended acquire and release are each one CAS** on a packed
+//!   `AtomicU64` holding `(writer, queue-nonempty, reader count)`; the
+//!   lock detours through its ticketed `Mutex`+`Condvar` queue only
+//!   while someone is actually waiting, so the FCFS discipline above is
+//!   preserved bit for bit whenever it matters;
 //! - every lock embeds [`LockStats`]: relaxed-atomic counters and
 //!   log₂-bucketed wait histograms, so a measurement harness can read
 //!   per-lock waiting times, hold times, and writer utilization `ρ_w`
-//!   without perturbing the lock's hot path.
+//!   without perturbing the lock's hot path. Duration timing can be
+//!   1-in-N sampled ([`SamplePeriod`]) with counts kept exact and
+//!   sampled durations scaled so the derived estimators stay unbiased.
 //!
 //! All `unsafe` in the workspace's locking layer is confined to this
 //! crate (the `UnsafeCell` data access behind the guards); the B-tree
@@ -39,4 +46,4 @@ pub use fcfs::{
 };
 pub use histogram::{bucket_floor, bucket_of, Histogram, HistogramSnapshot, BUCKETS};
 pub use inject::{InjectConfig, InjectStats};
-pub use stats::{LockStats, LockStatsSnapshot};
+pub use stats::{LockStats, LockStatsSnapshot, SamplePeriod};

@@ -7,13 +7,79 @@
 //! The derived quantities are exactly the observables of the paper's
 //! queueing model: writer utilization `ρ_w = Σ hold_W / elapsed`, mean
 //! reader/writer waits, and contention rates.
+//!
+//! # Sampled timing
+//!
+//! Reading `Instant::now()` twice per acquisition costs more than an
+//! uncontended acquisition itself, so duration measurement is optionally
+//! **1-in-N sampled** (see [`SamplePeriod`]). Acquisition and contention
+//! *counts* are always exact; only the wait/hold *durations* are sampled.
+//! A sampled duration is added to the running sums as `dur × N`, which
+//! keeps every sum — and therefore `writer_utilization` and the mean-wait
+//! estimators, which divide those sums by exact denominators — unbiased:
+//! `E[Σ scaled] = N · (1/N) · Σ true = Σ true`. Histograms record the raw
+//! (unscaled) sampled values; because the sample is a deterministic
+//! 1-in-N systematic sample of the acquisition stream, bucket
+//! *proportions* and quantiles remain representative while `total()`
+//! reflects only the sampled count.
 
 use crate::histogram::{Histogram, HistogramSnapshot};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// How often wait/hold durations are measured: one acquisition in
+/// `period()` is timed, and its duration is scaled by `period()` when
+/// added to the stat sums so estimators stay unbiased.
+///
+/// Periods are powers of two (the sampling decision is a mask test on the
+/// acquisition counter). [`SamplePeriod::EXACT`] (N=1) times everything —
+/// it is the default and preserves the crate's original behavior. When
+/// the `inject` cargo feature is enabled the effective period is forced
+/// to 1 so the check pillar's schedule perturbation sees unchanged
+/// timing behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SamplePeriod {
+    shift: u32,
+}
+
+impl SamplePeriod {
+    /// Time every acquisition (N = 1).
+    pub const EXACT: SamplePeriod = SamplePeriod { shift: 0 };
+
+    /// Time one in `n` acquisitions, with `n` rounded **up** to the next
+    /// power of two (`every(0)` and `every(1)` are [`Self::EXACT`]).
+    pub fn every(n: u64) -> SamplePeriod {
+        SamplePeriod {
+            shift: n.max(1).next_power_of_two().trailing_zeros(),
+        }
+    }
+
+    /// The sampling period N (a power of two).
+    pub fn period(self) -> u64 {
+        1u64 << self.effective_shift()
+    }
+
+    #[inline]
+    pub(crate) fn effective_shift(self) -> u32 {
+        if cfg!(feature = "inject") {
+            0
+        } else {
+            self.shift
+        }
+    }
+}
+
+impl Default for SamplePeriod {
+    fn default() -> Self {
+        SamplePeriod::EXACT
+    }
+}
+
 /// Atomic per-lock counters, updated by the lock itself.
 #[derive(Debug, Default)]
 pub struct LockStats {
+    /// Log2 of the sampling period; set at construction, before the lock
+    /// is shared, and read-only afterwards.
+    sample_shift: u32,
     pub(crate) r_acquires: AtomicU64,
     pub(crate) w_acquires: AtomicU64,
     pub(crate) r_contended: AtomicU64,
@@ -27,36 +93,61 @@ pub struct LockStats {
 }
 
 impl LockStats {
-    pub(crate) fn record_acquire(&self, exclusive: bool, wait_ns: u64, contended: bool) {
-        let (acq, cont, wait, hist) = if exclusive {
-            (
-                &self.w_acquires,
-                &self.w_contended,
-                &self.w_wait_ns,
-                &self.w_wait_hist,
-            )
-        } else {
-            (
-                &self.r_acquires,
-                &self.r_contended,
-                &self.r_wait_ns,
-                &self.r_wait_hist,
-            )
-        };
-        acq.fetch_add(1, Ordering::Relaxed);
-        if contended {
-            cont.fetch_add(1, Ordering::Relaxed);
+    pub(crate) fn with_sampling(sample: SamplePeriod) -> LockStats {
+        LockStats {
+            sample_shift: sample.effective_shift(),
+            ..LockStats::default()
         }
-        wait.fetch_add(wait_ns, Ordering::Relaxed);
+    }
+
+    /// Counts an acquisition (exact) and decides whether this one is
+    /// timed: returns `true` for one acquisition in `2^sample_shift`,
+    /// reusing the count itself as the systematic-sampling clock.
+    #[inline]
+    pub(crate) fn begin_acquire(&self, exclusive: bool) -> bool {
+        let acq = if exclusive {
+            &self.w_acquires
+        } else {
+            &self.r_acquires
+        };
+        let prev = acq.fetch_add(1, Ordering::Relaxed);
+        let mask = (1u64 << self.sample_shift) - 1;
+        prev & mask == 0
+    }
+
+    /// Counts a queued (contended) acquisition. Exact, independent of
+    /// sampling.
+    #[inline]
+    pub(crate) fn record_contended(&self, exclusive: bool) {
+        if exclusive {
+            self.w_contended.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.r_contended.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a sampled wait: the raw value feeds the histogram, the
+    /// scaled value (`wait_ns × N`) feeds the unbiased sum.
+    #[inline]
+    pub(crate) fn record_sampled_wait(&self, exclusive: bool, wait_ns: u64) {
+        let (wait, hist) = if exclusive {
+            (&self.w_wait_ns, &self.w_wait_hist)
+        } else {
+            (&self.r_wait_ns, &self.r_wait_hist)
+        };
+        wait.fetch_add(wait_ns << self.sample_shift, Ordering::Relaxed);
         hist.record(wait_ns);
     }
 
-    pub(crate) fn record_release(&self, exclusive: bool, hold_ns: u64) {
-        if exclusive {
-            self.w_hold_ns.fetch_add(hold_ns, Ordering::Relaxed);
+    /// Records a sampled hold duration, scaled by the sampling period.
+    #[inline]
+    pub(crate) fn record_sampled_hold(&self, exclusive: bool, hold_ns: u64) {
+        let hold = if exclusive {
+            &self.w_hold_ns
         } else {
-            self.r_hold_ns.fetch_add(hold_ns, Ordering::Relaxed);
-        }
+            &self.r_hold_ns
+        };
+        hold.fetch_add(hold_ns << self.sample_shift, Ordering::Relaxed);
     }
 
     /// A plain-integer copy of the counters at this instant.
@@ -88,7 +179,8 @@ pub struct LockStatsSnapshot {
     pub r_contended: u64,
     /// Exclusive acquisitions that had to queue.
     pub w_contended: u64,
-    /// Total nanoseconds shared requesters spent queued.
+    /// Total nanoseconds shared requesters spent queued (sampled timing
+    /// is pre-scaled, so this estimates the true total).
     pub r_wait_ns: u64,
     /// Total nanoseconds exclusive requesters spent queued.
     pub w_wait_ns: u64,
@@ -96,9 +188,9 @@ pub struct LockStatsSnapshot {
     pub r_hold_ns: u64,
     /// Total nanoseconds the lock was held exclusively.
     pub w_hold_ns: u64,
-    /// Histogram of shared wait times.
+    /// Histogram of shared wait times (sampled acquisitions only).
     pub r_wait_hist: HistogramSnapshot,
-    /// Histogram of exclusive wait times.
+    /// Histogram of exclusive wait times (sampled acquisitions only).
     pub w_wait_hist: HistogramSnapshot,
 }
 
@@ -181,10 +273,13 @@ mod tests {
     #[test]
     fn record_roundtrip() {
         let s = LockStats::default();
-        s.record_acquire(false, 100, false);
-        s.record_acquire(true, 200, true);
-        s.record_release(false, 1_000);
-        s.record_release(true, 2_000);
+        assert!(s.begin_acquire(false), "first acquisition is sampled");
+        assert!(s.begin_acquire(true));
+        s.record_contended(true);
+        s.record_sampled_wait(false, 100);
+        s.record_sampled_wait(true, 200);
+        s.record_sampled_hold(false, 1_000);
+        s.record_sampled_hold(true, 2_000);
         let snap = s.snapshot();
         assert_eq!(snap.r_acquires, 1);
         assert_eq!(snap.w_acquires, 1);
@@ -201,10 +296,13 @@ mod tests {
     #[test]
     fn since_and_merge_compose() {
         let s = LockStats::default();
-        s.record_acquire(true, 10, true);
+        s.begin_acquire(true);
+        s.record_contended(true);
+        s.record_sampled_wait(true, 10);
         let a = s.snapshot();
-        s.record_acquire(true, 30, false);
-        s.record_release(true, 50);
+        s.begin_acquire(true);
+        s.record_sampled_wait(true, 30);
+        s.record_sampled_hold(true, 50);
         let b = s.snapshot();
         let d = b.since(&a);
         assert_eq!(d.w_acquires, 1);
@@ -230,5 +328,47 @@ mod tests {
         assert_eq!(snap.writer_utilization(1_000, 1), 0.5);
         assert_eq!(snap.writer_utilization(1_000, 2), 0.25);
         assert_eq!(snap.writer_utilization(100, 1), 1.0, "clamped at 1");
+    }
+
+    #[test]
+    fn sample_period_rounds_up_to_power_of_two() {
+        assert_eq!(SamplePeriod::EXACT.period(), 1);
+        assert_eq!(SamplePeriod::every(0), SamplePeriod::EXACT);
+        assert_eq!(SamplePeriod::every(1), SamplePeriod::EXACT);
+        if cfg!(feature = "inject") {
+            // Inject builds force exact timing regardless of the knob.
+            assert_eq!(SamplePeriod::every(8).period(), 1);
+            return;
+        }
+        assert_eq!(SamplePeriod::every(2).period(), 2);
+        assert_eq!(SamplePeriod::every(5).period(), 8);
+        assert_eq!(SamplePeriod::every(8).period(), 8);
+        assert_eq!(SamplePeriod::every(1000).period(), 1024);
+    }
+
+    #[test]
+    fn sampling_selects_one_in_n_and_scales_sums() {
+        let s = LockStats::with_sampling(SamplePeriod::every(4));
+        let mut sampled = 0;
+        for _ in 0..16 {
+            if s.begin_acquire(true) {
+                sampled += 1;
+                s.record_sampled_wait(true, 100);
+                s.record_sampled_hold(true, 100);
+            }
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.w_acquires, 16, "counts stay exact");
+        if cfg!(feature = "inject") {
+            assert_eq!(sampled, 16);
+            assert_eq!(snap.w_wait_ns, 1_600);
+            return;
+        }
+        assert_eq!(sampled, 4, "acquisitions 0, 4, 8, 12 are sampled");
+        // Each sampled 100ns contributes 100 << 2 = 400 to the sum, so the
+        // estimated total equals the true total (16 × 100).
+        assert_eq!(snap.w_wait_ns, 1_600);
+        assert_eq!(snap.w_hold_ns, 1_600);
+        assert_eq!(snap.w_wait_hist.total(), 4, "histogram holds raw samples");
     }
 }

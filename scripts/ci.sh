@@ -25,4 +25,7 @@ cargo run --release -p cbtree-check --bin stress -- --quick
 echo "==> correctness pillar: injected-bug demo (checker must convict)"
 cargo run --release -p cbtree-check --bin stress -- --demo-bug
 
+echo "==> lock microbenchmark (smoke mode, writes BENCH_lock.json)"
+cargo run --release -p cbtree-bench --bin lockbench -- --smoke
+
 echo "==> ok"
