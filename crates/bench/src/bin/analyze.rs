@@ -319,6 +319,7 @@ fn live_compare(args: &Args, mix: OpMix) -> Result<(), String> {
         measure: Duration::from_millis(500),
         seed: 0x11FE,
         stats_sampling: SamplePeriod::every(args.sample_every),
+        txn: 1,
     };
 
     // Calibrate: one model cost unit, in seconds of wall clock.
@@ -353,7 +354,7 @@ fn live_compare(args: &Args, mix: OpMix) -> Result<(), String> {
         zero_load_units
     );
     println!(
-        "{:<12} {:>10} {:>8} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9}",
+        "{:<12} {:>10} {:>8} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9} | {:>8} {:>8} {:>8}",
         "algorithm",
         "live-thru",
         "lambda",
@@ -362,7 +363,10 @@ fn live_compare(args: &Args, mix: OpMix) -> Result<(), String> {
         "live-sRT",
         "anl-iRT",
         "sim-iRT",
-        "live-iRT"
+        "live-iRT",
+        "ltch/op",
+        "restart",
+        "chase"
     );
     for (protocol, alg, sim_alg) in [
         (
@@ -411,7 +415,7 @@ fn live_compare(args: &Args, mix: OpMix) -> Result<(), String> {
             Err(_) => ("      sat".into(), "      sat".into()),
         };
         println!(
-            "{:<12} {:>10.0} {:>8.4} | {} {} {} | {} {} {}",
+            "{:<12} {:>10.0} {:>8.4} | {} {} {} | {} {} {} | {:>8.2} {:>8.4} {:>8.4}",
             protocol.name(),
             live.throughput,
             lambda,
@@ -421,11 +425,15 @@ fn live_compare(args: &Args, mix: OpMix) -> Result<(), String> {
             anl_i,
             sim_i,
             fmt_units(live.resp_insert.mean / unit_secs),
+            live.counters.latches_per_op(),
+            live.counters.restart_rate(),
+            live.counters.chase_rate(),
         );
     }
     println!(
         "(response times in model cost units; live converted via the calibrated unit; \
-         each pillar evaluated at the live run's measured λ)"
+         each pillar evaluated at the live run's measured λ; ltch/op, restart and \
+         chase rates from the engine's per-operation telemetry)"
     );
     Ok(())
 }

@@ -1,352 +1,36 @@
-//! The B-link tree (Lehman–Yao, with the Lanin–Shasha/Sagiv refinements
-//! the paper's Link-type algorithm assumes).
+//! The Link-type tree (Lehman–Yao B-link).
 //!
-//! Every node carries a *high key* (the exclusive upper bound of its key
-//! range) and a *right link* to its same-level successor. A split is a
-//! *half-split*: the overfull node moves its upper half into a fresh
-//! right sibling — linked in and immediately reachable — and only then,
-//! after releasing the node, is the separator posted into the parent
-//! under the parent's own latch. Any traversal that lands on a node whose
-//! range no longer covers its key simply chases right links.
-//!
-//! Consequences: operations hold **at most one latch at a time**, readers
-//! never block structure changes above the node they are on, and the
-//! tree is correct under any interleaving of lookups, inserts, removes
-//! and splits. Deletes are merge-at-empty with lazy reclamation (emptied
-//! nodes persist), the regime the paper analyzes.
+//! Every node carries a high key and a right link (maintained by
+//! [`crate::node::Node::half_split`]). Operations hold **at most one
+//! latch at a time**: a descent latches a node, decides, releases, then
+//! latches the next. The price is that a node observed without a latch
+//! may have split in the meantime — the key may now live in a right
+//! sibling. The cure is the link: whenever a latched node does not cover
+//! the search key, chase `right` until one does. Splits are half-splits:
+//! the new sibling becomes reachable via the link *before* its separator
+//! is posted in the parent, so the parent insertion happens afterwards,
+//! under its own (single) latch.
 
-use crate::node::{check_invariants, make_root, Children, Node, NodeRef};
-use crate::writepath::WriteGuard;
-use cbtree_sync::{FcfsRwLock as RwLock, SamplePeriod};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use crate::descent::{DescentTree, LatchStrategy, ReadPolicy, UpdatePolicy};
+
+/// The Lehman–Yao link strategy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BLinkStrategy;
+
+impl LatchStrategy for BLinkStrategy {
+    const NAME: &'static str = "b-link";
+    const READ: ReadPolicy = ReadPolicy::Link;
+    const UPDATE: UpdatePolicy = UpdatePolicy::Link;
+}
 
 /// A concurrent B+-tree using the Lehman–Yao link protocol.
-#[derive(Debug)]
-pub struct BLinkTree<V> {
-    root: RwLock<NodeRef<V>>,
-    cap: usize,
-    len: AtomicUsize,
-    crossings: AtomicU64,
-    sample: SamplePeriod,
-}
-
-impl<V> BLinkTree<V> {
-    /// Creates an empty tree with at most `capacity` keys per node and
-    /// exact lock timing.
-    ///
-    /// # Panics
-    /// Panics when `capacity < 3`.
-    pub fn new(capacity: usize) -> Self {
-        BLinkTree::with_sampling(capacity, SamplePeriod::EXACT)
-    }
-
-    /// Creates an empty tree whose node locks time one in
-    /// `sample.period()` acquisitions (counts stay exact).
-    ///
-    /// # Panics
-    /// Panics when `capacity < 3`.
-    pub fn with_sampling(capacity: usize, sample: SamplePeriod) -> Self {
-        assert!(capacity >= 3, "node capacity must be at least 3");
-        BLinkTree {
-            root: RwLock::new(Node::new_leaf().into_ref_sampled(sample)),
-            cap: capacity,
-            len: AtomicUsize::new(0),
-            crossings: AtomicU64::new(0),
-            sample,
-        }
-    }
-
-    /// Number of keys stored.
-    pub fn len(&self) -> usize {
-        self.len.load(Ordering::Acquire)
-    }
-
-    /// Whether the tree is empty.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Node capacity.
-    pub fn capacity(&self) -> usize {
-        self.cap
-    }
-
-    /// Current height (levels).
-    pub fn height(&self) -> usize {
-        self.root.read().read().level
-    }
-
-    /// Total right-link chases performed by all operations so far — the
-    /// statistic behind the paper's Figure 9 (link crossing is rare).
-    pub fn crossing_count(&self) -> u64 {
-        self.crossings.load(Ordering::Relaxed)
-    }
-
-    fn note_crossing(&self) {
-        self.crossings.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Latch-free-style descent (one shared latch at a time) to the leaf
-    /// *candidate* for `key`, recording the visited node of every
-    /// internal level as ascent hints. The caller must still chase right
-    /// after latching the returned leaf.
-    fn descend(&self, key: u64, stack: &mut Vec<NodeRef<V>>) -> NodeRef<V> {
-        let mut cur: NodeRef<V> = Arc::clone(&self.root.read());
-        loop {
-            let next = {
-                let g = cur.read();
-                if !g.covers(key) {
-                    self.note_crossing();
-                    Arc::clone(
-                        g.right
-                            .as_ref()
-                            .expect("finite high key implies right link"),
-                    )
-                } else {
-                    match &g.children {
-                        Children::Leaf(_) => return Arc::clone(&cur),
-                        Children::Internal(_) => {
-                            stack.push(Arc::clone(&cur));
-                            g.child_for(key)
-                        }
-                    }
-                }
-            };
-            cur = next;
-        }
-    }
-
-    /// Exclusively latches `start`, chasing right until the node covers
-    /// `key`. Returns the guard of the covering node.
-    fn latch_covering(&self, start: NodeRef<V>, key: u64) -> WriteGuard<V> {
-        let mut cur = start;
-        let mut guard = cur.write_arc();
-        while !guard.covers(key) {
-            let next = Arc::clone(guard.right.as_ref().expect("covers"));
-            drop(guard); // at most one latch at a time
-            self.note_crossing();
-            cur = next;
-            guard = cur.write_arc();
-        }
-        guard
-    }
-
-    /// Inserts `key → val`; returns the previous value if the key existed.
-    pub fn insert(&self, key: u64, val: V) -> Option<V> {
-        let mut stack = Vec::new();
-        let leaf = self.descend(key, &mut stack);
-        let mut guard = self.latch_covering(leaf, key);
-        let old = guard.leaf_insert(key, val);
-        if old.is_some() {
-            return old;
-        }
-        self.len.fetch_add(1, Ordering::AcqRel);
-        if !guard.overfull(self.cap) {
-            return None;
-        }
-        // Half-split, then post separators upward.
-        let (mut sep, mut sib) = guard.half_split(self.sample);
-        let mut left = Arc::clone(cbtree_sync::ArcRwLockWriteGuard::rwlock(&guard));
-        let mut level = guard.level;
-        drop(guard);
-        // The sibling is linked and reachable, but its separator is not
-        // yet posted in the parent — the Lehman–Yao window every other
-        // operation must tolerate via right-link chases.
-        cbtree_sync::inject::perturb(cbtree_sync::inject::Site::HalfSplit);
-        loop {
-            let parent = match stack.pop() {
-                Some(p) => p,
-                None => {
-                    if self.try_grow_root(&left, sep, &sib, level) {
-                        return None;
-                    }
-                    // The tree grew underneath us; find today's ancestor.
-                    self.find_level_ancestor(level + 1, sep)
-                }
-            };
-            let mut pg = self.latch_covering(parent, sep);
-            debug_assert!(pg.level == level + 1, "ascent hint at wrong level");
-            pg.insert_separator(sep, Arc::clone(&sib));
-            if !pg.overfull(self.cap) {
-                return None;
-            }
-            let (s, sb) = pg.half_split(self.sample);
-            left = Arc::clone(cbtree_sync::ArcRwLockWriteGuard::rwlock(&pg));
-            level = pg.level;
-            sep = s;
-            sib = sb;
-            drop(pg);
-            // Same unposted-separator window, one level up.
-            cbtree_sync::inject::perturb(cbtree_sync::inject::Site::HalfSplit);
-        }
-    }
-
-    /// Attempts the root swap after splitting what was the root. Returns
-    /// `false` when someone else already grew the tree.
-    fn try_grow_root(&self, left: &NodeRef<V>, sep: u64, sib: &NodeRef<V>, level: usize) -> bool {
-        let mut ptr = self.root.write();
-        if Arc::ptr_eq(&ptr, left) {
-            *ptr = make_root(
-                Arc::clone(left),
-                sep,
-                Arc::clone(sib),
-                level + 1,
-                self.sample,
-            );
-            true
-        } else {
-            false
-        }
-    }
-
-    /// Finds the current node at `level` whose range covers `key`
-    /// (read descent from the current root; used only in the rare corner
-    /// where the root grew while we were splitting the old root).
-    fn find_level_ancestor(&self, level: usize, key: u64) -> NodeRef<V> {
-        'restart: loop {
-            let mut cur: NodeRef<V> = Arc::clone(&self.root.read());
-            loop {
-                let next = {
-                    let g = cur.read();
-                    if g.level == level {
-                        return Arc::clone(&cur);
-                    }
-                    if g.level < level {
-                        // Another thread split the old root but has not
-                        // yet swapped the root pointer, so no node at
-                        // `level` is published yet. We hold no latches,
-                        // so the grower cannot be waiting on us: spin
-                        // until its swap lands.
-                        drop(g);
-                        std::thread::yield_now();
-                        continue 'restart;
-                    }
-                    if !g.covers(key) {
-                        Arc::clone(g.right.as_ref().expect("covers"))
-                    } else {
-                        g.child_for(key)
-                    }
-                };
-                cur = next;
-            }
-        }
-    }
-
-    /// Removes `key`, returning its value if present. Merge-at-empty with
-    /// lazy reclamation: an emptied leaf persists, still linked.
-    pub fn remove(&self, key: &u64) -> Option<V> {
-        let mut stack = Vec::new();
-        let leaf = self.descend(*key, &mut stack);
-        let mut guard = self.latch_covering(leaf, *key);
-        let old = guard.leaf_remove(*key);
-        if old.is_some() {
-            self.len.fetch_sub(1, Ordering::AcqRel);
-        }
-        old
-    }
-
-    /// Whether `key` is present.
-    pub fn contains_key(&self, key: &u64) -> bool {
-        let mut stack = Vec::new();
-        let leaf = self.descend(*key, &mut stack);
-        // Shared latch + right chase (reads don't need exclusivity).
-        let mut cur = leaf;
-        let mut g = cur.read_arc();
-        while !g.covers(*key) {
-            let next = Arc::clone(g.right.as_ref().expect("covers"));
-            drop(g);
-            self.note_crossing();
-            cur = next;
-            g = cur.read_arc();
-        }
-        g.keys.binary_search(key).is_ok()
-    }
-
-    /// Checks structural invariants (quiescent use).
-    pub fn check(&self) -> Result<(), String> {
-        check_invariants(&self.root.read(), self.cap)
-    }
-
-    /// The current root handle (for quiescent instrumentation walks).
-    pub fn root_handle(&self) -> NodeRef<V> {
-        Arc::clone(&self.root.read())
-    }
-}
-
-impl<V: Clone> BLinkTree<V> {
-    /// Looks `key` up, cloning the value out.
-    pub fn get(&self, key: &u64) -> Option<V> {
-        let mut stack = Vec::new();
-        let leaf = self.descend(*key, &mut stack);
-        let mut cur = leaf;
-        let mut g = cur.read_arc();
-        while !g.covers(*key) {
-            let next = Arc::clone(g.right.as_ref().expect("covers"));
-            drop(g);
-            self.note_crossing();
-            cur = next;
-            g = cur.read_arc();
-        }
-        g.leaf_get(*key).cloned()
-    }
-
-    /// Ascending range scan over `[lo, hi)`, walking the leaf chain with
-    /// one shared latch at a time. The scan is *weakly consistent*: keys
-    /// inserted or removed concurrently may or may not be observed, but
-    /// every key present for the scan's whole duration is returned
-    /// exactly once.
-    pub fn range(&self, lo: u64, hi: u64) -> Vec<(u64, V)> {
-        let mut out = Vec::new();
-        if lo >= hi {
-            return out;
-        }
-        let mut stack = Vec::new();
-        let mut cur = self.descend(lo, &mut stack);
-        loop {
-            let (right, done) = {
-                let g = cur.read_arc();
-                if !g.covers(lo) {
-                    let next = Arc::clone(g.right.as_ref().expect("covers"));
-                    self.note_crossing();
-                    (Some(next), false)
-                } else {
-                    if let Children::Leaf(vals) = &g.children {
-                        for (i, &k) in g.keys.iter().enumerate() {
-                            if k >= lo && k < hi {
-                                out.push((k, vals[i].clone()));
-                            }
-                        }
-                    }
-                    let exhausted = g.high.is_none_or(|h| h >= hi);
-                    if exhausted {
-                        (None, true)
-                    } else {
-                        (
-                            Some(Arc::clone(g.right.as_ref().expect("finite high"))),
-                            false,
-                        )
-                    }
-                }
-            };
-            if done {
-                return out;
-            }
-            cur = right.expect("continue");
-        }
-    }
-}
-
-impl<V> Default for BLinkTree<V> {
-    fn default() -> Self {
-        BLinkTree::new(32)
-    }
-}
+pub type BLinkTree<V> = DescentTree<V, BLinkStrategy>;
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::collections::BTreeMap;
+    use std::sync::Arc;
 
     #[test]
     fn sequential_matches_std_btreemap() {

@@ -1,0 +1,243 @@
+//! Uniform per-operation telemetry for every latching protocol.
+//!
+//! The descent engine counts, with relaxed atomics owned by the *tree*
+//! (never the lock — the lock's uncontended fast path stays a single
+//! CAS), the quantities the paper's analytical models treat as
+//! first-class inputs: latch acquisitions per level, optimistic
+//! restarts (the `q_i·Pr[F(1)]` rate of the Optimistic model), right-link
+//! chases (the Link-type crossing rate of Figure 9), the peak retained
+//! latch-chain depth, and — for the §7 recovery variants — transaction
+//! commits and deadlock-avoidance spills.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-level counter arrays cover levels `1..=MAX_LEVELS`; anything
+/// deeper (unreachable at sane capacities) folds into the last slot.
+pub const MAX_LEVELS: usize = 16;
+
+/// Relaxed-atomic operation counters embedded in every tree.
+///
+/// All increments are `Relaxed` single `fetch_add`s on tree-owned cache
+/// lines, so the node locks' fast path is untouched. Read them with
+/// [`OpCounters::snapshot`] and diff two snapshots with
+/// [`OpCountersSnapshot::since`].
+#[derive(Debug, Default)]
+pub struct OpCounters {
+    ops: AtomicU64,
+    r_latches: [AtomicU64; MAX_LEVELS],
+    w_latches: [AtomicU64; MAX_LEVELS],
+    restarts: AtomicU64,
+    chases: AtomicU64,
+    peak_chain: AtomicU64,
+    txn_commits: AtomicU64,
+    txn_spills: AtomicU64,
+}
+
+impl OpCounters {
+    /// One public operation (get/insert/remove/contains/range) started.
+    #[inline]
+    pub(crate) fn record_op(&self) {
+        self.ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One node latch acquired at `level` (1 = leaf) in the given mode.
+    #[inline]
+    pub(crate) fn record_latch(&self, level: usize, exclusive: bool) {
+        let idx = level.clamp(1, MAX_LEVELS) - 1;
+        let arr = if exclusive {
+            &self.w_latches
+        } else {
+            &self.r_latches
+        };
+        arr[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An optimistic first pass found an unsafe leaf and redid the
+    /// operation as a full exclusive descent.
+    #[inline]
+    pub(crate) fn record_restart(&self) {
+        self.restarts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A traversal chased one right link (Lehman–Yao crossing).
+    #[inline]
+    pub(crate) fn record_chase(&self) {
+        self.chases.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Observes a retained latch-chain depth; keeps the maximum.
+    #[inline]
+    pub(crate) fn note_chain_depth(&self, depth: usize) {
+        self.peak_chain.fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    /// A transaction committed (recovery variants only).
+    #[inline]
+    pub(crate) fn record_txn_commit(&self) {
+        self.txn_commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Retained transaction latches were spilled early to stay
+    /// deadlock-free (recovery variants only).
+    #[inline]
+    pub(crate) fn record_txn_spill(&self) {
+        self.txn_spills.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total optimistic restarts so far.
+    pub fn restarts(&self) -> u64 {
+        self.restarts.load(Ordering::Relaxed)
+    }
+
+    /// Total right-link chases so far.
+    pub fn chases(&self) -> u64 {
+        self.chases.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> OpCountersSnapshot {
+        OpCountersSnapshot {
+            ops: self.ops.load(Ordering::Relaxed),
+            r_latches: self.r_latches.each_ref().map(|c| c.load(Ordering::Relaxed)),
+            w_latches: self.w_latches.each_ref().map(|c| c.load(Ordering::Relaxed)),
+            restarts: self.restarts.load(Ordering::Relaxed),
+            chases: self.chases.load(Ordering::Relaxed),
+            peak_chain: self.peak_chain.load(Ordering::Relaxed),
+            txn_commits: self.txn_commits.load(Ordering::Relaxed),
+            txn_spills: self.txn_spills.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`OpCounters`], with derived rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpCountersSnapshot {
+    /// Public operations started.
+    pub ops: u64,
+    /// Shared latch acquisitions, indexed by `level - 1` (0 = leaves).
+    pub r_latches: [u64; MAX_LEVELS],
+    /// Exclusive latch acquisitions, indexed by `level - 1`.
+    pub w_latches: [u64; MAX_LEVELS],
+    /// Optimistic restarts (unsafe-leaf redo descents).
+    pub restarts: u64,
+    /// Right-link chases.
+    pub chases: u64,
+    /// Peak retained latch-chain depth observed (monotone over the
+    /// tree's lifetime; `since` keeps the later snapshot's value).
+    pub peak_chain: u64,
+    /// Transaction commits (recovery variants).
+    pub txn_commits: u64,
+    /// Early transaction-latch spills for deadlock avoidance.
+    pub txn_spills: u64,
+}
+
+impl OpCountersSnapshot {
+    /// Counters accumulated since `earlier` (peak depth, being a
+    /// lifetime maximum, is carried over rather than subtracted).
+    pub fn since(&self, earlier: &OpCountersSnapshot) -> OpCountersSnapshot {
+        let mut r_latches = [0u64; MAX_LEVELS];
+        let mut w_latches = [0u64; MAX_LEVELS];
+        for i in 0..MAX_LEVELS {
+            r_latches[i] = self.r_latches[i].saturating_sub(earlier.r_latches[i]);
+            w_latches[i] = self.w_latches[i].saturating_sub(earlier.w_latches[i]);
+        }
+        OpCountersSnapshot {
+            ops: self.ops.saturating_sub(earlier.ops),
+            r_latches,
+            w_latches,
+            restarts: self.restarts.saturating_sub(earlier.restarts),
+            chases: self.chases.saturating_sub(earlier.chases),
+            peak_chain: self.peak_chain,
+            txn_commits: self.txn_commits.saturating_sub(earlier.txn_commits),
+            txn_spills: self.txn_spills.saturating_sub(earlier.txn_spills),
+        }
+    }
+
+    /// Shared latch acquisitions across all levels.
+    pub fn r_latch_total(&self) -> u64 {
+        self.r_latches.iter().sum()
+    }
+
+    /// Exclusive latch acquisitions across all levels.
+    pub fn w_latch_total(&self) -> u64 {
+        self.w_latches.iter().sum()
+    }
+
+    /// Optimistic restarts per operation (0 when no ops ran).
+    pub fn restart_rate(&self) -> f64 {
+        per_op(self.restarts, self.ops)
+    }
+
+    /// Right-link chases per operation (0 when no ops ran).
+    pub fn chase_rate(&self) -> f64 {
+        per_op(self.chases, self.ops)
+    }
+
+    /// Latch acquisitions (both modes) per operation.
+    pub fn latches_per_op(&self) -> f64 {
+        per_op(self.r_latch_total() + self.w_latch_total(), self.ops)
+    }
+}
+
+fn per_op(count: u64, ops: u64) -> f64 {
+    if ops == 0 {
+        0.0
+    } else {
+        count as f64 / ops as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_diff_and_rates() {
+        let c = OpCounters::default();
+        for _ in 0..10 {
+            c.record_op();
+        }
+        c.record_latch(1, false);
+        c.record_latch(1, true);
+        c.record_latch(3, true);
+        c.record_latch(100, true); // clamps into the last slot
+        c.record_restart();
+        c.record_chase();
+        c.record_chase();
+        c.note_chain_depth(2);
+        c.note_chain_depth(5);
+        c.note_chain_depth(3); // max is kept
+        let a = c.snapshot();
+        assert_eq!(a.ops, 10);
+        assert_eq!(a.r_latches[0], 1);
+        assert_eq!(a.w_latches[0], 1);
+        assert_eq!(a.w_latches[2], 1);
+        assert_eq!(a.w_latches[MAX_LEVELS - 1], 1);
+        assert_eq!(a.w_latch_total(), 3);
+        assert_eq!(a.restart_rate(), 0.1);
+        assert_eq!(a.chase_rate(), 0.2);
+        assert_eq!(a.peak_chain, 5);
+
+        for _ in 0..10 {
+            c.record_op();
+        }
+        c.record_txn_commit();
+        c.record_txn_spill();
+        let b = c.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.ops, 10);
+        assert_eq!(d.restarts, 0);
+        assert_eq!(d.txn_commits, 1);
+        assert_eq!(d.txn_spills, 1);
+        assert_eq!(d.peak_chain, 5, "peak carries over");
+        assert_eq!(d.w_latch_total(), 0);
+    }
+
+    #[test]
+    fn empty_snapshot_rates_are_zero() {
+        let s = OpCountersSnapshot::default();
+        assert_eq!(s.restart_rate(), 0.0);
+        assert_eq!(s.chase_rate(), 0.0);
+        assert_eq!(s.latches_per_op(), 0.0);
+    }
+}

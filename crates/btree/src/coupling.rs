@@ -6,141 +6,26 @@
 //! (cannot split for inserts / cannot empty for deletes); restructuring
 //! then happens entirely under the retained chain.
 
-use crate::node::{check_invariants, Node, NodeRef};
-use crate::writepath;
-use cbtree_sync::{FcfsRwLock as RwLock, SamplePeriod};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use crate::descent::{DescentTree, LatchStrategy, ReadPolicy, UpdatePolicy};
+
+/// The Naive Lock-coupling strategy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LockCouplingStrategy;
+
+impl LatchStrategy for LockCouplingStrategy {
+    const NAME: &'static str = "lock-coupling";
+    const READ: ReadPolicy = ReadPolicy::Crab;
+    const UPDATE: UpdatePolicy = UpdatePolicy::Crab { retain_all: false };
+}
 
 /// A concurrent B+-tree using naive lock-coupling.
-#[derive(Debug)]
-pub struct LockCouplingTree<V> {
-    root: RwLock<NodeRef<V>>,
-    cap: usize,
-    len: AtomicUsize,
-    sample: SamplePeriod,
-}
-
-impl<V> LockCouplingTree<V> {
-    /// Creates an empty tree with at most `capacity` keys per node and
-    /// exact lock timing.
-    ///
-    /// # Panics
-    /// Panics when `capacity < 3`.
-    pub fn new(capacity: usize) -> Self {
-        LockCouplingTree::with_sampling(capacity, SamplePeriod::EXACT)
-    }
-
-    /// Creates an empty tree whose node locks time one in
-    /// `sample.period()` acquisitions (counts stay exact).
-    ///
-    /// # Panics
-    /// Panics when `capacity < 3`.
-    pub fn with_sampling(capacity: usize, sample: SamplePeriod) -> Self {
-        assert!(capacity >= 3, "node capacity must be at least 3");
-        LockCouplingTree {
-            root: RwLock::new(Node::new_leaf().into_ref_sampled(sample)),
-            cap: capacity,
-            len: AtomicUsize::new(0),
-            sample,
-        }
-    }
-
-    /// Number of keys stored.
-    pub fn len(&self) -> usize {
-        self.len.load(Ordering::Acquire)
-    }
-
-    /// Whether the tree is empty.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Node capacity.
-    pub fn capacity(&self) -> usize {
-        self.cap
-    }
-
-    /// Current height (levels).
-    pub fn height(&self) -> usize {
-        self.root.read().read().level
-    }
-
-    /// Inserts `key → val`; returns the previous value if the key existed.
-    pub fn insert(&self, key: u64, val: V) -> Option<V> {
-        writepath::insert_exclusive(
-            &self.root,
-            self.cap,
-            key,
-            val,
-            || {
-                self.len.fetch_add(1, Ordering::AcqRel);
-            },
-            self.sample,
-        )
-    }
-
-    /// Removes `key`, returning its value if present.
-    pub fn remove(&self, key: &u64) -> Option<V> {
-        writepath::remove_exclusive(&self.root, *key, || {
-            self.len.fetch_sub(1, Ordering::AcqRel);
-        })
-    }
-
-    /// Whether `key` is present.
-    pub fn contains_key(&self, key: &u64) -> bool {
-        let mut guard = writepath::lock_root_read(&self.root);
-        loop {
-            if guard.is_leaf() {
-                return guard.keys.binary_search(key).is_ok();
-            }
-            let child = guard.child_for(*key);
-            let child_guard = child.read_arc();
-            guard = child_guard;
-        }
-    }
-
-    /// Checks structural invariants (intended for quiescent moments in
-    /// tests; concurrent mutation may produce spurious reports).
-    pub fn check(&self) -> Result<(), String> {
-        check_invariants(&self.root.read(), self.cap)
-    }
-
-    /// Snapshot of the root handle (test/diagnostic use).
-    pub fn root_handle(&self) -> NodeRef<V> {
-        Arc::clone(&self.root.read())
-    }
-}
-
-impl<V: Clone> LockCouplingTree<V> {
-    /// Looks `key` up, cloning the value out.
-    pub fn get(&self, key: &u64) -> Option<V> {
-        writepath::get_coupled(&self.root, *key)
-    }
-
-    /// Ascending range scan over `[lo, hi)` via the leaf chain, one
-    /// shared latch at a time. Weakly consistent under concurrent
-    /// updates (see [`crate::node::collect_range`]).
-    pub fn range(&self, lo: u64, hi: u64) -> Vec<(u64, V)> {
-        let mut out = Vec::new();
-        if lo < hi {
-            let leaf = crate::writepath::leaf_for(&self.root, lo);
-            crate::node::collect_range(leaf, lo, hi, &mut out);
-        }
-        out
-    }
-}
-
-impl<V> Default for LockCouplingTree<V> {
-    fn default() -> Self {
-        LockCouplingTree::new(32)
-    }
-}
+pub type LockCouplingTree<V> = DescentTree<V, LockCouplingStrategy>;
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::collections::BTreeMap;
+    use std::sync::Arc;
 
     #[test]
     fn sequential_matches_std_btreemap() {

@@ -1,10 +1,16 @@
 //! Protocol-erased facade: pick the concurrency-control algorithm at run
 //! time, as the paper's comparisons do.
 
-use crate::{BLinkTree, LockCouplingTree, OptimisticTree, TwoPhaseTree};
+use crate::map::ConcurrentMap;
+use crate::{
+    BLinkTree, LockCouplingTree, OpCountersSnapshot, OptimisticTree, RecoveryLeafTree,
+    RecoveryNaiveTree, TwoPhaseTree,
+};
 use cbtree_sync::SamplePeriod;
+use std::fmt;
+use std::str::FromStr;
 
-/// The three latching protocols.
+/// The latching protocols.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Protocol {
     /// Naive Lock-coupling (Bayer–Schkolnick).
@@ -15,6 +21,12 @@ pub enum Protocol {
     BLink,
     /// Strict Two-Phase latching over the whole path (baseline).
     TwoPhase,
+    /// Lock-coupling with naive recovery: every exclusive latch retained
+    /// to transaction commit (§6/§7).
+    RecoveryNaive,
+    /// Lock-coupling with leaf-only recovery: the leaf's exclusive latch
+    /// retained to transaction commit (§6/§7).
+    RecoveryLeaf,
 }
 
 impl Protocol {
@@ -33,31 +45,74 @@ impl Protocol {
         Protocol::BLink,
     ];
 
-    /// Short display name used in benchmark tables.
+    /// Every protocol, recovery variants included.
+    pub const ALL_WITH_RECOVERY: [Protocol; 6] = [
+        Protocol::TwoPhase,
+        Protocol::LockCoupling,
+        Protocol::OptimisticDescent,
+        Protocol::BLink,
+        Protocol::RecoveryNaive,
+        Protocol::RecoveryLeaf,
+    ];
+
+    /// Short display name used in benchmark tables. Round-trips through
+    /// [`Protocol::from_str`].
     pub fn name(self) -> &'static str {
         match self {
             Protocol::LockCoupling => "lock-coupling",
             Protocol::OptimisticDescent => "optimistic",
             Protocol::BLink => "b-link",
             Protocol::TwoPhase => "two-phase",
+            Protocol::RecoveryNaive => "recovery-naive",
+            Protocol::RecoveryLeaf => "recovery-leaf",
         }
     }
 }
 
-/// A concurrent B+-tree with the protocol chosen at construction.
-#[derive(Debug)]
-pub enum ConcurrentBTree<V> {
-    /// Naive lock-coupling tree.
-    Coupling(LockCouplingTree<V>),
-    /// Optimistic-descent tree.
-    Optimistic(OptimisticTree<V>),
-    /// B-link tree.
-    BLink(BLinkTree<V>),
-    /// Two-phase latching tree (baseline).
-    TwoPhase(TwoPhaseTree<V>),
+impl fmt::Display for Protocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
-impl<V> ConcurrentBTree<V> {
+impl FromStr for Protocol {
+    type Err = String;
+
+    /// Parses a protocol name; accepts the canonical [`Protocol::name`]
+    /// spellings plus the historical CLI aliases.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "lock-coupling" | "coupling" | "naive" => Ok(Protocol::LockCoupling),
+            "optimistic" => Ok(Protocol::OptimisticDescent),
+            "b-link" | "blink" | "link" => Ok(Protocol::BLink),
+            "two-phase" | "twophase" => Ok(Protocol::TwoPhase),
+            "recovery-naive" => Ok(Protocol::RecoveryNaive),
+            "recovery-leaf" => Ok(Protocol::RecoveryLeaf),
+            other => Err(format!(
+                "unknown protocol {other:?} (expected one of: {})",
+                Protocol::ALL_WITH_RECOVERY.map(|p| p.name()).join(", ")
+            )),
+        }
+    }
+}
+
+/// A concurrent B+-tree with the protocol chosen at construction,
+/// dispatching through the [`ConcurrentMap`] interface.
+pub struct ConcurrentBTree<V> {
+    inner: Box<dyn ConcurrentMap<V>>,
+    protocol: Protocol,
+}
+
+impl<V> fmt::Debug for ConcurrentBTree<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ConcurrentBTree")
+            .field("protocol", &self.protocol)
+            .field("len", &self.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<V: Clone + Send + Sync + 'static> ConcurrentBTree<V> {
     /// Creates an empty tree with the given protocol and node capacity
     /// (exact lock timing).
     pub fn new(protocol: Protocol, capacity: usize) -> Self {
@@ -68,137 +123,146 @@ impl<V> ConcurrentBTree<V> {
     /// `sample.period()` acquisitions (counts stay exact; sampled
     /// durations are scaled so derived statistics stay unbiased).
     pub fn with_sampling(protocol: Protocol, capacity: usize, sample: SamplePeriod) -> Self {
-        match protocol {
-            Protocol::LockCoupling => {
-                ConcurrentBTree::Coupling(LockCouplingTree::with_sampling(capacity, sample))
-            }
+        let inner: Box<dyn ConcurrentMap<V>> = match protocol {
+            Protocol::LockCoupling => Box::new(LockCouplingTree::with_sampling(capacity, sample)),
             Protocol::OptimisticDescent => {
-                ConcurrentBTree::Optimistic(OptimisticTree::with_sampling(capacity, sample))
+                Box::new(OptimisticTree::with_sampling(capacity, sample))
             }
-            Protocol::BLink => ConcurrentBTree::BLink(BLinkTree::with_sampling(capacity, sample)),
-            Protocol::TwoPhase => {
-                ConcurrentBTree::TwoPhase(TwoPhaseTree::with_sampling(capacity, sample))
-            }
-        }
+            Protocol::BLink => Box::new(BLinkTree::with_sampling(capacity, sample)),
+            Protocol::TwoPhase => Box::new(TwoPhaseTree::with_sampling(capacity, sample)),
+            Protocol::RecoveryNaive => Box::new(RecoveryNaiveTree::with_sampling(capacity, sample)),
+            Protocol::RecoveryLeaf => Box::new(RecoveryLeafTree::with_sampling(capacity, sample)),
+        };
+        ConcurrentBTree { inner, protocol }
     }
+}
 
+impl<V> ConcurrentBTree<V> {
     /// The protocol in use.
     pub fn protocol(&self) -> Protocol {
-        match self {
-            ConcurrentBTree::Coupling(_) => Protocol::LockCoupling,
-            ConcurrentBTree::Optimistic(_) => Protocol::OptimisticDescent,
-            ConcurrentBTree::BLink(_) => Protocol::BLink,
-            ConcurrentBTree::TwoPhase(_) => Protocol::TwoPhase,
-        }
+        self.protocol
     }
 
     /// Number of keys stored.
     pub fn len(&self) -> usize {
-        match self {
-            ConcurrentBTree::Coupling(t) => t.len(),
-            ConcurrentBTree::Optimistic(t) => t.len(),
-            ConcurrentBTree::BLink(t) => t.len(),
-            ConcurrentBTree::TwoPhase(t) => t.len(),
-        }
+        self.inner.len()
     }
 
     /// Node capacity (max keys per node) the tree was built with.
     pub fn capacity(&self) -> usize {
-        match self {
-            ConcurrentBTree::Coupling(t) => t.capacity(),
-            ConcurrentBTree::Optimistic(t) => t.capacity(),
-            ConcurrentBTree::BLink(t) => t.capacity(),
-            ConcurrentBTree::TwoPhase(t) => t.capacity(),
-        }
+        self.inner.capacity()
     }
 
     /// Whether the tree is empty.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.inner.is_empty()
     }
 
     /// Inserts `key → val`; returns the previous value if the key existed.
     pub fn insert(&self, key: u64, val: V) -> Option<V> {
-        match self {
-            ConcurrentBTree::Coupling(t) => t.insert(key, val),
-            ConcurrentBTree::Optimistic(t) => t.insert(key, val),
-            ConcurrentBTree::BLink(t) => t.insert(key, val),
-            ConcurrentBTree::TwoPhase(t) => t.insert(key, val),
-        }
+        self.inner.insert(key, val)
     }
 
     /// Removes `key`, returning its value if present.
     pub fn remove(&self, key: &u64) -> Option<V> {
-        match self {
-            ConcurrentBTree::Coupling(t) => t.remove(key),
-            ConcurrentBTree::Optimistic(t) => t.remove(key),
-            ConcurrentBTree::BLink(t) => t.remove(key),
-            ConcurrentBTree::TwoPhase(t) => t.remove(key),
-        }
+        self.inner.remove(key)
     }
 
     /// Whether `key` is present.
     pub fn contains_key(&self, key: &u64) -> bool {
-        match self {
-            ConcurrentBTree::Coupling(t) => t.contains_key(key),
-            ConcurrentBTree::Optimistic(t) => t.contains_key(key),
-            ConcurrentBTree::BLink(t) => t.contains_key(key),
-            ConcurrentBTree::TwoPhase(t) => t.contains_key(key),
-        }
+        self.inner.contains_key(key)
     }
 
     /// Checks structural invariants (quiescent use).
     pub fn check(&self) -> Result<(), String> {
-        match self {
-            ConcurrentBTree::Coupling(t) => t.check(),
-            ConcurrentBTree::Optimistic(t) => t.check(),
-            ConcurrentBTree::BLink(t) => t.check(),
-            ConcurrentBTree::TwoPhase(t) => t.check(),
-        }
+        self.inner.check()
     }
 
     /// Current height (levels; 1 = a lone leaf root).
     pub fn height(&self) -> usize {
-        match self {
-            ConcurrentBTree::Coupling(t) => t.height(),
-            ConcurrentBTree::Optimistic(t) => t.height(),
-            ConcurrentBTree::BLink(t) => t.height(),
-            ConcurrentBTree::TwoPhase(t) => t.height(),
-        }
+        self.inner.height()
     }
 
     /// The current root handle (for quiescent instrumentation walks, e.g.
     /// aggregating per-level lock statistics).
     pub fn root_handle(&self) -> crate::node::NodeRef<V> {
-        match self {
-            ConcurrentBTree::Coupling(t) => t.root_handle(),
-            ConcurrentBTree::Optimistic(t) => t.root_handle(),
-            ConcurrentBTree::BLink(t) => t.root_handle(),
-            ConcurrentBTree::TwoPhase(t) => t.root_handle(),
-        }
+        self.inner.root_handle()
     }
-}
 
-impl<V: Clone> ConcurrentBTree<V> {
+    /// Snapshot of the engine's uniform operation telemetry.
+    pub fn counters(&self) -> OpCountersSnapshot {
+        self.inner.counters()
+    }
+
+    /// Commits the calling thread's transaction (no-op except on the
+    /// recovery protocols).
+    pub fn txn_commit(&self) {
+        self.inner.txn_commit()
+    }
+
     /// Looks `key` up, cloning the value out.
     pub fn get(&self, key: &u64) -> Option<V> {
-        match self {
-            ConcurrentBTree::Coupling(t) => t.get(key),
-            ConcurrentBTree::Optimistic(t) => t.get(key),
-            ConcurrentBTree::BLink(t) => t.get(key),
-            ConcurrentBTree::TwoPhase(t) => t.get(key),
-        }
+        self.inner.get(key)
     }
 
     /// Ascending range scan over `[lo, hi)` (weakly consistent under
     /// concurrent updates).
     pub fn range(&self, lo: u64, hi: u64) -> Vec<(u64, V)> {
-        match self {
-            ConcurrentBTree::Coupling(t) => t.range(lo, hi),
-            ConcurrentBTree::Optimistic(t) => t.range(lo, hi),
-            ConcurrentBTree::BLink(t) => t.range(lo, hi),
-            ConcurrentBTree::TwoPhase(t) => t.range(lo, hi),
-        }
+        self.inner.range(lo, hi)
+    }
+}
+
+impl<V> ConcurrentMap<V> for ConcurrentBTree<V> {
+    fn protocol_name(&self) -> &'static str {
+        self.protocol.name()
+    }
+
+    fn len(&self) -> usize {
+        ConcurrentBTree::len(self)
+    }
+
+    fn capacity(&self) -> usize {
+        ConcurrentBTree::capacity(self)
+    }
+
+    fn height(&self) -> usize {
+        ConcurrentBTree::height(self)
+    }
+
+    fn insert(&self, key: u64, val: V) -> Option<V> {
+        ConcurrentBTree::insert(self, key, val)
+    }
+
+    fn remove(&self, key: &u64) -> Option<V> {
+        ConcurrentBTree::remove(self, key)
+    }
+
+    fn get(&self, key: &u64) -> Option<V> {
+        ConcurrentBTree::get(self, key)
+    }
+
+    fn contains_key(&self, key: &u64) -> bool {
+        ConcurrentBTree::contains_key(self, key)
+    }
+
+    fn range(&self, lo: u64, hi: u64) -> Vec<(u64, V)> {
+        ConcurrentBTree::range(self, lo, hi)
+    }
+
+    fn check(&self) -> Result<(), String> {
+        ConcurrentBTree::check(self)
+    }
+
+    fn root_handle(&self) -> crate::node::NodeRef<V> {
+        ConcurrentBTree::root_handle(self)
+    }
+
+    fn counters(&self) -> OpCountersSnapshot {
+        ConcurrentBTree::counters(self)
+    }
+
+    fn txn_commit(&self) {
+        ConcurrentBTree::txn_commit(self)
     }
 }
 
@@ -227,10 +291,25 @@ mod tests {
 
     #[test]
     fn names_are_distinct() {
-        let names: std::collections::HashSet<_> = Protocol::ALL_WITH_BASELINE
+        let names: std::collections::HashSet<_> = Protocol::ALL_WITH_RECOVERY
             .iter()
             .map(|p| p.name())
             .collect();
-        assert_eq!(names.len(), 4);
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn names_round_trip_through_fromstr_and_display() {
+        for p in Protocol::ALL_WITH_RECOVERY {
+            assert_eq!(p.name().parse::<Protocol>(), Ok(p));
+            assert_eq!(p.to_string(), p.name());
+        }
+        // Historical CLI aliases keep working.
+        assert_eq!("blink".parse::<Protocol>(), Ok(Protocol::BLink));
+        assert_eq!("link".parse::<Protocol>(), Ok(Protocol::BLink));
+        assert_eq!("coupling".parse::<Protocol>(), Ok(Protocol::LockCoupling));
+        assert_eq!("naive".parse::<Protocol>(), Ok(Protocol::LockCoupling));
+        assert_eq!("twophase".parse::<Protocol>(), Ok(Protocol::TwoPhase));
+        assert!("nope".parse::<Protocol>().is_err());
     }
 }

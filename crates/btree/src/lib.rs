@@ -2,7 +2,9 @@
 //! of Johnson & Shasha (PODS 1990), usable as an ordinary concurrent
 //! ordered map from `u64` keys to arbitrary values.
 //!
-//! Three latching protocols over the same node representation:
+//! Every protocol is a thin [`descent::LatchStrategy`] over one generic
+//! engine ([`descent::DescentTree`]) — same node representation, same
+//! split/merge machinery, differing only in latching discipline:
 //!
 //! * [`LockCouplingTree`] — Naive Lock-coupling (Bayer–Schkolnick):
 //!   readers crab with shared latches; updaters crab with exclusive
@@ -15,11 +17,19 @@
 //!   carries a high key and a right link; operations hold **at most one
 //!   latch at a time** and recover from concurrent splits by chasing
 //!   right links.
+//! * [`TwoPhaseTree`] — the strict-2PL baseline the paper compares
+//!   against.
+//! * [`RecoveryNaiveTree`] / [`RecoveryLeafTree`] — the §6/§7 recovery
+//!   application: lock-coupling with exclusive latches retained (all of
+//!   them, or the leaf's only) until an explicit transaction commit.
 //!
 //! All trees are merge-at-empty with lazy reclamation (a node that loses
 //! its last key remains linked; §3.2 of the paper argues merge-at-empty
 //! is the right policy for concurrent B-trees, and with insert-dominated
-//! mixes empties are rare).
+//! mixes empties are rare). Every tree counts latch acquisitions per
+//! level, optimistic restarts, right-link chases, and peak latch-chain
+//! depth into an [`OpCounters`] snapshot the measurement harness surfaces
+//! next to the lock-utilisation statistics.
 //!
 //! # Example
 //!
@@ -51,15 +61,24 @@
 #![deny(unsafe_code)]
 
 pub mod blink;
+pub mod counters;
 pub mod coupling;
+pub mod descent;
 pub mod facade;
+pub mod map;
 pub mod node;
 pub mod optimistic;
+pub mod recovery;
 pub mod two_phase;
-pub(crate) mod writepath;
 
-pub use blink::BLinkTree;
-pub use coupling::LockCouplingTree;
+pub use blink::{BLinkStrategy, BLinkTree};
+pub use counters::{OpCounters, OpCountersSnapshot};
+pub use coupling::{LockCouplingStrategy, LockCouplingTree};
+pub use descent::{DescentTree, LatchStrategy, ReadPolicy, TxnRetention, UpdatePolicy};
 pub use facade::{ConcurrentBTree, Protocol};
-pub use optimistic::OptimisticTree;
-pub use two_phase::TwoPhaseTree;
+pub use map::ConcurrentMap;
+pub use optimistic::{OptimisticStrategy, OptimisticTree};
+pub use recovery::{
+    RecoveryLeafStrategy, RecoveryLeafTree, RecoveryNaiveStrategy, RecoveryNaiveTree,
+};
+pub use two_phase::{TwoPhaseStrategy, TwoPhaseTree};

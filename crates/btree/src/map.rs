@@ -1,0 +1,147 @@
+//! The one interface every protocol tree (and test double) speaks.
+//!
+//! [`ConcurrentMap`] is object-safe so callers that pick a protocol at
+//! runtime — the facade, the harness, the checkers' recorders — hold a
+//! `Box<dyn ConcurrentMap<V>>` or a generic `M: ConcurrentMap<V>`
+//! instead of matching on an enum in every method. Every
+//! [`DescentTree`] implements it; so do the checkers' deliberately
+//! broken trees.
+
+use crate::counters::OpCountersSnapshot;
+use crate::descent::{DescentTree, LatchStrategy};
+use crate::node::NodeRef;
+
+/// A concurrent ordered map from `u64` keys, with the diagnostic
+/// surface the measurement harness and correctness checkers need.
+pub trait ConcurrentMap<V>: Send + Sync {
+    /// Short protocol name (e.g. `"lock-coupling"`).
+    fn protocol_name(&self) -> &'static str;
+
+    /// Number of keys stored.
+    fn len(&self) -> usize;
+
+    /// Whether the map is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Node capacity.
+    fn capacity(&self) -> usize;
+
+    /// Current height (levels; 1 = a lone leaf root).
+    fn height(&self) -> usize;
+
+    /// Inserts `key → val`; returns the previous value if the key
+    /// existed.
+    fn insert(&self, key: u64, val: V) -> Option<V>;
+
+    /// Removes `key`, returning its value if present.
+    fn remove(&self, key: &u64) -> Option<V>;
+
+    /// Looks `key` up, cloning the value out.
+    fn get(&self, key: &u64) -> Option<V>;
+
+    /// Whether `key` is present.
+    fn contains_key(&self, key: &u64) -> bool;
+
+    /// Ascending range scan over `[lo, hi)`; weakly consistent under
+    /// concurrent updates.
+    fn range(&self, lo: u64, hi: u64) -> Vec<(u64, V)>;
+
+    /// Checks structural invariants (quiescent use).
+    fn check(&self) -> Result<(), String>;
+
+    /// Snapshot of the root handle (test/diagnostic use).
+    fn root_handle(&self) -> NodeRef<V>;
+
+    /// Snapshot of the uniform operation telemetry.
+    fn counters(&self) -> OpCountersSnapshot;
+
+    /// Commits the calling thread's transaction, releasing any latches
+    /// retained across operations. A no-op for every non-recovery
+    /// protocol, so harness workers may call it unconditionally.
+    fn txn_commit(&self) {}
+}
+
+impl<V, S> ConcurrentMap<V> for DescentTree<V, S>
+where
+    V: Clone + Send + Sync,
+    S: LatchStrategy,
+{
+    fn protocol_name(&self) -> &'static str {
+        S::NAME
+    }
+
+    fn len(&self) -> usize {
+        DescentTree::len(self)
+    }
+
+    fn capacity(&self) -> usize {
+        DescentTree::capacity(self)
+    }
+
+    fn height(&self) -> usize {
+        DescentTree::height(self)
+    }
+
+    fn insert(&self, key: u64, val: V) -> Option<V> {
+        DescentTree::insert(self, key, val)
+    }
+
+    fn remove(&self, key: &u64) -> Option<V> {
+        DescentTree::remove(self, key)
+    }
+
+    fn get(&self, key: &u64) -> Option<V> {
+        DescentTree::get(self, key)
+    }
+
+    fn contains_key(&self, key: &u64) -> bool {
+        DescentTree::contains_key(self, key)
+    }
+
+    fn range(&self, lo: u64, hi: u64) -> Vec<(u64, V)> {
+        DescentTree::range(self, lo, hi)
+    }
+
+    fn check(&self) -> Result<(), String> {
+        DescentTree::check(self)
+    }
+
+    fn root_handle(&self) -> NodeRef<V> {
+        DescentTree::root_handle(self)
+    }
+
+    fn counters(&self) -> OpCountersSnapshot {
+        self.counters_snapshot()
+    }
+
+    fn txn_commit(&self) {
+        DescentTree::txn_commit(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LockCouplingTree;
+
+    #[test]
+    fn trait_object_dispatch_works() {
+        let tree: Box<dyn ConcurrentMap<u64>> = Box::new(LockCouplingTree::new(8));
+        assert_eq!(tree.protocol_name(), "lock-coupling");
+        assert!(tree.is_empty());
+        assert_eq!(tree.insert(1, 10), None);
+        assert_eq!(tree.insert(1, 20), Some(10));
+        assert_eq!(tree.get(&1), Some(20));
+        assert!(tree.contains_key(&1));
+        assert_eq!(tree.remove(&1), Some(20));
+        assert_eq!(tree.len(), 0);
+        assert_eq!(tree.height(), 1);
+        assert_eq!(tree.capacity(), 8);
+        assert!(tree.range(0, 100).is_empty());
+        tree.check().unwrap();
+        tree.txn_commit(); // no-op on non-recovery trees
+        assert_eq!(tree.counters().ops, 6);
+    }
+}

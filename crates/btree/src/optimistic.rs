@@ -7,207 +7,26 @@
 //! operation redoes itself as a full exclusive descent — exactly the
 //! Naive Lock-coupling write path, shared with `LockCouplingTree`.
 
-use crate::node::{check_invariants, Node, NodeRef};
-use crate::writepath::{self, WriteGuard};
-use cbtree_sync::{FcfsRwLock as RwLock, SamplePeriod};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use crate::descent::{DescentTree, LatchStrategy, ReadPolicy, UpdatePolicy};
+
+/// The Optimistic Descent strategy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OptimisticStrategy;
+
+impl LatchStrategy for OptimisticStrategy {
+    const NAME: &'static str = "optimistic";
+    const READ: ReadPolicy = ReadPolicy::Crab;
+    const UPDATE: UpdatePolicy = UpdatePolicy::OptimisticLeaf;
+}
 
 /// A concurrent B+-tree using optimistic descent.
-#[derive(Debug)]
-pub struct OptimisticTree<V> {
-    root: RwLock<NodeRef<V>>,
-    cap: usize,
-    len: AtomicUsize,
-    redos: AtomicU64,
-    sample: SamplePeriod,
-}
-
-impl<V> OptimisticTree<V> {
-    /// Creates an empty tree with at most `capacity` keys per node and
-    /// exact lock timing.
-    ///
-    /// # Panics
-    /// Panics when `capacity < 3`.
-    pub fn new(capacity: usize) -> Self {
-        OptimisticTree::with_sampling(capacity, SamplePeriod::EXACT)
-    }
-
-    /// Creates an empty tree whose node locks time one in
-    /// `sample.period()` acquisitions (counts stay exact).
-    ///
-    /// # Panics
-    /// Panics when `capacity < 3`.
-    pub fn with_sampling(capacity: usize, sample: SamplePeriod) -> Self {
-        assert!(capacity >= 3, "node capacity must be at least 3");
-        OptimisticTree {
-            root: RwLock::new(Node::new_leaf().into_ref_sampled(sample)),
-            cap: capacity,
-            len: AtomicUsize::new(0),
-            redos: AtomicU64::new(0),
-            sample,
-        }
-    }
-
-    /// Number of keys stored.
-    pub fn len(&self) -> usize {
-        self.len.load(Ordering::Acquire)
-    }
-
-    /// Whether the tree is empty.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Node capacity.
-    pub fn capacity(&self) -> usize {
-        self.cap
-    }
-
-    /// Current height (levels).
-    pub fn height(&self) -> usize {
-        self.root.read().read().level
-    }
-
-    /// How many updates had to redo with a full exclusive descent — the
-    /// statistic the paper's analysis predicts as `q_i·Pr[F(1)]` per
-    /// operation.
-    pub fn redo_count(&self) -> u64 {
-        self.redos.load(Ordering::Relaxed)
-    }
-
-    /// First optimistic pass: read-crab to the leaf's parent, then take
-    /// the leaf's exclusive latch while still holding the parent's shared
-    /// latch. Returns the exclusively latched leaf.
-    fn first_pass_leaf(&self, key: u64) -> WriteGuard<V> {
-        loop {
-            // Root cases need pointer revalidation after latching.
-            let root = Arc::clone(&self.root.read());
-            if root.read().is_leaf() {
-                let guard = root.write_arc();
-                if Arc::ptr_eq(&root, &self.root.read()) && guard.is_leaf() {
-                    return guard;
-                }
-                continue; // root split under us: retry
-            }
-            let guard = root.read_arc();
-            if !Arc::ptr_eq(&root, &self.root.read()) {
-                continue;
-            }
-            // Descend with shared crabbing; exclusive-latch the leaf.
-            let mut parent = guard;
-            loop {
-                let child = parent.child_for(key);
-                if parent.level == 2 {
-                    let leaf = child.write_arc();
-                    debug_assert!(leaf.is_leaf());
-                    return leaf; // parent shared latch drops here
-                }
-                let child_guard = child.read_arc();
-                parent = child_guard;
-            }
-        }
-    }
-
-    /// Inserts `key → val`; returns the previous value if the key existed.
-    pub fn insert(&self, key: u64, val: V) -> Option<V> {
-        {
-            let mut leaf = self.first_pass_leaf(key);
-            debug_assert!(leaf.covers(key));
-            let exists = leaf.keys.binary_search(&key).is_ok();
-            if exists || !leaf.insert_unsafe(self.cap) {
-                let old = leaf.leaf_insert(key, val);
-                if old.is_none() {
-                    self.len.fetch_add(1, Ordering::AcqRel);
-                }
-                return old;
-            }
-            // Unsafe leaf: release and redo pessimistically.
-        }
-        self.redos.fetch_add(1, Ordering::Relaxed);
-        writepath::insert_exclusive(
-            &self.root,
-            self.cap,
-            key,
-            val,
-            || {
-                self.len.fetch_add(1, Ordering::AcqRel);
-            },
-            self.sample,
-        )
-    }
-
-    /// Removes `key`, returning its value if present.
-    pub fn remove(&self, key: &u64) -> Option<V> {
-        {
-            let mut leaf = self.first_pass_leaf(*key);
-            if !leaf.delete_unsafe() {
-                let old = leaf.leaf_remove(*key);
-                if old.is_some() {
-                    self.len.fetch_sub(1, Ordering::AcqRel);
-                }
-                return old;
-            }
-        }
-        self.redos.fetch_add(1, Ordering::Relaxed);
-        writepath::remove_exclusive(&self.root, *key, || {
-            self.len.fetch_sub(1, Ordering::AcqRel);
-        })
-    }
-
-    /// Whether `key` is present.
-    pub fn contains_key(&self, key: &u64) -> bool {
-        let mut guard = writepath::lock_root_read(&self.root);
-        loop {
-            if guard.is_leaf() {
-                return guard.keys.binary_search(key).is_ok();
-            }
-            let child = guard.child_for(*key);
-            let child_guard = child.read_arc();
-            guard = child_guard;
-        }
-    }
-
-    /// Checks structural invariants (quiescent use).
-    pub fn check(&self) -> Result<(), String> {
-        check_invariants(&self.root.read(), self.cap)
-    }
-
-    /// The current root handle (for quiescent instrumentation walks).
-    pub fn root_handle(&self) -> NodeRef<V> {
-        Arc::clone(&self.root.read())
-    }
-}
-
-impl<V: Clone> OptimisticTree<V> {
-    /// Looks `key` up, cloning the value out.
-    pub fn get(&self, key: &u64) -> Option<V> {
-        writepath::get_coupled(&self.root, *key)
-    }
-
-    /// Ascending range scan over `[lo, hi)` via the leaf chain, one
-    /// shared latch at a time. Weakly consistent under concurrent
-    /// updates (see [`crate::node::collect_range`]).
-    pub fn range(&self, lo: u64, hi: u64) -> Vec<(u64, V)> {
-        let mut out = Vec::new();
-        if lo < hi {
-            let leaf = crate::writepath::leaf_for(&self.root, lo);
-            crate::node::collect_range(leaf, lo, hi, &mut out);
-        }
-        out
-    }
-}
-
-impl<V> Default for OptimisticTree<V> {
-    fn default() -> Self {
-        OptimisticTree::new(32)
-    }
-}
+pub type OptimisticTree<V> = DescentTree<V, OptimisticStrategy>;
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::collections::BTreeMap;
+    use std::sync::Arc;
 
     #[test]
     fn sequential_matches_std_btreemap() {

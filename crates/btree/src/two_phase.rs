@@ -1,185 +1,32 @@
-//! Strict Two-Phase Locking over the whole descent — the baseline
-//! protocol. Every latch (shared for searches, exclusive for updates) is
-//! retained until the operation completes. Correct, simple, and — as the
-//! paper's framework quantifies — an order of magnitude less concurrent
-//! than even naive lock-coupling, because the root's exclusive latch is
-//! held for the whole update.
+//! The Two-Phase-Locking baseline tree.
+//!
+//! The pessimistic straw-man the paper measures the real protocols
+//! against: every descent — reads included — retains *all* of its
+//! latches until the operation completes (strict 2PL over the traversed
+//! path, with latches standing in for locks). Every operation therefore
+//! holds the root's latch for its whole duration, which is exactly why
+//! its throughput collapses as soon as updates appear.
 
-use crate::node::{check_invariants, make_root, Node, NodeRef};
-use crate::writepath::{lock_root_read, lock_root_write, ReadGuard, WriteGuard};
-use cbtree_sync::{FcfsRwLock as RwLock, SamplePeriod};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use crate::descent::{DescentTree, LatchStrategy, ReadPolicy, UpdatePolicy};
 
-/// A concurrent B+-tree under strict two-phase latching.
-#[derive(Debug)]
-pub struct TwoPhaseTree<V> {
-    root: RwLock<NodeRef<V>>,
-    cap: usize,
-    len: AtomicUsize,
-    sample: SamplePeriod,
+/// The strict-2PL baseline strategy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TwoPhaseStrategy;
+
+impl LatchStrategy for TwoPhaseStrategy {
+    const NAME: &'static str = "two-phase";
+    const READ: ReadPolicy = ReadPolicy::RetainAll;
+    const UPDATE: UpdatePolicy = UpdatePolicy::Crab { retain_all: true };
 }
 
-impl<V> TwoPhaseTree<V> {
-    /// Creates an empty tree with at most `capacity` keys per node and
-    /// exact lock timing.
-    ///
-    /// # Panics
-    /// Panics when `capacity < 3`.
-    pub fn new(capacity: usize) -> Self {
-        TwoPhaseTree::with_sampling(capacity, SamplePeriod::EXACT)
-    }
-
-    /// Creates an empty tree whose node locks time one in
-    /// `sample.period()` acquisitions (counts stay exact).
-    ///
-    /// # Panics
-    /// Panics when `capacity < 3`.
-    pub fn with_sampling(capacity: usize, sample: SamplePeriod) -> Self {
-        assert!(capacity >= 3, "node capacity must be at least 3");
-        TwoPhaseTree {
-            root: RwLock::new(Node::new_leaf().into_ref_sampled(sample)),
-            cap: capacity,
-            len: AtomicUsize::new(0),
-            sample,
-        }
-    }
-
-    /// Number of keys stored.
-    pub fn len(&self) -> usize {
-        self.len.load(Ordering::Acquire)
-    }
-
-    /// Whether the tree is empty.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Node capacity.
-    pub fn capacity(&self) -> usize {
-        self.cap
-    }
-
-    /// Current height (levels).
-    pub fn height(&self) -> usize {
-        self.root.read().read().level
-    }
-
-    /// Exclusive descent retaining *every* latch (never releases).
-    fn descend_all_exclusive(&self, key: u64) -> Vec<WriteGuard<V>> {
-        let mut held: Vec<WriteGuard<V>> = vec![lock_root_write(&self.root)];
-        loop {
-            let child = {
-                let top = held.last().expect("non-empty");
-                if top.is_leaf() {
-                    return held;
-                }
-                top.child_for(key)
-            };
-            held.push(child.write_arc());
-        }
-    }
-
-    /// Inserts `key → val`; returns the previous value if the key existed.
-    pub fn insert(&self, key: u64, val: V) -> Option<V> {
-        let mut held = self.descend_all_exclusive(key);
-        let leaf = held.last_mut().expect("reaches a leaf");
-        let old = leaf.leaf_insert(key, val);
-        if old.is_some() {
-            return old;
-        }
-        self.len.fetch_add(1, Ordering::AcqRel);
-        // Split upward; the whole path is latched.
-        let mut idx = held.len() - 1;
-        while held[idx].overfull(self.cap) {
-            let (sep, sib) = held[idx].half_split(self.sample);
-            if idx == 0 {
-                let old_root = Arc::clone(cbtree_sync::ArcRwLockWriteGuard::rwlock(&held[0]));
-                let level = held[0].level + 1;
-                let new_root = make_root(old_root, sep, sib, level, self.sample);
-                *self.root.write() = new_root;
-                break;
-            }
-            held[idx - 1].insert_separator(sep, sib);
-            idx -= 1;
-        }
-        None
-    }
-
-    /// Removes `key`, returning its value if present (merge-at-empty with
-    /// lazy reclamation).
-    pub fn remove(&self, key: &u64) -> Option<V> {
-        let mut held = self.descend_all_exclusive(*key);
-        let leaf = held.last_mut().expect("reaches a leaf");
-        let old = leaf.leaf_remove(*key);
-        if old.is_some() {
-            self.len.fetch_sub(1, Ordering::AcqRel);
-        }
-        old
-    }
-
-    /// Whether `key` is present (shared latches retained over the whole
-    /// path, per strict 2PL).
-    pub fn contains_key(&self, key: &u64) -> bool {
-        let mut held: Vec<ReadGuard<V>> = vec![lock_root_read(&self.root)];
-        loop {
-            let top = held.last().expect("non-empty");
-            if top.is_leaf() {
-                return top.keys.binary_search(key).is_ok();
-            }
-            let child = top.child_for(*key);
-            held.push(child.read_arc());
-        }
-    }
-
-    /// Checks structural invariants (quiescent use).
-    pub fn check(&self) -> Result<(), String> {
-        check_invariants(&self.root.read(), self.cap)
-    }
-
-    /// The current root handle (for quiescent instrumentation walks).
-    pub fn root_handle(&self) -> NodeRef<V> {
-        Arc::clone(&self.root.read())
-    }
-}
-
-impl<V: Clone> TwoPhaseTree<V> {
-    /// Looks `key` up, cloning the value out.
-    pub fn get(&self, key: &u64) -> Option<V> {
-        let mut held: Vec<ReadGuard<V>> = vec![lock_root_read(&self.root)];
-        loop {
-            let top = held.last().expect("non-empty");
-            if top.is_leaf() {
-                return top.leaf_get(*key).cloned();
-            }
-            let child = top.child_for(*key);
-            held.push(child.read_arc());
-        }
-    }
-
-    /// Ascending range scan over `[lo, hi)` via the leaf chain, one
-    /// shared latch at a time. Weakly consistent under concurrent
-    /// updates (see [`crate::node::collect_range`]).
-    pub fn range(&self, lo: u64, hi: u64) -> Vec<(u64, V)> {
-        let mut out = Vec::new();
-        if lo < hi {
-            let leaf = crate::writepath::leaf_for(&self.root, lo);
-            crate::node::collect_range(leaf, lo, hi, &mut out);
-        }
-        out
-    }
-}
-
-impl<V> Default for TwoPhaseTree<V> {
-    fn default() -> Self {
-        TwoPhaseTree::new(32)
-    }
-}
+/// A concurrent B+-tree using strict two-phase latching (baseline).
+pub type TwoPhaseTree<V> = DescentTree<V, TwoPhaseStrategy>;
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::collections::BTreeMap;
+    use std::sync::Arc;
 
     #[test]
     fn sequential_matches_std_btreemap() {

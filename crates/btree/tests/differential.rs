@@ -1,0 +1,79 @@
+//! Differential test: one seeded op stream applied sequentially to every
+//! protocol — recovery variants included, committing after every op
+//! (transaction size 1) — and to a `std::collections::BTreeMap` oracle.
+//! Every return value and the final contents must match exactly.
+
+use cbtree_btree::{ConcurrentBTree, Protocol};
+use std::collections::BTreeMap;
+
+/// Deterministic LCG (same multiplier the unit suites use).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+#[test]
+fn all_protocols_match_btreemap_oracle() {
+    const OPS: usize = 6000;
+    const KEY_SPACE: u64 = 700;
+
+    for p in Protocol::ALL_WITH_RECOVERY {
+        let tree = ConcurrentBTree::new(p, 5);
+        let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut rng = Lcg(0xD1FF_E4E7);
+
+        for i in 0..OPS {
+            let r = rng.next();
+            let key = rng.next() % KEY_SPACE;
+            match r % 10 {
+                // 40% inserts, 20% removes, 20% gets, 10% contains, 10% ranges.
+                0..=3 => {
+                    let val = r;
+                    assert_eq!(tree.insert(key, val), oracle.insert(key, val), "{p} op {i}");
+                }
+                4..=5 => {
+                    assert_eq!(tree.remove(&key), oracle.remove(&key), "{p} op {i}");
+                }
+                6..=7 => {
+                    assert_eq!(tree.get(&key), oracle.get(&key).copied(), "{p} op {i}");
+                }
+                8 => {
+                    assert_eq!(
+                        tree.contains_key(&key),
+                        oracle.contains_key(&key),
+                        "{p} op {i}"
+                    );
+                }
+                _ => {
+                    let lo = key;
+                    let hi = (key + 1 + rng.next() % 60).min(KEY_SPACE);
+                    let got = tree.range(lo, hi);
+                    let want: Vec<(u64, u64)> =
+                        oracle.range(lo..hi).map(|(k, v)| (*k, *v)).collect();
+                    assert_eq!(got, want, "{p} range [{lo},{hi}) op {i}");
+                }
+            }
+            // Transaction size 1: recovery variants commit after every
+            // op; a no-op for everything else.
+            tree.txn_commit();
+            assert_eq!(tree.len(), oracle.len(), "{p} op {i}");
+        }
+
+        // Final contents, checked key by key and via one full scan.
+        tree.check().unwrap_or_else(|e| panic!("{p}: {e}"));
+        let full = tree.range(0, KEY_SPACE);
+        let want: Vec<(u64, u64)> = oracle.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(full, want, "{p} final contents");
+        assert!(
+            tree.counters().ops >= OPS as u64,
+            "{p} telemetry counts ops"
+        );
+    }
+}

@@ -13,7 +13,7 @@
 //! stress harness runs them after joining its workers.
 
 use cbtree_btree::node::{self, Children, NodeRef};
-use cbtree_btree::ConcurrentBTree;
+use cbtree_btree::ConcurrentMap;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -35,7 +35,7 @@ pub struct AuditReport {
 ///    right-link reachability on every level, in the same order;
 /// 4. fullness — no node exceeds capacity and (root apart) no reachable
 ///    node is empty.
-pub fn audit(tree: &ConcurrentBTree<u64>) -> Result<AuditReport, String> {
+pub fn audit<M: ConcurrentMap<u64> + ?Sized>(tree: &M) -> Result<AuditReport, String> {
     tree.check()?;
     let root = tree.root_handle();
     audit_root(&root, tree.capacity())
@@ -44,8 +44,8 @@ pub fn audit(tree: &ConcurrentBTree<u64>) -> Result<AuditReport, String> {
 /// Like [`audit`] but additionally demands the leaf contents equal
 /// `expected` (e.g. the linearization oracle's final state) and that the
 /// tree's maintained length agrees.
-pub fn audit_with_contents(
-    tree: &ConcurrentBTree<u64>,
+pub fn audit_with_contents<M: ConcurrentMap<u64> + ?Sized>(
+    tree: &M,
     expected: &BTreeMap<u64, u64>,
 ) -> Result<AuditReport, String> {
     let report = audit(tree)?;
@@ -207,7 +207,7 @@ fn audit_separators(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cbtree_btree::Protocol;
+    use cbtree_btree::{ConcurrentBTree, Protocol};
 
     fn build(protocol: Protocol) -> ConcurrentBTree<u64> {
         let t = ConcurrentBTree::new(protocol, 4);

@@ -33,19 +33,6 @@ struct Args {
     no_inject: bool,
 }
 
-fn parse_protocol(s: &str) -> Result<Protocol, String> {
-    Protocol::ALL_WITH_BASELINE
-        .into_iter()
-        .find(|p| p.name() == s)
-        .ok_or_else(|| {
-            let names: Vec<_> = Protocol::ALL_WITH_BASELINE
-                .iter()
-                .map(|p| p.name())
-                .collect();
-            format!("unknown protocol {s:?}; expected one of {names:?}")
-        })
-}
-
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         quick: false,
@@ -74,7 +61,7 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--replay: {e}"))?,
                 )
             }
-            "--protocol" => args.protocol = Some(parse_protocol(&value("--protocol")?)?),
+            "--protocol" => args.protocol = Some(value("--protocol")?.parse()?),
             "--threads" => {
                 args.threads = Some(
                     value("--threads")?

@@ -12,8 +12,8 @@
 //! perfectly well-formed.
 
 use crate::history::ConcurrentMap;
-use cbtree_btree::node::Children;
-use cbtree_btree::{ConcurrentBTree, Protocol};
+use cbtree_btree::node::{Children, NodeRef};
+use cbtree_btree::{ConcurrentBTree, OpCountersSnapshot, Protocol};
 use std::sync::Arc;
 
 /// A B-link tree whose `get` skips the post-latch `covers()` re-check
@@ -38,8 +38,12 @@ impl SkipRightLink {
     }
 }
 
-impl ConcurrentMap for SkipRightLink {
-    fn get(&self, key: u64) -> Option<u64> {
+// Everything except `get` delegates to the sound inner tree, so the
+// structural auditors pass — only the linearizability checker can
+// convict this implementation.
+impl ConcurrentMap<u64> for SkipRightLink {
+    fn get(&self, key: &u64) -> Option<u64> {
+        let key = *key;
         // Correct descent: chase right links on the way down.
         let mut cur = self.inner.root_handle();
         loop {
@@ -72,18 +76,48 @@ impl ConcurrentMap for SkipRightLink {
         g.leaf_get(key).copied()
     }
 
+    fn protocol_name(&self) -> &'static str {
+        "skip-right-link"
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.inner.capacity()
+    }
+
+    fn height(&self) -> usize {
+        self.inner.height()
+    }
+
     fn insert(&self, key: u64, val: u64) -> Option<u64> {
         self.inner.insert(key, val)
     }
 
-    fn remove(&self, key: u64) -> Option<u64> {
-        ConcurrentBTree::remove(&self.inner, &key)
+    fn remove(&self, key: &u64) -> Option<u64> {
+        ConcurrentBTree::remove(&self.inner, key)
     }
 
-    fn tree(&self) -> Option<&ConcurrentBTree<u64>> {
-        // The underlying tree is structurally sound — auditors pass; only
-        // the linearizability checker can convict this implementation.
-        Some(&self.inner)
+    fn contains_key(&self, key: &u64) -> bool {
+        self.get(key).is_some() // routed through the buggy reader
+    }
+
+    fn range(&self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        self.inner.range(lo, hi)
+    }
+
+    fn check(&self) -> Result<(), String> {
+        self.inner.check()
+    }
+
+    fn root_handle(&self) -> NodeRef<u64> {
+        self.inner.root_handle()
+    }
+
+    fn counters(&self) -> OpCountersSnapshot {
+        self.inner.counters()
     }
 }
 
@@ -99,9 +133,9 @@ mod tests {
             assert_eq!(m.insert(k, k * 7), None);
         }
         for k in 0..200u64 {
-            assert_eq!(m.get(k), Some(k * 7));
+            assert_eq!(m.get(&k), Some(k * 7));
         }
-        assert_eq!(m.remove(13), Some(91));
-        assert_eq!(m.get(13), None);
+        assert_eq!(m.remove(&13), Some(91));
+        assert_eq!(m.get(&13), None);
     }
 }

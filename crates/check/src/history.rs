@@ -13,7 +13,7 @@
 //! still run concurrently between their ticks). The schedule-perturbation
 //! injector compensates for any race-masking the extra fence introduces.
 
-use cbtree_btree::ConcurrentBTree;
+pub use cbtree_btree::ConcurrentMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One map operation (the checker's alphabet).
@@ -33,39 +33,6 @@ impl Op {
         match *self {
             Op::Get(k) | Op::Insert(k, _) | Op::Remove(k) => k,
         }
-    }
-}
-
-/// The minimal concurrent-map interface the checker can drive. All three
-/// B-tree protocols implement it via [`ConcurrentBTree`]; deliberately
-/// buggy wrappers implement it in tests to prove the checker catches
-/// them.
-pub trait ConcurrentMap: Sync {
-    /// Looks `key` up.
-    fn get(&self, key: u64) -> Option<u64>;
-    /// Inserts `key → val`, returning the previous value if present.
-    fn insert(&self, key: u64, val: u64) -> Option<u64>;
-    /// Removes `key`, returning its value if present.
-    fn remove(&self, key: u64) -> Option<u64>;
-    /// The underlying real tree, when there is one — enables the
-    /// structural auditors after a stress run.
-    fn tree(&self) -> Option<&ConcurrentBTree<u64>> {
-        None
-    }
-}
-
-impl ConcurrentMap for ConcurrentBTree<u64> {
-    fn get(&self, key: u64) -> Option<u64> {
-        ConcurrentBTree::get(self, &key)
-    }
-    fn insert(&self, key: u64, val: u64) -> Option<u64> {
-        ConcurrentBTree::insert(self, key, val)
-    }
-    fn remove(&self, key: u64) -> Option<u64> {
-        ConcurrentBTree::remove(self, &key)
-    }
-    fn tree(&self) -> Option<&ConcurrentBTree<u64>> {
-        Some(self)
     }
 }
 
@@ -101,8 +68,10 @@ impl Clock {
     }
 }
 
-/// Applies `op` to `map`, bracketing it with clock ticks.
-pub fn record<M: ConcurrentMap + ?Sized>(
+/// Applies `op` to `map` (anything speaking the `cbtree-btree`
+/// [`ConcurrentMap`] interface — the real protocol trees, the facade, or
+/// a deliberately buggy wrapper), bracketing it with clock ticks.
+pub fn record<M: ConcurrentMap<u64> + ?Sized>(
     map: &M,
     clock: &Clock,
     thread: usize,
@@ -110,9 +79,9 @@ pub fn record<M: ConcurrentMap + ?Sized>(
 ) -> OpRecord {
     let invoked = clock.tick();
     let ret = match op {
-        Op::Get(k) => map.get(k),
+        Op::Get(k) => map.get(&k),
         Op::Insert(k, v) => map.insert(k, v),
-        Op::Remove(k) => map.remove(k),
+        Op::Remove(k) => map.remove(&k),
     };
     let returned = clock.tick();
     OpRecord {
@@ -165,7 +134,7 @@ impl History {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cbtree_btree::Protocol;
+    use cbtree_btree::{ConcurrentBTree, Protocol};
 
     #[test]
     fn record_brackets_and_returns() {

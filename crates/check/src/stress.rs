@@ -80,8 +80,7 @@ impl StressConfig {
 pub struct StressOutcome {
     /// The linearizability verdict.
     pub verdict: Verdict,
-    /// Structural-audit result (`Err` = invariant violation) — `None`
-    /// when the map under test exposes no auditable tree.
+    /// Structural-audit result (`Err` = invariant violation).
     pub audit: Option<Result<AuditReport, String>>,
     /// Total recorded operations.
     pub ops: usize,
@@ -131,7 +130,7 @@ pub fn run_stress(cfg: &StressConfig) -> StressOutcome {
 
 /// Runs the stress protocol against an arbitrary [`ConcurrentMap`] —
 /// used by tests to prove deliberately buggy implementations are caught.
-pub fn run_stress_on<M: ConcurrentMap>(map: &M, cfg: &StressConfig) -> StressOutcome {
+pub fn run_stress_on<M: ConcurrentMap<u64>>(map: &M, cfg: &StressConfig) -> StressOutcome {
     let _serial = RUN_GATE.lock().unwrap_or_else(|e| e.into_inner());
     // Deterministic prefill: evenly spread keys, value = key.
     let mut init: Vec<(u64, u64)> = Vec::with_capacity(cfg.prefill);
@@ -144,6 +143,8 @@ pub fn run_stress_on<M: ConcurrentMap>(map: &M, cfg: &StressConfig) -> StressOut
             }
         }
     }
+    // Release latches a recovery protocol retained during prefill.
+    map.txn_commit();
 
     if let Some(icfg) = cfg.inject {
         inject::enable(cfg.seed, icfg);
@@ -176,6 +177,10 @@ pub fn run_stress_on<M: ConcurrentMap>(map: &M, cfg: &StressConfig) -> StressOut
                         };
                         out.push(record(map, clock, t, op));
                     }
+                    // Release any transaction-retained latches before
+                    // exiting: the post-join audit would otherwise block
+                    // on latches no live thread can ever release.
+                    map.txn_commit();
                     out
                 })
             })
@@ -196,10 +201,13 @@ pub fn run_stress_on<M: ConcurrentMap>(map: &M, cfg: &StressConfig) -> StressOut
     let verdict = check_history(&history, cfg.check);
 
     // Workers are joined, so the tree is quiescent: audit structure, and
-    // when the verdict pinned down a final state, contents too.
-    let audit_result = map.tree().map(|tree| match &verdict {
-        Verdict::Linearizable { final_state } => audit_with_contents(tree, final_state),
-        _ => audit(tree),
+    // when the verdict pinned down a final state, contents too. Every
+    // map speaks the full `ConcurrentMap` interface now (buggy wrappers
+    // included — their *structure* is sound, only their reads race), so
+    // the audit always runs.
+    let audit_result = Some(match &verdict {
+        Verdict::Linearizable { final_state } => audit_with_contents(map, final_state),
+        _ => audit(map),
     });
 
     StressOutcome {

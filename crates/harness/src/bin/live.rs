@@ -14,8 +14,13 @@ use std::time::Duration;
 const USAGE: &str = "\
 usage: live [options]
 
-  --algo NAME        blink | coupling | optimistic | twophase  (default blink)
+  --algo NAME        b-link | lock-coupling | optimistic | two-phase |
+                     recovery-naive | recovery-leaf  (default b-link;
+                     historical aliases like blink/coupling also work)
   --threads N        worker threads (default 4)
+  --txn N            transaction size: commit after every N ops; only the
+                     recovery protocols retain latches between commits
+                     (default 1)
   --capacity N       max keys per node (default 64)
   --items N          keys prefilled before measurement (default 50000)
   --keyspace N       key space size (default 1000000)
@@ -29,16 +34,6 @@ usage: live [options]
   --saturate N       saturation search: double threads from 1 up to N
   -h, --help         print this help
 ";
-
-fn parse_protocol(s: &str) -> Result<Protocol, String> {
-    match s {
-        "blink" | "link" => Ok(Protocol::BLink),
-        "coupling" | "naive" => Ok(Protocol::LockCoupling),
-        "optimistic" => Ok(Protocol::OptimisticDescent),
-        "twophase" | "two-phase" => Ok(Protocol::TwoPhase),
-        other => Err(format!("unknown algorithm {other:?}")),
-    }
-}
 
 struct Args {
     cfg: LiveConfig,
@@ -62,8 +57,14 @@ fn parse_args() -> Result<Args, String> {
                 .ok_or_else(|| format!("{flag} requires an argument"))
         };
         match flag.as_str() {
-            "--algo" => cfg.protocol = parse_protocol(&value()?)?,
+            "--algo" => cfg.protocol = value()?.parse()?,
             "--threads" => cfg.threads = value()?.parse().map_err(|e| format!("{flag}: {e}"))?,
+            "--txn" => {
+                cfg.txn = value()?.parse().map_err(|e| format!("{flag}: {e}"))?;
+                if cfg.txn == 0 {
+                    return Err("--txn must be at least 1".into());
+                }
+            }
             "--capacity" => cfg.capacity = value()?.parse().map_err(|e| format!("{flag}: {e}"))?,
             "--items" => {
                 cfg.initial_items = value()?.parse().map_err(|e| format!("{flag}: {e}"))?;
@@ -149,6 +150,20 @@ fn print_report(cfg: &LiveConfig, report: &LiveReport) {
         "final height {} | final keys {} | root writer utilization {:.4}",
         report.final_height, report.final_len, report.root_writer_utilization
     );
+    let c = &report.counters;
+    println!(
+        "engine telemetry: {:.2} latches/op | restart rate {:.4} | chase rate {:.4} | peak latch chain {}",
+        c.latches_per_op(),
+        c.restart_rate(),
+        c.chase_rate(),
+        c.peak_chain,
+    );
+    if cfg.txn > 1 || c.txn_commits > 0 {
+        println!(
+            "transactions: size {} | {} commits | {} deadlock-avoidance spills",
+            cfg.txn, c.txn_commits, c.txn_spills
+        );
+    }
     println!();
     println!("per-level lock behavior (level 1 = leaves):");
     println!(

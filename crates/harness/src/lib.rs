@@ -26,7 +26,7 @@
 #![deny(unsafe_code)]
 
 use cbtree_btree::node::for_each_handle;
-use cbtree_btree::{ConcurrentBTree, Protocol};
+use cbtree_btree::{ConcurrentBTree, OpCountersSnapshot, Protocol};
 use cbtree_sim::stats::{Summary, Welford};
 use cbtree_sync::{LockStatsSnapshot, SamplePeriod};
 use cbtree_workload::{OpStream, Operation, OpsConfig, Rng};
@@ -62,6 +62,11 @@ pub struct LiveConfig {
     /// exact, sampled durations are scaled so the derived statistics stay
     /// unbiased). [`SamplePeriod::EXACT`] times everything.
     pub stats_sampling: SamplePeriod,
+    /// Transaction size: workers commit after every `txn` operations.
+    /// Only the recovery protocols retain latches between commits; for
+    /// every other protocol the commit is a no-op, so `txn = 1` (the
+    /// default) makes all protocols directly comparable.
+    pub txn: usize,
 }
 
 impl LiveConfig {
@@ -78,6 +83,7 @@ impl LiveConfig {
             measure: Duration::from_millis(1000),
             seed: 0x11FE,
             stats_sampling: SamplePeriod::EXACT,
+            txn: 1,
         }
     }
 
@@ -131,6 +137,12 @@ pub struct LiveReport {
     pub wait_r_by_level: Vec<f64>,
     /// Measured writer utilization of the root's level.
     pub root_writer_utilization: f64,
+    /// Engine telemetry accumulated over the measured window: latch
+    /// acquisitions per level, optimistic restarts, right-link chases,
+    /// transaction commits/spills. Restart and chase rates here are the
+    /// direct validation inputs for the Optimistic and Link-type
+    /// analytical models.
+    pub counters: OpCountersSnapshot,
     /// Full per-level measurements (leaves first).
     pub levels: Vec<LevelLive>,
     /// Tree height at the end of the run.
@@ -193,6 +205,9 @@ fn prefill(tree: &ConcurrentBTree<u64>, cfg: &LiveConfig) {
             inserted += 1;
         }
     }
+    // Recovery protocols retain latches: release them before workers
+    // start, or the prefilling thread would block the whole run.
+    tree.txn_commit();
 }
 
 /// Forks a per-thread workload seed with a SplitMix64 step: the stream
@@ -251,19 +266,26 @@ pub fn run(cfg: &LiveConfig) -> LiveReport {
     let quiesce_b = Arc::new(Barrier::new(cfg.threads + 1));
     let resume_b = Arc::new(Barrier::new(cfg.threads + 1));
 
-    let (reports, snap_a, snap_b, elapsed) = std::thread::scope(|s| {
+    let (reports, snap_a, snap_b, counters, elapsed) = std::thread::scope(|s| {
         let mut handles = Vec::with_capacity(cfg.threads);
         for t in 0..cfg.threads as u64 {
             let tree = Arc::clone(&tree);
             let phase = Arc::clone(&phase);
             let (qa, ra) = (Arc::clone(&quiesce_a), Arc::clone(&resume_a));
             let (qb, rb) = (Arc::clone(&quiesce_b), Arc::clone(&resume_b));
-            let mut stream = OpStream::new(cfg.ops, fork_seed(cfg.seed, t));
+            let mut stream = OpStream::new(cfg.ops, fork_seed(cfg.seed, t)).with_txn(cfg.txn);
             handles.push(s.spawn(move || {
                 // Warmup: run until the coordinator flips the phase.
                 while phase.load(Ordering::Acquire) == PHASE_WARMUP {
                     apply(&tree, stream.next_op());
+                    if stream.at_commit_point() {
+                        tree.txn_commit();
+                    }
                 }
+                // Commit before parking: a worker must never carry
+                // retained latches into a quiesce barrier (the
+                // coordinator's snapshot walk would block on them).
+                tree.txn_commit();
                 qa.wait();
                 ra.wait();
                 // Measured window.
@@ -272,6 +294,9 @@ pub fn run(cfg: &LiveConfig) -> LiveReport {
                     let op = stream.next_op();
                     let t0 = Instant::now();
                     apply(&tree, op);
+                    if stream.at_commit_point() {
+                        tree.txn_commit();
+                    }
                     let dt = t0.elapsed().as_secs_f64();
                     match op {
                         Operation::Search(_) => stats.search.add(dt),
@@ -280,6 +305,7 @@ pub fn run(cfg: &LiveConfig) -> LiveReport {
                     }
                     stats.completed += 1;
                 }
+                tree.txn_commit(); // same rule at the closing barrier
                 qb.wait();
                 rb.wait();
                 stats
@@ -290,6 +316,7 @@ pub fn run(cfg: &LiveConfig) -> LiveReport {
         phase.store(PHASE_MEASURE, Ordering::Release);
         quiesce_a.wait(); // all workers parked; tree quiescent
         let snap_a = level_snapshots(&tree);
+        let ctr_a = tree.counters();
         resume_a.wait();
         // Start the clock only after the resume barrier has released the
         // workers: taking it earlier charged every worker's barrier
@@ -301,13 +328,14 @@ pub fn run(cfg: &LiveConfig) -> LiveReport {
         quiesce_b.wait(); // quiescent again
         let elapsed = t0.elapsed();
         let snap_b = level_snapshots(&tree);
+        let ctr_b = tree.counters();
         resume_b.wait();
 
         let reports: Vec<ThreadStats> = handles
             .into_iter()
             .map(|h| h.join().expect("worker panicked"))
             .collect();
-        (reports, snap_a, snap_b, elapsed)
+        (reports, snap_a, snap_b, ctr_b.since(&ctr_a), elapsed)
     });
 
     // Final quiescent structural check: every live run ends with the tree
@@ -366,6 +394,7 @@ pub fn run(cfg: &LiveConfig) -> LiveReport {
             .map(|l| l.stats.mean_r_wait_ns() * 1e-9)
             .collect(),
         root_writer_utilization: levels.last().map_or(0.0, |l| l.rho_w),
+        counters,
         final_height: levels.len(),
         final_len: tree.len(),
         levels,
@@ -509,5 +538,18 @@ mod tests {
                 l.rho_w
             );
         }
+        // Window-scoped engine telemetry rides along.
+        assert!(report.counters.ops > 0);
+        assert!(report.counters.latches_per_op() >= 1.0);
+    }
+
+    #[test]
+    fn recovery_run_with_transactions_completes() {
+        let mut cfg = LiveConfig::quick(Protocol::RecoveryNaive, 3);
+        cfg.txn = 4;
+        cfg.measure = Duration::from_millis(80);
+        let report = run(&cfg);
+        assert!(report.completed > 0);
+        assert!(report.counters.txn_commits > 0, "commits must be counted");
     }
 }

@@ -5,12 +5,9 @@
 use cbtree_btree::Protocol;
 use cbtree_harness::{run, LiveConfig};
 
-const PROTOCOLS: [Protocol; 4] = [
-    Protocol::LockCoupling,
-    Protocol::OptimisticDescent,
-    Protocol::BLink,
-    Protocol::TwoPhase,
-];
+/// The canonical protocol list; the recovery variants run with the
+/// default transaction size 1, where commits follow every operation.
+const PROTOCOLS: [Protocol; 6] = Protocol::ALL_WITH_RECOVERY;
 
 fn smoke_cfg(protocol: Protocol) -> LiveConfig {
     LiveConfig::quick(protocol, 4)
@@ -116,6 +113,51 @@ fn per_level_writer_utilization_is_a_fraction() {
             protocol.name()
         );
     }
+}
+
+#[test]
+fn telemetry_shows_restarts_and_chases_under_contention() {
+    // Small nodes + several threads force leaf splits, which is exactly
+    // what produces optimistic restarts and b-link right-link chases.
+    let mut cfg = LiveConfig::quick(Protocol::OptimisticDescent, 4);
+    cfg.capacity = 4;
+    let report = run(&cfg);
+    assert!(
+        report.counters.restarts > 0,
+        "optimistic under contention must restart sometimes"
+    );
+    assert_eq!(report.counters.chases, 0, "crab descents never chase");
+
+    let mut cfg = LiveConfig::quick(Protocol::BLink, 4);
+    cfg.capacity = 4;
+    let report = run(&cfg);
+    assert!(
+        report.counters.chases > 0,
+        "b-link under contention must chase right links sometimes"
+    );
+    assert_eq!(report.counters.restarts, 0, "b-link never restarts");
+}
+
+#[test]
+fn recovery_naive_at_txn1_matches_lock_coupling_throughput() {
+    // With transaction size 1 a commit follows every operation, so
+    // RecoveryNaive is LockCoupling plus commit bookkeeping: throughput
+    // must agree within (generous, CI-proof) measurement noise.
+    let coupling = run(&smoke_cfg(Protocol::LockCoupling));
+    let recovery = run(&smoke_cfg(Protocol::RecoveryNaive));
+    assert!(recovery.completed > 0 && coupling.completed > 0);
+    let ratio = recovery.throughput / coupling.throughput;
+    assert!(
+        (0.33..=3.0).contains(&ratio),
+        "recovery-naive/lock-coupling throughput ratio {ratio} out of range \
+         ({} vs {} ops/s)",
+        recovery.throughput,
+        coupling.throughput
+    );
+    assert!(
+        recovery.counters.txn_commits > 0,
+        "every op ends a transaction at txn=1"
+    );
 }
 
 #[test]

@@ -354,6 +354,29 @@ impl<T: ?Sized> FcfsRwLock<T> {
         }
     }
 
+    /// Non-blocking acquire attempt in the given mode. Takes only the
+    /// uncontended fast path: fails whenever the holder bits are
+    /// incompatible *or* any waiter is queued, and never joins the queue
+    /// itself. Stats count the acquisition only on success, so failed
+    /// probes do not skew acquire counts or sampling.
+    fn try_start(&self, exclusive: bool) -> Option<Option<Instant>> {
+        crate::inject::perturb(if exclusive {
+            crate::inject::Site::AcquireExclusive
+        } else {
+            crate::inject::Site::AcquireShared
+        });
+        if !self.raw.try_acquire_fast(exclusive) {
+            return None;
+        }
+        let sampled = self.stats.begin_acquire(exclusive);
+        if sampled {
+            self.stats.record_sampled_wait(exclusive, 0);
+            Some(Some(Instant::now()))
+        } else {
+            Some(None)
+        }
+    }
+
     /// Shared latch with an owned (`Arc`-holding) guard, usable past the
     /// borrow of the `Arc` it was taken from — the latch-crabbing shape.
     pub fn read_arc(self: &Arc<Self>) -> ArcRwLockReadGuard<T> {
@@ -369,6 +392,26 @@ impl<T: ?Sized> FcfsRwLock<T> {
             hold_start: self.start(true),
             lock: Arc::clone(self),
         }
+    }
+
+    /// Attempts a shared latch without ever blocking or queueing (fast
+    /// path only; `None` whenever the latch is write-held *or* anyone is
+    /// waiting). Used by callers that must stay deadlock-free while
+    /// already holding other latches, e.g. transaction-retained descents.
+    pub fn try_read_arc(self: &Arc<Self>) -> Option<ArcRwLockReadGuard<T>> {
+        self.try_start(false).map(|hold_start| ArcRwLockReadGuard {
+            hold_start,
+            lock: Arc::clone(self),
+        })
+    }
+
+    /// Attempts the exclusive latch without ever blocking or queueing
+    /// (fast path only; `None` whenever any holder or waiter exists).
+    pub fn try_write_arc(self: &Arc<Self>) -> Option<ArcRwLockWriteGuard<T>> {
+        self.try_start(true).map(|hold_start| ArcRwLockWriteGuard {
+            hold_start,
+            lock: Arc::clone(self),
+        })
     }
 
     /// The lock's embedded statistics.
@@ -591,6 +634,51 @@ mod tests {
             }
         });
         assert_eq!(*lock.read(), total);
+    }
+
+    #[test]
+    fn try_acquires_succeed_uncontended_and_count() {
+        let lock = Arc::new(FcfsRwLock::new(5u64));
+        {
+            let g = lock.try_write_arc().expect("free lock");
+            assert_eq!(*g, 5);
+            // A second writer, and any reader, must fail while held.
+            assert!(lock.try_write_arc().is_none());
+            assert!(lock.try_read_arc().is_none());
+        }
+        {
+            let r1 = lock.try_read_arc().expect("free lock");
+            let r2 = lock.try_read_arc().expect("readers share");
+            assert_eq!(*r1 + *r2, 10);
+            assert!(lock.try_write_arc().is_none(), "writer excluded by readers");
+        }
+        let snap = lock.stats().snapshot();
+        // Only the four successful acquisitions were counted.
+        assert_eq!(snap.w_acquires, 1);
+        assert_eq!(snap.r_acquires, 2);
+        assert_eq!(snap.w_contended, 0);
+        assert_eq!(snap.r_contended, 0);
+    }
+
+    #[test]
+    fn try_acquires_fail_while_waiters_are_queued() {
+        let lock = Arc::new(FcfsRwLock::new(0u64));
+        let g = lock.write();
+        let t = {
+            let lock = Arc::clone(&lock);
+            std::thread::spawn(move || {
+                let _g = lock.read();
+            })
+        };
+        while lock.queued() == 0 {
+            std::thread::yield_now();
+        }
+        // The queue is non-empty, so even a compatible probe must refuse
+        // (it would otherwise overtake the FCFS queue).
+        assert!(lock.try_write_arc().is_none());
+        assert!(lock.try_read_arc().is_none());
+        drop(g);
+        t.join().unwrap();
     }
 
     #[test]

@@ -82,6 +82,11 @@ pub struct OpStream {
     /// Pool of recently inserted keys for deletes to target.
     live_pool: Vec<u64>,
     pool_cap: usize,
+    /// Transaction size: a commit point falls after every `txn` drawn
+    /// operations.
+    txn: usize,
+    /// Operations drawn so far (for commit-point bookkeeping).
+    drawn: u64,
 }
 
 impl OpStream {
@@ -97,11 +102,39 @@ impl OpStream {
             seq_counter: 0,
             live_pool: Vec::new(),
             pool_cap: 4096,
+            txn: 1,
+            drawn: 0,
         }
+    }
+
+    /// Sets the transaction size: a commit point falls after every `txn`
+    /// operations (the paper's §7 recovery variants retain exclusive
+    /// latches between commit points). `txn = 1` commits after every
+    /// operation — the default, and a no-op for non-recovery protocols.
+    ///
+    /// # Panics
+    /// Panics when `txn == 0`.
+    pub fn with_txn(mut self, txn: usize) -> Self {
+        assert!(txn >= 1, "transaction size must be at least 1");
+        self.txn = txn;
+        self
+    }
+
+    /// The configured transaction size.
+    pub fn txn(&self) -> usize {
+        self.txn
+    }
+
+    /// Whether the most recently drawn operation ends a transaction
+    /// (callers commit when this is true). Trivially true between
+    /// transactions and before the first draw.
+    pub fn at_commit_point(&self) -> bool {
+        self.drawn.is_multiple_of(self.txn as u64)
     }
 
     /// Draws the next operation.
     pub fn next_op(&mut self) -> Operation {
+        self.drawn += 1;
         let u = self.rng.next_f64();
         let key = self.cfg.keys.sample(&mut self.rng, self.seq_counter);
         if u < self.cfg.q_search {
@@ -260,6 +293,32 @@ mod tests {
             hits as f64 / total as f64 > 0.9,
             "deletes should usually hit inserted keys: {hits}/{total}"
         );
+    }
+
+    #[test]
+    fn txn_commit_points_fall_every_k_ops() {
+        let mut s = stream(5).with_txn(3);
+        assert_eq!(s.txn(), 3);
+        assert!(s.at_commit_point(), "trivially at a boundary before ops");
+        let mut commits = 0;
+        for i in 1..=12 {
+            s.next_op();
+            if s.at_commit_point() {
+                commits += 1;
+                assert_eq!(i % 3, 0, "commit at op {i}");
+            }
+        }
+        assert_eq!(commits, 4);
+        // Default is txn = 1: every op is a commit point.
+        let mut s = stream(5);
+        s.next_op();
+        assert!(s.at_commit_point());
+    }
+
+    #[test]
+    #[should_panic(expected = "transaction size")]
+    fn zero_txn_rejected() {
+        let _ = stream(0).with_txn(0);
     }
 
     #[test]

@@ -19,6 +19,9 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> cargo test (inject feature: schedule perturbation compiled in)"
+cargo test --workspace --features inject -q
+
 echo "==> correctness pillar: quick stress sweep (3 protocols x 16 seeds)"
 cargo run --release -p cbtree-check --bin stress -- --quick
 
