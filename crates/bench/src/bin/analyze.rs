@@ -20,10 +20,13 @@ use cbtree_analysis::{Algorithm, ModelConfig, RecoveryMode};
 use cbtree_btree::Protocol;
 use cbtree_btree_model::{lru_cost_model, CostModel, NodeParams, OpMix, TreeShape};
 use cbtree_harness::LiveConfig;
+use cbtree_obs::table::{fmt_f, Table};
+use cbtree_obs::Json;
 use cbtree_sim::costs::SimCosts;
 use cbtree_sim::{run_seeds, SimAlgorithm, SimConfig, SimRecovery};
 use cbtree_sync::SamplePeriod;
 use cbtree_workload::{KeyDist, OpsConfig};
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -41,6 +44,7 @@ struct Args {
     live: bool,
     live_threads: usize,
     sample_every: u64,
+    json: Option<PathBuf>,
 }
 
 impl Default for Args {
@@ -59,6 +63,7 @@ impl Default for Args {
             live: false,
             live_threads: 4,
             sample_every: 1,
+            json: None,
         }
     }
 }
@@ -68,7 +73,7 @@ fn usage() -> ! {
         "usage: analyze [--items N] [--node-size N] [--mix qs,qi,qd] [--disk-cost D]\n\
          \u{20}       [--memory-levels M] [--buffer-nodes B] [--rate lambda]\n\
          \u{20}       [--recovery none|naive|leaf-only] [--t-trans T] [--verify]\n\
-         \u{20}       [--live] [--live-threads N] [--sample-every N]"
+         \u{20}       [--live] [--live-threads N] [--sample-every N] [--json PATH]"
     );
     std::process::exit(2);
 }
@@ -106,6 +111,7 @@ fn parse_args() -> Args {
             "--live" => a.live = true,
             "--live-threads" => a.live_threads = val().parse().unwrap_or_else(|_| usage()),
             "--sample-every" => a.sample_every = val().parse().unwrap_or_else(|_| usage()),
+            "--json" => a.json = Some(PathBuf::from(val())),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -166,38 +172,56 @@ fn main() -> ExitCode {
         args.recovery,
     );
 
-    println!(
-        "{:<12} {:>12} {:>12} {:>12} {:>12} {:>10}",
-        "algorithm", "max-thru", "eff-max(ρ=.5)", "search RT", "insert RT", "rho_root"
+    let mut records = vec![meta_json(&args, mix, &cfg)];
+    let mut t = Table::new(
+        "analytical model (cost units)",
+        &[
+            "algorithm",
+            "max-thru",
+            "eff-max(rho=.5)",
+            "search-RT",
+            "insert-RT",
+            "rho_root",
+        ],
     );
     let rate = args.rate;
     let mut best: Option<(Algorithm, f64)> = None;
     for alg in Algorithm::ALL_WITH_BASELINE {
         let model = alg.model(&cfg);
         let max = model.max_throughput().unwrap_or(f64::NAN);
-        let eff = model.lambda_at_root_rho(0.5).map(|x| format!("{x:>12.4}"));
+        let eff = model.lambda_at_root_rho(0.5).ok();
         let probe = rate.unwrap_or(0.4 * max);
-        let (s_rt, i_rt, rho) = match model.evaluate(probe) {
-            Ok(p) => (
-                format!("{:>12.2}", p.response_time_search),
-                format!("{:>12.2}", p.response_time_insert),
-                format!("{:>10.3}", p.root_writer_utilization()),
+        let point = model.evaluate(probe).ok();
+        let (s_rt, i_rt, rho) = match &point {
+            Some(p) => (
+                p.response_time_search,
+                p.response_time_insert,
+                p.root_writer_utilization(),
             ),
-            Err(_) => (
-                "         sat".into(),
-                "         sat".into(),
-                "         -".into(),
-            ),
+            None => (f64::NAN, f64::NAN, f64::NAN),
         };
-        println!(
-            "{:<12} {:>12.4} {} {} {} {}",
-            alg.name(),
-            max,
-            eff.unwrap_or_else(|_| "           -".into()),
-            s_rt,
-            i_rt,
-            rho
-        );
+        t.push(vec![
+            alg.name().to_string(),
+            fmt_f(max, 4),
+            eff.map_or_else(|| "-".into(), |x| fmt_f(x, 4)),
+            fmt_f(s_rt, 2),
+            fmt_f(i_rt, 2),
+            fmt_f(rho, 3),
+        ]);
+        records.push(Json::obj(vec![
+            ("type", "analysis_point".into()),
+            ("algorithm", alg.name().into()),
+            ("max_throughput", Json::f64_or_null(max)),
+            (
+                "eff_max_rho_half",
+                eff.map_or(Json::Null, Json::f64_or_null),
+            ),
+            ("lambda", Json::f64_or_null(probe)),
+            ("saturated", point.is_none().into()),
+            ("search_rt", Json::f64_or_null(s_rt)),
+            ("insert_rt", Json::f64_or_null(i_rt)),
+            ("rho_root", Json::f64_or_null(rho)),
+        ]));
         if let Some(r) = rate {
             if max > 1.3 * r && best.is_none_or(|(_, m)| max < m) {
                 // Prefer the *least* powerful algorithm with ≥30% headroom
@@ -206,6 +230,7 @@ fn main() -> ExitCode {
             }
         }
     }
+    t.print();
     if let Some(r) = rate {
         match best {
             Some((alg, max)) => println!(
@@ -217,6 +242,14 @@ fn main() -> ExitCode {
                  consider larger nodes (optimistic) or the link algorithm"
             ),
         }
+        records.push(Json::obj(vec![
+            ("type", "recommendation".into()),
+            ("lambda", r.into()),
+            (
+                "algorithm",
+                best.map_or(Json::Null, |(alg, _)| alg.name().into()),
+            ),
+        ]));
     }
 
     if args.verify {
@@ -225,6 +258,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         };
         println!("\nsimulation cross-check at λ = {r} (3 seeds):");
+        let mut t = Table::new(
+            "simulation cross-check",
+            &["algorithm", "search-RT", "±ci95", "insert-RT", "±ci95"],
+        );
         for (alg, sim_alg) in [
             (
                 Algorithm::NaiveLockCoupling,
@@ -256,17 +293,32 @@ fn main() -> ExitCode {
             };
             c = c.with_min_window(100.0, 300.0);
             match run_seeds(&c, &[1, 2, 3]) {
-                Ok(s) => println!(
-                    "  {:<12} search {:>8.2} ± {:<6.2} insert {:>8.2} ± {:<6.2}",
-                    alg.name(),
-                    s.resp_search.mean,
-                    s.resp_search.ci95,
-                    s.resp_insert.mean,
-                    s.resp_insert.ci95
-                ),
-                Err(e) => println!("  {:<12} {e}", alg.name()),
+                Ok(s) => {
+                    t.push(vec![
+                        alg.name().to_string(),
+                        fmt_f(s.resp_search.mean, 2),
+                        fmt_f(s.resp_search.ci95, 2),
+                        fmt_f(s.resp_insert.mean, 2),
+                        fmt_f(s.resp_insert.ci95, 2),
+                    ]);
+                    records.push(Json::obj(vec![
+                        ("type", "sim_check".into()),
+                        ("algorithm", alg.name().into()),
+                        ("lambda", r.into()),
+                        ("resp_search", s.resp_search.to_json()),
+                        ("resp_insert", s.resp_insert.to_json()),
+                    ]));
+                }
+                Err(e) => t.push(vec![
+                    alg.name().to_string(),
+                    e.to_string(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                ]),
             }
         }
+        t.print();
         println!(
             "(simulation uses up to 200k items; at larger --items the analysis \
              extrapolates the same per-level model)"
@@ -274,12 +326,48 @@ fn main() -> ExitCode {
     }
 
     if args.live {
-        if let Err(e) = live_compare(&args, mix) {
+        if let Err(e) = live_compare(&args, mix, &mut records) {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     }
+    if let Some(path) = &args.json {
+        if let Err(e) = cbtree_obs::write_jsonl(path, &records) {
+            eprintln!("error: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}", path.display());
+    }
     ExitCode::SUCCESS
+}
+
+/// The `meta` JSONL record for an `analyze` invocation.
+fn meta_json(args: &Args, mix: OpMix, cfg: &ModelConfig) -> Json {
+    Json::obj(vec![
+        ("type", "meta".into()),
+        ("schema", cbtree_obs::SCHEMA_VERSION.into()),
+        ("kind", "analyze".into()),
+        ("items", args.items.into()),
+        ("node_size", args.node_size.into()),
+        ("height", cfg.height().into()),
+        (
+            "mix",
+            Json::arr([
+                mix.q_search.into(),
+                mix.q_insert.into(),
+                mix.q_delete.into(),
+            ]),
+        ),
+        ("disk_cost", args.disk_cost.into()),
+        ("memory_levels", args.memory_levels.into()),
+        (
+            "buffer_nodes",
+            args.buffer_nodes.map_or(Json::Null, Json::f64_or_null),
+        ),
+        ("rate", args.rate.map_or(Json::Null, Json::f64_or_null)),
+        ("recovery", format!("{:?}", args.recovery).into()),
+        ("t_trans", args.t_trans.into()),
+    ])
 }
 
 /// Three-way comparison: the analytical model, the discrete-event
@@ -290,7 +378,7 @@ fn main() -> ExitCode {
 /// search-only live run fixes the wall-clock length of one model cost
 /// unit, live throughput is converted into a model arrival rate λ, and
 /// analysis/simulation are evaluated at that same λ.
-fn live_compare(args: &Args, mix: OpMix) -> Result<(), String> {
+fn live_compare(args: &Args, mix: OpMix, records: &mut Vec<Json>) -> Result<(), String> {
     let err = |e: &dyn std::fmt::Display| e.to_string();
     let items = (args.items as usize).min(200_000);
     let node = NodeParams::with_max_size(args.node_size).map_err(|e| err(&e))?;
@@ -353,20 +441,22 @@ fn live_compare(args: &Args, mix: OpMix) -> Result<(), String> {
         calib.resp_search.mean * 1e6,
         zero_load_units
     );
-    println!(
-        "{:<12} {:>10} {:>8} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9} | {:>8} {:>8} {:>8}",
-        "algorithm",
-        "live-thru",
-        "lambda",
-        "anl-sRT",
-        "sim-sRT",
-        "live-sRT",
-        "anl-iRT",
-        "sim-iRT",
-        "live-iRT",
-        "ltch/op",
-        "restart",
-        "chase"
+    let mut t = Table::new(
+        "analysis vs simulation vs live (response times in cost units)",
+        &[
+            "algorithm",
+            "live-thru",
+            "lambda",
+            "anl-sRT",
+            "sim-sRT",
+            "live-sRT",
+            "anl-iRT",
+            "sim-iRT",
+            "live-iRT",
+            "ltch/op",
+            "restart",
+            "chase",
+        ],
     );
     for (protocol, alg, sim_alg) in [
         (
@@ -393,13 +483,9 @@ fn live_compare(args: &Args, mix: OpMix) -> Result<(), String> {
         // The live run is closed-loop; its completion rate, expressed in
         // model cost units, is the open-loop λ the other two pillars see.
         let lambda = live.throughput * unit_secs;
-        let fmt_units = |units: f64| format!("{units:>9.2}");
         let (anl_s, anl_i) = match alg.model(&mcfg).evaluate(lambda) {
-            Ok(p) => (
-                fmt_units(p.response_time_search),
-                fmt_units(p.response_time_insert),
-            ),
-            Err(_) => ("      sat".into(), "      sat".into()),
+            Ok(p) => (p.response_time_search, p.response_time_insert),
+            Err(_) => (f64::NAN, f64::NAN),
         };
         let mut sc = SimConfig::paper(sim_alg, lambda, 1);
         sc.node_capacity = args.node_size;
@@ -411,25 +497,49 @@ fn live_compare(args: &Args, mix: OpMix) -> Result<(), String> {
         };
         sc = sc.with_min_window(100.0, 300.0);
         let (sim_s, sim_i) = match run_seeds(&sc, &[1, 2]) {
-            Ok(s) => (fmt_units(s.resp_search.mean), fmt_units(s.resp_insert.mean)),
-            Err(_) => ("      sat".into(), "      sat".into()),
+            Ok(s) => (s.resp_search.mean, s.resp_insert.mean),
+            Err(_) => (f64::NAN, f64::NAN),
         };
-        println!(
-            "{:<12} {:>10.0} {:>8.4} | {} {} {} | {} {} {} | {:>8.2} {:>8.4} {:>8.4}",
-            protocol.name(),
-            live.throughput,
-            lambda,
-            anl_s,
-            sim_s,
-            fmt_units(live.resp_search.mean / unit_secs),
-            anl_i,
-            sim_i,
-            fmt_units(live.resp_insert.mean / unit_secs),
-            live.counters.latches_per_op(),
-            live.counters.restart_rate(),
-            live.counters.chase_rate(),
-        );
+        let live_s = live.resp_search.mean / unit_secs;
+        let live_i = live.resp_insert.mean / unit_secs;
+        t.push(vec![
+            protocol.name().to_string(),
+            fmt_f(live.throughput, 0),
+            fmt_f(lambda, 4),
+            fmt_f(anl_s, 2),
+            fmt_f(sim_s, 2),
+            fmt_f(live_s, 2),
+            fmt_f(anl_i, 2),
+            fmt_f(sim_i, 2),
+            fmt_f(live_i, 2),
+            fmt_f(live.counters.latches_per_op(), 2),
+            fmt_f(live.counters.restart_rate(), 4),
+            fmt_f(live.counters.chase_rate(), 4),
+        ]);
+        records.push(Json::obj(vec![
+            ("type", "live_compare".into()),
+            ("protocol", protocol.name().into()),
+            ("live_throughput", Json::f64_or_null(live.throughput)),
+            ("lambda", Json::f64_or_null(lambda)),
+            ("unit_secs", Json::f64_or_null(unit_secs)),
+            ("anl_search_rt", Json::f64_or_null(anl_s)),
+            ("sim_search_rt", Json::f64_or_null(sim_s)),
+            ("live_search_rt", Json::f64_or_null(live_s)),
+            ("anl_insert_rt", Json::f64_or_null(anl_i)),
+            ("sim_insert_rt", Json::f64_or_null(sim_i)),
+            ("live_insert_rt", Json::f64_or_null(live_i)),
+            (
+                "latches_per_op",
+                Json::f64_or_null(live.counters.latches_per_op()),
+            ),
+            (
+                "restart_rate",
+                Json::f64_or_null(live.counters.restart_rate()),
+            ),
+            ("chase_rate", Json::f64_or_null(live.counters.chase_rate())),
+        ]));
     }
+    t.print();
     println!(
         "(response times in model cost units; live converted via the calibrated unit; \
          each pillar evaluated at the live run's measured λ; ltch/op, restart and \

@@ -1,0 +1,546 @@
+//! `cbtree-trace`: offline analyzer for `live --json` run artifacts.
+//!
+//! Reads the JSONL records a traced live run wrote (meta, live_report,
+//! trace_info, and per-event records), replays the event stream into
+//! per-level statistics, re-evaluates the analytical model and the
+//! discrete-event simulator at the run's measured arrival rate, and
+//! prints the four-pillar comparison per level:
+//!
+//! ```text
+//! cargo run --release -p cbtree-bench --bin cbtree-trace -- results/run-blink.jsonl
+//! ```
+//!
+//! The `anl`, `sim` and `trc` ρ_w columns all use the analysis's
+//! *presence* semantics (a writer holds **or waits for** the latch); the
+//! `live` column is the lock counters' hold-only measurement, which the
+//! trace reproduces separately as `trc-hold`.
+
+use cbtree_analysis::{Algorithm, ModelConfig, RecoveryMode};
+use cbtree_btree::Protocol;
+use cbtree_btree_model::{CostModel, NodeParams, OpMix, TreeShape};
+use cbtree_obs::event::Event;
+use cbtree_obs::table::{fmt_f, Table};
+use cbtree_obs::{replay, Json, Replay, Trace};
+use cbtree_sim::costs::SimCosts;
+use cbtree_sim::{SimAlgorithm, SimConfig, SimRecovery, SimReport};
+use cbtree_workload::{KeyDist, OpsConfig};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: cbtree-trace [options] FILE...
+
+Analyzes JSONL run artifacts written by `live --json`.
+
+  --json PATH     write the comparison as JSONL records
+  --timeline N    print the first N trace events as a latch timeline
+  --sim-seed N    simulator seed for the cross-check (default 1)
+  -h, --help      print this help
+";
+
+struct Args {
+    files: Vec<PathBuf>,
+    json: Option<PathBuf>,
+    timeline: usize,
+    sim_seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut files = Vec::new();
+    let mut json = None;
+    let mut timeline = 0;
+    let mut sim_seed = 1;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .ok_or_else(|| format!("{flag} requires an argument"))
+        };
+        match flag.as_str() {
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            "--json" => json = Some(PathBuf::from(value()?)),
+            "--timeline" => timeline = value()?.parse().map_err(|e| format!("{flag}: {e}"))?,
+            "--sim-seed" => sim_seed = value()?.parse().map_err(|e| format!("{flag}: {e}"))?,
+            other if other.starts_with('-') => return Err(format!("unknown flag {other:?}")),
+            file => files.push(PathBuf::from(file)),
+        }
+    }
+    if files.is_empty() {
+        return Err("no input files".into());
+    }
+    Ok(Args {
+        files,
+        json,
+        timeline,
+        sim_seed,
+    })
+}
+
+/// The parsed pieces of one run artifact.
+struct RunArtifact {
+    protocol: Protocol,
+    capacity: usize,
+    initial_items: u64,
+    mix: (f64, f64, f64),
+    keyspace: u64,
+    txn: u64,
+    threads: u64,
+    report: Json,
+    trace: Option<Trace>,
+}
+
+fn f64_field(j: &Json, key: &str) -> f64 {
+    j.get(key).and_then(Json::as_f64).unwrap_or(f64::NAN)
+}
+
+fn u64_field(j: &Json, key: &str) -> u64 {
+    j.get(key).and_then(Json::as_u64).unwrap_or(0)
+}
+
+fn load(path: &Path) -> Result<RunArtifact, String> {
+    let records = cbtree_obs::read_jsonl(path)?;
+    let of_type = |t: &str| {
+        records
+            .iter()
+            .find(|r| r.get("type").and_then(Json::as_str) == Some(t))
+    };
+    let meta = of_type("meta").ok_or("no meta record")?;
+    if meta.get("kind").and_then(Json::as_str) != Some("live_run") {
+        return Err("meta record is not a live_run".into());
+    }
+    let report = of_type("live_report")
+        .ok_or("no live_report record")?
+        .clone();
+    let mix = meta
+        .get("mix")
+        .and_then(Json::as_arr)
+        .filter(|m| m.len() == 3)
+        .ok_or("meta mix is not a 3-array")?;
+    let events: Vec<Event> = records
+        .iter()
+        .filter(|r| r.get("type").and_then(Json::as_str) == Some("event"))
+        .map(Event::from_json)
+        .collect::<Result<_, _>>()?;
+    let trace = (!events.is_empty()).then(|| {
+        let info = of_type("trace_info");
+        Trace {
+            events,
+            dropped: info.map_or(0, |i| u64_field(i, "dropped")),
+            threads: info.map_or(0, |i| u64_field(i, "threads") as u32),
+        }
+    });
+    Ok(RunArtifact {
+        protocol: meta
+            .get("protocol")
+            .and_then(Json::as_str)
+            .ok_or("meta has no protocol")?
+            .parse()?,
+        capacity: u64_field(meta, "capacity") as usize,
+        initial_items: u64_field(meta, "initial_items"),
+        mix: (
+            mix[0].as_f64().unwrap_or(f64::NAN),
+            mix[1].as_f64().unwrap_or(f64::NAN),
+            mix[2].as_f64().unwrap_or(f64::NAN),
+        ),
+        keyspace: u64_field(meta, "keyspace").max(1),
+        txn: u64_field(meta, "txn").max(1),
+        threads: u64_field(meta, "threads"),
+        report,
+        trace,
+    })
+}
+
+/// Maps a live protocol onto its analytical and simulated counterparts.
+fn pillars(p: Protocol) -> (Algorithm, RecoveryMode, SimAlgorithm) {
+    match p {
+        Protocol::LockCoupling => (
+            Algorithm::NaiveLockCoupling,
+            RecoveryMode::None,
+            SimAlgorithm::NaiveLockCoupling,
+        ),
+        Protocol::OptimisticDescent => (
+            Algorithm::OptimisticDescent,
+            RecoveryMode::None,
+            SimAlgorithm::OptimisticDescent,
+        ),
+        Protocol::BLink => (
+            Algorithm::LinkType,
+            RecoveryMode::None,
+            SimAlgorithm::LinkType,
+        ),
+        Protocol::TwoPhase => (
+            Algorithm::TwoPhaseLocking,
+            RecoveryMode::None,
+            SimAlgorithm::TwoPhaseLocking,
+        ),
+        Protocol::RecoveryNaive => (
+            Algorithm::NaiveLockCoupling,
+            RecoveryMode::Naive,
+            SimAlgorithm::NaiveLockCoupling,
+        ),
+        Protocol::RecoveryLeaf => (
+            Algorithm::NaiveLockCoupling,
+            RecoveryMode::LeafOnly,
+            SimAlgorithm::NaiveLockCoupling,
+        ),
+    }
+}
+
+/// Everything the comparison derives from one artifact.
+struct Comparison {
+    lambda: f64,
+    unit_secs: f64,
+    /// Per-level ρ_w, leaves first: (analysis, sim, live counters, trace
+    /// presence, trace hold). NaN where a pillar has no value.
+    rho_rows: Vec<(f64, f64, f64, f64, f64)>,
+    /// Per-level exclusive waits in ns, same pillar order minus the hold
+    /// column.
+    wait_rows: Vec<(f64, f64, f64, f64)>,
+    replayed: Option<Replay>,
+    sim: Option<SimReport>,
+}
+
+fn compare(run: &RunArtifact, sim_seed: u64) -> Result<Comparison, String> {
+    let err = |e: &dyn std::fmt::Display| e.to_string();
+    let (alg, recovery, sim_alg) = pillars(run.protocol);
+    let mix = OpMix::new(run.mix.0, run.mix.1, run.mix.2).map_err(|e| err(&e))?;
+    let node = NodeParams::with_max_size(run.capacity).map_err(|e| err(&e))?;
+    let shape = TreeShape::derive(run.initial_items.max(1), node).map_err(|e| err(&e))?;
+    let height = shape.height;
+    // The live trees are all in memory: every level memory-resident.
+    let cost = CostModel::paper_style(height, height, 5.0, 1.0).map_err(|e| err(&e))?;
+    let base_cfg = ModelConfig::new(shape, mix, cost).map_err(|e| err(&e))?;
+
+    // Calibration: one model cost unit in wall-clock seconds, fixed by
+    // this run's own mean search response time against the zero-load
+    // link-type path. Contention inflates the numerator, so under load
+    // this over-estimates the unit — good enough to place the measured
+    // throughput on the model's λ axis, rougher than `analyze --live`'s
+    // dedicated single-threaded calibration run.
+    let zero = Algorithm::LinkType
+        .model(&base_cfg)
+        .evaluate(1e-9)
+        .map_err(|e| err(&e))?;
+    let resp_search = run
+        .report
+        .get("resp_search")
+        .map(|s| f64_field(s, "mean"))
+        .unwrap_or(f64::NAN);
+    if !resp_search.is_finite() || resp_search <= 0.0 {
+        return Err("live_report has no usable resp_search.mean".into());
+    }
+    let unit_secs = resp_search / zero.response_time_search;
+    let throughput = f64_field(&run.report, "throughput");
+    let lambda = throughput * unit_secs;
+    let t_trans = run.txn as f64 * zero.response_time_insert;
+    let cfg = base_cfg.with_recovery(recovery, t_trans);
+
+    let perf = alg.model(&cfg).evaluate(lambda).ok();
+
+    let mut sc = SimConfig::paper(sim_alg, lambda, sim_seed);
+    sc.node_capacity = run.capacity;
+    sc.initial_items = (run.initial_items as usize).min(200_000);
+    sc.ops = OpsConfig {
+        q_search: run.mix.0,
+        q_insert: run.mix.1,
+        q_delete: run.mix.2,
+        keys: KeyDist::Uniform {
+            lo: 0,
+            hi: run.keyspace,
+        },
+    };
+    sc.costs = SimCosts {
+        base: 1.0,
+        disk_cost: 5.0,
+        memory_levels: height,
+    };
+    sc.recovery = match recovery {
+        RecoveryMode::None => SimRecovery::None,
+        RecoveryMode::Naive => SimRecovery::Naive { t_trans },
+        RecoveryMode::LeafOnly => SimRecovery::LeafOnly { t_trans },
+    };
+    sc = sc.with_min_window(100.0, 300.0);
+    let sim = cbtree_sim::run(&sc).ok();
+
+    let replayed = run.trace.as_ref().map(replay);
+    let live_levels = run.report.get("levels").and_then(Json::as_arr);
+    let live_waits = run.report.get("wait_w_by_level").and_then(Json::as_arr);
+
+    let levels = height
+        .max(live_levels.map_or(0, <[Json]>::len))
+        .max(sim.as_ref().map_or(0, |s| s.rho_w_by_level.len()));
+    let unit_ns = unit_secs * 1e9;
+    let mut rho_rows = Vec::with_capacity(levels);
+    let mut wait_rows = Vec::with_capacity(levels);
+    for i in 0..levels {
+        let lvl = (i + 1) as u16;
+        let anl = perf
+            .as_ref()
+            .and_then(|p| p.levels.get(i))
+            .map_or(f64::NAN, |l| l.rho_w);
+        let sim_rho = sim
+            .as_ref()
+            .and_then(|s| s.rho_w_by_level.get(i).copied())
+            .unwrap_or(f64::NAN);
+        let live = live_levels
+            .and_then(|ls| ls.get(i))
+            .map_or(f64::NAN, |l| f64_field(l, "rho_w"));
+        let trc = replayed.as_ref().and_then(|r| r.rho_w(lvl));
+        let trc_hold = replayed
+            .as_ref()
+            .and_then(|r| r.levels.iter().find(|l| l.level == lvl))
+            .map(|l| l.rho_w_hold);
+        rho_rows.push((
+            anl,
+            sim_rho,
+            live,
+            trc.unwrap_or(f64::NAN),
+            trc_hold.unwrap_or(f64::NAN),
+        ));
+
+        let anl_w = perf
+            .as_ref()
+            .and_then(|p| p.levels.get(i))
+            .map_or(f64::NAN, |l| l.w_wait * unit_ns);
+        let sim_w = sim
+            .as_ref()
+            .and_then(|s| s.wait_w_by_level.get(i).copied())
+            .map_or(f64::NAN, |w| w * unit_ns);
+        let live_w = live_waits
+            .and_then(|ws| ws.get(i))
+            .and_then(Json::as_f64)
+            .map_or(f64::NAN, |w| w * 1e9);
+        let trc_w = replayed
+            .as_ref()
+            .and_then(|r| r.levels.iter().find(|l| l.level == lvl))
+            .map_or(f64::NAN, |l| l.mean_w_wait_ns);
+        wait_rows.push((anl_w, sim_w, live_w, trc_w));
+    }
+
+    Ok(Comparison {
+        lambda,
+        unit_secs,
+        rho_rows,
+        wait_rows,
+        replayed,
+        sim,
+    })
+}
+
+/// Like [`fmt_f`] but renders absent measurements as `-` ("sat" is
+/// reserved for the saturated analytical/simulated columns).
+fn cell(x: f64, prec: usize) -> String {
+    if x.is_finite() {
+        fmt_f(x, prec)
+    } else {
+        "-".into()
+    }
+}
+
+fn rates_json(label: &str, live: f64, trace: Option<f64>) -> Json {
+    Json::obj(vec![
+        ("metric", label.into()),
+        ("live", Json::f64_or_null(live)),
+        ("trace", trace.map_or(Json::Null, Json::f64_or_null)),
+    ])
+}
+
+fn print_timeline(trace: &Trace, n: usize) {
+    let mut t = Table::new(
+        "latch timeline (first events of the measured window)",
+        &["ts(us)", "thread", "event", "arg", "level", "node"],
+    );
+    for e in trace.events.iter().take(n) {
+        t.push(vec![
+            fmt_f(e.ts_ns as f64 / 1e3, 3),
+            e.thread.to_string(),
+            e.kind.name().to_string(),
+            e.arg.to_string(),
+            e.level.to_string(),
+            format!("{:#x}", e.node),
+        ]);
+    }
+    t.print();
+}
+
+fn analyze_file(path: &Path, args: &Args, records: &mut Vec<Json>) -> Result<(), String> {
+    let run = load(path)?;
+    let cmp = compare(&run, args.sim_seed)?;
+
+    println!(
+        "{}: {} | {} threads | capacity {} | {} initial items | txn {}",
+        path.display(),
+        run.protocol.name(),
+        run.threads,
+        run.capacity,
+        run.initial_items,
+        run.txn,
+    );
+    println!(
+        "calibration: 1 cost unit = {:.0} ns (from this run's searches) | λ = {:.4} ops/unit",
+        cmp.unit_secs * 1e9,
+        cmp.lambda
+    );
+    match &cmp.replayed {
+        Some(r) => println!(
+            "trace: {:.1} ms window, {} unmatched, {} dropped",
+            r.window_ns() as f64 / 1e6,
+            r.unmatched,
+            r.dropped
+        ),
+        None => println!("trace: no event records (run without --features trace?)"),
+    }
+
+    let mut t = Table::new(
+        "per-level writer utilization rho_w (level 1 = leaves)",
+        &["level", "anl", "sim", "live", "trc", "trc-hold"],
+    );
+    for (i, &(anl, sim, live, trc, trc_hold)) in cmp.rho_rows.iter().enumerate().rev() {
+        t.push(vec![
+            (i + 1).to_string(),
+            fmt_f(anl, 4),
+            fmt_f(sim, 4),
+            cell(live, 4),
+            cell(trc, 4),
+            cell(trc_hold, 4),
+        ]);
+    }
+    t.print();
+    println!("(anl/sim/trc count queued writers as present; live and trc-hold are hold-only)");
+
+    let mut t = Table::new(
+        "per-level mean exclusive wait (ns)",
+        &["level", "anl", "sim", "live", "trc"],
+    );
+    for (i, &(anl, sim, live, trc)) in cmp.wait_rows.iter().enumerate().rev() {
+        t.push(vec![
+            (i + 1).to_string(),
+            fmt_f(anl, 0),
+            fmt_f(sim, 0),
+            cell(live, 0),
+            cell(trc, 0),
+        ]);
+    }
+    t.print();
+
+    let counters = run.report.get("counters").cloned().unwrap_or(Json::Null);
+    let ops = u64_field(&counters, "ops").max(1) as f64;
+    let rate = |key: &str| u64_field(&counters, key) as f64 / ops;
+    let trc_rate = |f: fn(&Replay) -> u64| {
+        cmp.replayed.as_ref().map(|r| {
+            let completed: u64 = r.ops.iter().map(|o| o.completed).sum();
+            f(r) as f64 / completed.max(1) as f64
+        })
+    };
+    let rate_rows = [
+        ("restart rate", rate("restarts"), trc_rate(|r| r.restarts)),
+        ("chase rate", rate("chases"), trc_rate(|r| r.chases)),
+        (
+            "peak latch chain",
+            u64_field(&counters, "peak_chain") as f64,
+            cmp.replayed.as_ref().map(|r| r.peak_latch_chain as f64),
+        ),
+        (
+            "txn commits",
+            u64_field(&counters, "txn_commits") as f64,
+            cmp.replayed.as_ref().map(|r| r.txn_commits as f64),
+        ),
+        (
+            "txn spills",
+            u64_field(&counters, "txn_spills") as f64,
+            cmp.replayed.as_ref().map(|r| r.txn_spills as f64),
+        ),
+    ];
+    let mut t = Table::new(
+        "engine events: counters vs trace",
+        &["metric", "live", "trc"],
+    );
+    for &(label, live, trc) in &rate_rows {
+        t.push(vec![
+            label.to_string(),
+            fmt_f(live, 4),
+            trc.map_or_else(|| "-".into(), |v| fmt_f(v, 4)),
+        ]);
+    }
+    t.print();
+
+    if let (Some(trace), true) = (&run.trace, args.timeline > 0) {
+        print_timeline(trace, args.timeline);
+    }
+    println!();
+
+    records.push(Json::obj(vec![
+        ("type", "trace_compare".into()),
+        ("file", path.display().to_string().into()),
+        ("protocol", run.protocol.name().into()),
+        ("lambda", Json::f64_or_null(cmp.lambda)),
+        ("unit_secs", Json::f64_or_null(cmp.unit_secs)),
+        (
+            "levels",
+            Json::arr(cmp.rho_rows.iter().enumerate().map(|(i, r)| {
+                Json::obj(vec![
+                    ("level", (i + 1).into()),
+                    ("anl_rho_w", Json::f64_or_null(r.0)),
+                    ("sim_rho_w", Json::f64_or_null(r.1)),
+                    ("live_rho_w", Json::f64_or_null(r.2)),
+                    ("trace_rho_w", Json::f64_or_null(r.3)),
+                    ("trace_rho_w_hold", Json::f64_or_null(r.4)),
+                ])
+            })),
+        ),
+        (
+            "rates",
+            Json::arr(
+                rate_rows
+                    .iter()
+                    .map(|&(label, live, trc)| rates_json(label, live, trc)),
+            ),
+        ),
+        (
+            "trace_summary",
+            cmp.replayed.as_ref().map_or(Json::Null, Replay::to_json),
+        ),
+        (
+            "sim_report",
+            cmp.sim.as_ref().map_or(Json::Null, SimReport::to_json),
+        ),
+    ]));
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut records = vec![Json::obj(vec![
+        ("type", "meta".into()),
+        ("schema", cbtree_obs::SCHEMA_VERSION.into()),
+        ("kind", "trace_compare".into()),
+    ])];
+    let mut failed = false;
+    for path in &args.files {
+        if let Err(e) = analyze_file(path, &args, &mut records) {
+            eprintln!("error: {}: {e}", path.display());
+            failed = true;
+        }
+    }
+    if let Some(path) = &args.json {
+        if let Err(e) = cbtree_obs::write_jsonl(path, &records) {
+            eprintln!("error: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}", path.display());
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

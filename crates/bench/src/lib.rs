@@ -13,7 +13,7 @@
 
 pub mod figures;
 pub mod microbench;
-pub mod table;
+pub use cbtree_obs::table;
 
 pub use figures::{run_figure, ExpOptions, FIGURES};
 pub use table::Table;

@@ -57,12 +57,14 @@ impl OpCounters {
     #[inline]
     pub(crate) fn record_restart(&self) {
         self.restarts.fetch_add(1, Ordering::Relaxed);
+        cbtree_obs::trace::restart();
     }
 
     /// A traversal chased one right link (Lehman–Yao crossing).
     #[inline]
     pub(crate) fn record_chase(&self) {
         self.chases.fetch_add(1, Ordering::Relaxed);
+        cbtree_obs::trace::chase();
     }
 
     /// Observes a retained latch-chain depth; keeps the maximum.
@@ -75,6 +77,7 @@ impl OpCounters {
     #[inline]
     pub(crate) fn record_txn_commit(&self) {
         self.txn_commits.fetch_add(1, Ordering::Relaxed);
+        cbtree_obs::trace::txn_commit();
     }
 
     /// Retained transaction latches were spilled early to stay
@@ -82,6 +85,7 @@ impl OpCounters {
     #[inline]
     pub(crate) fn record_txn_spill(&self) {
         self.txn_spills.fetch_add(1, Ordering::Relaxed);
+        cbtree_obs::trace::txn_spill();
     }
 
     /// Total optimistic restarts so far.
@@ -176,6 +180,27 @@ impl OpCountersSnapshot {
     /// Latch acquisitions (both modes) per operation.
     pub fn latches_per_op(&self) -> f64 {
         per_op(self.r_latch_total() + self.w_latch_total(), self.ops)
+    }
+
+    /// JSON object of every counter. The per-level arrays are trimmed at
+    /// the deepest level with any activity (leaves first, index 0 =
+    /// level 1), so artifacts stay compact for shallow trees.
+    pub fn to_json(&self) -> cbtree_obs::Json {
+        use cbtree_obs::Json;
+        let trim = |arr: &[u64; MAX_LEVELS]| {
+            let len = arr.iter().rposition(|&c| c > 0).map_or(0, |i| i + 1);
+            Json::arr(arr[..len].iter().map(|&c| c.into()))
+        };
+        Json::obj(vec![
+            ("ops", self.ops.into()),
+            ("r_latches", trim(&self.r_latches)),
+            ("w_latches", trim(&self.w_latches)),
+            ("restarts", self.restarts.into()),
+            ("chases", self.chases.into()),
+            ("peak_chain", self.peak_chain.into()),
+            ("txn_commits", self.txn_commits.into()),
+            ("txn_spills", self.txn_spills.into()),
+        ])
     }
 }
 

@@ -512,6 +512,9 @@ impl<V, S: LatchStrategy> DescentTree<V, S> {
         // Split upward through the retained chain.
         let mut idx = held.len() - 1;
         while held[idx].overfull(self.cap) {
+            let split_level = held[idx].level.min(u16::MAX as usize) as u16;
+            let split_node = Arc::as_ptr(ArcRwLockWriteGuard::rwlock(&held[idx])) as u64;
+            cbtree_obs::trace::split_begin(split_level, split_node);
             let (sep, sib) = held[idx].half_split(self.sample);
             if idx == 0 {
                 // Only the true root can overflow at the chain's top: a
@@ -527,9 +530,11 @@ impl<V, S: LatchStrategy> DescentTree<V, S> {
                     "chain top overflowed but was not the root"
                 );
                 *ptr = new_root;
+                cbtree_obs::trace::split_end(split_level, split_node);
                 break;
             }
             held[idx - 1].insert_separator(sep, sib);
+            cbtree_obs::trace::split_end(split_level, split_node);
             idx -= 1;
         }
         self.txn_retain(held);
@@ -661,6 +666,9 @@ impl<V, S: LatchStrategy> DescentTree<V, S> {
             return None;
         }
         // Half-split, then post separators upward.
+        let mut split_level = guard.level.min(u16::MAX as usize) as u16;
+        let mut split_node = Arc::as_ptr(ArcRwLockWriteGuard::rwlock(&guard)) as u64;
+        cbtree_obs::trace::split_begin(split_level, split_node);
         let (mut sep, mut sib) = guard.half_split(self.sample);
         let mut left = Arc::clone(ArcRwLockWriteGuard::rwlock(&guard));
         let mut level = guard.level;
@@ -674,6 +682,7 @@ impl<V, S: LatchStrategy> DescentTree<V, S> {
                 Some(p) => p,
                 None => {
                     if self.link_try_grow_root(&left, sep, &sib, level) {
+                        cbtree_obs::trace::split_end(split_level, split_node);
                         return None;
                     }
                     // The tree grew underneath us; find today's ancestor.
@@ -683,9 +692,15 @@ impl<V, S: LatchStrategy> DescentTree<V, S> {
             let mut pg = self.link_latch_covering(parent, sep);
             debug_assert!(pg.level == level + 1, "ascent hint at wrong level");
             pg.insert_separator(sep, Arc::clone(&sib));
+            // The separator is posted: this level's Lehman–Yao window
+            // closes (a parent overflow opens a fresh one, one level up).
+            cbtree_obs::trace::split_end(split_level, split_node);
             if !pg.overfull(self.cap) {
                 return None;
             }
+            split_level = pg.level.min(u16::MAX as usize) as u16;
+            split_node = Arc::as_ptr(ArcRwLockWriteGuard::rwlock(&pg)) as u64;
+            cbtree_obs::trace::split_begin(split_level, split_node);
             let (s, sb) = pg.half_split(self.sample);
             left = Arc::clone(ArcRwLockWriteGuard::rwlock(&pg));
             level = pg.level;
@@ -773,6 +788,13 @@ impl<V, S: LatchStrategy> DescentTree<V, S> {
     /// Inserts `key → val`; returns the previous value if the key
     /// existed.
     pub fn insert(&self, key: u64, val: V) -> Option<V> {
+        cbtree_obs::trace::op_begin(cbtree_obs::opcode::INSERT);
+        let out = self.insert_impl(key, val);
+        cbtree_obs::trace::op_end(cbtree_obs::opcode::INSERT, out.is_some());
+        out
+    }
+
+    fn insert_impl(&self, key: u64, val: V) -> Option<V> {
         self.counters.record_op();
         match S::UPDATE {
             UpdatePolicy::Crab { retain_all } => self.insert_crab(key, val, retain_all),
@@ -799,6 +821,13 @@ impl<V, S: LatchStrategy> DescentTree<V, S> {
 
     /// Removes `key`, returning its value if present.
     pub fn remove(&self, key: &u64) -> Option<V> {
+        cbtree_obs::trace::op_begin(cbtree_obs::opcode::DELETE);
+        let out = self.remove_impl(key);
+        cbtree_obs::trace::op_end(cbtree_obs::opcode::DELETE, out.is_some());
+        out
+    }
+
+    fn remove_impl(&self, key: &u64) -> Option<V> {
         self.counters.record_op();
         match S::UPDATE {
             UpdatePolicy::Crab { retain_all } => self.remove_crab(*key, retain_all),
@@ -822,18 +851,25 @@ impl<V, S: LatchStrategy> DescentTree<V, S> {
 
     /// Whether `key` is present.
     pub fn contains_key(&self, key: &u64) -> bool {
+        cbtree_obs::trace::op_begin(cbtree_obs::opcode::CONTAINS);
         self.counters.record_op();
         let (leaf, _held) = self.read_leaf(*key);
-        leaf.keys.binary_search(key).is_ok()
+        let found = leaf.keys.binary_search(key).is_ok();
+        cbtree_obs::trace::op_end(cbtree_obs::opcode::CONTAINS, found);
+        found
     }
 }
 
 impl<V: Clone, S: LatchStrategy> DescentTree<V, S> {
     /// Looks `key` up, cloning the value out.
     pub fn get(&self, key: &u64) -> Option<V> {
+        cbtree_obs::trace::op_begin(cbtree_obs::opcode::SEARCH);
         self.counters.record_op();
         let (leaf, _held) = self.read_leaf(*key);
-        leaf.leaf_get(*key).cloned()
+        let out = leaf.leaf_get(*key).cloned();
+        drop((leaf, _held));
+        cbtree_obs::trace::op_end(cbtree_obs::opcode::SEARCH, out.is_some());
+        out
     }
 
     /// Ascending range scan over `[lo, hi)` via the leaf chain, one
@@ -845,6 +881,13 @@ impl<V: Clone, S: LatchStrategy> DescentTree<V, S> {
     /// blocking shared latches, which would self-deadlock on a leaf this
     /// thread retains exclusively.
     pub fn range(&self, lo: u64, hi: u64) -> Vec<(u64, V)> {
+        cbtree_obs::trace::op_begin(cbtree_obs::opcode::RANGE);
+        let out = self.range_impl(lo, hi);
+        cbtree_obs::trace::op_end(cbtree_obs::opcode::RANGE, !out.is_empty());
+        out
+    }
+
+    fn range_impl(&self, lo: u64, hi: u64) -> Vec<(u64, V)> {
         self.counters.record_op();
         let mut out = Vec::new();
         if lo >= hi {

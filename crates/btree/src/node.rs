@@ -51,13 +51,17 @@ impl<V> Node<V> {
 
     /// Wraps a node into its shared handle with exact lock timing.
     pub fn into_ref(self) -> NodeRef<V> {
-        Arc::new(RwLock::new(self))
+        self.into_ref_sampled(SamplePeriod::EXACT)
     }
 
     /// Wraps a node into its shared handle whose lock times only one in
-    /// `sample.period()` acquisitions (see [`SamplePeriod`]).
+    /// `sample.period()` acquisitions (see [`SamplePeriod`]). The lock
+    /// is tagged with the node's level so trace events carry it.
     pub fn into_ref_sampled(self, sample: SamplePeriod) -> NodeRef<V> {
-        Arc::new(RwLock::with_sampling(self, sample))
+        let level = self.level.min(u16::MAX as usize) as u16;
+        let handle = Arc::new(RwLock::with_sampling(self, sample));
+        handle.set_trace_tag(level);
+        handle
     }
 
     /// Whether this is a leaf.

@@ -7,8 +7,11 @@
 
 use cbtree_btree::Protocol;
 use cbtree_harness::{run, saturation_search, LiveConfig, LiveReport};
+use cbtree_obs::table::{fmt_f, Table};
+use cbtree_obs::{replay, Json};
 use cbtree_sync::SamplePeriod;
 use cbtree_workload::{KeyDist, OpsConfig};
+use std::path::PathBuf;
 use std::time::Duration;
 
 const USAGE: &str = "\
@@ -32,12 +35,19 @@ usage: live [options]
                      power of two (default 1 = exact; counts stay exact
                      and sampled stats stay unbiased either way)
   --saturate N       saturation search: double threads from 1 up to N
+  --json PATH        write the run as JSONL records: meta, live_report,
+                     and (when built with --features trace) trace_info,
+                     trace_summary, and one record per drained event
+  --trace-buf N      per-thread trace ring capacity in events (power of
+                     two; default 65536; needs --features trace)
   -h, --help         print this help
 ";
 
 struct Args {
     cfg: LiveConfig,
     saturate: Option<usize>,
+    json: Option<PathBuf>,
+    trace_buf: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -45,6 +55,8 @@ fn parse_args() -> Result<Args, String> {
     let mut keyspace = 1_000_000u64;
     let mut mix = (0.3, 0.5, 0.2);
     let mut saturate = None;
+    let mut json = None;
+    let mut trace_buf = None;
 
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -98,6 +110,14 @@ fn parse_args() -> Result<Args, String> {
             "--saturate" => {
                 saturate = Some(value()?.parse().map_err(|e| format!("{flag}: {e}"))?);
             }
+            "--json" => json = Some(PathBuf::from(value()?)),
+            "--trace-buf" => {
+                let n: usize = value()?.parse().map_err(|e| format!("{flag}: {e}"))?;
+                if n == 0 {
+                    return Err("--trace-buf must be positive".into());
+                }
+                trace_buf = Some(n);
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -117,7 +137,70 @@ fn parse_args() -> Result<Args, String> {
             mix.0, mix.1, mix.2
         ));
     }
-    Ok(Args { cfg, saturate })
+    Ok(Args {
+        cfg,
+        saturate,
+        json,
+        trace_buf,
+    })
+}
+
+/// The `meta` JSONL record: everything a downstream analyzer needs to
+/// rebuild the analytical/simulation configuration this run measured.
+fn meta_json(cfg: &LiveConfig) -> Json {
+    let keyspace = match cfg.ops.keys {
+        KeyDist::Uniform { lo, hi } => hi.saturating_sub(lo),
+        KeyDist::Zipf { n, .. } => n,
+        KeyDist::Sequential => 0,
+    };
+    Json::obj(vec![
+        ("type", "meta".into()),
+        ("schema", cbtree_obs::SCHEMA_VERSION.into()),
+        ("kind", "live_run".into()),
+        ("protocol", cfg.protocol.name().into()),
+        ("threads", cfg.threads.into()),
+        ("capacity", cfg.capacity.into()),
+        ("initial_items", cfg.initial_items.into()),
+        (
+            "mix",
+            Json::arr([
+                cfg.ops.q_search.into(),
+                cfg.ops.q_insert.into(),
+                cfg.ops.q_delete.into(),
+            ]),
+        ),
+        ("keyspace", keyspace.into()),
+        ("seed", cfg.seed.into()),
+        ("txn", cfg.txn.into()),
+        (
+            "warmup_ms",
+            u64::try_from(cfg.warmup.as_millis())
+                .unwrap_or(u64::MAX)
+                .into(),
+        ),
+        (
+            "measure_ms",
+            u64::try_from(cfg.measure.as_millis())
+                .unwrap_or(u64::MAX)
+                .into(),
+        ),
+    ])
+}
+
+/// Serializes one finished run as JSONL: meta, report, and — when a
+/// trace was drained — its shape, replay summary, and every event.
+fn write_json(
+    path: &std::path::Path,
+    cfg: &LiveConfig,
+    report: &LiveReport,
+) -> std::io::Result<()> {
+    let mut records = vec![meta_json(cfg), report.to_json()];
+    if !report.trace.is_empty() {
+        records.push(report.trace.info_json());
+        records.push(replay(&report.trace).to_json());
+        records.extend(report.trace.events.iter().map(|e| e.to_json()));
+    }
+    cbtree_obs::write_jsonl(path, &records)
 }
 
 fn us(seconds: f64) -> f64 {
@@ -165,22 +248,38 @@ fn print_report(cfg: &LiveConfig, report: &LiveReport) {
         );
     }
     println!();
-    println!("per-level lock behavior (level 1 = leaves):");
-    println!(
-        "{:>5} {:>7} {:>12} {:>12} {:>9} {:>12} {:>12} {:>9}",
-        "level", "nodes", "w-acq", "r-acq", "rho_w", "w-wait(us)", "r-wait(us)", "w-cont"
+    let mut t = Table::new(
+        "per-level lock behavior (level 1 = leaves)",
+        &[
+            "level",
+            "nodes",
+            "w-acq",
+            "r-acq",
+            "rho_w",
+            "w-wait(us)",
+            "r-wait(us)",
+            "w-cont",
+        ],
     );
     for l in report.levels.iter().rev() {
+        t.push(vec![
+            l.level.to_string(),
+            l.nodes.to_string(),
+            l.stats.w_acquires.to_string(),
+            l.stats.r_acquires.to_string(),
+            fmt_f(l.rho_w, 4),
+            fmt_f(l.stats.mean_w_wait_ns() / 1e3, 3),
+            fmt_f(l.stats.mean_r_wait_ns() / 1e3, 3),
+            fmt_f(l.stats.w_contention_rate(), 4),
+        ]);
+    }
+    t.print();
+    if !report.trace.is_empty() {
         println!(
-            "{:>5} {:>7} {:>12} {:>12} {:>9.4} {:>12.3} {:>12.3} {:>9.4}",
-            l.level,
-            l.nodes,
-            l.stats.w_acquires,
-            l.stats.r_acquires,
-            l.rho_w,
-            l.stats.mean_w_wait_ns() / 1e3,
-            l.stats.mean_r_wait_ns() / 1e3,
-            l.stats.w_contention_rate(),
+            "trace: {} events from {} threads ({} dropped)",
+            report.trace.events.len(),
+            report.trace.threads,
+            report.trace.dropped
         );
     }
 }
@@ -194,40 +293,63 @@ fn main() {
         }
     };
 
+    if let Some(n) = args.trace_buf {
+        cbtree_obs::trace::set_default_ring_capacity(n);
+    }
+
     match args.saturate {
         None => {
             let report = run(&args.cfg);
             print_report(&args.cfg, &report);
+            if let Some(path) = &args.json {
+                if let Err(e) = write_json(path, &args.cfg, &report) {
+                    eprintln!("error: writing {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+                println!("wrote {}", path.display());
+            }
         }
         Some(max_threads) => {
             println!(
                 "saturation search: {} up to {max_threads} threads",
                 args.cfg.protocol.name()
             );
-            println!(
-                "{:>8} {:>14} {:>16} {:>10}",
-                "threads", "ops/s", "mix-mean(us)", "root-rho_w"
+            let mut t = Table::new(
+                "saturation",
+                &["threads", "ops/s", "mix-mean(us)", "root-rho_w"],
             );
             let runs = saturation_search(&args.cfg, max_threads);
             let mut best: Option<&(usize, LiveReport)> = None;
             for pair in &runs {
                 let (threads, report) = pair;
-                println!(
-                    "{:>8} {:>14.0} {:>16.2} {:>10.4}",
-                    threads,
-                    report.throughput,
-                    us(report.mean_response_time()),
-                    report.root_writer_utilization
-                );
+                t.push(vec![
+                    threads.to_string(),
+                    fmt_f(report.throughput, 0),
+                    fmt_f(us(report.mean_response_time()), 2),
+                    fmt_f(report.root_writer_utilization, 4),
+                ]);
                 if best.is_none_or(|b| report.throughput > b.1.throughput) {
                     best = Some(pair);
                 }
             }
+            t.print();
             if let Some((threads, report)) = best {
                 println!(
                     "max sustainable throughput: {:.0} ops/s at {} threads",
                     report.throughput, threads
                 );
+            }
+            if let Some(path) = &args.json {
+                // Saturation mode: one meta record plus one report per
+                // measured point (no event records — each point's trace
+                // would dwarf the sweep).
+                let mut records = vec![meta_json(&args.cfg)];
+                records.extend(runs.iter().map(|(_, r)| r.to_json()));
+                if let Err(e) = cbtree_obs::write_jsonl(path, &records) {
+                    eprintln!("error: writing {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+                println!("wrote {}", path.display());
             }
         }
     }

@@ -27,6 +27,7 @@
 
 use cbtree_btree::node::for_each_handle;
 use cbtree_btree::{ConcurrentBTree, OpCountersSnapshot, Protocol};
+use cbtree_obs::{Json, Trace};
 use cbtree_sim::stats::{Summary, Welford};
 use cbtree_sync::{LockStatsSnapshot, SamplePeriod};
 use cbtree_workload::{OpStream, Operation, OpsConfig, Rng};
@@ -113,6 +114,18 @@ pub struct LevelLive {
     pub rho_w: f64,
 }
 
+impl LevelLive {
+    /// JSON object `{level, nodes, rho_w, stats}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("level", self.level.into()),
+            ("nodes", self.nodes.into()),
+            ("rho_w", Json::f64_or_null(self.rho_w)),
+            ("stats", self.stats.to_json()),
+        ])
+    }
+}
+
 /// Result of one live measurement, schema-aligned with
 /// `cbtree_sim::SimReport`.
 #[derive(Debug, Clone)]
@@ -149,6 +162,10 @@ pub struct LiveReport {
     pub final_height: usize,
     /// Keys in the tree at the end of the run.
     pub final_len: usize,
+    /// Events drained from the per-thread rings at the closing quiesce
+    /// point — the measured window only (the warmup drain is discarded).
+    /// Empty unless the `trace` cargo feature is on and tracing enabled.
+    pub trace: Trace,
 }
 
 impl LiveReport {
@@ -162,6 +179,39 @@ impl LiveReport {
             + self.resp_insert.mean * self.resp_insert.n as f64
             + self.resp_delete.mean * self.resp_delete.n as f64)
             / total as f64
+    }
+
+    /// JSON record of the whole report (`type: "live_report"`). Trace
+    /// events are *not* inlined — `live --json` writes them as separate
+    /// JSONL records after this one; only the drained-trace shape
+    /// (event/drop counts) is summarized here.
+    pub fn to_json(&self) -> Json {
+        let secs_arr = |v: &[f64]| Json::arr(v.iter().map(|&x| Json::f64_or_null(x)));
+        Json::obj(vec![
+            ("type", "live_report".into()),
+            ("threads", self.threads.into()),
+            ("throughput", Json::f64_or_null(self.throughput)),
+            ("completed", self.completed.into()),
+            ("measured_time", Json::f64_or_null(self.measured_time)),
+            ("resp_search", self.resp_search.to_json()),
+            ("resp_insert", self.resp_insert.to_json()),
+            ("resp_delete", self.resp_delete.to_json()),
+            ("wait_w_by_level", secs_arr(&self.wait_w_by_level)),
+            ("wait_r_by_level", secs_arr(&self.wait_r_by_level)),
+            (
+                "root_writer_utilization",
+                Json::f64_or_null(self.root_writer_utilization),
+            ),
+            ("counters", self.counters.to_json()),
+            (
+                "levels",
+                Json::arr(self.levels.iter().map(LevelLive::to_json)),
+            ),
+            ("final_height", self.final_height.into()),
+            ("final_len", self.final_len.into()),
+            ("trace_events", self.trace.events.len().into()),
+            ("trace_dropped", self.trace.dropped.into()),
+        ])
     }
 }
 
@@ -251,6 +301,16 @@ pub fn run(cfg: &LiveConfig) -> LiveReport {
     assert!(cfg.threads > 0, "need at least one worker thread");
     assert!(cfg.ops.is_valid(), "operation mix must sum to 1");
 
+    // With tracing compiled in, the whole measurement holds the global
+    // trace lock: rings are process-wide, so two concurrent runs would
+    // interleave their events and corrupt each other's drains.
+    #[cfg(feature = "trace")]
+    let _trace_window = {
+        let guard = cbtree_obs::trace::measurement_lock();
+        cbtree_obs::trace::enable(true);
+        guard
+    };
+
     let tree = Arc::new(ConcurrentBTree::with_sampling(
         cfg.protocol,
         cfg.capacity,
@@ -266,7 +326,7 @@ pub fn run(cfg: &LiveConfig) -> LiveReport {
     let quiesce_b = Arc::new(Barrier::new(cfg.threads + 1));
     let resume_b = Arc::new(Barrier::new(cfg.threads + 1));
 
-    let (reports, snap_a, snap_b, counters, elapsed) = std::thread::scope(|s| {
+    let (reports, snap_a, snap_b, counters, elapsed, trace) = std::thread::scope(|s| {
         let mut handles = Vec::with_capacity(cfg.threads);
         for t in 0..cfg.threads as u64 {
             let tree = Arc::clone(&tree);
@@ -317,6 +377,9 @@ pub fn run(cfg: &LiveConfig) -> LiveReport {
         quiesce_a.wait(); // all workers parked; tree quiescent
         let snap_a = level_snapshots(&tree);
         let ctr_a = tree.counters();
+        // Discard prefill/warmup events so the trace covers exactly the
+        // measured window (workers are parked, so nothing races this).
+        let _ = cbtree_obs::trace::drain();
         resume_a.wait();
         // Start the clock only after the resume barrier has released the
         // workers: taking it earlier charged every worker's barrier
@@ -327,6 +390,13 @@ pub fn run(cfg: &LiveConfig) -> LiveReport {
         phase.store(PHASE_DONE, Ordering::Release);
         quiesce_b.wait(); // quiescent again
         let elapsed = t0.elapsed();
+        // Drain the measured-window trace while the workers are parked
+        // (rings registered but quiescent) and *before* the snapshot
+        // walk below — the walk itself takes read latches, which would
+        // otherwise pollute the window's trace. Its events stay in the
+        // coordinator's ring and are discarded by the next run's warmup
+        // drain.
+        let trace = cbtree_obs::trace::drain();
         let snap_b = level_snapshots(&tree);
         let ctr_b = tree.counters();
         resume_b.wait();
@@ -335,7 +405,7 @@ pub fn run(cfg: &LiveConfig) -> LiveReport {
             .into_iter()
             .map(|h| h.join().expect("worker panicked"))
             .collect();
-        (reports, snap_a, snap_b, ctr_b.since(&ctr_a), elapsed)
+        (reports, snap_a, snap_b, ctr_b.since(&ctr_a), elapsed, trace)
     });
 
     // Final quiescent structural check: every live run ends with the tree
@@ -398,6 +468,7 @@ pub fn run(cfg: &LiveConfig) -> LiveReport {
         final_height: levels.len(),
         final_len: tree.len(),
         levels,
+        trace,
     }
 }
 
@@ -541,6 +612,69 @@ mod tests {
         // Window-scoped engine telemetry rides along.
         assert!(report.counters.ops > 0);
         assert!(report.counters.latches_per_op() >= 1.0);
+    }
+
+    #[test]
+    fn live_report_json_round_trips() {
+        let mut cfg = LiveConfig::quick(Protocol::BLink, 2);
+        cfg.measure = Duration::from_millis(50);
+        let report = run(&cfg);
+        let j = report.to_json();
+        let parsed = Json::parse(&j.to_string().unwrap()).unwrap();
+        assert_eq!(parsed, j, "serialize → parse must be the identity");
+        assert_eq!(
+            parsed.get("type").and_then(Json::as_str),
+            Some("live_report")
+        );
+        assert_eq!(
+            parsed.get("completed").and_then(Json::as_u64),
+            Some(report.completed)
+        );
+        assert_eq!(
+            parsed
+                .get("levels")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(report.levels.len())
+        );
+        assert_eq!(
+            parsed
+                .get("counters")
+                .and_then(|c| c.get("ops"))
+                .and_then(Json::as_u64),
+            Some(report.counters.ops)
+        );
+    }
+
+    /// With tracing compiled in, every live run's report carries the
+    /// measured-window trace: events exist, grants pair with releases,
+    /// and timestamps stay inside (a generous bound of) the window.
+    #[cfg(feature = "trace")]
+    #[test]
+    fn live_run_attaches_measured_window_trace() {
+        use cbtree_obs::EventKind;
+        // The default 2^16-event rings drop under even a short window of
+        // debug-build lock coupling (that is what the drop counter is
+        // for); size them for a lossless window so pairing is exact.
+        cbtree_obs::trace::set_default_ring_capacity(1 << 19);
+        let mut cfg = LiveConfig::quick(Protocol::LockCoupling, 2);
+        cfg.measure = Duration::from_millis(80);
+        let report = run(&cfg);
+        let t = &report.trace;
+        assert!(!t.events.is_empty(), "traced run produced no events");
+        assert_eq!(t.dropped, 0, "sized rings must hold the whole window");
+        let count = |k: EventKind| t.events.iter().filter(|e| e.kind == k).count();
+        assert_eq!(count(EventKind::LatchGrant), count(EventKind::LatchRelease));
+        assert_eq!(count(EventKind::OpBegin), count(EventKind::OpEnd));
+        assert!(count(EventKind::OpBegin) > 0);
+        let span_ns = t.events.last().unwrap().ts_ns - t.events.first().unwrap().ts_ns;
+        // The drain happens at quiesce B: nothing in the trace can span
+        // much more than the measured window plus scheduling slop.
+        assert!(
+            (span_ns as f64) < (report.measured_time + 1.0) * 1e9,
+            "trace spans {span_ns} ns, window was {} s",
+            report.measured_time
+        );
     }
 
     #[test]

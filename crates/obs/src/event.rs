@@ -1,0 +1,237 @@
+//! Compact binary trace events.
+//!
+//! An event is three `u64` words:
+//!
+//! | word | contents                                              |
+//! |------|-------------------------------------------------------|
+//! | `w0` | timestamp, nanoseconds since the process trace epoch  |
+//! | `w1` | `kind << 56 \| arg << 48 \| level << 32` (low 32 zero)|
+//! | `w2` | node id (the node lock's address), or 0               |
+//!
+//! The thread id is not stored per event — each ring buffer belongs to
+//! exactly one thread, so the drain stamps it on the way out.
+
+use crate::json::Json;
+
+/// What happened. Stored in the top byte of `w1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A latch was requested (`arg`: 1 = exclusive, 0 = shared).
+    LatchRequest = 1,
+    /// The requested latch was granted (same `arg` convention).
+    LatchGrant = 2,
+    /// A held latch is about to be released (same `arg` convention).
+    LatchRelease = 3,
+    /// A map operation began (`arg`: an [`opcode`] constant).
+    OpBegin = 4,
+    /// A map operation finished (`arg`: opcode, plus [`OP_HIT`] if it
+    /// found / replaced / removed a key).
+    OpEnd = 5,
+    /// An optimistic descent gave up and restarted pessimistically.
+    Restart = 6,
+    /// A B-link descent chased a right-link.
+    Chase = 7,
+    /// A node restructure (half-split) window opened at `node`.
+    SplitBegin = 8,
+    /// The restructure window closed: the separator is posted (or the
+    /// root was grown).
+    SplitEnd = 9,
+    /// A recovery-protocol transaction committed, releasing its latches.
+    TxnCommit = 10,
+    /// A probe-mode descent spilled its latches and retried.
+    TxnSpill = 11,
+}
+
+/// All kinds, for iteration and name lookup.
+pub const ALL_KINDS: [EventKind; 11] = [
+    EventKind::LatchRequest,
+    EventKind::LatchGrant,
+    EventKind::LatchRelease,
+    EventKind::OpBegin,
+    EventKind::OpEnd,
+    EventKind::Restart,
+    EventKind::Chase,
+    EventKind::SplitBegin,
+    EventKind::SplitEnd,
+    EventKind::TxnCommit,
+    EventKind::TxnSpill,
+];
+
+impl EventKind {
+    /// Decodes the kind byte; `None` for torn or unknown slots.
+    pub fn from_u8(b: u8) -> Option<EventKind> {
+        ALL_KINDS.into_iter().find(|k| *k as u8 == b)
+    }
+
+    /// Stable snake_case name used in JSONL artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::LatchRequest => "latch_request",
+            EventKind::LatchGrant => "latch_grant",
+            EventKind::LatchRelease => "latch_release",
+            EventKind::OpBegin => "op_begin",
+            EventKind::OpEnd => "op_end",
+            EventKind::Restart => "restart",
+            EventKind::Chase => "chase",
+            EventKind::SplitBegin => "split_begin",
+            EventKind::SplitEnd => "split_end",
+            EventKind::TxnCommit => "txn_commit",
+            EventKind::TxnSpill => "txn_spill",
+        }
+    }
+
+    /// Inverse of [`EventKind::name`].
+    pub fn from_name(s: &str) -> Option<EventKind> {
+        ALL_KINDS.into_iter().find(|k| k.name() == s)
+    }
+}
+
+/// Operation codes carried in the `arg` byte of `OpBegin`/`OpEnd`.
+pub mod opcode {
+    /// `get` / lookup.
+    pub const SEARCH: u8 = 0;
+    /// `insert`.
+    pub const INSERT: u8 = 1;
+    /// `remove`.
+    pub const DELETE: u8 = 2;
+    /// `range` scan.
+    pub const RANGE: u8 = 3;
+    /// `contains_key`.
+    pub const CONTAINS: u8 = 4;
+
+    /// Stable names for the codes above (index = code).
+    pub const NAMES: [&str; 5] = ["search", "insert", "delete", "range", "contains"];
+}
+
+/// `OpEnd` arg flag: the operation found (search/contains), replaced
+/// (insert) or removed (delete) an existing key.
+pub const OP_HIT: u8 = 0x10;
+
+/// Latch `arg` value for exclusive mode (shared is 0).
+pub const MODE_EXCLUSIVE: u8 = 1;
+
+/// One decoded trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Nanoseconds since the process trace epoch (monotonic clock).
+    pub ts_ns: u64,
+    /// Emitting thread's trace id (stamped at drain).
+    pub thread: u32,
+    /// What happened.
+    pub kind: EventKind,
+    /// Kind-specific argument byte (mode, opcode, ...).
+    pub arg: u8,
+    /// Tree level of the latched node (leaves = 1; 0 = not a tree node,
+    /// e.g. the root-pointer lock).
+    pub level: u16,
+    /// Node id: the node lock's address, 0 when not applicable.
+    pub node: u64,
+}
+
+impl Event {
+    /// Packs the kind/arg/level word (`w1`).
+    pub fn pack(kind: EventKind, arg: u8, level: u16) -> u64 {
+        ((kind as u64) << 56) | ((arg as u64) << 48) | ((level as u64) << 32)
+    }
+
+    /// Decodes the three stored words; `None` when the kind byte is not
+    /// a known event (torn slot).
+    pub fn decode(w0: u64, w1: u64, w2: u64, thread: u32) -> Option<Event> {
+        let kind = EventKind::from_u8((w1 >> 56) as u8)?;
+        Some(Event {
+            ts_ns: w0,
+            thread,
+            kind,
+            arg: (w1 >> 48) as u8,
+            level: (w1 >> 32) as u16,
+            node: w2,
+        })
+    }
+
+    /// Serializes to the JSONL `event` record shape.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("type", Json::from("event")),
+            ("ts", Json::from(self.ts_ns)),
+            ("thr", Json::from(u64::from(self.thread))),
+            ("k", Json::from(self.kind.name())),
+            ("a", Json::from(u64::from(self.arg))),
+            ("lvl", Json::from(u64::from(self.level))),
+            ("node", Json::from(self.node)),
+        ])
+    }
+
+    /// Parses an `event` record produced by [`Event::to_json`].
+    pub fn from_json(j: &Json) -> Result<Event, String> {
+        let field = |k: &str| j.get(k).ok_or_else(|| format!("event missing {k:?}"));
+        let num = |k: &str| {
+            field(k)?
+                .as_u64()
+                .ok_or_else(|| format!("event {k:?} not u64"))
+        };
+        let kind_name = field("k")?
+            .as_str()
+            .ok_or_else(|| "event \"k\" not a string".to_string())?;
+        let kind = EventKind::from_name(kind_name)
+            .ok_or_else(|| format!("unknown event kind {kind_name:?}"))?;
+        Ok(Event {
+            ts_ns: num("ts")?,
+            thread: num("thr")? as u32,
+            kind,
+            arg: num("a")? as u8,
+            level: num("lvl")? as u16,
+            node: num("node")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_round_trip_through_u8_and_name() {
+        for k in ALL_KINDS {
+            assert_eq!(EventKind::from_u8(k as u8), Some(k));
+            assert_eq!(EventKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(EventKind::from_u8(0), None);
+        assert_eq!(EventKind::from_u8(200), None);
+        assert_eq!(EventKind::from_name("nope"), None);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let e = Event {
+            ts_ns: 123_456_789,
+            thread: 7,
+            kind: EventKind::LatchGrant,
+            arg: MODE_EXCLUSIVE,
+            level: 3,
+            node: 0xDEAD_BEEF,
+        };
+        let w1 = Event::pack(e.kind, e.arg, e.level);
+        assert_eq!(Event::decode(e.ts_ns, w1, e.node, e.thread), Some(e));
+        assert_eq!(
+            Event::decode(0, 0, 0, 0),
+            None,
+            "zeroed slot is not an event"
+        );
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let e = Event {
+            ts_ns: 42,
+            thread: 3,
+            kind: EventKind::OpEnd,
+            arg: opcode::INSERT | OP_HIT,
+            level: 0,
+            node: 0,
+        };
+        let text = e.to_json().to_string().unwrap();
+        let back = Event::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, e);
+    }
+}

@@ -1,0 +1,41 @@
+//! `cbtree-obs`: the observability substrate of the workspace.
+//!
+//! Four pieces, all dependency-free:
+//!
+//! - [`trace`] — feature-gated, lock-free event tracing: each thread
+//!   appends compact binary events (latch request/grant/release with
+//!   level and node id, op begin/end, optimistic restarts, right-link
+//!   chases, split windows, transaction commit/spill) to its own
+//!   fixed-capacity [`ring::Ring`]; a coordinator drains all rings at
+//!   quiesce into one time-ordered [`Trace`]. With the `trace` cargo
+//!   feature off, every emit function is an inlined no-op, so the
+//!   instrumented hot paths in `cbtree-sync`/`cbtree-btree` cost
+//!   nothing (guarded by the lockbench overhead check in CI).
+//! - [`replay`] — reconstructs per-level writer utilization ρ_w,
+//!   wait/hold means, latch-chain depth, and restart/chase/split rates
+//!   from a drained trace, closing the analysis/sim/live triangle with
+//!   a fourth, directly measured column.
+//! - [`json`] — a small hand-rolled JSON/JSONL serializer and parser
+//!   for machine-readable run artifacts; exact integers, explicit
+//!   rejection of NaN/Inf.
+//! - [`table`] — the aligned-table/CSV writer shared by every CLI
+//!   (formerly private to `cbtree-bench`).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod event;
+pub mod json;
+pub mod replay;
+pub mod ring;
+pub mod table;
+pub mod trace;
+
+pub use event::{opcode, Event, EventKind, MODE_EXCLUSIVE, OP_HIT};
+pub use json::{parse_jsonl, read_jsonl, write_jsonl, Json, JsonError};
+pub use replay::{replay, LevelReplay, OpReplay, Replay};
+pub use trace::Trace;
+
+/// Version stamped into every JSONL artifact's `meta` record; bump on
+/// any backward-incompatible record-shape change.
+pub const SCHEMA_VERSION: u32 = 1;

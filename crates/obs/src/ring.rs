@@ -1,0 +1,193 @@
+//! Single-writer fixed-capacity event ring buffers.
+//!
+//! Each tracing thread owns one [`Ring`]. The owner appends with
+//! [`Ring::push`] (three relaxed slot stores plus one release store of
+//! the write counter — no CAS, no branch on fullness); when the buffer
+//! wraps, the oldest undrained events are overwritten and counted as
+//! dropped. A drainer harvests with [`Ring::drain_into`], which is
+//! intended to run at quiesce (no concurrent `push` on the same ring);
+//! if the owner does race a drain, the worst case is a torn slot whose
+//! kind byte fails to decode — never undefined behavior, since slots
+//! are plain atomics.
+
+use crate::event::Event;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Default ring capacity in events (per thread). At 24 bytes per event
+/// this bounds trace memory at 1.5 MiB per thread.
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
+
+/// One event slot: the three encoded words.
+struct Slot([AtomicU64; 3]);
+
+/// A fixed-capacity single-writer ring of encoded events.
+pub struct Ring {
+    slots: Box<[Slot]>,
+    /// Total events ever pushed (monotone; slot = `written % capacity`).
+    written: AtomicU64,
+    /// Total events handed to a drainer (monotone, `<= written`).
+    drained: AtomicU64,
+    /// Trace id of the owning thread, stamped on drained events.
+    thread: u32,
+    /// Set by the owner's TLS destructor; the registry garbage-collects
+    /// dead rings after their final drain.
+    dead: AtomicBool,
+}
+
+impl Ring {
+    /// Creates a ring holding `capacity` events (min 2) for `thread`.
+    pub fn new(capacity: usize, thread: u32) -> Ring {
+        let capacity = capacity.max(2);
+        let slots = (0..capacity)
+            .map(|_| Slot([AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)]))
+            .collect();
+        Ring {
+            slots,
+            written: AtomicU64::new(0),
+            drained: AtomicU64::new(0),
+            thread,
+            dead: AtomicBool::new(false),
+        }
+    }
+
+    /// Capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Owning thread's trace id.
+    pub fn thread(&self) -> u32 {
+        self.thread
+    }
+
+    /// Marks the ring's owner as gone (TLS destructor).
+    pub fn mark_dead(&self) {
+        self.dead.store(true, Ordering::Release);
+    }
+
+    /// Whether the owner is gone.
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Acquire)
+    }
+
+    /// Appends an encoded event. Owner thread only.
+    #[inline]
+    pub fn push(&self, w0: u64, w1: u64, w2: u64) {
+        let n = self.written.load(Ordering::Relaxed);
+        let slot = &self.slots[(n % self.slots.len() as u64) as usize];
+        slot.0[0].store(w0, Ordering::Relaxed);
+        slot.0[1].store(w1, Ordering::Relaxed);
+        slot.0[2].store(w2, Ordering::Relaxed);
+        // Publish after the slot words so a quiescent drainer that
+        // acquires `written` sees complete slots.
+        self.written.store(n + 1, Ordering::Release);
+    }
+
+    /// Drains every undrained event (oldest surviving first) into
+    /// `out`, returning how many events were overwritten before they
+    /// could be drained. Per-thread timestamp order is preserved:
+    /// events are appended in push order and the owner's clock is
+    /// monotonic.
+    pub fn drain_into(&self, out: &mut Vec<Event>) -> u64 {
+        let written = self.written.load(Ordering::Acquire);
+        let drained = self.drained.load(Ordering::Relaxed);
+        let cap = self.slots.len() as u64;
+        let available = written - drained;
+        let (start, dropped) = if available > cap {
+            (written - cap, available - cap)
+        } else {
+            (drained, 0)
+        };
+        for i in start..written {
+            let slot = &self.slots[(i % cap) as usize];
+            let w0 = slot.0[0].load(Ordering::Relaxed);
+            let w1 = slot.0[1].load(Ordering::Relaxed);
+            let w2 = slot.0[2].load(Ordering::Relaxed);
+            if let Some(ev) = Event::decode(w0, w1, w2, self.thread) {
+                out.push(ev);
+            }
+        }
+        self.drained.store(written, Ordering::Relaxed);
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn push_n(r: &Ring, from: u64, n: u64) {
+        for i in from..from + n {
+            r.push(i, Event::pack(EventKind::Chase, 0, 1), i * 10);
+        }
+    }
+
+    #[test]
+    fn fill_and_drain_in_order() {
+        let r = Ring::new(8, 3);
+        push_n(&r, 0, 5);
+        let mut out = Vec::new();
+        assert_eq!(r.drain_into(&mut out), 0);
+        assert_eq!(out.len(), 5);
+        for (i, e) in out.iter().enumerate() {
+            assert_eq!(e.ts_ns, i as u64);
+            assert_eq!(e.node, i as u64 * 10);
+            assert_eq!(e.thread, 3);
+        }
+    }
+
+    #[test]
+    fn wrap_around_keeps_newest_and_counts_drops() {
+        let r = Ring::new(8, 0);
+        push_n(&r, 0, 20);
+        let mut out = Vec::new();
+        assert_eq!(
+            r.drain_into(&mut out),
+            12,
+            "20 written into 8 slots drops 12"
+        );
+        let ts: Vec<u64> = out.iter().map(|e| e.ts_ns).collect();
+        assert_eq!(
+            ts,
+            (12..20).collect::<Vec<_>>(),
+            "last 8 events survive, in order"
+        );
+    }
+
+    #[test]
+    fn drop_counter_resets_between_drains() {
+        let r = Ring::new(4, 0);
+        push_n(&r, 0, 6);
+        let mut out = Vec::new();
+        assert_eq!(r.drain_into(&mut out), 2);
+        out.clear();
+        push_n(&r, 6, 3);
+        assert_eq!(
+            r.drain_into(&mut out),
+            0,
+            "no new overwrites since last drain"
+        );
+        assert_eq!(
+            out.iter().map(|e| e.ts_ns).collect::<Vec<_>>(),
+            vec![6, 7, 8]
+        );
+    }
+
+    #[test]
+    fn exact_boundary_drops_nothing() {
+        let r = Ring::new(8, 0);
+        push_n(&r, 0, 8);
+        let mut out = Vec::new();
+        assert_eq!(r.drain_into(&mut out), 0);
+        assert_eq!(out.len(), 8);
+    }
+
+    #[test]
+    fn empty_drain_is_empty() {
+        let r = Ring::new(8, 0);
+        let mut out = Vec::new();
+        assert_eq!(r.drain_into(&mut out), 0);
+        assert!(out.is_empty());
+    }
+}

@@ -148,6 +148,14 @@ pub struct RunStats {
     pub wait_r: Vec<Welford>,
     /// Lock waits for exclusive locks, indexed by level−1.
     pub wait_w: Vec<Welford>,
+    /// Total *writer-present* time per level, indexed by level−1: for
+    /// each node, the union of intervals during which at least one
+    /// writer held **or waited for** its lock (the `ρ_w` indicator of
+    /// the analysis — `writer_present` semantics — generalized from the
+    /// root to every level), summed over the level's nodes and clipped
+    /// to the measured window. Divided by `nodes(level) · measured_time`
+    /// this is the simulated per-level ρ_w.
+    pub w_present_by_level: Vec<f64>,
     /// Time-weighted root writer-present indicator (the simulated ρ_w(h)).
     pub root_writer: TimeWeighted,
     /// Time-weighted number of in-flight operations.
@@ -177,6 +185,13 @@ impl RunStats {
         }
         slot[level - 1].add(waited);
     }
+
+    fn record_w_present(&mut self, level: usize, present: f64) {
+        if self.w_present_by_level.len() < level {
+            self.w_present_by_level.resize(level, 0.0);
+        }
+        self.w_present_by_level[level - 1] += present;
+    }
 }
 
 /// The simulator: tree + locks + events + operation table.
@@ -197,6 +212,15 @@ pub struct Simulator {
     completions: u64,
     warmup: u64,
     recovery: SimRecovery,
+    /// Exclusive requests currently live (from request to release),
+    /// used to tell exclusive releases apart from shared ones.
+    w_live: std::collections::BTreeSet<(OpId, NodeId)>,
+    /// Per-node writer-present state: `(writer count, presence start)`.
+    /// The count covers holders *and* queued writers; presence starts
+    /// when it becomes 1 and is charged to the level when it returns to
+    /// 0. A `BTreeMap` keeps the end-of-run finalization order
+    /// deterministic (float sums depend on addition order).
+    w_present: std::collections::BTreeMap<NodeId, (u32, f64)>,
     /// Statistics (reset at the end of warmup).
     pub stats: RunStats,
 }
@@ -223,6 +247,8 @@ impl Simulator {
             completions: 0,
             warmup,
             recovery: SimRecovery::None,
+            w_live: std::collections::BTreeSet::new(),
+            w_present: std::collections::BTreeMap::new(),
             stats: RunStats::default(),
         }
     }
@@ -366,6 +392,16 @@ impl Simulator {
 
     /// Requests a lock; dispatches the grant immediately when uncontended.
     fn acquire(&mut self, op: OpId, node: NodeId, mode: Mode) {
+        if mode == Mode::Exclusive && self.w_live.insert((op, node)) {
+            // A writer is now present at `node` (queued or holding —
+            // both count toward ρ_w) from this instant until its count
+            // returns to zero.
+            let entry = self.w_present.entry(node).or_insert((0, self.now));
+            if entry.0 == 0 {
+                entry.1 = self.now;
+            }
+            entry.0 += 1;
+        }
         if self.locks.request(node, op, mode, self.now) {
             let level = self.tree.level(node);
             self.stats.record_wait(level, mode, 0.0);
@@ -376,6 +412,20 @@ impl Simulator {
 
     /// Releases one node and dispatches any surfaced grants.
     fn release(&mut self, op: OpId, node: NodeId) {
+        if self.w_live.remove(&(op, node)) {
+            let entry = self
+                .w_present
+                .get_mut(&node)
+                .expect("live exclusive request without presence state");
+            entry.0 -= 1;
+            if entry.0 == 0 {
+                let present = self.now - entry.1.max(self.stats.measured_start);
+                self.w_present.remove(&node);
+                if present > 0.0 {
+                    self.stats.record_w_present(self.tree.level(node), present);
+                }
+            }
+        }
         let grants = self.locks.release(node, op, self.now);
         self.dispatch_grants(grants);
     }
@@ -392,7 +442,24 @@ impl Simulator {
         for g in grants {
             let level = self.tree.level(g.node);
             self.stats.record_wait(level, g.mode, g.waited);
+            // A granted writer was already counted present at request
+            // time; nothing changes here.
             self.granted(g.op, g.node);
+        }
+    }
+
+    /// Closes out writer-presence intervals still open at the end of the
+    /// run, charging each with its time up to `now` (clipped to the
+    /// measured window). Call once, after the event loop, before reading
+    /// [`RunStats::w_present_by_level`].
+    pub fn finalize_w_present(&mut self) {
+        let open = std::mem::take(&mut self.w_present);
+        self.w_live.clear();
+        for (node, (_, since)) in open {
+            let present = self.now - since.max(self.stats.measured_start);
+            if present > 0.0 {
+                self.stats.record_w_present(self.tree.level(node), present);
+            }
         }
     }
 

@@ -141,6 +141,13 @@ pub struct SimReport {
     pub wait_w_by_level: Vec<f64>,
     /// Mean shared-lock wait per level (leaves first).
     pub wait_r_by_level: Vec<f64>,
+    /// Simulated per-level writer utilization ρ_w (leaves first): the
+    /// per-node fraction of the measured window during which a writer
+    /// held *or waited for* the node's lock, averaged over the level's
+    /// nodes — `writer_present` semantics, directly comparable to the
+    /// analysis's per-level ρ_w (the root entry generalizes
+    /// `root_writer_utilization` to every level).
+    pub rho_w_by_level: Vec<f64>,
     /// Tree height at the end of the run.
     pub final_height: usize,
     /// Leaf space utilization at the end of the run.
@@ -151,6 +158,37 @@ pub struct SimReport {
     pub completed: u64,
     /// Duration of the measured window.
     pub measured_time: f64,
+}
+
+impl SimReport {
+    /// JSON record of the whole report (`type: "sim_report"`).
+    pub fn to_json(&self) -> cbtree_obs::Json {
+        use cbtree_obs::Json;
+        let farr = |v: &[f64]| Json::arr(v.iter().map(|&x| Json::f64_or_null(x)));
+        Json::obj(vec![
+            ("type", "sim_report".into()),
+            ("arrival_rate", Json::f64_or_null(self.arrival_rate)),
+            ("resp_search", self.resp_search.to_json()),
+            ("resp_insert", self.resp_insert.to_json()),
+            ("resp_delete", self.resp_delete.to_json()),
+            (
+                "root_writer_utilization",
+                Json::f64_or_null(self.root_writer_utilization),
+            ),
+            ("avg_concurrency", Json::f64_or_null(self.avg_concurrency)),
+            ("throughput", Json::f64_or_null(self.throughput)),
+            ("crossings_per_op", Json::f64_or_null(self.crossings_per_op)),
+            ("redo_rate", Json::f64_or_null(self.redo_rate)),
+            ("wait_w_by_level", farr(&self.wait_w_by_level)),
+            ("wait_r_by_level", farr(&self.wait_r_by_level)),
+            ("rho_w_by_level", farr(&self.rho_w_by_level)),
+            ("final_height", self.final_height.into()),
+            ("leaf_utilization", Json::f64_or_null(self.leaf_utilization)),
+            ("max_in_flight", self.max_in_flight.into()),
+            ("completed", self.completed.into()),
+            ("measured_time", Json::f64_or_null(self.measured_time)),
+        ])
+    }
 }
 
 /// Runs the construction phase, returning the tree the concurrent phase
@@ -230,8 +268,19 @@ pub fn run(cfg: &SimConfig) -> Result<SimReport> {
         });
     }
 
+    // Close out writer-presence intervals still open at the end of the
+    // event loop so the per-level totals cover the whole measured window.
+    sim.finalize_w_present();
+    let level_nodes = sim.tree.level_node_counts();
     let stats = &sim.stats;
     let measured_time = (sim.now() - stats.measured_start).max(f64::MIN_POSITIVE);
+    let rho_w_by_level: Vec<f64> = (0..sim.tree.height())
+        .map(|i| {
+            let present = stats.w_present_by_level.get(i).copied().unwrap_or(0.0);
+            let nodes = level_nodes.get(i).copied().unwrap_or(0).max(1) as f64;
+            (present / (nodes * measured_time)).clamp(0.0, 1.0)
+        })
+        .collect();
     let to_means = |ws: &Vec<Welford>| ws.iter().map(Welford::mean).collect::<Vec<f64>>();
     // Single-run CIs use batch means (per-sample CIs understate variance
     // because successive response times share queue backlogs).
@@ -255,6 +304,7 @@ pub fn run(cfg: &SimConfig) -> Result<SimReport> {
         redo_rate: stats.redos as f64 / stats.updates_completed.max(1) as f64,
         wait_w_by_level: to_means(&stats.wait_w),
         wait_r_by_level: to_means(&stats.wait_r),
+        rho_w_by_level,
         final_height: sim.tree.height(),
         leaf_utilization: sim.tree.leaf_utilization(),
         max_in_flight: stats.max_in_flight,
@@ -335,6 +385,52 @@ mod tests {
         assert!(r.throughput > 0.0);
         assert!((0.0..=1.0).contains(&r.root_writer_utilization));
         assert!(r.final_height >= 4);
+    }
+
+    #[test]
+    fn per_level_rho_w_is_sane_and_matches_root_tracker() {
+        // Heavier load so writer holds are visible at every level.
+        let r = run(&quick(SimAlgorithm::NaiveLockCoupling, 0.4)).unwrap();
+        assert_eq!(r.rho_w_by_level.len(), r.final_height);
+        for (i, &rho) in r.rho_w_by_level.iter().enumerate() {
+            assert!((0.0..=1.0).contains(&rho), "level {}: {rho}", i + 1);
+        }
+        // Leaves see writers under an update-heavy mix.
+        assert!(r.rho_w_by_level[0] > 0.0, "no leaf writer utilization");
+        // The root's per-level value and the time-weighted root tracker
+        // measure the same writer-present signal two ways; they must
+        // agree up to event-boundary rounding.
+        let root = *r.rho_w_by_level.last().unwrap();
+        assert!(
+            (root - r.root_writer_utilization).abs() < 1e-6,
+            "root rho_w {} vs tracker {}",
+            root,
+            r.root_writer_utilization
+        );
+    }
+
+    #[test]
+    fn sim_report_json_round_trips() {
+        use cbtree_obs::Json;
+        let r = run(&quick(SimAlgorithm::LinkType, 0.2)).unwrap();
+        let j = r.to_json();
+        let parsed = Json::parse(&j.to_string().unwrap()).unwrap();
+        assert_eq!(parsed, j);
+        assert_eq!(
+            parsed.get("type").and_then(Json::as_str),
+            Some("sim_report")
+        );
+        assert_eq!(
+            parsed.get("completed").and_then(Json::as_u64),
+            Some(r.completed)
+        );
+        assert_eq!(
+            parsed
+                .get("rho_w_by_level")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(r.final_height)
+        );
     }
 
     #[test]

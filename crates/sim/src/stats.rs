@@ -224,6 +224,16 @@ impl Summary {
         }
         Summary::from_welford(&w)
     }
+
+    /// JSON object `{mean, ci95, n}` (non-finite values become `null`).
+    pub fn to_json(&self) -> cbtree_obs::Json {
+        use cbtree_obs::Json;
+        Json::obj(vec![
+            ("mean", Json::f64_or_null(self.mean)),
+            ("ci95", Json::f64_or_null(self.ci95)),
+            ("n", self.n.into()),
+        ])
+    }
 }
 
 #[cfg(test)]

@@ -43,7 +43,7 @@ use std::cell::UnsafeCell;
 use std::collections::VecDeque;
 use std::fmt;
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU16, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
@@ -267,6 +267,10 @@ impl RawFcfs {
 pub struct FcfsRwLock<T: ?Sized> {
     raw: RawFcfs,
     stats: LockStats,
+    /// Small owner-assigned tag stamped on trace events (the B-tree
+    /// stores the node's level; 0 = untagged). Read only when the
+    /// `trace` feature is compiled in.
+    trace_tag: AtomicU16,
     data: UnsafeCell<T>,
 }
 
@@ -290,6 +294,7 @@ impl<T> FcfsRwLock<T> {
         FcfsRwLock {
             raw: RawFcfs::default(),
             stats: LockStats::with_sampling(sample),
+            trace_tag: AtomicU16::new(0),
             data: UnsafeCell::new(value),
         }
     }
@@ -301,6 +306,45 @@ impl<T> FcfsRwLock<T> {
 }
 
 impl<T: ?Sized> FcfsRwLock<T> {
+    /// Tags the lock with a small id stamped on its trace events (the
+    /// B-tree stores the node's level; leaves = 1). A no-op load-wise
+    /// unless the `trace` feature is compiled in.
+    pub fn set_trace_tag(&self, tag: u16) {
+        self.trace_tag.store(tag, Ordering::Relaxed);
+    }
+
+    /// Emits one latch trace event for this lock. Compiled out (along
+    /// with the tag load and address cast) without the `trace` feature.
+    /// The `enabled` check runs before anything else: `emit` is a
+    /// function pointer, so the indirect call — and the tag load and
+    /// address cast feeding it — would otherwise be paid even while
+    /// tracing is off, which is exactly the cost the lockbench
+    /// `--assert-overhead` guard bounds.
+    #[inline(always)]
+    fn trace_latch(&self, emit: fn(u16, bool, u64), exclusive: bool) {
+        #[cfg(feature = "trace")]
+        {
+            /// Outlined emission: keeps the traced-build hot path at one
+            /// load-and-branch so acquire/release stay small enough to
+            /// inline; everything else lives behind this cold call.
+            #[cold]
+            #[inline(never)]
+            fn emit_cold(emit: fn(u16, bool, u64), tag: u16, exclusive: bool, node: u64) {
+                emit(tag, exclusive, node);
+            }
+            if cbtree_obs::trace::enabled() {
+                emit_cold(
+                    emit,
+                    self.trace_tag.load(Ordering::Relaxed),
+                    exclusive,
+                    self as *const Self as *const () as u64,
+                );
+            }
+        }
+        #[cfg(not(feature = "trace"))]
+        let _ = (emit, exclusive);
+    }
+
     /// Acquires in the given mode; returns the hold-timing start when
     /// this acquisition was sampled.
     fn start(&self, exclusive: bool) -> Option<Instant> {
@@ -309,8 +353,10 @@ impl<T: ?Sized> FcfsRwLock<T> {
         } else {
             crate::inject::Site::AcquireShared
         });
+        self.trace_latch(cbtree_obs::trace::latch_request, exclusive);
         let sampled = self.stats.begin_acquire(exclusive);
         if self.raw.try_acquire_fast(exclusive) {
+            self.trace_latch(cbtree_obs::trace::latch_grant, exclusive);
             if sampled {
                 self.stats.record_sampled_wait(exclusive, 0);
                 return Some(Instant::now());
@@ -318,6 +364,7 @@ impl<T: ?Sized> FcfsRwLock<T> {
             return None;
         }
         let slow = self.raw.acquire_slow(exclusive, sampled);
+        self.trace_latch(cbtree_obs::trace::latch_grant, exclusive);
         if slow.queued {
             self.stats.record_contended(exclusive);
         }
@@ -334,6 +381,9 @@ impl<T: ?Sized> FcfsRwLock<T> {
             self.stats
                 .record_sampled_hold(exclusive, t0.elapsed().as_nanos() as u64);
         }
+        // Emit before the release itself so the hold window closes while
+        // the latch is still held.
+        self.trace_latch(cbtree_obs::trace::latch_release, exclusive);
         self.raw.release(exclusive);
         crate::inject::perturb(crate::inject::Site::Release);
     }
@@ -368,6 +418,9 @@ impl<T: ?Sized> FcfsRwLock<T> {
         if !self.raw.try_acquire_fast(exclusive) {
             return None;
         }
+        // Successful probe: request and grant coincide (zero wait).
+        self.trace_latch(cbtree_obs::trace::latch_request, exclusive);
+        self.trace_latch(cbtree_obs::trace::latch_grant, exclusive);
         let sampled = self.stats.begin_acquire(exclusive);
         if sampled {
             self.stats.record_sampled_wait(exclusive, 0);

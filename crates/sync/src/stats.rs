@@ -264,6 +264,34 @@ impl LockStatsSnapshot {
             self.w_contended as f64 / self.w_acquires as f64
         }
     }
+
+    /// JSON object of the raw counters plus derived means and sampled
+    /// wait quantiles (histogram buckets stay internal; their p50/p90/p99
+    /// upper bounds are what downstream tooling consumes).
+    pub fn to_json(&self) -> cbtree_obs::Json {
+        use cbtree_obs::Json;
+        let quantiles = |h: &HistogramSnapshot| {
+            Json::obj(vec![
+                ("p50_ns", h.quantile(0.50).into()),
+                ("p90_ns", h.quantile(0.90).into()),
+                ("p99_ns", h.quantile(0.99).into()),
+            ])
+        };
+        Json::obj(vec![
+            ("r_acquires", self.r_acquires.into()),
+            ("w_acquires", self.w_acquires.into()),
+            ("r_contended", self.r_contended.into()),
+            ("w_contended", self.w_contended.into()),
+            ("r_wait_ns", self.r_wait_ns.into()),
+            ("w_wait_ns", self.w_wait_ns.into()),
+            ("r_hold_ns", self.r_hold_ns.into()),
+            ("w_hold_ns", self.w_hold_ns.into()),
+            ("mean_r_wait_ns", Json::f64_or_null(self.mean_r_wait_ns())),
+            ("mean_w_wait_ns", Json::f64_or_null(self.mean_w_wait_ns())),
+            ("r_wait", quantiles(&self.r_wait_hist)),
+            ("w_wait", quantiles(&self.w_wait_hist)),
+        ])
+    }
 }
 
 #[cfg(test)]

@@ -22,13 +22,27 @@ cargo test --workspace -q
 echo "==> cargo test (inject feature: schedule perturbation compiled in)"
 cargo test --workspace --features inject -q
 
+echo "==> cargo test (trace feature: event tracing compiled in)"
+cargo test --workspace --features trace -q
+
 echo "==> correctness pillar: quick stress sweep (3 protocols x 16 seeds)"
 cargo run --release -p cbtree-check --bin stress -- --quick
 
 echo "==> correctness pillar: injected-bug demo (checker must convict)"
 cargo run --release -p cbtree-check --bin stress -- --demo-bug
 
-echo "==> lock microbenchmark (smoke mode, writes BENCH_lock.json)"
-cargo run --release -p cbtree-bench --bin lockbench -- --smoke
+echo "==> observability pillar: traced live runs + cbtree-trace smoke"
+cargo build --release --features trace -p cbtree-harness --bin live \
+    -p cbtree-bench --bin cbtree-trace --bin lockbench
+for proto in coupling blink; do
+    target/release/live --algo "$proto" --threads 4 --items 20000 \
+        --capacity 16 --warmup-ms 50 --measure-ms 120 \
+        --json "results/run-$proto.jsonl" --trace-buf 1048576 > /dev/null
+done
+target/release/cbtree-trace results/run-coupling.jsonl results/run-blink.jsonl \
+    --json results/trace-compare.jsonl
+
+echo "==> lock microbenchmark (smoke, trace-off overhead guard vs BENCH_lock.json)"
+target/release/lockbench --smoke --assert-overhead 2 --out BENCH_lock_smoke.json
 
 echo "==> ok"
