@@ -44,6 +44,7 @@ struct Args {
     live: bool,
     live_threads: usize,
     sample_every: u64,
+    serve: Option<PathBuf>,
     json: Option<PathBuf>,
 }
 
@@ -63,6 +64,7 @@ impl Default for Args {
             live: false,
             live_threads: 4,
             sample_every: 1,
+            serve: None,
             json: None,
         }
     }
@@ -73,7 +75,8 @@ fn usage() -> ! {
         "usage: analyze [--items N] [--node-size N] [--mix qs,qi,qd] [--disk-cost D]\n\
          \u{20}       [--memory-levels M] [--buffer-nodes B] [--rate lambda]\n\
          \u{20}       [--recovery none|naive|leaf-only] [--t-trans T] [--verify]\n\
-         \u{20}       [--live] [--live-threads N] [--sample-every N] [--json PATH]"
+         \u{20}       [--live] [--live-threads N] [--sample-every N]\n\
+         \u{20}       [--serve RESULTS.jsonl] [--json PATH]"
     );
     std::process::exit(2);
 }
@@ -111,6 +114,7 @@ fn parse_args() -> Args {
             "--live" => a.live = true,
             "--live-threads" => a.live_threads = val().parse().unwrap_or_else(|_| usage()),
             "--sample-every" => a.sample_every = val().parse().unwrap_or_else(|_| usage()),
+            "--serve" => a.serve = Some(PathBuf::from(val())),
             "--json" => a.json = Some(PathBuf::from(val())),
             "--help" | "-h" => usage(),
             _ => usage(),
@@ -331,6 +335,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    if let Some(path) = &args.serve {
+        if let Err(e) = serve_overlay(path, &mut records) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     if let Some(path) = &args.json {
         if let Err(e) = cbtree_obs::write_jsonl(path, &records) {
             eprintln!("error: writing {}: {e}", path.display());
@@ -545,5 +555,188 @@ fn live_compare(args: &Args, mix: OpMix, records: &mut Vec<Json>) -> Result<(), 
          each pillar evaluated at the live run's measured λ; ltch/op, restart and \
          chase rates from the engine's per-operation telemetry)"
     );
+    Ok(())
+}
+
+/// Tolerance of the serve overlay's measured-vs-predicted comparison.
+const SERVE_OVERLAY_TOLERANCE: f64 = 0.5;
+/// Utilization above which the open M/G/1 prediction is not expected to
+/// hold (a finite queue sheds instead of growing without bound).
+const SERVE_OVERLAY_MAX_RHO: f64 = 0.7;
+
+/// One parsed per-shard point of a `serve_report` record.
+struct ServePoint {
+    lambda: f64,
+    shard: u64,
+    arrival_rate: f64,
+    service: cbtree_queueing::mg1::ServiceMoments,
+    sojourn_mean_s: f64,
+    shed_rate: f64,
+}
+
+/// Overlay mode: compare the measured per-shard λ-vs-sojourn curves of
+/// an open-loop `serve` sweep against the M/G/1 Pollaczek–Khinchine
+/// prediction built from each shard's *measured* service moments.
+///
+/// The measured sojourn includes a dispatch overhead the queueing model
+/// knows nothing about (condvar wake-up and scheduling latency between
+/// enqueue and dequeue, present even on an empty queue), so the overlay
+/// calibrates it per shard from the sweep's lowest-λ point — exactly the
+/// role the uncontended calibration run plays in `--live` — and checks
+/// the remaining points against `W_q(λ) + E[X] + overhead`. Agreement
+/// is only expected where ρ = λ·E[X] stays low-to-mid (≤ 0.7): past
+/// that, the bounded queue sheds, which an open M/G/1 cannot model.
+fn serve_overlay(path: &std::path::Path, records: &mut Vec<Json>) -> Result<(), String> {
+    use cbtree_queueing::mg1::{sojourn_time, ServiceMoments};
+
+    let parsed = cbtree_obs::read_jsonl(path)?;
+    let mut points: Vec<ServePoint> = Vec::new();
+    let mut workers_per_shard = 1u64;
+    for rec in &parsed {
+        if rec.get("type").and_then(Json::as_str) != Some("serve_report") {
+            continue;
+        }
+        let lambda = rec
+            .get("lambda")
+            .and_then(Json::as_f64)
+            .ok_or("serve_report without lambda")?;
+        workers_per_shard = rec
+            .get("workers_per_shard")
+            .and_then(Json::as_u64)
+            .unwrap_or(1);
+        let shards = rec
+            .get("shards_detail")
+            .and_then(Json::as_arr)
+            .ok_or("serve_report without shards_detail")?;
+        for sh in shards {
+            let f = |key: &str| {
+                sh.get(key)
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("shard record without {key}"))
+            };
+            points.push(ServePoint {
+                lambda,
+                shard: sh.get("shard").and_then(Json::as_u64).unwrap_or(0),
+                arrival_rate: f("offered_rate")?,
+                service: ServiceMoments {
+                    mean: f("service_mean_s")?,
+                    second: f("service_m2_s2")?,
+                },
+                sojourn_mean_s: f("sojourn_mean_s")?,
+                shed_rate: f("shed_rate")?,
+            });
+        }
+    }
+    if points.is_empty() {
+        return Err(format!(
+            "{}: no serve_report records (produce one with `serve --json`)",
+            path.display()
+        ));
+    }
+    if workers_per_shard != 1 {
+        println!(
+            "\nserve overlay: skipped — the M/G/1 prediction models one server per \
+             queue, but this sweep ran {workers_per_shard} workers per shard"
+        );
+        return Ok(());
+    }
+
+    // Calibrate the per-shard dispatch overhead at the lowest λ.
+    let lambda_min = points
+        .iter()
+        .map(|p| p.lambda)
+        .fold(f64::INFINITY, f64::min);
+    let overhead_of = |shard: u64| -> Option<f64> {
+        let p = points
+            .iter()
+            .find(|p| p.lambda == lambda_min && p.shard == shard)?;
+        let predicted = sojourn_time(p.arrival_rate, p.service).ok()?;
+        Some((p.sojourn_mean_s - predicted).max(0.0))
+    };
+
+    println!(
+        "\nserve overlay: {} ({} points), M/G/1 from measured service moments, \
+         dispatch overhead calibrated at lambda {:.0}",
+        path.display(),
+        points.len(),
+        lambda_min
+    );
+    let mut t = Table::new(
+        "open-loop measured vs M/G/1 predicted sojourn, per shard",
+        &[
+            "lambda", "shard", "rho", "scv", "shed%", "meas(us)", "pred(us)", "ratio", "verdict",
+        ],
+    );
+    let mut checked = 0u64;
+    let mut agreed = 0u64;
+    for p in &points {
+        let rho = p.arrival_rate * p.service.mean;
+        let overhead = overhead_of(p.shard).unwrap_or(0.0);
+        let predicted = sojourn_time(p.arrival_rate, p.service)
+            .ok()
+            .map(|s| s + overhead);
+        let ratio = predicted
+            .filter(|&pr| pr > 0.0)
+            .map(|pr| p.sojourn_mean_s / pr);
+        // The calibration point matches by construction; judge the rest.
+        let calibration = p.lambda == lambda_min;
+        let verdict = match (predicted, ratio) {
+            _ if calibration => "calib".to_string(),
+            (None, _) => "saturated".to_string(),
+            _ if rho > SERVE_OVERLAY_MAX_RHO => "high-util".to_string(),
+            (_, Some(r)) => {
+                checked += 1;
+                let within = (1.0 / (1.0 + SERVE_OVERLAY_TOLERANCE)
+                    ..=1.0 + SERVE_OVERLAY_TOLERANCE)
+                    .contains(&r);
+                if within {
+                    agreed += 1;
+                    "ok".to_string()
+                } else {
+                    "off".to_string()
+                }
+            }
+            _ => "-".to_string(),
+        };
+        t.push(vec![
+            fmt_f(p.lambda, 0),
+            p.shard.to_string(),
+            fmt_f(rho, 3),
+            fmt_f(p.service.scv(), 2),
+            fmt_f(p.shed_rate * 100.0, 2),
+            fmt_f(p.sojourn_mean_s * 1e6, 2),
+            predicted.map_or_else(|| "-".into(), |pr| fmt_f(pr * 1e6, 2)),
+            ratio.map_or_else(|| "-".into(), |r| fmt_f(r, 2)),
+            verdict.clone(),
+        ]);
+        records.push(Json::obj(vec![
+            ("type", "serve_overlay".into()),
+            ("lambda", Json::f64_or_null(p.lambda)),
+            ("shard", p.shard.into()),
+            ("rho", Json::f64_or_null(rho)),
+            ("service_scv", Json::f64_or_null(p.service.scv())),
+            ("shed_rate", Json::f64_or_null(p.shed_rate)),
+            ("measured_sojourn_s", Json::f64_or_null(p.sojourn_mean_s)),
+            (
+                "predicted_sojourn_s",
+                predicted.map_or(Json::Null, Json::f64_or_null),
+            ),
+            ("overhead_s", Json::f64_or_null(overhead)),
+            ("verdict", verdict.into()),
+        ]));
+    }
+    t.print();
+    if checked > 0 {
+        println!(
+            "agreement at rho <= {SERVE_OVERLAY_MAX_RHO}: {agreed}/{checked} points within \
+             {:.0}% of the M/G/1 prediction",
+            SERVE_OVERLAY_TOLERANCE * 100.0
+        );
+    } else {
+        println!(
+            "no comparable points at rho <= {SERVE_OVERLAY_MAX_RHO}; sweep lower lambdas \
+             for an overlap with the model's validity region"
+        );
+    }
     Ok(())
 }

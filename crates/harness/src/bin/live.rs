@@ -230,6 +230,12 @@ fn print_report(cfg: &LiveConfig, report: &LiveReport) {
         us(report.mean_response_time()),
     );
     println!(
+        "latency quantiles (us): p50 {:.2} | p99 {:.2} | p999 {:.2}",
+        report.latency.p50() as f64 / 1e3,
+        report.latency.p99() as f64 / 1e3,
+        report.latency.p999() as f64 / 1e3,
+    );
+    println!(
         "final height {} | final keys {} | root writer utilization {:.4}",
         report.final_height, report.final_len, report.root_writer_utilization
     );

@@ -29,7 +29,7 @@ use cbtree_btree::node::for_each_handle;
 use cbtree_btree::{ConcurrentBTree, OpCountersSnapshot, Protocol};
 use cbtree_obs::{Json, Trace};
 use cbtree_sim::stats::{Summary, Welford};
-use cbtree_sync::{LockStatsSnapshot, SamplePeriod};
+use cbtree_sync::{Histogram, HistogramSnapshot, LockStatsSnapshot, SamplePeriod};
 use cbtree_workload::{OpStream, Operation, OpsConfig, Rng};
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, Barrier};
@@ -156,6 +156,9 @@ pub struct LiveReport {
     /// direct validation inputs for the Optimistic and Link-type
     /// analytical models.
     pub counters: OpCountersSnapshot,
+    /// Log-bucketed histogram of every completed operation's latency in
+    /// nanoseconds, all op kinds pooled — the p50/p99/p999 source.
+    pub latency: HistogramSnapshot,
     /// Full per-level measurements (leaves first).
     pub levels: Vec<LevelLive>,
     /// Tree height at the end of the run.
@@ -203,6 +206,7 @@ impl LiveReport {
                 Json::f64_or_null(self.root_writer_utilization),
             ),
             ("counters", self.counters.to_json()),
+            ("latency", latency_json(&self.latency)),
             (
                 "levels",
                 Json::arr(self.levels.iter().map(LevelLive::to_json)),
@@ -213,6 +217,18 @@ impl LiveReport {
             ("trace_dropped", self.trace.dropped.into()),
         ])
     }
+}
+
+/// The standard latency-quantile JSON object every report in the
+/// workspace uses: `{n, p50_ns, p90_ns, p99_ns, p999_ns}`.
+pub fn latency_json(h: &HistogramSnapshot) -> Json {
+    Json::obj(vec![
+        ("n", h.total().into()),
+        ("p50_ns", h.p50().into()),
+        ("p90_ns", h.p90().into()),
+        ("p99_ns", h.p99().into()),
+        ("p999_ns", h.p999().into()),
+    ])
 }
 
 /// Worker phases, driven by the coordinator through one atomic.
@@ -226,11 +242,16 @@ struct ThreadStats {
     search: Welford,
     insert: Welford,
     delete: Welford,
+    latency: Histogram,
     completed: u64,
 }
 
-/// Per-level aggregate of every node's lock snapshot.
-fn level_snapshots(tree: &ConcurrentBTree<u64>) -> Vec<(u64, LockStatsSnapshot)> {
+/// Per-level aggregate of every node's lock snapshot, leaves first:
+/// `(node count, merged stats)` per level. Shared quiesce plumbing —
+/// the closed-loop harness and the open-loop service layer
+/// (`cbtree-serve`) both diff these snapshots across their measured
+/// windows.
+pub fn level_snapshots(tree: &ConcurrentBTree<u64>) -> Vec<(u64, LockStatsSnapshot)> {
     let height = tree.height();
     let mut agg: Vec<(u64, LockStatsSnapshot)> = vec![(0, LockStatsSnapshot::default()); height];
     for_each_handle(&tree.root_handle(), |level, node| {
@@ -266,7 +287,8 @@ fn prefill(tree: &ConcurrentBTree<u64>, cfg: &LiveConfig) {
 /// collide only when `seed − seed′ = (thread′ − thread) · γ (mod 2⁶⁴)` —
 /// unlike the old `seed ^ (0xA5A5 + t)`, which aliased nearby seeds
 /// across thread indices (e.g. `(3, 0)` and `(0, 1)` shared a stream).
-fn fork_seed(seed: u64, thread: u64) -> u64 {
+/// Shared with the service layer's generator threads.
+pub fn fork_seed(seed: u64, thread: u64) -> u64 {
     let mut z = seed.wrapping_add(thread.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -357,7 +379,11 @@ pub fn run(cfg: &LiveConfig) -> LiveReport {
                     if stream.at_commit_point() {
                         tree.txn_commit();
                     }
-                    let dt = t0.elapsed().as_secs_f64();
+                    let elapsed = t0.elapsed();
+                    stats
+                        .latency
+                        .record(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+                    let dt = elapsed.as_secs_f64();
                     match op {
                         Operation::Search(_) => stats.search.add(dt),
                         Operation::Insert(_) => stats.insert.add(dt),
@@ -417,11 +443,13 @@ pub fn run(cfg: &LiveConfig) -> LiveReport {
     let mut search = Welford::new();
     let mut insert = Welford::new();
     let mut delete = Welford::new();
+    let mut latency = HistogramSnapshot::default();
     let mut completed = 0;
     for r in &reports {
         search.merge(&r.search);
         insert.merge(&r.insert);
         delete.merge(&r.delete);
+        latency.merge(&r.latency.snapshot());
         completed += r.completed;
     }
 
@@ -465,6 +493,7 @@ pub fn run(cfg: &LiveConfig) -> LiveReport {
             .collect(),
         root_writer_utilization: levels.last().map_or(0.0, |l| l.rho_w),
         counters,
+        latency,
         final_height: levels.len(),
         final_len: tree.len(),
         levels,
@@ -612,6 +641,11 @@ mod tests {
         // Window-scoped engine telemetry rides along.
         assert!(report.counters.ops > 0);
         assert!(report.counters.latches_per_op() >= 1.0);
+        // Every completed op landed in the pooled latency histogram, and
+        // the quantiles are ordered.
+        assert_eq!(report.latency.total(), report.completed);
+        assert!(report.latency.p50() <= report.latency.p99());
+        assert!(report.latency.p99() <= report.latency.p999());
     }
 
     #[test]

@@ -41,10 +41,18 @@ pub enum EventKind {
     TxnCommit = 10,
     /// A probe-mode descent spilled its latches and retried.
     TxnSpill = 11,
+    /// An operation entered a service-layer shard ingress queue
+    /// (`level`: shard index, `node`: operation key).
+    Enqueue = 12,
+    /// A worker dequeued an operation for service (same conventions).
+    Dequeue = 13,
+    /// Admission control dropped an operation (`arg`: a [`shed`]
+    /// reason code; `level`: shard index, `node`: operation key).
+    Shed = 14,
 }
 
 /// All kinds, for iteration and name lookup.
-pub const ALL_KINDS: [EventKind; 11] = [
+pub const ALL_KINDS: [EventKind; 14] = [
     EventKind::LatchRequest,
     EventKind::LatchGrant,
     EventKind::LatchRelease,
@@ -56,6 +64,9 @@ pub const ALL_KINDS: [EventKind; 11] = [
     EventKind::SplitEnd,
     EventKind::TxnCommit,
     EventKind::TxnSpill,
+    EventKind::Enqueue,
+    EventKind::Dequeue,
+    EventKind::Shed,
 ];
 
 impl EventKind {
@@ -78,6 +89,9 @@ impl EventKind {
             EventKind::SplitEnd => "split_end",
             EventKind::TxnCommit => "txn_commit",
             EventKind::TxnSpill => "txn_spill",
+            EventKind::Enqueue => "enqueue",
+            EventKind::Dequeue => "dequeue",
+            EventKind::Shed => "shed",
         }
     }
 
@@ -102,6 +116,17 @@ pub mod opcode {
 
     /// Stable names for the codes above (index = code).
     pub const NAMES: [&str; 5] = ["search", "insert", "delete", "range", "contains"];
+}
+
+/// Reason codes carried in the `arg` byte of [`EventKind::Shed`].
+pub mod shed {
+    /// The shard's bounded ingress queue was full at admission.
+    pub const QUEUE_FULL: u8 = 1;
+    /// The operation waited past the enqueue-age timeout.
+    pub const TIMEOUT: u8 = 2;
+
+    /// Stable names for the codes above (index = code − 1).
+    pub const NAMES: [&str; 2] = ["queue_full", "timeout"];
 }
 
 /// `OpEnd` arg flag: the operation found (search/contains), replaced

@@ -91,6 +91,12 @@ pub struct Replay {
     pub unmatched: u64,
     /// Events dropped by ring overwrite (copied from the trace).
     pub dropped: u64,
+    /// Service-layer ingress enqueues (generator → shard queue).
+    pub enqueues: u64,
+    /// Service-layer dequeues (worker picked the operation up).
+    pub dequeues: u64,
+    /// Operations dropped by admission control (full queue or timeout).
+    pub sheds: u64,
 }
 
 impl Replay {
@@ -149,6 +155,9 @@ impl Replay {
             ("peak_latch_chain", Json::from(self.peak_latch_chain)),
             ("unmatched", Json::from(self.unmatched)),
             ("dropped", Json::from(self.dropped)),
+            ("enqueues", Json::from(self.enqueues)),
+            ("dequeues", Json::from(self.dequeues)),
+            ("sheds", Json::from(self.sheds)),
         ])
     }
 }
@@ -300,6 +309,9 @@ pub fn replay(trace: &Trace) -> Replay {
             }
             EventKind::TxnCommit => out.txn_commits += 1,
             EventKind::TxnSpill => out.txn_spills += 1,
+            EventKind::Enqueue => out.enqueues += 1,
+            EventKind::Dequeue => out.dequeues += 1,
+            EventKind::Shed => out.sheds += 1,
         }
     }
 

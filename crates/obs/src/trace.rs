@@ -250,6 +250,25 @@ mod imp {
     pub fn txn_spill() {
         emit(EventKind::TxnSpill, 0, 0, 0);
     }
+
+    /// An operation on `key` entered shard `shard`'s ingress queue.
+    #[inline(always)]
+    pub fn enqueue(shard: u16, key: u64) {
+        emit(EventKind::Enqueue, 0, shard, key);
+    }
+
+    /// A worker dequeued the operation on `key` from shard `shard`.
+    #[inline(always)]
+    pub fn dequeue(shard: u16, key: u64) {
+        emit(EventKind::Dequeue, 0, shard, key);
+    }
+
+    /// Admission control dropped the operation on `key` at shard
+    /// `shard` (`reason`: a [`shed`](crate::event::shed) code).
+    #[inline(always)]
+    pub fn shed(shard: u16, reason: u8, key: u64) {
+        emit(EventKind::Shed, reason, shard, key);
+    }
 }
 
 #[cfg(not(feature = "trace"))]
@@ -313,4 +332,10 @@ mod imp {
     pub fn txn_commit() {}
     #[inline(always)]
     pub fn txn_spill() {}
+    #[inline(always)]
+    pub fn enqueue(_shard: u16, _key: u64) {}
+    #[inline(always)]
+    pub fn dequeue(_shard: u16, _key: u64) {}
+    #[inline(always)]
+    pub fn shed(_shard: u16, _reason: u8, _key: u64) {}
 }

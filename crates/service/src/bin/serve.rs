@@ -1,0 +1,493 @@
+//! `serve`: drive the sharded trees under *open-loop* load and print
+//! sojourn-time-under-load tables.
+//!
+//! ```text
+//! cargo run --release -p cbtree-serve --bin serve -- \
+//!     --algo blink --shards 4 --sweep 20000,50000,100000
+//! ```
+
+use cbtree_btree::Protocol;
+use cbtree_obs::table::{fmt_f, Table};
+use cbtree_obs::{replay, Json};
+use cbtree_serve::{
+    max_sustainable_lambda, serve, sweep, ArrivalShape, ServeConfig, ServeReport,
+    SUSTAINABLE_SHED_RATE,
+};
+use cbtree_sync::SamplePeriod;
+use cbtree_workload::{KeyDist, OpsConfig};
+use std::path::PathBuf;
+use std::time::Duration;
+
+const USAGE: &str = "\
+usage: serve [options]
+
+  --algo NAME        b-link | lock-coupling | optimistic | two-phase |
+                     recovery-naive | recovery-leaf  (default b-link)
+  --shards N         key-range shards, each an independent tree + queue
+                     (default 2)
+  --workers N        worker threads per shard (default 1)
+  --generators N     open-loop generator threads (default 2)
+  --lambda F         aggregate offered arrival rate, ops/s (default 50000)
+  --sweep F,F,...    one measurement per listed lambda (the
+                     lambda-vs-response-time curve)
+  --saturate F       max-sustainable-rate search: bracket by doubling
+                     from lambda F, then bisect
+  --bisect N         bisection iterations for --saturate (default 4)
+  --burstiness F     use bursty on-off arrivals with peak-to-mean ratio F
+                     instead of Poisson (same long-run lambda)
+  --mean-on-ms N     mean ON-burst length for --burstiness (default 10)
+  --service-floor-us N
+                     minimum service time per op: workers sleep out the
+                     remainder, emulating disk-resident nodes (default 0
+                     = raw in-memory tree speed)
+  --queue-cap N      per-shard ingress queue bound; arrivals beyond it
+                     are shed (default 4096)
+  --max-age-ms N     shed queued ops older than N ms at dequeue
+                     (default: no age limit)
+  --capacity N       max keys per node (default 64)
+  --items N          keys prefilled across all shards (default 50000)
+  --keyspace N       key space size (default 1000000)
+  --mix S,I,D        operation mix, must sum to 1 (default 0.3,0.5,0.2)
+  --warmup-ms N      untimed warmup (default 200)
+  --measure-ms N     measured window (default 1000)
+  --seed N           seed for arrivals and workloads (default 386174)
+  --sample-every N   time 1 in N lock acquisitions (default 1 = exact)
+  --assert-low-shed  exit nonzero unless the lowest-lambda measurement
+                     shed no operations (CI guard)
+  --json PATH        write the run as JSONL records: meta, one
+                     serve_report per measurement, and (single-run mode,
+                     built with --features trace) the drained events
+  --trace-buf N      per-thread trace ring capacity (needs trace)
+  -h, --help         print this help
+";
+
+enum Mode {
+    Single,
+    Sweep(Vec<f64>),
+    Saturate(f64),
+}
+
+struct Args {
+    cfg: ServeConfig,
+    mode: Mode,
+    bisect: usize,
+    json: Option<PathBuf>,
+    assert_low_shed: bool,
+    trace_buf: Option<usize>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut cfg = ServeConfig::paper(Protocol::BLink, 2, 50_000.0);
+    let mut keyspace = 1_000_000u64;
+    let mut mix = (0.3, 0.5, 0.2);
+    let mut mode = Mode::Single;
+    let mut bisect = 4usize;
+    let mut burstiness: Option<f64> = None;
+    let mut mean_on = Duration::from_millis(10);
+    let mut json = None;
+    let mut assert_low_shed = false;
+    let mut trace_buf = None;
+
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        if flag == "-h" || flag == "--help" {
+            print!("{USAGE}");
+            std::process::exit(0);
+        }
+        let mut value = || {
+            it.next()
+                .ok_or_else(|| format!("{flag} requires an argument"))
+        };
+        match flag.as_str() {
+            "--algo" => cfg.protocol = value()?.parse()?,
+            "--shards" => {
+                cfg.shards = value()?.parse().map_err(|e| format!("{flag}: {e}"))?;
+                if cfg.shards == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+            }
+            "--workers" => {
+                cfg.workers_per_shard = value()?.parse().map_err(|e| format!("{flag}: {e}"))?;
+            }
+            "--generators" => {
+                cfg.generators = value()?.parse().map_err(|e| format!("{flag}: {e}"))?;
+            }
+            "--lambda" => cfg.lambda = value()?.parse().map_err(|e| format!("{flag}: {e}"))?,
+            "--sweep" => {
+                let v = value()?;
+                let lambdas: Vec<f64> = v
+                    .split(',')
+                    .map(|p| p.trim().parse::<f64>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|e| format!("--sweep {v}: {e}"))?;
+                if lambdas.is_empty() || lambdas.iter().any(|&l| !(l.is_finite() && l > 0.0)) {
+                    return Err(format!("--sweep needs positive rates, got {v:?}"));
+                }
+                mode = Mode::Sweep(lambdas);
+            }
+            "--saturate" => {
+                mode = Mode::Saturate(value()?.parse().map_err(|e| format!("{flag}: {e}"))?);
+            }
+            "--bisect" => bisect = value()?.parse().map_err(|e| format!("{flag}: {e}"))?,
+            "--burstiness" => {
+                burstiness = Some(value()?.parse().map_err(|e| format!("{flag}: {e}"))?);
+            }
+            "--mean-on-ms" => {
+                mean_on =
+                    Duration::from_millis(value()?.parse().map_err(|e| format!("{flag}: {e}"))?);
+            }
+            "--service-floor-us" => {
+                cfg.service_floor =
+                    Duration::from_micros(value()?.parse().map_err(|e| format!("{flag}: {e}"))?);
+            }
+            "--queue-cap" => {
+                cfg.queue_capacity = value()?.parse().map_err(|e| format!("{flag}: {e}"))?;
+            }
+            "--max-age-ms" => {
+                cfg.max_enqueue_age = Some(Duration::from_millis(
+                    value()?.parse().map_err(|e| format!("{flag}: {e}"))?,
+                ));
+            }
+            "--capacity" => cfg.capacity = value()?.parse().map_err(|e| format!("{flag}: {e}"))?,
+            "--items" => {
+                cfg.initial_items = value()?.parse().map_err(|e| format!("{flag}: {e}"))?;
+            }
+            "--keyspace" => keyspace = value()?.parse().map_err(|e| format!("{flag}: {e}"))?,
+            "--mix" => {
+                let v = value()?;
+                let parts: Vec<f64> = v
+                    .split(',')
+                    .map(|p| p.trim().parse::<f64>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|e| format!("--mix {v}: {e}"))?;
+                if parts.len() != 3 {
+                    return Err(format!("--mix needs three components, got {v:?}"));
+                }
+                mix = (parts[0], parts[1], parts[2]);
+            }
+            "--warmup-ms" => {
+                cfg.warmup =
+                    Duration::from_millis(value()?.parse().map_err(|e| format!("{flag}: {e}"))?);
+            }
+            "--measure-ms" => {
+                cfg.measure =
+                    Duration::from_millis(value()?.parse().map_err(|e| format!("{flag}: {e}"))?);
+            }
+            "--seed" => cfg.seed = value()?.parse().map_err(|e| format!("{flag}: {e}"))?,
+            "--sample-every" => {
+                cfg.stats_sampling =
+                    SamplePeriod::every(value()?.parse().map_err(|e| format!("{flag}: {e}"))?);
+            }
+            "--assert-low-shed" => assert_low_shed = true,
+            "--json" => json = Some(PathBuf::from(value()?)),
+            "--trace-buf" => {
+                let n: usize = value()?.parse().map_err(|e| format!("{flag}: {e}"))?;
+                if n == 0 {
+                    return Err("--trace-buf must be positive".into());
+                }
+                trace_buf = Some(n);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+
+    if let Some(b) = burstiness {
+        cfg.arrivals = ArrivalShape::OnOff {
+            burstiness: b,
+            mean_on,
+        };
+    }
+    cfg.ops = OpsConfig {
+        q_search: mix.0,
+        q_insert: mix.1,
+        q_delete: mix.2,
+        keys: KeyDist::Uniform {
+            lo: 0,
+            hi: keyspace,
+        },
+    };
+    if !cfg.ops.is_valid() {
+        return Err(format!(
+            "operation mix {}/{}/{} does not sum to 1",
+            mix.0, mix.1, mix.2
+        ));
+    }
+    Ok(Args {
+        cfg,
+        mode,
+        bisect,
+        json,
+        assert_low_shed,
+        trace_buf,
+    })
+}
+
+/// The `meta` JSONL record for a serve run.
+fn meta_json(cfg: &ServeConfig) -> Json {
+    let keyspace = match cfg.ops.keys {
+        KeyDist::Uniform { lo, hi } => hi.saturating_sub(lo),
+        KeyDist::Zipf { n, .. } => n,
+        KeyDist::Sequential => 0,
+    };
+    let arrivals = match cfg.arrivals {
+        ArrivalShape::Poisson => Json::obj(vec![("shape", "poisson".into())]),
+        ArrivalShape::OnOff {
+            burstiness,
+            mean_on,
+        } => Json::obj(vec![
+            ("shape", "on_off".into()),
+            ("burstiness", Json::f64_or_null(burstiness)),
+            ("mean_on_s", Json::f64_or_null(mean_on.as_secs_f64())),
+        ]),
+    };
+    Json::obj(vec![
+        ("type", "meta".into()),
+        ("schema", cbtree_obs::SCHEMA_VERSION.into()),
+        ("kind", "serve_run".into()),
+        ("protocol", cfg.protocol.name().into()),
+        ("shards", cfg.shards.into()),
+        ("workers_per_shard", cfg.workers_per_shard.into()),
+        ("generators", cfg.generators.into()),
+        ("arrivals", arrivals),
+        (
+            "service_floor_us",
+            u64::try_from(cfg.service_floor.as_micros())
+                .unwrap_or(u64::MAX)
+                .into(),
+        ),
+        ("queue_capacity", cfg.queue_capacity.into()),
+        (
+            "max_enqueue_age_ms",
+            match cfg.max_enqueue_age {
+                Some(d) => u64::try_from(d.as_millis()).unwrap_or(u64::MAX).into(),
+                None => Json::Null,
+            },
+        ),
+        ("capacity", cfg.capacity.into()),
+        ("initial_items", cfg.initial_items.into()),
+        (
+            "mix",
+            Json::arr([
+                cfg.ops.q_search.into(),
+                cfg.ops.q_insert.into(),
+                cfg.ops.q_delete.into(),
+            ]),
+        ),
+        ("keyspace", keyspace.into()),
+        ("seed", cfg.seed.into()),
+        (
+            "warmup_ms",
+            u64::try_from(cfg.warmup.as_millis())
+                .unwrap_or(u64::MAX)
+                .into(),
+        ),
+        (
+            "measure_ms",
+            u64::try_from(cfg.measure.as_millis())
+                .unwrap_or(u64::MAX)
+                .into(),
+        ),
+    ])
+}
+
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1e3
+}
+
+fn print_report(report: &ServeReport) {
+    println!(
+        "open-loop window {:.3} s | lambda {:.0} offered, {:.0}/s arrived, {:.0}/s served | shed {:.2}%",
+        report.measured_time,
+        report.lambda,
+        report.offered_rate(),
+        report.achieved_rate(),
+        report.shed_rate() * 100.0,
+    );
+    println!(
+        "sojourn (us): mean {:.2} | p50 {:.2} | p99 {:.2} | p999 {:.2}  (queue wait + service, {} served ops)",
+        report.sojourn_mean_s * 1e6,
+        us(report.sojourn.p50()),
+        us(report.sojourn.p99()),
+        us(report.sojourn.p999()),
+        report.served(),
+    );
+    let mut t = Table::new(
+        "per-shard behavior",
+        &[
+            "shard",
+            "offered",
+            "served",
+            "shed%",
+            "q-hwm",
+            "soj-p50(us)",
+            "soj-p99(us)",
+            "soj-p999(us)",
+            "svc-mean(us)",
+            "keys",
+        ],
+    );
+    for s in &report.per_shard {
+        t.push(vec![
+            s.shard.to_string(),
+            s.offered.to_string(),
+            s.served.to_string(),
+            fmt_f(s.shed_rate() * 100.0, 2),
+            s.queue_depth_hwm.to_string(),
+            fmt_f(us(s.sojourn.p50()), 2),
+            fmt_f(us(s.sojourn.p99()), 2),
+            fmt_f(us(s.sojourn.p999()), 2),
+            fmt_f(s.service_mean_s * 1e6, 2),
+            s.final_len.to_string(),
+        ]);
+    }
+    t.print();
+    if !report.trace.is_empty() {
+        println!(
+            "trace: {} events from {} threads ({} dropped)",
+            report.trace.events.len(),
+            report.trace.threads,
+            report.trace.dropped
+        );
+    }
+}
+
+fn print_curve(reports: &[ServeReport]) {
+    let mut t = Table::new(
+        "lambda vs response time",
+        &[
+            "lambda",
+            "offered/s",
+            "served/s",
+            "shed%",
+            "soj-mean(us)",
+            "soj-p50(us)",
+            "soj-p99(us)",
+            "soj-p999(us)",
+        ],
+    );
+    for r in reports {
+        t.push(vec![
+            fmt_f(r.lambda, 0),
+            fmt_f(r.offered_rate(), 0),
+            fmt_f(r.achieved_rate(), 0),
+            fmt_f(r.shed_rate() * 100.0, 2),
+            fmt_f(r.sojourn_mean_s * 1e6, 2),
+            fmt_f(us(r.sojourn.p50()), 2),
+            fmt_f(us(r.sojourn.p99()), 2),
+            fmt_f(us(r.sojourn.p999()), 2),
+        ]);
+    }
+    t.print();
+}
+
+fn write_json(
+    path: &std::path::Path,
+    cfg: &ServeConfig,
+    reports: &[ServeReport],
+) -> Result<(), String> {
+    let mut records = vec![meta_json(cfg)];
+    records.extend(reports.iter().map(ServeReport::to_json));
+    // Single-run mode inlines the drained trace (a sweep's would dwarf
+    // the reports).
+    if let [only] = reports {
+        if !only.trace.is_empty() {
+            records.push(only.trace.info_json());
+            records.push(replay(&only.trace).to_json());
+            records.extend(only.trace.events.iter().map(|e| e.to_json()));
+        }
+    }
+    cbtree_obs::write_jsonl(path, &records)
+        .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    // Read-back guard: every record must round-trip through the parser,
+    // so downstream analyzers never meet a half-written artifact.
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("re-reading {}: {e}", path.display()))?;
+    for (i, line) in text.lines().enumerate() {
+        Json::parse(line)
+            .map_err(|e| format!("{}:{}: round-trip failed: {e}", path.display(), i + 1))?;
+    }
+    Ok(())
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    if let Some(n) = args.trace_buf {
+        cbtree_obs::trace::set_default_ring_capacity(n);
+    }
+
+    println!(
+        "service: {} | {} shards x {} workers | {} generators | queue cap {}{}",
+        args.cfg.protocol.name(),
+        args.cfg.shards,
+        args.cfg.workers_per_shard,
+        args.cfg.generators,
+        args.cfg.queue_capacity,
+        match args.cfg.arrivals {
+            ArrivalShape::Poisson => String::new(),
+            ArrivalShape::OnOff { burstiness, .. } =>
+                format!(" | on-off arrivals, burstiness {burstiness}"),
+        },
+    );
+
+    let reports: Vec<ServeReport> = match &args.mode {
+        Mode::Single => {
+            let report = serve(&args.cfg);
+            print_report(&report);
+            vec![report]
+        }
+        Mode::Sweep(lambdas) => {
+            let reports = sweep(&args.cfg, lambdas);
+            print_curve(&reports);
+            reports
+        }
+        Mode::Saturate(lambda0) => {
+            println!(
+                "saturation search from lambda {lambda0:.0} ({} bisections, shed bound {:.1}%)",
+                args.bisect,
+                SUSTAINABLE_SHED_RATE * 100.0
+            );
+            let (best, reports) = max_sustainable_lambda(&args.cfg, *lambda0, args.bisect);
+            print_curve(&reports);
+            println!("max sustainable arrival rate: {best:.0} ops/s");
+            reports
+        }
+    };
+
+    if let Some(path) = &args.json {
+        if let Err(e) = write_json(path, &args.cfg, &reports) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {}", path.display());
+    }
+
+    if args.assert_low_shed {
+        // CI guard: the *least-loaded* measurement must shed nothing —
+        // if it does, admission control is broken (or the smoke sweep's
+        // lowest lambda is mis-sized for the machine).
+        let least = reports
+            .iter()
+            .min_by(|a, b| a.lambda.total_cmp(&b.lambda))
+            .expect("at least one measurement");
+        if least.shed() > 0 {
+            eprintln!(
+                "error: lowest-lambda run ({:.0} ops/s) shed {} of {} offered ops",
+                least.lambda,
+                least.shed(),
+                least.offered()
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "assert-low-shed: ok (lambda {:.0} shed nothing)",
+            least.lambda
+        );
+    }
+}

@@ -1,0 +1,172 @@
+//! Bounded ingress queues with admission control.
+//!
+//! One queue per shard. Generators `try_push` — a full queue *rejects*
+//! instead of blocking (open-loop arrivals cannot be paused; shedding at
+//! admission is what keeps sojourn times of accepted operations bounded
+//! past saturation). Workers block on `pop` and drain the queue; an
+//! optional enqueue-age timeout sheds operations whose queue wait
+//! already exceeds the deadline at dequeue time, so a backlogged shard
+//! spends its service capacity on operations that can still meet the
+//! SLO instead of on ones that have already blown it.
+
+use cbtree_workload::Operation;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// One queued operation with its admission timestamp.
+#[derive(Debug, Clone, Copy)]
+pub struct QueuedOp {
+    /// The operation to execute.
+    pub op: Operation,
+    /// When the generator enqueued it — the sojourn clock starts here.
+    pub enqueued: Instant,
+    /// Whether it arrived inside the measured window (warmup and
+    /// post-window arrivals are executed but not reported).
+    pub measured: bool,
+}
+
+/// Why an operation was turned away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shed {
+    /// The bounded queue was full at admission.
+    QueueFull,
+    /// The operation's queue wait exceeded the enqueue-age timeout.
+    Timeout,
+}
+
+#[derive(Debug)]
+struct Inner {
+    items: VecDeque<QueuedOp>,
+    closed: bool,
+    depth_hwm: usize,
+}
+
+/// A bounded MPMC ingress queue (mutex + condvar; the queue is the
+/// *model object* here — an explicit λ-arrival FCFS buffer — not a
+/// throughput bottleneck: shards bound contention by construction).
+#[derive(Debug)]
+pub struct IngressQueue {
+    inner: Mutex<Inner>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl IngressQueue {
+    /// A queue admitting at most `capacity` waiting operations.
+    ///
+    /// # Panics
+    /// Panics when `capacity` is 0.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "queue capacity must be at least 1");
+        IngressQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity.min(4096)),
+                closed: false,
+                depth_hwm: 0,
+            }),
+            not_empty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Admits `item`, or sheds it when the queue is full (or closed).
+    pub fn try_push(&self, item: QueuedOp) -> Result<(), Shed> {
+        let mut g = self.inner.lock().expect("ingress queue poisoned");
+        if g.closed || g.items.len() >= self.capacity {
+            return Err(Shed::QueueFull);
+        }
+        g.items.push_back(item);
+        g.depth_hwm = g.depth_hwm.max(g.items.len());
+        drop(g);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an operation is available or the queue is closed
+    /// *and* empty (drain-then-exit shutdown).
+    pub fn pop(&self) -> Option<QueuedOp> {
+        let mut g = self.inner.lock().expect("ingress queue poisoned");
+        loop {
+            if let Some(item) = g.items.pop_front() {
+                return Some(item);
+            }
+            if g.closed {
+                return None;
+            }
+            g = self.not_empty.wait(g).expect("ingress queue poisoned");
+        }
+    }
+
+    /// Closes the queue: pending items are still drained by `pop`, new
+    /// pushes shed, and blocked workers wake once the queue empties.
+    pub fn close(&self) {
+        self.inner.lock().expect("ingress queue poisoned").closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Current depth (racy; for monitoring only).
+    pub fn depth(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("ingress queue poisoned")
+            .items
+            .len()
+    }
+
+    /// Deepest the queue has ever been.
+    pub fn depth_high_water(&self) -> usize {
+        self.inner.lock().expect("ingress queue poisoned").depth_hwm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item() -> QueuedOp {
+        QueuedOp {
+            op: Operation::Search(7),
+            enqueued: Instant::now(),
+            measured: true,
+        }
+    }
+
+    #[test]
+    fn bounded_fifo_and_high_water() {
+        let q = IngressQueue::new(2);
+        assert!(q.try_push(item()).is_ok());
+        assert!(q.try_push(item()).is_ok());
+        assert_eq!(q.try_push(item()), Err(Shed::QueueFull));
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.depth_high_water(), 2);
+        assert!(q.pop().is_some());
+        assert!(q.try_push(item()).is_ok(), "slot freed by pop");
+        assert_eq!(q.depth_high_water(), 2, "hwm is sticky");
+    }
+
+    #[test]
+    fn close_drains_then_wakes() {
+        let q = IngressQueue::new(4);
+        q.try_push(item()).unwrap();
+        q.close();
+        assert_eq!(q.try_push(item()), Err(Shed::QueueFull), "closed sheds");
+        assert!(q.pop().is_some(), "pending item still served");
+        assert!(q.pop().is_none(), "then workers see shutdown");
+    }
+
+    #[test]
+    fn pop_blocks_until_push() {
+        let q = std::sync::Arc::new(IngressQueue::new(4));
+        let q2 = std::sync::Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.try_push(item()).unwrap();
+        assert!(h.join().unwrap().is_some());
+    }
+}

@@ -1,0 +1,144 @@
+//! Key-range routing: a key space carved into `M` contiguous,
+//! non-overlapping ranges, one per shard.
+//!
+//! Each shard owns an independent `DescentTree`; because the ranges are
+//! contiguous, a future range-scan layer can still stitch results back
+//! together in key order, and skewed key distributions concentrate on
+//! predictable shards (the paper's per-level queueing model then applies
+//! *per shard*, each with its own arrival rate).
+
+/// Routes keys to shards by contiguous range.
+///
+/// Over a key space `[0, S)` (by default the full `u64` space,
+/// `S = 2⁶⁴`), shard `i` owns `[⌊S·i/M⌋, ⌊S·(i+1)/M⌋)`: near-equal
+/// slices, the first `S mod M` shards one key larger. Keys at or above
+/// `S` (possible only with an explicit bounded space) clamp into the
+/// last shard, so *every* `u64` key maps to exactly one shard.
+#[derive(Debug, Clone)]
+pub struct KeyRangeRouter {
+    shards: usize,
+    /// Size of the partitioned key space (`2⁶⁴` for the full space).
+    space: u128,
+}
+
+impl KeyRangeRouter {
+    /// A router carving the full `u64` key space into `shards` ranges.
+    ///
+    /// # Panics
+    /// Panics when `shards` is 0 or exceeds `u16::MAX` (shard ids ride
+    /// in trace events as `u16`).
+    pub fn new(shards: usize) -> Self {
+        KeyRangeRouter::with_space(shards, None)
+    }
+
+    /// A router partitioning `[0, hi)` when `hi` is given (keys `≥ hi`
+    /// clamp into the last shard), or the full `u64` space when `None`.
+    ///
+    /// # Panics
+    /// Panics when `shards` is 0, exceeds `u16::MAX`, or exceeds `hi`.
+    pub fn with_space(shards: usize, hi: Option<u64>) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        assert!(
+            shards <= u16::MAX as usize,
+            "shard count {shards} exceeds u16"
+        );
+        let space = hi.map_or(1u128 << 64, u128::from);
+        assert!(
+            shards as u128 <= space,
+            "{shards} shards over a key space of {space}"
+        );
+        KeyRangeRouter { shards, space }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Inclusive lower boundary of shard `i`'s range: `⌊S·i/M⌋`
+    /// (`i == shards` gives the one-past-the-end boundary).
+    fn boundary(&self, i: usize) -> u128 {
+        debug_assert!(i <= self.shards);
+        self.space * i as u128 / self.shards as u128
+    }
+
+    /// The shard owning `key`. Total: every `u64` key has exactly one
+    /// shard, keys beyond a bounded space clamping into the last.
+    #[inline]
+    pub fn shard_of(&self, key: u64) -> usize {
+        // Exact inverse of `boundary`: the largest `i` with
+        // `⌊S·i/M⌋ ≤ key` is `⌈(key+1)·M/S⌉ − 1` (a plain `⌊key·M/S⌋`
+        // disagrees at range boundaries whenever `M` ∤ `S`).
+        let m = self.shards as u128;
+        let i = (((u128::from(key) + 1) * m - 1) / self.space) as usize;
+        i.min(self.shards - 1)
+    }
+
+    /// Shard `i`'s key range as an *inclusive* `(lo, hi)` pair; the last
+    /// shard's range always ends at `u64::MAX` (clamped keys included).
+    ///
+    /// # Panics
+    /// Panics when `i >= shards`.
+    pub fn range(&self, i: usize) -> (u64, u64) {
+        assert!(i < self.shards, "shard {i} out of range");
+        let lo = self.boundary(i) as u64;
+        let hi = if i + 1 == self.shards {
+            u64::MAX
+        } else {
+            (self.boundary(i + 1) - 1) as u64
+        };
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let r = KeyRangeRouter::new(1);
+        assert_eq!(r.shard_of(0), 0);
+        assert_eq!(r.shard_of(u64::MAX), 0);
+        assert_eq!(r.range(0), (0, u64::MAX));
+    }
+
+    #[test]
+    fn boundaries_agree_with_shard_of() {
+        for m in [2usize, 3, 5, 8, 16] {
+            let r = KeyRangeRouter::new(m);
+            for i in 0..m {
+                let (lo, hi) = r.range(i);
+                assert_eq!(r.shard_of(lo), i, "m={m} i={i} lo");
+                assert_eq!(r.shard_of(hi), i, "m={m} i={i} hi");
+                if lo > 0 {
+                    assert_eq!(r.shard_of(lo - 1), i - 1, "m={m} i={i} below");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_space_clamps_overflow_into_last_shard() {
+        let r = KeyRangeRouter::with_space(4, Some(1_000_000));
+        assert_eq!(r.shard_of(0), 0);
+        assert_eq!(r.shard_of(249_999), 0);
+        assert_eq!(r.shard_of(250_000), 1);
+        assert_eq!(r.shard_of(999_999), 3);
+        assert_eq!(r.shard_of(1_000_000), 3, "clamped");
+        assert_eq!(r.shard_of(u64::MAX), 3, "clamped");
+        assert_eq!(r.range(3).1, u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = KeyRangeRouter::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shards over a key space")]
+    fn more_shards_than_keys_rejected() {
+        let _ = KeyRangeRouter::with_space(10, Some(5));
+    }
+}

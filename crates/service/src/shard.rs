@@ -1,0 +1,154 @@
+//! One shard: an independent concurrent B+-tree, its bounded ingress
+//! queue, and the worker loop that drains the queue into the tree.
+
+use crate::queue::{IngressQueue, QueuedOp, Shed};
+use cbtree_btree::ConcurrentBTree;
+use cbtree_obs::event::shed as shed_reason;
+use cbtree_obs::trace;
+use cbtree_sync::Histogram;
+use cbtree_workload::Operation;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A shard's shared runtime state.
+pub(crate) struct ShardRuntime {
+    /// The shard's own tree — no key ever crosses shards.
+    pub tree: Arc<ConcurrentBTree<u64>>,
+    /// The shard's bounded ingress queue.
+    pub queue: Arc<IngressQueue>,
+}
+
+/// Per-worker measurement accumulators, merged at join. Workers never
+/// share these, so the measurement path adds no synchronization beyond
+/// the queue itself.
+#[derive(Default)]
+pub(crate) struct WorkerLocal {
+    pub served: u64,
+    pub timed_out: u64,
+    /// Sojourn (enqueue → completion) of served ops, ns.
+    pub sojourn: Histogram,
+    pub sojourn_sum_ns: u64,
+    /// Queue age of timed-out ops at shed, ns.
+    pub shed_wait: Histogram,
+    /// Service time (dequeue → completion) raw moment sums, seconds.
+    pub service_sum_s: f64,
+    pub service_sum_sq_s2: f64,
+}
+
+fn apply(tree: &ConcurrentBTree<u64>, op: Operation) {
+    match op {
+        Operation::Search(k) => {
+            std::hint::black_box(tree.get(&k));
+        }
+        Operation::Insert(k) => {
+            std::hint::black_box(tree.insert(k, k));
+        }
+        Operation::Delete(k) => {
+            std::hint::black_box(tree.remove(&k));
+        }
+    }
+}
+
+/// Drains the shard's queue until it is closed and empty.
+///
+/// Admission control's second gate lives here: an operation whose queue
+/// wait already exceeds `max_age` at dequeue is shed (counted, its age
+/// recorded) instead of served — under overload the queue would
+/// otherwise serve only operations that have already blown any
+/// deadline. Metrics are recorded only for operations that arrived
+/// inside the measured window.
+///
+/// `service_floor` pads every served operation to a minimum service
+/// time by sleeping out the remainder — the open-loop analogue of the
+/// paper's disk-resident node cost: an in-memory tree op takes ~1 µs,
+/// which pins utilization near zero at any arrival rate a generator
+/// can pace; the floor makes `ρ = λ·E[X]` controllable so the
+/// λ-vs-sojourn curve actually exercises the queueing regime. Sleeping
+/// (not spinning) emulates I/O: a waiting server burns no CPU.
+pub(crate) fn worker_loop(
+    shard: u16,
+    tree: &ConcurrentBTree<u64>,
+    queue: &IngressQueue,
+    max_age: Option<Duration>,
+    service_floor: Duration,
+) -> WorkerLocal {
+    let mut local = WorkerLocal::default();
+    while let Some(q) = queue.pop() {
+        let wait = q.enqueued.elapsed();
+        if let Some(limit) = max_age {
+            if wait > limit {
+                if q.measured {
+                    local.timed_out += 1;
+                    local
+                        .shed_wait
+                        .record(u64::try_from(wait.as_nanos()).unwrap_or(u64::MAX));
+                }
+                trace::shed(shard, shed_reason::TIMEOUT, q.op.key());
+                continue;
+            }
+        }
+        trace::dequeue(shard, q.op.key());
+        let t0 = Instant::now();
+        apply(tree, q.op);
+        if let Some(pad) = service_floor.checked_sub(t0.elapsed()) {
+            if !pad.is_zero() {
+                std::thread::sleep(pad);
+            }
+        }
+        let service = t0.elapsed().as_secs_f64();
+        let sojourn = q.enqueued.elapsed();
+        if q.measured {
+            local.served += 1;
+            let ns = u64::try_from(sojourn.as_nanos()).unwrap_or(u64::MAX);
+            local.sojourn.record(ns);
+            local.sojourn_sum_ns = local.sojourn_sum_ns.saturating_add(ns);
+            local.service_sum_s += service;
+            local.service_sum_sq_s2 += service * service;
+        }
+    }
+    local
+}
+
+/// Outcome counters a generator keeps per shard.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct GenLocal {
+    pub offered: Vec<u64>,
+    pub rejected: Vec<u64>,
+}
+
+impl GenLocal {
+    pub fn new(shards: usize) -> Self {
+        GenLocal {
+            offered: vec![0; shards],
+            rejected: vec![0; shards],
+        }
+    }
+}
+
+/// Routes one arrival into its shard queue, tracking measured-window
+/// admission outcomes.
+pub(crate) fn offer(
+    runtime: &ShardRuntime,
+    shard: usize,
+    op: Operation,
+    measured: bool,
+    gen: &mut GenLocal,
+) {
+    if measured {
+        gen.offered[shard] += 1;
+    }
+    let item = QueuedOp {
+        op,
+        enqueued: Instant::now(),
+        measured,
+    };
+    match runtime.queue.try_push(item) {
+        Ok(()) => trace::enqueue(shard as u16, op.key()),
+        Err(Shed::QueueFull) | Err(Shed::Timeout) => {
+            if measured {
+                gen.rejected[shard] += 1;
+            }
+            trace::shed(shard as u16, shed_reason::QUEUE_FULL, op.key());
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Integration tests for the open-loop service layer: router partition
+//! properties, saturation behavior of admission control, and a
+//! differential check against the closed-loop harness.
+
+use cbtree_btree::Protocol;
+use cbtree_harness::LiveConfig;
+use cbtree_serve::{serve, KeyRangeRouter, ServeConfig};
+use cbtree_workload::Rng;
+use std::time::Duration;
+
+/// Property test over every shard count in `1..=16`: the ranges are
+/// contiguous, tile the whole `u64` key space with no gap or overlap,
+/// are balanced to within one key, and `shard_of` is the exact inverse
+/// of `range` — checked at every boundary and on a fuzzed key sample.
+#[test]
+fn router_partitions_tile_the_key_space() {
+    let mut rng = Rng::new(0xDECAF);
+    for m in 1..=16usize {
+        let r = KeyRangeRouter::new(m);
+        let mut next_lo = Some(0u64);
+        let mut sizes = Vec::with_capacity(m);
+        for i in 0..m {
+            let (lo, hi) = r.range(i);
+            assert_eq!(Some(lo), next_lo, "m={m}: shard {i} leaves a gap");
+            assert!(hi >= lo, "m={m}: shard {i} range inverted");
+            sizes.push(u128::from(hi) - u128::from(lo) + 1);
+            // Every boundary key belongs to its own shard, and the key
+            // just below to the previous one.
+            assert_eq!(r.shard_of(lo), i, "m={m}: lo of shard {i}");
+            assert_eq!(r.shard_of(hi), i, "m={m}: hi of shard {i}");
+            if i > 0 {
+                assert_eq!(r.shard_of(lo - 1), i - 1, "m={m}: below shard {i}");
+            }
+            next_lo = hi.checked_add(1);
+        }
+        assert_eq!(next_lo, None, "m={m}: ranges must end at u64::MAX");
+        let spread = sizes.iter().max().unwrap() - sizes.iter().min().unwrap();
+        assert!(spread <= 1, "m={m}: range sizes differ by {spread}");
+        // Fuzzed keys: `shard_of` agrees with the owning range (which,
+        // with the tiling above, proves every key maps to exactly one
+        // shard).
+        for _ in 0..4096 {
+            let k = rng.next_u64();
+            let s = r.shard_of(k);
+            let (lo, hi) = r.range(s);
+            assert!(
+                (lo..=hi).contains(&k),
+                "m={m}: key {k} routed to shard {s} [{lo}, {hi}]"
+            );
+        }
+    }
+}
+
+/// The same tiling properties hold for bounded key spaces, with the
+/// clamped tail keys folded into the last shard.
+#[test]
+fn bounded_router_partitions_tile_their_space() {
+    let mut rng = Rng::new(0xB0B);
+    for _ in 0..64 {
+        let m = 1 + rng.next_below(16) as usize;
+        let space = m as u64 + rng.next_below(10_000_000);
+        let r = KeyRangeRouter::with_space(m, Some(space));
+        let mut next_lo = Some(0u64);
+        for i in 0..m {
+            let (lo, hi) = r.range(i);
+            assert_eq!(Some(lo), next_lo, "m={m} space={space}: gap at {i}");
+            assert_eq!(r.shard_of(lo), i);
+            assert_eq!(r.shard_of(hi), i);
+            next_lo = hi.checked_add(1);
+        }
+        assert_eq!(next_lo, None);
+        for _ in 0..512 {
+            let k = rng.next_below(space);
+            let s = r.shard_of(k);
+            let (lo, hi) = r.range(s);
+            assert!((lo..=hi).contains(&k));
+        }
+        assert_eq!(r.shard_of(space), m - 1, "first clamped key");
+        assert_eq!(r.shard_of(u64::MAX), m - 1, "largest clamped key");
+    }
+}
+
+/// Past saturation, admission control must keep the sojourn of
+/// *accepted* operations bounded by what the queue can hold and report
+/// the overflow as shed — the open loop's answer to "what happens when
+/// λ exceeds capacity".
+#[test]
+fn past_saturation_bounded_queue_bounds_accepted_sojourn() {
+    let mut cfg = ServeConfig::quick(Protocol::BLink, 1, 2_000.0);
+    cfg.initial_items = 1_000;
+    cfg.generators = 1;
+    // 1 ms service floor → capacity ≈ 1000 ops/s, so λ = 2000 offers 2×
+    // capacity. An 8-deep queue bounds any accepted op's sojourn to
+    // roughly (8 + 1) services.
+    cfg.service_floor = Duration::from_millis(1);
+    cfg.queue_capacity = 8;
+    cfg.warmup = Duration::from_millis(100);
+    cfg.measure = Duration::from_millis(500);
+    let report = serve(&cfg);
+
+    assert!(report.offered() > 0);
+    assert!(report.shed() > 0, "2x overload must shed");
+    let shed_rate = report.shed_rate();
+    assert!(
+        shed_rate > 0.2,
+        "2x overload should shed a large fraction, got {shed_rate}"
+    );
+    // p99 sojourn of *served* ops stays near the queue-bound ceiling:
+    // (capacity + 1) services plus generous scheduling slop.
+    let p99_s = report.sojourn.p99() as f64 * 1e-9;
+    let ceiling = (cfg.queue_capacity as f64 + 2.0) * 4.0 * 1e-3;
+    assert!(
+        p99_s < ceiling,
+        "p99 sojourn {p99_s}s exceeds the queue-bounded ceiling {ceiling}s"
+    );
+    assert!(report.per_shard[0].queue_depth_hwm <= cfg.queue_capacity);
+}
+
+/// Differential sanity: a closed-loop `live` run and an open-loop
+/// `serve` run on the same protocol, tree, and mix must agree on the
+/// per-completion leaf-level exclusive lock demand — `ρ_w · nodes /
+/// rate`, the total leaf write-hold seconds each completed operation
+/// induces. (Raw `ρ_w` is a per-node average, which the faster-growing
+/// closed-loop tree dilutes; multiplying the node count back makes the
+/// quantity a property of the *operation*, not of how the load
+/// arrives, as long as both runs sit at low utilization.) The loose
+/// tolerance absorbs scheduler noise; the assert still catches
+/// structural divergence (a service layer that skipped ops,
+/// double-counted, or mis-windowed its snapshot diff would be off by
+/// far more).
+#[test]
+fn open_and_closed_loop_agree_on_per_op_lock_demand() {
+    let protocol = Protocol::BLink;
+    let mut live_cfg = LiveConfig::quick(protocol, 1);
+    live_cfg.measure = Duration::from_millis(400);
+    live_cfg.seed = 0xD1FF;
+    let live = cbtree_harness::run(&live_cfg);
+    assert!(live.completed > 0);
+    let live_leaf = &live.levels[0];
+    assert!(live_leaf.stats.w_acquires > 0);
+    let live_demand = live_leaf.rho_w * live_leaf.nodes as f64 / live.throughput;
+
+    // Open loop at ~25% of the closed loop's throughput: comfortably
+    // sustainable, so both runs sit in the low-utilization regime where
+    // per-op demand is rate-independent.
+    let mut serve_cfg = ServeConfig::quick(protocol, 1, (live.throughput / 4.0).max(500.0));
+    serve_cfg.generators = 1;
+    serve_cfg.seed = 0xD1FF;
+    serve_cfg.measure = Duration::from_millis(400);
+    let open = serve(&serve_cfg);
+    assert!(open.served() > 0);
+    assert_eq!(open.shed(), 0, "quarter-rate load must not shed");
+    let open_leaf = &open.per_shard[0].levels[0];
+    assert!(open_leaf.stats.w_acquires > 0);
+    let open_demand = open_leaf.rho_w * open_leaf.nodes as f64 / open.achieved_rate();
+
+    assert!(
+        live_demand > 0.0 && open_demand > 0.0,
+        "both loops must measure nonzero leaf writer demand"
+    );
+    let ratio = open_demand / live_demand;
+    assert!(
+        (1.0 / 3.0..=3.0).contains(&ratio),
+        "per-op leaf writer demand diverged: open {open_demand:.3e} vs live {live_demand:.3e} \
+         s/op (ratio {ratio:.2})"
+    );
+}
+
+/// With tracing compiled in, a serve run's drained trace carries the
+/// ingress-queue life cycle: enqueues pair with dequeues and the shed
+/// count matches the report.
+#[cfg(feature = "trace")]
+#[test]
+fn traced_serve_run_records_queue_events() {
+    use cbtree_obs::replay;
+    cbtree_obs::trace::set_default_ring_capacity(1 << 17);
+    let mut cfg = ServeConfig::quick(Protocol::BLink, 2, 2_000.0);
+    cfg.initial_items = 1_000;
+    let report = serve(&cfg);
+    let t = &report.trace;
+    assert!(!t.events.is_empty(), "traced run produced no events");
+    let r = replay(t);
+    assert!(r.enqueues > 0, "no enqueue events drained");
+    assert!(r.dequeues > 0, "no dequeue events drained");
+    // Low λ: nothing shed, and (drops aside) queue events balance.
+    assert_eq!(r.sheds, 0);
+    if t.dropped == 0 {
+        assert!(
+            r.dequeues <= r.enqueues,
+            "more dequeues ({}) than enqueues ({})",
+            r.dequeues,
+            r.enqueues
+        );
+    }
+}

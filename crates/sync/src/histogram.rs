@@ -128,6 +128,27 @@ impl HistogramSnapshot {
         }
         bucket_floor(BUCKETS - 1)
     }
+
+    /// Median (50th percentile), in nanoseconds. 0 when empty.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile, in nanoseconds. 0 when empty.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile, in nanoseconds. 0 when empty.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile, in nanoseconds — the tail-latency quantile
+    /// every latency report leads with. 0 when empty.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
 }
 
 #[cfg(test)]
@@ -232,6 +253,42 @@ mod tests {
         s.counts[2] = (1u64 << 53) + 3;
         assert_eq!(s.quantile(1.0), bucket_floor(2));
         assert_eq!(s.quantile(0.5), bucket_floor(2));
+    }
+
+    #[test]
+    fn percentile_accessors_empty_and_single_sample() {
+        // Empty: every accessor is 0 rather than panicking.
+        let empty = HistogramSnapshot::default();
+        assert_eq!(empty.p50(), 0);
+        assert_eq!(empty.p90(), 0);
+        assert_eq!(empty.p99(), 0);
+        assert_eq!(empty.p999(), 0);
+        // Single sample: every percentile is that sample's bucket.
+        let h = Histogram::new();
+        h.record(750);
+        let s = h.snapshot();
+        let floor = bucket_floor(bucket_of(750));
+        assert_eq!(s.p50(), floor);
+        assert_eq!(s.p90(), floor);
+        assert_eq!(s.p99(), floor);
+        assert_eq!(s.p999(), floor);
+    }
+
+    #[test]
+    fn p999_separates_the_tail() {
+        // 9900 fast observations and 100 slow ones (1% tail): p99's rank
+        // lands on the last fast observation, p999 reaches the slow ones.
+        let h = Histogram::new();
+        for _ in 0..9_900 {
+            h.record(100);
+        }
+        for _ in 0..100 {
+            h.record(5_000_000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.p99(), bucket_floor(bucket_of(100)));
+        assert_eq!(s.p999(), bucket_floor(bucket_of(5_000_000)));
+        assert_eq!(s.p999(), s.quantile(0.999), "accessor is the quantile");
     }
 
     #[test]

@@ -272,9 +272,10 @@ impl LockStatsSnapshot {
         use cbtree_obs::Json;
         let quantiles = |h: &HistogramSnapshot| {
             Json::obj(vec![
-                ("p50_ns", h.quantile(0.50).into()),
-                ("p90_ns", h.quantile(0.90).into()),
-                ("p99_ns", h.quantile(0.99).into()),
+                ("p50_ns", h.p50().into()),
+                ("p90_ns", h.p90().into()),
+                ("p99_ns", h.p99().into()),
+                ("p999_ns", h.p999().into()),
             ])
         };
         Json::obj(vec![

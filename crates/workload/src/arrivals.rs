@@ -1,5 +1,14 @@
-//! Poisson arrival streams: exponential inter-arrival times at a given
-//! rate ("the concurrent operations arrive in a Poisson process", §4).
+//! Arrival-time streams for open-loop load generation.
+//!
+//! [`PoissonArrivals`] is the paper's model ("the concurrent operations
+//! arrive in a Poisson process", §4). [`OnOffArrivals`] is a two-state
+//! on-off modulated Poisson process (an MMPP(2) with a silent state):
+//! exponentially distributed ON periods emitting Poisson arrivals at a
+//! burst rate, alternating with exponentially distributed silent OFF
+//! periods. Its long-run mean rate is `burst_rate · E[on]/(E[on]+E[off])`,
+//! so a sweep can hold the offered load fixed while varying burstiness.
+//! [`ArrivalProcess`] unifies both behind one `next_arrival` interface
+//! for the service layer's generator threads.
 
 use crate::dist::Exponential;
 use crate::rng::Rng;
@@ -60,6 +69,134 @@ impl Iterator for PoissonArrivals {
 
     fn next(&mut self) -> Option<f64> {
         Some(self.next_arrival())
+    }
+}
+
+/// Two-state on-off modulated Poisson arrivals.
+///
+/// The process alternates between an ON state (arrivals at `burst_rate`)
+/// and an OFF state (no arrivals). State residence times are
+/// exponential with means `mean_on` and `mean_off`. The process starts
+/// ON at time 0 (with a freshly sampled residence time), so a stream
+/// with `mean_off = 0` degenerates to plain Poisson arrivals at
+/// `burst_rate`.
+#[derive(Debug, Clone)]
+pub struct OnOffArrivals {
+    inter: Exponential,
+    on_dur: Exponential,
+    off_dur: Exponential,
+    rng: Rng,
+    now: f64,
+    /// End of the current ON period.
+    on_until: f64,
+}
+
+impl OnOffArrivals {
+    /// Creates an on-off stream emitting at `burst_rate` during ON
+    /// periods of mean length `mean_on`, separated by OFF periods of
+    /// mean length `mean_off` (all in the same time unit).
+    ///
+    /// # Panics
+    /// Panics unless `burst_rate` and `mean_on` are finite and positive
+    /// and `mean_off` is finite and non-negative.
+    pub fn new(burst_rate: f64, mean_on: f64, mean_off: f64, seed: u64) -> Self {
+        assert!(
+            mean_on.is_finite() && mean_on > 0.0,
+            "invalid mean_on {mean_on}"
+        );
+        let mut s = OnOffArrivals {
+            inter: Exponential::with_rate(burst_rate),
+            on_dur: Exponential::with_mean(mean_on),
+            off_dur: Exponential::with_mean(mean_off),
+            rng: Rng::new(seed),
+            now: 0.0,
+            on_until: 0.0,
+        };
+        s.on_until = s.on_dur.sample(&mut s.rng);
+        s
+    }
+
+    /// An on-off stream whose *long-run mean* rate is `mean_rate`, with
+    /// a `burstiness` factor `b ≥ 1`: during ON periods arrivals come
+    /// `b×` faster than the mean, and the duty cycle is `1/b`. `b = 1`
+    /// is plain Poisson. ON periods have mean length `mean_on`.
+    pub fn with_mean_rate(mean_rate: f64, burstiness: f64, mean_on: f64, seed: u64) -> Self {
+        assert!(
+            burstiness.is_finite() && burstiness >= 1.0,
+            "burstiness must be >= 1, got {burstiness}"
+        );
+        // duty = 1/b  =>  mean_off = mean_on·(b − 1).
+        OnOffArrivals::new(
+            mean_rate * burstiness,
+            mean_on,
+            mean_on * (burstiness - 1.0),
+            seed,
+        )
+    }
+
+    /// The long-run mean arrival rate
+    /// `burst_rate · E[on] / (E[on] + E[off])`.
+    pub fn rate(&self) -> f64 {
+        let duty = self.on_dur.mean() / (self.on_dur.mean() + self.off_dur.mean());
+        duty / self.inter.mean()
+    }
+
+    /// The arrival rate during ON periods.
+    pub fn burst_rate(&self) -> f64 {
+        1.0 / self.inter.mean()
+    }
+
+    /// The next arrival instant (strictly increasing).
+    pub fn next_arrival(&mut self) -> f64 {
+        loop {
+            let candidate = self.now + self.inter.sample(&mut self.rng);
+            if candidate <= self.on_until {
+                self.now = candidate;
+                return candidate;
+            }
+            // The candidate falls past the ON window: discard it (the
+            // exponential is memoryless, so restarting the inter-arrival
+            // clock at the next ON start keeps the within-burst process
+            // Poisson) and skip the OFF period.
+            self.now = self.on_until + self.off_dur.sample(&mut self.rng);
+            self.on_until = self.now + self.on_dur.sample(&mut self.rng);
+        }
+    }
+}
+
+impl Iterator for OnOffArrivals {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        Some(self.next_arrival())
+    }
+}
+
+/// Either arrival stream behind one interface, for generator threads
+/// that are configured at run time.
+#[derive(Debug, Clone)]
+pub enum ArrivalProcess {
+    /// Plain Poisson arrivals.
+    Poisson(PoissonArrivals),
+    /// Two-state on-off modulated Poisson arrivals.
+    OnOff(OnOffArrivals),
+}
+
+impl ArrivalProcess {
+    /// The next arrival instant (strictly increasing).
+    pub fn next_arrival(&mut self) -> f64 {
+        match self {
+            ArrivalProcess::Poisson(p) => p.next_arrival(),
+            ArrivalProcess::OnOff(o) => o.next_arrival(),
+        }
+    }
+
+    /// The long-run mean arrival rate.
+    pub fn rate(&self) -> f64 {
+        match self {
+            ArrivalProcess::Poisson(p) => p.rate(),
+            ArrivalProcess::OnOff(o) => o.rate(),
+        }
     }
 }
 
@@ -133,5 +270,114 @@ mod tests {
         let a: Vec<f64> = PoissonArrivals::new(3.0, 8).take(100).collect();
         let b: Vec<f64> = PoissonArrivals::new(3.0, 8).take(100).collect();
         assert_eq!(a, b);
+    }
+
+    /// `until` must be exactly "repeated `next_arrival`, stop at the
+    /// horizon": same instants, bit for bit, with the overshoot sample
+    /// consumed but not reported.
+    #[test]
+    fn until_matches_repeated_next_arrival_exactly() {
+        for (rate, seed, horizon) in [(10.0, 4, 50.0), (0.5, 77, 200.0), (3.0, 1, 0.0)] {
+            let mut by_until = PoissonArrivals::new(rate, seed);
+            let mut by_hand = PoissonArrivals::new(rate, seed);
+            let xs = by_until.until(horizon);
+            let mut ys = Vec::new();
+            loop {
+                let t = by_hand.next_arrival();
+                if t >= horizon {
+                    break;
+                }
+                ys.push(t);
+            }
+            assert_eq!(xs, ys, "rate {rate}, seed {seed}");
+            // Both consumed the same samples: the streams stay in
+            // lockstep afterwards.
+            assert_eq!(by_until.next_arrival(), by_hand.next_arrival());
+        }
+    }
+
+    #[test]
+    fn onoff_deterministic_and_monotone() {
+        let a: Vec<f64> = OnOffArrivals::new(20.0, 1.0, 3.0, 42).take(500).collect();
+        let b: Vec<f64> = OnOffArrivals::new(20.0, 1.0, 3.0, 42).take(500).collect();
+        assert_eq!(a, b, "same seed must give identical instants");
+        assert!(a.windows(2).all(|w| w[1] > w[0]), "strictly increasing");
+        let c: Vec<f64> = OnOffArrivals::new(20.0, 1.0, 3.0, 43).take(500).collect();
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn onoff_mean_rate_matches_duty_cycle() {
+        // burst 40/s, ON mean 1 s, OFF mean 3 s → long-run rate 10/s.
+        let mut p = OnOffArrivals::new(40.0, 1.0, 3.0, 9);
+        assert!((p.rate() - 10.0).abs() < 1e-12);
+        assert!((p.burst_rate() - 40.0).abs() < 1e-12);
+        let n = 200_000;
+        let mut last = 0.0;
+        for _ in 0..n {
+            last = p.next_arrival();
+        }
+        let rate = n as f64 / last;
+        assert!((rate - 10.0).abs() < 0.5, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn onoff_with_mean_rate_parameterization() {
+        // Mean rate fixed at 8/s, burstiness 4: bursts at 32/s, duty 1/4.
+        let p = OnOffArrivals::with_mean_rate(8.0, 4.0, 0.5, 3);
+        assert!((p.rate() - 8.0).abs() < 1e-12);
+        assert!((p.burst_rate() - 32.0).abs() < 1e-12);
+        // Burstiness 1 degenerates to plain Poisson pacing (no gaps).
+        let mut flat = OnOffArrivals::with_mean_rate(8.0, 1.0, 0.5, 3);
+        assert!((flat.rate() - 8.0).abs() < 1e-12);
+        let n = 50_000;
+        let mut last = 0.0;
+        for _ in 0..n {
+            last = flat.next_arrival();
+        }
+        let rate = n as f64 / last;
+        assert!((rate - 8.0).abs() < 0.3, "degenerate rate {rate}");
+    }
+
+    #[test]
+    fn onoff_is_burstier_than_poisson() {
+        // Squared coefficient of variation of inter-arrival gaps: 1 for
+        // Poisson, substantially larger once OFF periods interleave.
+        let scv = |gaps: &[f64]| {
+            let n = gaps.len() as f64;
+            let mean = gaps.iter().sum::<f64>() / n;
+            let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / n;
+            var / (mean * mean)
+        };
+        let collect_gaps = |mut f: Box<dyn FnMut() -> f64>| -> Vec<f64> {
+            let mut prev = 0.0;
+            (0..100_000)
+                .map(|_| {
+                    let t = f();
+                    let g = t - prev;
+                    prev = t;
+                    g
+                })
+                .collect()
+        };
+        let mut pois = PoissonArrivals::new(10.0, 5);
+        let mut onoff = OnOffArrivals::with_mean_rate(10.0, 8.0, 0.2, 5);
+        let scv_pois = scv(&collect_gaps(Box::new(move || pois.next_arrival())));
+        let scv_onoff = scv(&collect_gaps(Box::new(move || onoff.next_arrival())));
+        assert!((scv_pois - 1.0).abs() < 0.1, "poisson scv {scv_pois}");
+        assert!(
+            scv_onoff > 2.0,
+            "on-off scv {scv_onoff} should reflect bursts"
+        );
+    }
+
+    #[test]
+    fn arrival_process_dispatches_both_variants() {
+        let mut p = ArrivalProcess::Poisson(PoissonArrivals::new(5.0, 1));
+        let mut o = ArrivalProcess::OnOff(OnOffArrivals::new(20.0, 1.0, 3.0, 1));
+        assert!((p.rate() - 5.0).abs() < 1e-12);
+        assert!((o.rate() - 5.0).abs() < 1e-12);
+        assert!(p.next_arrival() > 0.0);
+        assert!(o.next_arrival() > 0.0);
     }
 }

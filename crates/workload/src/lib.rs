@@ -23,7 +23,7 @@ pub mod dist;
 pub mod ops;
 pub mod rng;
 
-pub use arrivals::PoissonArrivals;
+pub use arrivals::{ArrivalProcess, OnOffArrivals, PoissonArrivals};
 pub use dist::{Exponential, KeyDist};
 pub use ops::{OpStream, Operation, OpsConfig};
 pub use rng::Rng;

@@ -42,6 +42,13 @@ done
 target/release/cbtree-trace results/run-coupling.jsonl results/run-blink.jsonl \
     --json results/trace-compare.jsonl
 
+echo "==> open-loop service layer: smoke sweep (2 shards x 3 lambda points) + overlay"
+target/release/serve --shards 2 --generators 1 --service-floor-us 300 \
+    --queue-cap 256 --sweep 500,1000,2000 --items 10000 \
+    --warmup-ms 100 --measure-ms 300 --assert-low-shed \
+    --json results/serve-smoke.jsonl > /dev/null
+target/release/analyze --serve results/serve-smoke.jsonl
+
 echo "==> lock microbenchmark (smoke, trace-off overhead guard vs BENCH_lock.json)"
 target/release/lockbench --smoke --assert-overhead 2 --out BENCH_lock_smoke.json
 
