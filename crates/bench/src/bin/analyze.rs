@@ -190,7 +190,7 @@ fn main() -> ExitCode {
     );
     let rate = args.rate;
     let mut best: Option<(Algorithm, f64)> = None;
-    for alg in Algorithm::ALL_WITH_BASELINE {
+    for alg in Algorithm::ALL_EXTENDED {
         let model = alg.model(&cfg);
         let max = model.max_throughput().unwrap_or(f64::NAN);
         let eff = model.lambda_at_root_rho(0.5).ok();
@@ -277,6 +277,7 @@ fn main() -> ExitCode {
             ),
             (Algorithm::LinkType, SimAlgorithm::LinkType),
             (Algorithm::TwoPhaseLocking, SimAlgorithm::TwoPhaseLocking),
+            (Algorithm::Olc, SimAlgorithm::Olc),
         ] {
             let mut c = SimConfig::paper(sim_alg, r, 1);
             c.node_capacity = args.node_size;
@@ -485,6 +486,7 @@ fn live_compare(args: &Args, mix: OpMix, records: &mut Vec<Json>) -> Result<(), 
             Algorithm::TwoPhaseLocking,
             SimAlgorithm::TwoPhaseLocking,
         ),
+        (Protocol::Olc, Algorithm::Olc, SimAlgorithm::Olc),
     ] {
         let live = cbtree_harness::run(&LiveConfig {
             protocol,

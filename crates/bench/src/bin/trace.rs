@@ -176,6 +176,7 @@ fn pillars(p: Protocol) -> (Algorithm, RecoveryMode, SimAlgorithm) {
             RecoveryMode::None,
             SimAlgorithm::TwoPhaseLocking,
         ),
+        Protocol::Olc => (Algorithm::Olc, RecoveryMode::None, SimAlgorithm::Olc),
         Protocol::RecoveryNaive => (
             Algorithm::NaiveLockCoupling,
             RecoveryMode::Naive,

@@ -188,10 +188,12 @@ fn response_time_figure(
     let cfg = matched_cfg(disk_cost, 13, opts);
     let model = algorithm.model(&cfg);
     let top = match algorithm {
-        // Lock-retaining algorithms are swept to their saturation point.
+        // Lock-retaining algorithms are swept to their saturation point
+        // (OLC's writers still couple, so it saturates too).
         Algorithm::NaiveLockCoupling
         | Algorithm::OptimisticDescent
-        | Algorithm::TwoPhaseLocking => model
+        | Algorithm::TwoPhaseLocking
+        | Algorithm::Olc => model
             .max_throughput()
             .expect("finite for coupling algorithms"),
         // The link algorithm has no effective maximum; sweep to the knee.

@@ -31,6 +31,9 @@ pub struct OpCounters {
     peak_chain: AtomicU64,
     txn_commits: AtomicU64,
     txn_spills: AtomicU64,
+    v_validations: AtomicU64,
+    v_restarts_writer: AtomicU64,
+    v_restarts_version: AtomicU64,
 }
 
 impl OpCounters {
@@ -65,6 +68,30 @@ impl OpCounters {
     pub(crate) fn record_chase(&self) {
         self.chases.fetch_add(1, Ordering::Relaxed);
         cbtree_obs::trace::chase();
+    }
+
+    /// One optimistic (latch-free) node read attempted, ending in a
+    /// version validation — the OLC reader's unit of work.
+    #[inline]
+    pub(crate) fn record_validation(&self) {
+        self.v_validations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An optimistic read window failed and the descent restarted from
+    /// its deepest still-valid ancestor. `writer_blocked` attributes the
+    /// cause: a writer held the node when the window closed (the reader
+    /// must wait it out) versus a version advance (the node changed
+    /// inside the window). Counts into the shared `restarts` total so
+    /// OLC restarts flow through the same restart-rate plumbing as the
+    /// Optimistic protocol's redo descents.
+    #[inline]
+    pub(crate) fn record_olc_restart(&self, writer_blocked: bool) {
+        if writer_blocked {
+            self.v_restarts_writer.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.v_restarts_version.fetch_add(1, Ordering::Relaxed);
+        }
+        self.record_restart();
     }
 
     /// Observes a retained latch-chain depth; keeps the maximum.
@@ -109,6 +136,9 @@ impl OpCounters {
             peak_chain: self.peak_chain.load(Ordering::Relaxed),
             txn_commits: self.txn_commits.load(Ordering::Relaxed),
             txn_spills: self.txn_spills.load(Ordering::Relaxed),
+            v_validations: self.v_validations.load(Ordering::Relaxed),
+            v_restarts_writer: self.v_restarts_writer.load(Ordering::Relaxed),
+            v_restarts_version: self.v_restarts_version.load(Ordering::Relaxed),
         }
     }
 }
@@ -133,6 +163,15 @@ pub struct OpCountersSnapshot {
     pub txn_commits: u64,
     /// Early transaction-latch spills for deadlock avoidance.
     pub txn_spills: u64,
+    /// Optimistic (latch-free) node reads attempted, each ending in a
+    /// version validation (OLC only; 0 elsewhere).
+    pub v_validations: u64,
+    /// OLC restarts caused by a writer holding the node when the read
+    /// window closed.
+    pub v_restarts_writer: u64,
+    /// OLC restarts caused by the node's version advancing inside the
+    /// read window.
+    pub v_restarts_version: u64,
 }
 
 impl OpCountersSnapshot {
@@ -154,6 +193,13 @@ impl OpCountersSnapshot {
             peak_chain: self.peak_chain,
             txn_commits: self.txn_commits.saturating_sub(earlier.txn_commits),
             txn_spills: self.txn_spills.saturating_sub(earlier.txn_spills),
+            v_validations: self.v_validations.saturating_sub(earlier.v_validations),
+            v_restarts_writer: self
+                .v_restarts_writer
+                .saturating_sub(earlier.v_restarts_writer),
+            v_restarts_version: self
+                .v_restarts_version
+                .saturating_sub(earlier.v_restarts_version),
         }
     }
 
@@ -182,6 +228,11 @@ impl OpCountersSnapshot {
         per_op(self.r_latch_total() + self.w_latch_total(), self.ops)
     }
 
+    /// Optimistic version validations per operation (0 outside OLC).
+    pub fn validation_rate(&self) -> f64 {
+        per_op(self.v_validations, self.ops)
+    }
+
     /// JSON object of every counter. The per-level arrays are trimmed at
     /// the deepest level with any activity (leaves first, index 0 =
     /// level 1), so artifacts stay compact for shallow trees.
@@ -200,6 +251,9 @@ impl OpCountersSnapshot {
             ("peak_chain", self.peak_chain.into()),
             ("txn_commits", self.txn_commits.into()),
             ("txn_spills", self.txn_spills.into()),
+            ("v_validations", self.v_validations.into()),
+            ("v_restarts_writer", self.v_restarts_writer.into()),
+            ("v_restarts_version", self.v_restarts_version.into()),
         ])
     }
 }
@@ -229,6 +283,12 @@ mod tests {
         c.record_restart();
         c.record_chase();
         c.record_chase();
+        c.record_validation();
+        c.record_validation();
+        c.record_validation();
+        c.record_olc_restart(true);
+        c.record_olc_restart(false);
+        c.record_olc_restart(false);
         c.note_chain_depth(2);
         c.note_chain_depth(5);
         c.note_chain_depth(3); // max is kept
@@ -239,7 +299,13 @@ mod tests {
         assert_eq!(a.w_latches[2], 1);
         assert_eq!(a.w_latches[MAX_LEVELS - 1], 1);
         assert_eq!(a.w_latch_total(), 3);
-        assert_eq!(a.restart_rate(), 0.1);
+        // One plain restart plus three OLC restarts, which flow into the
+        // shared total and split by cause.
+        assert_eq!(a.restart_rate(), 0.4);
+        assert_eq!(a.v_validations, 3);
+        assert_eq!(a.v_restarts_writer, 1);
+        assert_eq!(a.v_restarts_version, 2);
+        assert_eq!(a.validation_rate(), 0.3);
         assert_eq!(a.chase_rate(), 0.2);
         assert_eq!(a.peak_chain, 5);
 
@@ -252,6 +318,9 @@ mod tests {
         let d = b.since(&a);
         assert_eq!(d.ops, 10);
         assert_eq!(d.restarts, 0);
+        assert_eq!(d.v_validations, 0);
+        assert_eq!(d.v_restarts_writer, 0);
+        assert_eq!(d.v_restarts_version, 0);
         assert_eq!(d.txn_commits, 1);
         assert_eq!(d.txn_spills, 1);
         assert_eq!(d.peak_chain, 5, "peak carries over");

@@ -13,7 +13,11 @@
 //! * [`ReadPolicy::Crab`] — shared crabbing (child latched before the
 //!   parent releases); [`ReadPolicy::RetainAll`] — strict 2PL, every
 //!   shared latch held to completion; [`ReadPolicy::Link`] — at most one
-//!   latch, right-link chases on non-covering nodes.
+//!   latch, right-link chases on non-covering nodes; [`ReadPolicy::Olc`]
+//!   — optimistic lock coupling, **zero** reader latches: descents
+//!   snapshot each node's version counter, read without latching,
+//!   validate parent-then-child, and restart from the deepest
+//!   still-valid ancestor on a mismatch.
 //! * [`UpdatePolicy::Crab`] — exclusive crabbing, either releasing the
 //!   retained chain above *safe* children (`retain_all: false`, the
 //!   Bayer–Schkolnick write path) or never releasing (`retain_all:
@@ -71,6 +75,15 @@ pub enum ReadPolicy {
     /// Lehman–Yao: at most one shared latch at a time; non-covering
     /// nodes are recovered from by chasing right links.
     Link,
+    /// Optimistic lock coupling: readers take **no latches at all**.
+    /// Each node visit snapshots the node's lock-word version counter,
+    /// reads the node unlatched, and validates the version afterwards
+    /// (hand-over-hand: the parent is re-validated after the child's
+    /// read window closes). A failed validation restarts the descent
+    /// from the deepest recorded ancestor whose version still holds;
+    /// non-covering nodes are recovered from by chasing right links, as
+    /// in [`ReadPolicy::Link`].
+    Olc,
 }
 
 /// How a strategy latches for updates.
@@ -173,8 +186,10 @@ impl<V, S: LatchStrategy> DescentTree<V, S> {
     /// Panics when `capacity < 3`.
     pub fn with_sampling(capacity: usize, sample: SamplePeriod) -> Self {
         assert!(capacity >= 3, "node capacity must be at least 3");
+        let mut first_leaf = Node::new_leaf();
+        first_leaf.reserve_for(capacity); // buffers never realloc while shared
         DescentTree {
-            root: RwLock::new(Node::new_leaf().into_ref_sampled(sample)),
+            root: RwLock::new(first_leaf.into_ref_sampled(sample)),
             cap: capacity,
             len: AtomicUsize::new(0),
             sample,
@@ -199,9 +214,16 @@ impl<V, S: LatchStrategy> DescentTree<V, S> {
         self.cap
     }
 
-    /// Current height (levels; 1 = a lone leaf root).
+    /// Current height (levels; 1 = a lone leaf root). Reads the root's
+    /// level optimistically so metadata queries between measurement
+    /// snapshots never show up as reader latch traffic; falls back to a
+    /// latched read only when a writer holds the root.
     pub fn height(&self) -> usize {
-        self.root.read().read().level
+        let root = self.root.read();
+        match root.read_optimistic(|n| n.level) {
+            Some((_, level)) => level,
+            None => root.read().level,
+        }
     }
 
     /// The engine's uniform operation telemetry.
@@ -427,6 +449,101 @@ impl<V, S: LatchStrategy> DescentTree<V, S> {
                 self.counters.note_chain_depth(1);
                 (g, Vec::new())
             }
+            // OLC reads never produce a latch guard; `get`/`contains_key`
+            // divert to `olc_descend` before reaching here.
+            ReadPolicy::Olc => unreachable!("OLC reads are latch-free"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The optimistic-lock-coupling (OLC) read descent.
+    // ------------------------------------------------------------------
+
+    /// Latch-free descent to the leaf covering `key`, returning the
+    /// leaf's handle and the result of `leaf_read` applied to it inside
+    /// a validated read window.
+    ///
+    /// Each node visit is one [`FcfsRwLock::read_optimistic`] window:
+    /// snapshot the version, read the node unlatched, validate. The
+    /// descent is hand-over-hand in versions instead of latches — after
+    /// a child's window closes, the parent's recorded version is
+    /// **re-validated** (`validate`), proving the routing decision that
+    /// led to the child was still current when the child was read.
+    /// Skipping that re-validation is the classic OLC bug: the planted
+    /// `buggy` strategy in the correctness pillar does exactly that and
+    /// is convicted by the linearizability checker.
+    ///
+    /// On any failed window the descent restarts from the deepest
+    /// recorded ancestor whose version still validates (or the root).
+    /// Non-covering nodes (a split moved the key right inside our
+    /// window) are recovered from by chasing right links, as in the
+    /// link protocol. All closure reads are defensive: any index that
+    /// can tear under a concurrent write uses checked access, and a
+    /// miss is treated as a failed validation.
+    fn olc_descend<R>(&self, key: u64, leaf_read: impl Fn(&Node<V>) -> R) -> (NodeRef<V>, R) {
+        enum Step<V, R> {
+            Down(NodeRef<V>),
+            Right(NodeRef<V>),
+            Done(R),
+        }
+        // (node, version) per visited level, root-side first.
+        let mut path: Vec<(NodeRef<V>, u64)> = Vec::new();
+        let mut cur: NodeRef<V> = Arc::clone(&self.root.read());
+        loop {
+            self.counters.record_validation();
+            let attempt = cur.read_optimistic(|n| {
+                if !n.covers(key) {
+                    n.right.as_ref().map(|r| Step::Right(Arc::clone(r)))
+                } else if n.is_leaf() {
+                    Some(Step::Done(leaf_read(n)))
+                } else {
+                    match &n.children {
+                        Children::Internal(kids) => kids
+                            .get(n.child_index(key))
+                            .map(|c| Step::Down(Arc::clone(c))),
+                        Children::Leaf(_) => None,
+                    }
+                }
+            });
+            // Hand-over-hand: the parent must still be unchanged now
+            // that this node's read window has closed, or the routing
+            // that led here may have been stale.
+            let parent_ok = path.last().is_none_or(|(p, v)| p.validate(*v));
+            if parent_ok {
+                match attempt {
+                    Some((_, Some(Step::Done(out)))) => {
+                        return (cur, out);
+                    }
+                    Some((ver, Some(Step::Down(child)))) => {
+                        path.push((cur, ver));
+                        cur = child;
+                        continue;
+                    }
+                    Some((_, Some(Step::Right(right)))) => {
+                        self.counters.record_chase();
+                        cur = right;
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            // Validation failed (this window tore, or the parent moved
+            // underneath it): restart from the deepest ancestor whose
+            // recorded version still holds.
+            let writer_blocked = cur.version().is_none();
+            self.counters.record_olc_restart(writer_blocked);
+            while path.last().is_some_and(|(p, v)| !p.validate(*v)) {
+                path.pop();
+            }
+            cur = match path.pop() {
+                Some((ancestor, _)) => ancestor, // revisited with a fresh version
+                None => Arc::clone(&self.root.read()),
+            };
+            if writer_blocked {
+                // The writer holds the node; yield rather than spin the
+                // window shut.
+                thread::yield_now();
+            }
         }
     }
 
@@ -515,7 +632,7 @@ impl<V, S: LatchStrategy> DescentTree<V, S> {
             let split_level = held[idx].level.min(u16::MAX as usize) as u16;
             let split_node = Arc::as_ptr(ArcRwLockWriteGuard::rwlock(&held[idx])) as u64;
             cbtree_obs::trace::split_begin(split_level, split_node);
-            let (sep, sib) = held[idx].half_split(self.sample);
+            let (sep, sib) = held[idx].half_split(self.cap, self.sample);
             if idx == 0 {
                 // Only the true root can overflow at the chain's top: a
                 // retain-all chain starts there, and any released-above
@@ -523,7 +640,7 @@ impl<V, S: LatchStrategy> DescentTree<V, S> {
                 // separator.
                 let old_root = Arc::clone(ArcRwLockWriteGuard::rwlock(&held[0]));
                 let level = held[0].level + 1;
-                let new_root = make_root(old_root, sep, sib, level, self.sample);
+                let new_root = make_root(old_root, sep, sib, level, self.cap, self.sample);
                 let mut ptr = self.root.write();
                 debug_assert!(
                     Arc::ptr_eq(&ptr, ArcRwLockWriteGuard::rwlock(&held[0])),
@@ -669,7 +786,7 @@ impl<V, S: LatchStrategy> DescentTree<V, S> {
         let mut split_level = guard.level.min(u16::MAX as usize) as u16;
         let mut split_node = Arc::as_ptr(ArcRwLockWriteGuard::rwlock(&guard)) as u64;
         cbtree_obs::trace::split_begin(split_level, split_node);
-        let (mut sep, mut sib) = guard.half_split(self.sample);
+        let (mut sep, mut sib) = guard.half_split(self.cap, self.sample);
         let mut left = Arc::clone(ArcRwLockWriteGuard::rwlock(&guard));
         let mut level = guard.level;
         drop(guard);
@@ -701,7 +818,7 @@ impl<V, S: LatchStrategy> DescentTree<V, S> {
             split_level = pg.level.min(u16::MAX as usize) as u16;
             split_node = Arc::as_ptr(ArcRwLockWriteGuard::rwlock(&pg)) as u64;
             cbtree_obs::trace::split_begin(split_level, split_node);
-            let (s, sb) = pg.half_split(self.sample);
+            let (s, sb) = pg.half_split(self.cap, self.sample);
             left = Arc::clone(ArcRwLockWriteGuard::rwlock(&pg));
             level = pg.level;
             sep = s;
@@ -728,6 +845,7 @@ impl<V, S: LatchStrategy> DescentTree<V, S> {
                 sep,
                 Arc::clone(sib),
                 level + 1,
+                self.cap,
                 self.sample,
             );
             true
@@ -853,8 +971,13 @@ impl<V, S: LatchStrategy> DescentTree<V, S> {
     pub fn contains_key(&self, key: &u64) -> bool {
         cbtree_obs::trace::op_begin(cbtree_obs::opcode::CONTAINS);
         self.counters.record_op();
-        let (leaf, _held) = self.read_leaf(*key);
-        let found = leaf.keys.binary_search(key).is_ok();
+        let found = if matches!(S::READ, ReadPolicy::Olc) {
+            self.olc_descend(*key, |n| n.keys.binary_search(key).is_ok())
+                .1
+        } else {
+            let (leaf, _held) = self.read_leaf(*key);
+            leaf.keys.binary_search(key).is_ok()
+        };
         cbtree_obs::trace::op_end(cbtree_obs::opcode::CONTAINS, found);
         found
     }
@@ -865,9 +988,25 @@ impl<V: Clone, S: LatchStrategy> DescentTree<V, S> {
     pub fn get(&self, key: &u64) -> Option<V> {
         cbtree_obs::trace::op_begin(cbtree_obs::opcode::SEARCH);
         self.counters.record_op();
-        let (leaf, _held) = self.read_leaf(*key);
-        let out = leaf.leaf_get(*key).cloned();
-        drop((leaf, _held));
+        let out = if matches!(S::READ, ReadPolicy::Olc) {
+            // Defensive indexing: keys/vals can disagree mid-write; a
+            // miss is discarded by the failed validation that follows.
+            self.olc_descend(*key, |n| match &n.children {
+                Children::Leaf(vals) => n
+                    .keys
+                    .binary_search(key)
+                    .ok()
+                    .and_then(|i| vals.get(i))
+                    .cloned(),
+                Children::Internal(_) => None,
+            })
+            .1
+        } else {
+            let (leaf, _held) = self.read_leaf(*key);
+            let out = leaf.leaf_get(*key).cloned();
+            drop((leaf, _held));
+            out
+        };
         cbtree_obs::trace::op_end(cbtree_obs::opcode::SEARCH, out.is_some());
         out
     }
@@ -927,6 +1066,61 @@ impl<V: Clone, S: LatchStrategy> DescentTree<V, S> {
                     match next {
                         Some(n) => cur = n,
                         None => return out,
+                    }
+                }
+            }
+            ReadPolicy::Olc => {
+                // Latch-free chain walk: each leaf is one validated read
+                // window; a torn window retries the same leaf, so pages
+                // are appended exactly once. Weakly consistent, like the
+                // latched scans.
+                let (mut cur, ()) = self.olc_descend(lo, |_| ());
+                loop {
+                    self.counters.record_validation();
+                    let attempt = cur.read_optimistic(|n| {
+                        if !n.covers(lo) {
+                            // A split moved our range right inside the
+                            // window: chase, collecting nothing.
+                            return n
+                                .right
+                                .as_ref()
+                                .map(|r| (Vec::new(), Some(Arc::clone(r)), true));
+                        }
+                        let mut page = Vec::new();
+                        if let Children::Leaf(vals) = &n.children {
+                            for (i, &k) in n.keys.iter().enumerate() {
+                                if k >= lo && k < hi {
+                                    if let Some(v) = vals.get(i) {
+                                        page.push((k, v.clone()));
+                                    }
+                                }
+                            }
+                        }
+                        let next = if n.high.is_none_or(|h| h >= hi) {
+                            None // range exhausted
+                        } else {
+                            n.right.as_ref().map(Arc::clone)
+                        };
+                        Some((page, next, false))
+                    });
+                    match attempt {
+                        Some((_, Some((page, next, chased)))) => {
+                            if chased {
+                                self.counters.record_chase();
+                            }
+                            out.extend(page);
+                            match next {
+                                Some(r) => cur = r,
+                                None => return out,
+                            }
+                        }
+                        _ => {
+                            let writer_blocked = cur.version().is_none();
+                            self.counters.record_olc_restart(writer_blocked);
+                            if writer_blocked {
+                                thread::yield_now();
+                            }
+                        }
                     }
                 }
             }

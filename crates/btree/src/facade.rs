@@ -3,7 +3,7 @@
 
 use crate::map::ConcurrentMap;
 use crate::{
-    BLinkTree, LockCouplingTree, OpCountersSnapshot, OptimisticTree, RecoveryLeafTree,
+    BLinkTree, LockCouplingTree, OlcTree, OpCountersSnapshot, OptimisticTree, RecoveryLeafTree,
     RecoveryNaiveTree, TwoPhaseTree,
 };
 use cbtree_sync::SamplePeriod;
@@ -19,6 +19,9 @@ pub enum Protocol {
     OptimisticDescent,
     /// Link-type / B-link (Lehman–Yao).
     BLink,
+    /// Optimistic Lock Coupling: latch-free version-validated reads,
+    /// lock-coupling writes (the ROADMAP's post-1990 fourth protocol).
+    Olc,
     /// Strict Two-Phase latching over the whole path (baseline).
     TwoPhase,
     /// Lock-coupling with naive recovery: every exclusive latch retained
@@ -46,11 +49,12 @@ impl Protocol {
     ];
 
     /// Every protocol, recovery variants included.
-    pub const ALL_WITH_RECOVERY: [Protocol; 6] = [
+    pub const ALL_WITH_RECOVERY: [Protocol; 7] = [
         Protocol::TwoPhase,
         Protocol::LockCoupling,
         Protocol::OptimisticDescent,
         Protocol::BLink,
+        Protocol::Olc,
         Protocol::RecoveryNaive,
         Protocol::RecoveryLeaf,
     ];
@@ -62,6 +66,7 @@ impl Protocol {
             Protocol::LockCoupling => "lock-coupling",
             Protocol::OptimisticDescent => "optimistic",
             Protocol::BLink => "b-link",
+            Protocol::Olc => "olc",
             Protocol::TwoPhase => "two-phase",
             Protocol::RecoveryNaive => "recovery-naive",
             Protocol::RecoveryLeaf => "recovery-leaf",
@@ -85,6 +90,7 @@ impl FromStr for Protocol {
             "lock-coupling" | "coupling" | "naive" => Ok(Protocol::LockCoupling),
             "optimistic" => Ok(Protocol::OptimisticDescent),
             "b-link" | "blink" | "link" => Ok(Protocol::BLink),
+            "olc" | "optimistic-lock-coupling" => Ok(Protocol::Olc),
             "two-phase" | "twophase" => Ok(Protocol::TwoPhase),
             "recovery-naive" => Ok(Protocol::RecoveryNaive),
             "recovery-leaf" => Ok(Protocol::RecoveryLeaf),
@@ -129,6 +135,7 @@ impl<V: Clone + Send + Sync + 'static> ConcurrentBTree<V> {
                 Box::new(OptimisticTree::with_sampling(capacity, sample))
             }
             Protocol::BLink => Box::new(BLinkTree::with_sampling(capacity, sample)),
+            Protocol::Olc => Box::new(OlcTree::with_sampling(capacity, sample)),
             Protocol::TwoPhase => Box::new(TwoPhaseTree::with_sampling(capacity, sample)),
             Protocol::RecoveryNaive => Box::new(RecoveryNaiveTree::with_sampling(capacity, sample)),
             Protocol::RecoveryLeaf => Box::new(RecoveryLeafTree::with_sampling(capacity, sample)),
@@ -295,7 +302,7 @@ mod tests {
             .iter()
             .map(|p| p.name())
             .collect();
-        assert_eq!(names.len(), 6);
+        assert_eq!(names.len(), 7);
     }
 
     #[test]

@@ -17,6 +17,11 @@
 //!   carries a high key and a right link; operations hold **at most one
 //!   latch at a time** and recover from concurrent splits by chasing
 //!   right links.
+//! * [`OlcTree`] — Optimistic Lock Coupling (the ROADMAP's fourth,
+//!   post-1990 protocol): readers take **no latches at all**, instead
+//!   validating each node's packed lock-word version counter
+//!   hand-over-hand and restarting from the deepest still-valid
+//!   ancestor on a mismatch; writers latch as in lock-coupling.
 //! * [`TwoPhaseTree`] — the strict-2PL baseline the paper compares
 //!   against.
 //! * [`RecoveryNaiveTree`] / [`RecoveryLeafTree`] — the §6/§7 recovery
@@ -67,6 +72,7 @@ pub mod descent;
 pub mod facade;
 pub mod map;
 pub mod node;
+pub mod olc;
 pub mod optimistic;
 pub mod recovery;
 pub mod two_phase;
@@ -77,6 +83,7 @@ pub use coupling::{LockCouplingStrategy, LockCouplingTree};
 pub use descent::{DescentTree, LatchStrategy, ReadPolicy, TxnRetention, UpdatePolicy};
 pub use facade::{ConcurrentBTree, Protocol};
 pub use map::ConcurrentMap;
+pub use olc::{OlcStrategy, OlcTree};
 pub use optimistic::{OptimisticStrategy, OptimisticTree};
 pub use recovery::{
     RecoveryLeafStrategy, RecoveryLeafTree, RecoveryNaiveStrategy, RecoveryNaiveTree,

@@ -69,6 +69,23 @@ impl<V> Node<V> {
         self.level == 1
     }
 
+    /// Reserves this node's buffers for a tree of node capacity `cap` so
+    /// no later insert can ever reallocate them while the node is
+    /// shared. Keys grow to at most `cap + 1` (transiently overfull,
+    /// just before a split) and internal children to `cap + 2`; the
+    /// OLC optimistic readers read node data without any latch (see
+    /// `FcfsRwLock::read_optimistic`) and rely on the buffers staying
+    /// put for the lifetime of the node. Every constructor that
+    /// publishes a node into a tree must call this first.
+    pub fn reserve_for(&mut self, cap: usize) {
+        let target = cap + 2;
+        self.keys.reserve(target.saturating_sub(self.keys.len()));
+        match &mut self.children {
+            Children::Leaf(vals) => vals.reserve(target.saturating_sub(vals.len())),
+            Children::Internal(kids) => kids.reserve((target + 1).saturating_sub(kids.len())),
+        }
+    }
+
     /// Lehman–Yao range test: does this node's key range still cover
     /// `key`? `false` means a concurrent split moved the key right.
     pub fn covers(&self, key: u64) -> bool {
@@ -152,9 +169,11 @@ impl<V> Node<V> {
     /// Half-splits this node in place, returning `(separator,
     /// new_right_sibling)`. Maintains right links and high keys; the
     /// sibling's lock inherits `sample` (the tree's stats-sampling
-    /// period). The caller must hold this node's exclusive latch and is
-    /// responsible for publishing the separator to the parent.
-    pub fn half_split(&mut self, sample: SamplePeriod) -> (u64, NodeRef<V>) {
+    /// period) and its buffers are pre-reserved for node capacity `cap`
+    /// (see [`Node::reserve_for`]). The caller must hold this node's
+    /// exclusive latch and is responsible for publishing the separator
+    /// to the parent.
+    pub fn half_split(&mut self, cap: usize, sample: SamplePeriod) -> (u64, NodeRef<V>) {
         let len = self.keys.len();
         debug_assert!(len >= 2);
         let mid = len / 2;
@@ -171,14 +190,15 @@ impl<V> Node<V> {
                 (sep, right_keys, Children::Internal(right_kids))
             }
         };
-        let sibling = Node {
+        let mut sibling = Node {
             keys: right_keys,
             children: right_children,
             right: self.right.take(),
             high: self.high,
             level: self.level,
-        }
-        .into_ref_sampled(sample);
+        };
+        sibling.reserve_for(cap);
+        let sibling = sibling.into_ref_sampled(sample);
         self.right = Some(Arc::clone(&sibling));
         self.high = Some(sep);
         (sep, sibling)
@@ -196,22 +216,25 @@ impl<V> Node<V> {
 }
 
 /// Makes a new root over `left` and `right` separated by `sep`; its lock
-/// inherits `sample`, the tree's stats-sampling period.
+/// inherits `sample`, the tree's stats-sampling period, and its buffers
+/// are pre-reserved for node capacity `cap` (see [`Node::reserve_for`]).
 pub fn make_root<V>(
     left: NodeRef<V>,
     sep: u64,
     right: NodeRef<V>,
     level: usize,
+    cap: usize,
     sample: SamplePeriod,
 ) -> NodeRef<V> {
-    Node {
+    let mut root = Node {
         keys: vec![sep],
         children: Children::Internal(vec![left, right]),
         right: None,
         high: None,
         level,
-    }
-    .into_ref_sampled(sample)
+    };
+    root.reserve_for(cap);
+    root.into_ref_sampled(sample)
 }
 
 /// Collects `[lo, hi)` by walking the leaf chain rightward from `leaf`,
@@ -255,23 +278,30 @@ pub fn collect_range<V: Clone>(leaf: NodeRef<V>, lo: u64, hi: u64, out: &mut Vec
 /// protocols maintain right links and nodes are never unlinked
 /// (merge-at-empty), this reaches every node. Callers must ensure the
 /// tree is quiescent; `f` receives `(level, handle)` and can read the
-/// handle's embedded lock statistics without latching.
+/// handle's embedded lock statistics without latching. The walk itself
+/// uses version-validated optimistic reads so it never perturbs those
+/// statistics — a latched walk would charge one read acquisition per
+/// node to whatever measurement window the caller is snapshotting.
 pub fn for_each_handle<V>(root: &NodeRef<V>, mut f: impl FnMut(usize, &NodeRef<V>)) {
-    let mut leftmost = Some(Arc::clone(root));
-    while let Some(first) = leftmost.take() {
-        leftmost = {
-            let g = first.read();
-            match &g.children {
+    let peek = |node: &NodeRef<V>| {
+        node.read_optimistic(|n| {
+            let first_child = match &n.children {
                 Children::Internal(kids) => Some(Arc::clone(&kids[0])),
                 Children::Leaf(_) => None,
-            }
-        };
+            };
+            (n.level, first_child, n.right.as_ref().map(Arc::clone))
+        })
+        .expect("quiescent tree: no writer holds a latch during the walk")
+        .1
+    };
+    let mut leftmost = Some(Arc::clone(root));
+    while let Some(first) = leftmost.take() {
         let mut cur = Some(first);
         while let Some(node) = cur.take() {
-            let (level, right) = {
-                let g = node.read();
-                (g.level, g.right.as_ref().map(Arc::clone))
-            };
+            let (level, first_child, right) = peek(&node);
+            if leftmost.is_none() {
+                leftmost = first_child;
+            }
             f(level, &node);
             cur = right;
         }
@@ -407,7 +437,7 @@ mod tests {
     #[test]
     fn leaf_split_keeps_order_and_links() {
         let mut n = leaf_with(&[1, 2, 3, 4, 5]);
-        let (sep, sib) = n.half_split(SamplePeriod::EXACT);
+        let (sep, sib) = n.half_split(4, SamplePeriod::EXACT);
         assert_eq!(sep, 3);
         assert_eq!(n.keys, vec![1, 2]);
         assert_eq!(n.high, Some(3));
@@ -426,7 +456,7 @@ mod tests {
             high: None,
             level: 2,
         };
-        let (sep, sib) = n.half_split(SamplePeriod::EXACT);
+        let (sep, sib) = n.half_split(5, SamplePeriod::EXACT);
         assert_eq!(sep, 30);
         assert_eq!(n.keys, vec![10, 20]);
         let s = sib.read();
@@ -480,7 +510,7 @@ mod tests {
             l.high = Some(5);
             l.right = Some(Arc::clone(&right));
         }
-        let root = make_root(left, 5, right, 2, SamplePeriod::EXACT);
+        let root = make_root(left, 5, right, 2, 4, SamplePeriod::EXACT);
         check_invariants(&root, 4).unwrap();
     }
 
@@ -493,7 +523,7 @@ mod tests {
             l.high = Some(5);
             l.right = Some(Arc::clone(&right));
         }
-        let root = make_root(left, 5, right, 2, SamplePeriod::EXACT);
+        let root = make_root(left, 5, right, 2, 4, SamplePeriod::EXACT);
         assert!(check_invariants(&root, 4).is_err());
     }
 }

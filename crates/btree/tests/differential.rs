@@ -1,7 +1,11 @@
-//! Differential test: one seeded op stream applied sequentially to every
-//! protocol — recovery variants included, committing after every op
-//! (transaction size 1) — and to a `std::collections::BTreeMap` oracle.
-//! Every return value and the final contents must match exactly.
+//! Differential tests: one seeded op stream applied sequentially to
+//! every protocol — recovery variants included, committing after every
+//! op (transaction size 1) — and to a `std::collections::BTreeMap`
+//! oracle; every return value and the final contents must match
+//! exactly. Under the `inject` feature all seven protocols additionally
+//! run a schedule-perturbed concurrent workload, and OLC's restart
+//! counters are sanity-checked in both regimes (zero single-threaded,
+//! nonzero under contended injection).
 
 use cbtree_btree::{ConcurrentBTree, Protocol};
 use std::collections::BTreeMap;
@@ -75,5 +79,131 @@ fn all_protocols_match_btreemap_oracle() {
             tree.counters().ops >= OPS as u64,
             "{p} telemetry counts ops"
         );
+    }
+}
+
+/// OLC restart-counter sanity, quiet half: with no concurrent writers
+/// every optimistic window validates on the first try, so a
+/// single-threaded run performs validations but never restarts — and
+/// never takes a reader latch.
+#[test]
+fn olc_restarts_zero_single_threaded() {
+    let tree = ConcurrentBTree::new(Protocol::Olc, 5);
+    for k in 0..2000u64 {
+        tree.insert(k, k);
+    }
+    for k in 0..2000u64 {
+        assert_eq!(tree.get(&k), Some(k));
+        assert!(tree.contains_key(&k));
+    }
+    assert_eq!(tree.range(0, 2000).len(), 2000);
+    let c = tree.counters();
+    assert_eq!(c.restarts, 0, "no writers, no restarts");
+    assert_eq!(c.v_restarts_writer + c.v_restarts_version, 0);
+    assert!(c.v_validations > 0, "reads validate versions");
+    assert_eq!(c.r_latch_total(), 0, "OLC readers never latch");
+}
+
+/// OLC restart-counter sanity, loud half: contended readers under
+/// schedule-perturbation injection (which dilates the read-version →
+/// validate window) must observe restarts, and every restart must be
+/// attributed to exactly one cause.
+#[cfg(feature = "inject")]
+#[test]
+fn olc_restarts_observed_under_contended_injection() {
+    use cbtree_sync::inject::{self, InjectConfig};
+    use std::sync::Arc;
+
+    assert!(inject::enable(
+        0x01C0_5EED,
+        InjectConfig {
+            yield_per_mille: 100,
+            spin_per_mille: 400,
+            max_spin: 3_000,
+            split_window_spin: 4_000,
+        }
+    ));
+    let tree = Arc::new(ConcurrentBTree::new(Protocol::Olc, 4));
+    for k in 0..512u64 {
+        tree.insert(k, 0);
+    }
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            let tree = Arc::clone(&tree);
+            s.spawn(move || {
+                inject::register_thread(t);
+                for i in 0..3_000u64 {
+                    let k = (t * 1_000_003 + i * 7919) % 512;
+                    tree.insert(k, i);
+                    tree.remove(&((k + 97) % 512));
+                }
+            });
+        }
+        for t in 4..8u64 {
+            let tree = Arc::clone(&tree);
+            s.spawn(move || {
+                inject::register_thread(t);
+                for i in 0..6_000u64 {
+                    let k = (t + i * 31) % 512;
+                    std::hint::black_box(tree.get(&k));
+                }
+            });
+        }
+    });
+    inject::disable();
+    let c = tree.counters();
+    assert!(c.v_validations > 0);
+    assert!(
+        c.restarts > 0,
+        "contended injected OLC reads must restart at least once"
+    );
+    assert_eq!(
+        c.v_restarts_writer + c.v_restarts_version,
+        c.restarts,
+        "every OLC restart carries exactly one cause"
+    );
+    tree.check().unwrap();
+}
+
+/// All seven protocols survive a schedule-perturbed concurrent mixed
+/// workload: disjoint stripes make the final contents exactly
+/// predictable even though the interleavings are adversarial.
+#[cfg(feature = "inject")]
+#[test]
+fn all_protocols_survive_perturbed_concurrency() {
+    use cbtree_sync::inject;
+    use std::sync::Arc;
+
+    for (i, p) in Protocol::ALL_WITH_RECOVERY.into_iter().enumerate() {
+        assert!(inject::enable(0xD1FF + i as u64, Default::default()));
+        let tree = Arc::new(ConcurrentBTree::new(p, 4));
+        for k in (0..4000u64).step_by(2) {
+            tree.insert(k, 0u64);
+        }
+        // Release the latches the recovery variants retained during
+        // pre-population, or every worker below deadlocks on them.
+        tree.txn_commit();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let tree = Arc::clone(&tree);
+                s.spawn(move || {
+                    inject::register_thread(t);
+                    for k in t * 1000..(t + 1) * 1000 {
+                        if k % 2 == 0 {
+                            assert!(tree.remove(&k).is_some(), "{p} key {k}");
+                        } else {
+                            assert!(tree.insert(k, 1).is_none(), "{p} key {k}");
+                        }
+                        tree.txn_commit(); // transaction size 1
+                    }
+                });
+            }
+        });
+        inject::disable();
+        assert_eq!(tree.len(), 2000, "{p}");
+        tree.check().unwrap_or_else(|e| panic!("{p}: {e}"));
+        for k in 0..4000u64 {
+            assert_eq!(tree.contains_key(&k), k % 2 == 1, "{p} key {k}");
+        }
     }
 }

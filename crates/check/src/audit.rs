@@ -281,7 +281,9 @@ mod tests {
             .iter()
             .find(|n| n.read().keys.len() >= 2)
             .expect("some leaf has >= 2 keys");
-        victim.write().half_split(cbtree_sync::SamplePeriod::EXACT);
+        victim
+            .write()
+            .half_split(t.capacity(), cbtree_sync::SamplePeriod::EXACT);
         let err = audit_root(&root, t.capacity()).unwrap_err();
         assert!(err.contains("separator audit"), "{err}");
     }

@@ -2,22 +2,27 @@
 //! checking, structural audits, and seeded schedule perturbation.
 //!
 //! ```text
-//! stress --quick                 CI mode: 3 protocols x 16 seeds, ~seconds
+//! stress --quick                 CI mode: 4 protocols x 16 seeds, ~seconds
 //! stress --full                  manual deep sweep (more seeds, ops, threads)
 //! stress --replay 7 --protocol b-link
 //!                                re-run one failing (protocol, seed) pair;
 //!                                the perturbation decision stream is a pure
 //!                                function of the seed, so the run replays
 //!                                the same schedule pressure
-//! stress --demo-bug              run the known-bad reader; exits 0 iff the
-//!                                checker convicts it
+//! stress --demo-bug              run both known-bad readers (latched and
+//!                                optimistic); exits 0 iff the checker
+//!                                convicts each of them
 //! ```
 //!
 //! Exits non-zero on any failure so CI can gate on it.
 
 use cbtree_btree::Protocol;
+use cbtree_check::history::ConcurrentMap;
 use cbtree_check::stress::{run_stress, run_stress_on, StressConfig};
-use cbtree_check::{buggy::SkipRightLink, Verdict};
+use cbtree_check::{
+    buggy::{SkipParentRevalidation, SkipRightLink},
+    Verdict,
+};
 
 #[derive(Debug, Clone)]
 struct Args {
@@ -139,7 +144,11 @@ fn main() {
 
     let protocols: Vec<Protocol> = match args.protocol {
         Some(p) => vec![p],
-        None => Protocol::ALL.to_vec(),
+        None => Protocol::ALL
+            .iter()
+            .copied()
+            .chain([Protocol::Olc])
+            .collect(),
     };
     let seeds: Vec<u64> = match args.replay {
         Some(s) => vec![s],
@@ -195,14 +204,36 @@ fn main() {
     );
 }
 
-/// Runs the known-bad reader until the checker convicts it. Exit 0 =
-/// the pillar has teeth; exit 1 = the bug escaped every seed.
+/// Runs both known-bad readers until the checker convicts each. Exit 0 =
+/// the pillar has teeth; exit 1 = some bug escaped every seed.
 fn demo_bug(args: &Args) -> i32 {
-    println!("driving SkipRightLink (B-link reader that skips the post-latch covers() re-check)");
+    let mut status = 0;
+    status |= drive_bug(
+        args,
+        Protocol::BLink,
+        "SkipRightLink (B-link reader that skips the post-latch covers() re-check)",
+        SkipRightLink::new,
+    );
+    status |= drive_bug(
+        args,
+        Protocol::Olc,
+        "SkipParentRevalidation (OLC reader that skips the parent re-validation)",
+        SkipParentRevalidation::new,
+    );
+    status
+}
+
+fn drive_bug<M: ConcurrentMap<u64>>(
+    args: &Args,
+    protocol: Protocol,
+    what: &str,
+    make: impl Fn(usize) -> M,
+) -> i32 {
+    println!("driving {what}");
     for seed in 0..args.seeds as u64 {
         let seed = args.seed_base + seed;
-        let cfg = shape(args, Protocol::BLink, seed);
-        let map = SkipRightLink::new(cfg.capacity);
+        let cfg = shape(args, protocol, seed);
+        let map = make(cfg.capacity);
         let out = run_stress_on(&map, &cfg);
         println!(
             "  seed {:>4}: {:>15} {}",
@@ -218,6 +249,6 @@ fn demo_bug(args: &Args) -> i32 {
             return 0;
         }
     }
-    eprintln!("demo-bug: the deliberately broken reader escaped all seeds");
+    eprintln!("demo-bug: {what} escaped all seeds");
     1
 }

@@ -1,14 +1,25 @@
 //! Deliberately broken map implementations that the checker must catch.
 //!
 //! The correctness pillar is only trustworthy if it demonstrably rejects
-//! wrong implementations, so this module keeps a known-bad reader around
-//! as a permanent regression target: [`SkipRightLink`] re-creates the
-//! classic Lehman–Yao reader bug of trusting a stale leaf choice —
-//! reading the leaf it descended to *without* re-checking `covers()` and
-//! chasing right links after latching. When a concurrent half-split
-//! moves the key right in the window between descent and read, the read
-//! misses a present key: a linearizability violation (stale read) that
-//! no quiescent structural audit can see, because the tree itself stays
+//! wrong implementations, so this module keeps known-bad readers around
+//! as permanent regression targets:
+//!
+//! * [`SkipRightLink`] re-creates the classic Lehman–Yao reader bug of
+//!   trusting a stale leaf choice — reading the leaf it descended to
+//!   *without* re-checking `covers()` and chasing right links after
+//!   latching. When a concurrent half-split moves the key right in the
+//!   window between descent and read, the read misses a present key.
+//! * [`SkipParentRevalidation`] re-creates the classic OLC reader bug:
+//!   an optimistic descent that validates each node's own version
+//!   window but **skips the parent re-validation after the child
+//!   read** — the hand-over-hand step. It models the link-free OLC
+//!   readers of the literature (no `covers()`/right-link safety net),
+//!   where that re-validation alone carries the proof that the routing
+//!   decision was still current; without it, a split that moves the key
+//!   sideways inside the window turns into a miss of a present key.
+//!
+//! Both are linearizability violations (stale reads) that no quiescent
+//! structural audit can see, because the trees themselves stay
 //! perfectly well-formed.
 
 use crate::history::ConcurrentMap;
@@ -121,6 +132,137 @@ impl ConcurrentMap<u64> for SkipRightLink {
     }
 }
 
+/// An OLC tree whose `get` validates each node's own version window but
+/// never re-validates the parent after reading the child — the
+/// hand-over-hand step of optimistic lock coupling. It models the
+/// link-free OLC readers of the literature: routing is trusted from the
+/// parent's window alone, with no `covers()` re-check or right-link
+/// chase to fall back on, so the skipped re-validation is load-bearing.
+/// Writes delegate to the correct tree, so all structure stays valid —
+/// only reads race.
+#[derive(Debug)]
+pub struct SkipParentRevalidation {
+    inner: ConcurrentBTree<u64>,
+    /// Spin iterations between the parent's routing decision and the
+    /// child read, modeling a reader descheduled mid-descent. Widens the
+    /// race so stress runs expose the bug reliably.
+    window_spin: u32,
+}
+
+impl SkipParentRevalidation {
+    /// A buggy optimistic reader over a fresh OLC tree of the given
+    /// capacity.
+    pub fn new(capacity: usize) -> Self {
+        SkipParentRevalidation {
+            inner: ConcurrentBTree::new(Protocol::Olc, capacity),
+            window_spin: 400_000,
+        }
+    }
+}
+
+// Everything except `get` delegates to the sound inner tree, so the
+// structural auditors pass — only the linearizability checker can
+// convict this implementation.
+impl ConcurrentMap<u64> for SkipParentRevalidation {
+    fn get(&self, key: &u64) -> Option<u64> {
+        enum Step {
+            Down(NodeRef<u64>),
+            Done(Option<u64>),
+        }
+        let key = *key;
+        'restart: loop {
+            let mut cur = self.inner.root_handle();
+            let mut routed = false;
+            loop {
+                // The window a correct reader closes by re-validating the
+                // parent's recorded version after this node's own window;
+                // a split landing here moves `key` sideways, out of reach
+                // of a link-free descent. (No window before the root
+                // visit — there is no routing decision to go stale yet.)
+                // The spin is sliced up with yields: a pure spin would
+                // starve the very writers whose split must land in the
+                // window on a loaded or single-core host, while on an
+                // idle multicore host the slices still hold the window
+                // open.
+                if routed && self.window_spin > 0 {
+                    for _ in 0..16 {
+                        for _ in 0..self.window_spin / 16 {
+                            std::hint::spin_loop();
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+                routed = true;
+                // Each node's own window is still validated (no torn
+                // reads) — the bug is purely about stale routing.
+                let attempt = cur.read_optimistic(|n| match &n.children {
+                    Children::Leaf(vals) => Some(Step::Done(
+                        n.keys
+                            .binary_search(&key)
+                            .ok()
+                            .and_then(|i| vals.get(i))
+                            .copied(),
+                    )),
+                    Children::Internal(kids) => kids
+                        .get(n.child_index(key))
+                        .map(|c| Step::Down(Arc::clone(c))),
+                });
+                match attempt {
+                    // BUG: the parent's version is never recorded, so the
+                    // routing that led here is trusted unconditionally.
+                    Some((_ver, Some(Step::Done(v)))) => return v,
+                    Some((_ver, Some(Step::Down(child)))) => cur = child,
+                    _ => continue 'restart,
+                }
+            }
+        }
+    }
+
+    fn protocol_name(&self) -> &'static str {
+        "skip-parent-revalidation"
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.inner.capacity()
+    }
+
+    fn height(&self) -> usize {
+        self.inner.height()
+    }
+
+    fn insert(&self, key: u64, val: u64) -> Option<u64> {
+        self.inner.insert(key, val)
+    }
+
+    fn remove(&self, key: &u64) -> Option<u64> {
+        ConcurrentBTree::remove(&self.inner, key)
+    }
+
+    fn contains_key(&self, key: &u64) -> bool {
+        self.get(key).is_some() // routed through the buggy reader
+    }
+
+    fn range(&self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        self.inner.range(lo, hi)
+    }
+
+    fn check(&self) -> Result<(), String> {
+        self.inner.check()
+    }
+
+    fn root_handle(&self) -> NodeRef<u64> {
+        self.inner.root_handle()
+    }
+
+    fn counters(&self) -> OpCountersSnapshot {
+        self.inner.counters()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,5 +279,24 @@ mod tests {
         }
         assert_eq!(m.remove(&13), Some(91));
         assert_eq!(m.get(&13), None);
+    }
+
+    #[test]
+    fn sequential_olc_use_is_correct() {
+        // Without concurrency the skipped parent re-validation never
+        // matters either: every window validates on the first try.
+        let m = SkipParentRevalidation {
+            window_spin: 0, // no race to widen sequentially
+            ..SkipParentRevalidation::new(4)
+        };
+        for k in 0..200u64 {
+            assert_eq!(m.insert(k, k * 3), None);
+        }
+        for k in 0..200u64 {
+            assert_eq!(m.get(&k), Some(k * 3));
+        }
+        assert_eq!(m.remove(&13), Some(39));
+        assert_eq!(m.get(&13), None);
+        assert!(m.contains_key(&14));
     }
 }

@@ -24,8 +24,11 @@
 //!    half-split window, so rare interleavings are explored on purpose
 //!    and a failing seed replays its decision stream exactly.
 //!
-//! The [`buggy`] module keeps a deliberately broken reader around as a
-//! permanent regression target proving the checker has teeth. The
+//! The [`buggy`] module keeps deliberately broken readers around as
+//! permanent regression targets proving the checker has teeth — one
+//! latched (a B-link reader that skips the post-latch right-link
+//! chase), one optimistic (an OLC reader that skips the parent
+//! re-validation after the child read). The
 //! `stress` binary sweeps protocol × seed × thread-count; CI runs its
 //! quick mode on every push.
 

@@ -1,12 +1,24 @@
-//! End-to-end correctness-pillar tests: the three real protocols survive
-//! perturbed stress with a linearizable verdict and clean audits, and a
-//! deliberately broken reader is convicted — with the convicting seed
-//! replayable.
+//! End-to-end correctness-pillar tests: the real protocols (the paper's
+//! three plus OLC) survive perturbed stress with a linearizable verdict
+//! and clean audits, and the deliberately broken readers — latched and
+//! optimistic — are each convicted, with the convicting seed replayable.
 
 use cbtree_btree::Protocol;
-use cbtree_check::buggy::SkipRightLink;
+use cbtree_check::buggy::{SkipParentRevalidation, SkipRightLink};
 use cbtree_check::stress::{run_stress, run_stress_on, StressConfig};
 use cbtree_check::Verdict;
+use std::sync::{Mutex, MutexGuard};
+
+/// Serializes the tests in this binary. Each stress run spawns 8 worker
+/// threads and the convictions are timing-sensitive (the planted bugs
+/// race a split against a reader's descent window); running the tests
+/// concurrently triples the thread pressure and starves those windows
+/// of the interleavings they need.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// A shape small enough for debug-build CI but hot enough (tiny nodes,
 /// narrow key space, injection on) to exercise splits constantly.
@@ -20,7 +32,8 @@ fn shape(protocol: Protocol, seed: u64) -> StressConfig {
 
 #[test]
 fn real_protocols_are_linearizable_under_perturbed_stress() {
-    for protocol in Protocol::ALL {
+    let _serial = serial();
+    for protocol in Protocol::ALL.into_iter().chain([Protocol::Olc]) {
         for seed in [2, 41] {
             let out = run_stress(&shape(protocol, seed));
             assert!(
@@ -45,6 +58,7 @@ fn real_protocols_are_linearizable_under_perturbed_stress() {
 
 #[test]
 fn buggy_reader_is_caught_and_its_seed_replays() {
+    let _serial = serial();
     // Scan seeds until the checker convicts the stale reader. The bug's
     // race window is wide (the wrapper spins between leaf choice and
     // read), so conviction comes within a few seeds.
@@ -82,5 +96,47 @@ fn buggy_reader_is_caught_and_its_seed_replays() {
     assert!(
         replayed,
         "seed {seed} convicted once but never again in 3 replays"
+    );
+}
+
+#[test]
+fn buggy_olc_reader_is_caught_and_its_seed_replays() {
+    let _serial = serial();
+    // Same conviction discipline for the optimistic planted bug: the
+    // wrapper's link-free descent spins between the parent's routing
+    // decision and the child read, so a split landing in that window
+    // moves the key sideways and only the skipped parent re-validation
+    // could have caught it.
+    let mut convicted = None;
+    for seed in 1..=16u64 {
+        let map = SkipParentRevalidation::new(4);
+        let out = run_stress_on(&map, &shape(Protocol::Olc, seed));
+        if let Verdict::Violation(w) = &out.verdict {
+            assert!(
+                !w.render().is_empty() && !w.key_trace.is_empty(),
+                "witness should carry the per-key trace"
+            );
+            // Writes delegate to the sound OLC tree, so structure stays
+            // clean — only the linearizability checker sees the bug.
+            out.audit
+                .expect("auditable")
+                .unwrap_or_else(|e| panic!("audit should stay clean: {e}"));
+            convicted = Some(seed);
+            break;
+        }
+    }
+    let seed = convicted.expect("stale OLC read escaped all 16 seeds");
+
+    // The OLC window is narrower than the b-link one (the split must
+    // land between routing and the child read, not merely before a
+    // latched read), so OS timing slack gets more attempts here.
+    let replayed = (0..6).any(|_| {
+        let map = SkipParentRevalidation::new(4);
+        let out = run_stress_on(&map, &shape(Protocol::Olc, seed));
+        matches!(out.verdict, Verdict::Violation(_))
+    });
+    assert!(
+        replayed,
+        "seed {seed} convicted once but never again in 6 replays"
     );
 }

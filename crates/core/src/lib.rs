@@ -17,8 +17,13 @@
 //! * [`link`] — the Link-type algorithm (Lehman–Yao / Lanin–Shasha /
 //!   Sagiv; paper §5.1),
 //!
-//! plus the §6 [`rules_of_thumb`] and the §7 [`recovery`] extension
-//! (Naive vs Leaf-only W-lock retention until transaction commit).
+//! plus the §6 [`rules_of_thumb`], the §7 [`recovery`] extension
+//! (Naive vs Leaf-only W-lock retention until transaction commit), and
+//! one post-1990 algorithm in the same framework:
+//!
+//! * [`olc`] — Optimistic Lock Coupling: latch-free version-validated
+//!   readers (zero shared-lock demand, restarts as rework) over
+//!   lock-coupling writers.
 //!
 //! ## Conventions
 //!
@@ -54,6 +59,7 @@ pub mod error;
 pub mod level;
 pub mod link;
 pub mod naive_lc;
+pub mod olc;
 pub mod optimistic;
 pub mod recovery;
 pub mod rules_of_thumb;
@@ -65,6 +71,7 @@ pub use error::AnalysisError;
 pub use level::{LevelSolution, Performance};
 pub use link::LinkType;
 pub use naive_lc::NaiveLockCoupling;
+pub use olc::OptimisticLockCoupling;
 pub use optimistic::OptimisticDescent;
 pub use two_phase::TwoPhaseLocking;
 
@@ -87,6 +94,12 @@ pub enum Algorithm {
     /// paper's §8 full version adds; every lock is retained until the
     /// operation completes.
     TwoPhaseLocking,
+    /// Optimistic Lock Coupling (post-1990 extension): readers are
+    /// latch-free, validating per-node version counters hand-over-hand
+    /// and restarting on a mismatch; writers crab as in Naive
+    /// Lock-coupling — so the reader class vanishes from every queue
+    /// and restarts replace reader lock waits.
+    Olc,
 }
 
 impl Algorithm {
@@ -106,6 +119,16 @@ impl Algorithm {
         Algorithm::LinkType,
     ];
 
+    /// Every modeled algorithm: the baseline set plus the post-1990
+    /// Optimistic Lock Coupling extension.
+    pub const ALL_EXTENDED: [Algorithm; 5] = [
+        Algorithm::TwoPhaseLocking,
+        Algorithm::NaiveLockCoupling,
+        Algorithm::OptimisticDescent,
+        Algorithm::LinkType,
+        Algorithm::Olc,
+    ];
+
     /// Instantiates the analytical model of this algorithm for a
     /// configuration.
     pub fn model(self, cfg: &ModelConfig) -> Box<dyn PerformanceModel> {
@@ -114,6 +137,7 @@ impl Algorithm {
             Algorithm::OptimisticDescent => Box::new(OptimisticDescent::new(cfg.clone())),
             Algorithm::LinkType => Box::new(LinkType::new(cfg.clone())),
             Algorithm::TwoPhaseLocking => Box::new(TwoPhaseLocking::new(cfg.clone())),
+            Algorithm::Olc => Box::new(OptimisticLockCoupling::new(cfg.clone())),
         }
     }
 
@@ -124,6 +148,7 @@ impl Algorithm {
             Algorithm::OptimisticDescent => "optimistic",
             Algorithm::LinkType => "link",
             Algorithm::TwoPhaseLocking => "two-phase",
+            Algorithm::Olc => "olc",
         }
     }
 }

@@ -17,7 +17,7 @@ use std::time::Duration;
 const USAGE: &str = "\
 usage: live [options]
 
-  --algo NAME        b-link | lock-coupling | optimistic | two-phase |
+  --algo NAME        b-link | lock-coupling | optimistic | olc | two-phase |
                      recovery-naive | recovery-leaf  (default b-link;
                      historical aliases like blink/coupling also work)
   --threads N        worker threads (default 4)

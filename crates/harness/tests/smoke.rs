@@ -7,7 +7,7 @@ use cbtree_harness::{run, LiveConfig};
 
 /// The canonical protocol list; the recovery variants run with the
 /// default transaction size 1, where commits follow every operation.
-const PROTOCOLS: [Protocol; 6] = Protocol::ALL_WITH_RECOVERY;
+const PROTOCOLS: [Protocol; 7] = Protocol::ALL_WITH_RECOVERY;
 
 fn smoke_cfg(protocol: Protocol) -> LiveConfig {
     LiveConfig::quick(protocol, 4)

@@ -48,6 +48,14 @@ pub enum SimAlgorithm {
     /// retained until the operation completes — the baseline showing why
     /// dedicated B-tree algorithms exist.
     TwoPhaseLocking,
+    /// Optimistic Lock Coupling: searches are latch-free — each node
+    /// visit is a plain search service with **no lock request**, and on
+    /// completion the version window is validated against
+    /// `writer_present` (a writer holding or queued means the window
+    /// failed: the visit restarts, counted in `redos`). Stale routing is
+    /// repaired by chasing right links. Updates run exactly the Naive
+    /// Lock-coupling machine.
+    Olc,
 }
 
 /// Transactional lock retention (paper §7): which of an update's
@@ -356,6 +364,11 @@ impl Simulator {
         let root = self.tree.root();
         self.ops[op].cur = root;
         self.ops[op].path.clear();
+        if self.algorithm == SimAlgorithm::Olc && self.ops[op].kind == OpKind::Search {
+            // Latch-free read: no lock request at any level.
+            self.olc_visit(op, root);
+            return;
+        }
         let mode = self.descent_mode(op, root);
         self.acquire(op, root, mode);
     }
@@ -386,6 +399,10 @@ impl Simulator {
                 } else {
                     Mode::Shared
                 }
+            }
+            SimAlgorithm::Olc => {
+                debug_assert!(is_update, "OLC searches never request locks");
+                Mode::Exclusive
             }
         }
     }
@@ -570,6 +587,9 @@ impl Simulator {
             }
             SimAlgorithm::OptimisticDescent => self.optimistic_granted(op, node),
             SimAlgorithm::LinkType => self.link_granted(op, node),
+            // Only OLC updates ever request locks, and they run the
+            // naive lock-coupling machine verbatim.
+            SimAlgorithm::Olc => self.naive_granted(op, node),
         }
     }
 
@@ -578,6 +598,13 @@ impl Simulator {
             SimAlgorithm::NaiveLockCoupling | SimAlgorithm::TwoPhaseLocking => self.naive_done(op),
             SimAlgorithm::OptimisticDescent => self.optimistic_done(op),
             SimAlgorithm::LinkType => self.link_done(op),
+            SimAlgorithm::Olc => {
+                if self.ops[op].kind == OpKind::Search {
+                    self.olc_search_done(op)
+                } else {
+                    self.naive_done(op)
+                }
+            }
         }
     }
 
@@ -937,6 +964,51 @@ impl Simulator {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Optimistic Lock Coupling (latch-free read path; updates are naive)
+    // ------------------------------------------------------------------
+
+    /// One latch-free OLC node visit: pay the node's search service with
+    /// no lock request — the version snapshot opens here and is
+    /// validated when the service completes.
+    fn olc_visit(&mut self, op: OpId, node: NodeId) {
+        self.ops[op].cur = node;
+        self.ops[op].phase = Phase::Search;
+        let se = self.costs.se(self.tree.level(node), self.tree.height());
+        self.schedule_service(op, se);
+    }
+
+    /// An OLC read window closed. `writer_present` (a writer holding or
+    /// queued on the node) is the discrete-event surrogate for "the
+    /// version moved or is moving": the visit restarts, counted as a
+    /// redo — the OLC analogue of Optimistic Descent's re-descents.
+    /// Validated visits route like a link-type reader: chase right when
+    /// the range moved, complete at the leaf, descend otherwise.
+    fn olc_search_done(&mut self, op: OpId) {
+        debug_assert_eq!(self.ops[op].phase, Phase::Search);
+        let cur = self.ops[op].cur;
+        if self.locks.writer_present(cur) {
+            self.stats.redos += 1;
+            self.olc_visit(op, cur);
+            return;
+        }
+        let key = self.ops[op].key;
+        let n = self.tree.node(cur);
+        let (covers, right, is_leaf) = (n.covers(key), n.right, n.is_leaf());
+        if !covers {
+            self.ops[op].crossings += 1;
+            let next = right.expect("finite high key implies a right link");
+            self.olc_visit(op, next);
+            return;
+        }
+        if is_leaf {
+            self.complete(op);
+            return;
+        }
+        let child = self.tree.child_for(cur, key);
+        self.olc_visit(op, child);
+    }
+
     /// Finds a current ancestor node at `level` routing `key` — used only
     /// in the rare corner where a split's node was the descent-time root
     /// but the tree has since grown. Navigation cost is omitted
@@ -1028,6 +1100,45 @@ mod tests {
         assert!(
             rt_l < rt_n,
             "link insert RT ({rt_l}) must beat naive ({rt_n}) at moderate load"
+        );
+    }
+
+    #[test]
+    fn olc_completes_with_latch_free_reads() {
+        let sim = drive(SimAlgorithm::Olc, 0.2, 2000);
+        sim.tree.check_invariants().unwrap();
+        assert!(sim.completions() >= 2000);
+        assert!(sim.stats.resp_search.count() > 0);
+        // Readers never request locks: no shared-lock wait is ever
+        // recorded at any level.
+        assert!(
+            sim.stats.wait_r.iter().all(|w| w.count() == 0),
+            "OLC must place zero shared-lock demand"
+        );
+        // Writers do latch (exclusively).
+        assert!(sim.stats.wait_w.iter().any(|w| w.count() > 0));
+    }
+
+    #[test]
+    fn olc_reads_restart_under_writer_pressure() {
+        let sim = drive(SimAlgorithm::Olc, 0.35, 3000);
+        assert!(
+            sim.stats.redos > 0,
+            "version-validation failures must occur under write load"
+        );
+    }
+
+    #[test]
+    fn olc_insert_no_slower_than_naive_at_same_load() {
+        // Removing the reader class from every lock queue can only help
+        // the writers.
+        let naive = drive(SimAlgorithm::NaiveLockCoupling, 0.18, 1500);
+        let olc = drive(SimAlgorithm::Olc, 0.18, 1500);
+        let rt_n = naive.stats.resp_insert.mean();
+        let rt_o = olc.stats.resp_insert.mean();
+        assert!(
+            rt_o < 1.05 * rt_n,
+            "olc insert RT ({rt_o}) must not exceed naive ({rt_n})"
         );
     }
 

@@ -14,10 +14,10 @@
 //! The holder state lives in one packed `AtomicU64`:
 //!
 //! ```text
-//!   bit 63   bit 62        bits 0..=61
-//!  ┌────────┬────────────┬──────────────────┐
-//!  │ WRITER │ QUEUED     │ reader count     │
-//!  └────────┴────────────┴──────────────────┘
+//!   bit 63   bit 62     bits 32..=61     bits 0..=31
+//!  ┌────────┬────────┬────────────────┬──────────────┐
+//!  │ WRITER │ QUEUED │ version (30 b) │ reader count │
+//!  └────────┴────────┴────────────────┴──────────────┘
 //! ```
 //!
 //! While `QUEUED` is clear (nobody is waiting), shared and exclusive
@@ -32,6 +32,18 @@
 //! `QUEUED == !queue.is_empty()` holds at every mutex release; a fast
 //! path can never sneak past a waiter because its CAS carries the full
 //! word (any concurrent `QUEUED` flip invalidates the expected value).
+//!
+//! # Version counter (optimistic reads)
+//!
+//! The 30-bit *version* field increments exactly once per exclusive
+//! release — on both the CAS fast path and the mutex fallback — and
+//! never on shared release. Readers can snapshot it without acquiring
+//! anything ([`FcfsRwLock::version`]), do their reads, and re-validate
+//! ([`FcfsRwLock::validate`], [`FcfsRwLock::read_optimistic`]): an
+//! unchanged version with no writer present proves no exclusive section
+//! ran in between (a seqlock, in the optimistic-lock-coupling style of
+//! LeanStore/ART). Wraparound after 2^30 writes is harmless for
+//! validation windows spanning fewer than 2^30 exclusive sections.
 //!
 //! Wait and hold durations are recorded by 1-in-N sampling (see
 //! [`SamplePeriod`]): acquisition *counts* stay exact, and sampled
@@ -50,9 +62,15 @@ use std::time::Instant;
 /// Packed-word bit assignments.
 const WRITER: u64 = 1 << 63;
 const QUEUED: u64 = 1 << 62;
-const READERS: u64 = QUEUED - 1;
+/// Version field: 30 bits at 32..=61, one unit per exclusive release.
+const VSHIFT: u32 = 32;
+const VUNIT: u64 = 1 << VSHIFT;
+const VMASK: u64 = ((1 << 30) - 1) << VSHIFT;
+/// Reader count: the low 32 bits.
+const READERS: u64 = VUNIT - 1;
 
-/// Holder bits compatible with granting a request of the given mode.
+/// Holder bits compatible with granting a request of the given mode
+/// (the version field never blocks anyone).
 #[inline]
 fn compatible(word: u64, exclusive: bool) -> bool {
     if exclusive {
@@ -60,6 +78,14 @@ fn compatible(word: u64, exclusive: bool) -> bool {
     } else {
         word & WRITER == 0
     }
+}
+
+/// The word after one version bump: +1 in the version field, wrapping
+/// inside it (the carry out of bit 61 is discarded, never reaching
+/// `QUEUED`), all other bits preserved.
+#[inline]
+fn bump_version(word: u64) -> u64 {
+    (word & !VMASK) | (word.wrapping_add(VUNIT) & VMASK)
 }
 
 /// Queue state, all under one mutex. Holder counts live in the packed
@@ -108,10 +134,10 @@ impl RawFcfs {
                 return false;
             }
             let next = if exclusive {
-                if cur != 0 {
+                if cur & (WRITER | READERS) != 0 {
                     return false;
                 }
-                WRITER
+                cur | WRITER
             } else {
                 if cur & WRITER != 0 {
                     return false;
@@ -173,6 +199,7 @@ impl RawFcfs {
     }
 
     /// Uncontended release: one CAS, succeeds only while nobody waits.
+    /// An exclusive release bumps the version field in the same CAS.
     #[inline]
     fn try_release_fast(&self, exclusive: bool) -> bool {
         let mut cur = self.word.load(Ordering::Relaxed);
@@ -182,7 +209,7 @@ impl RawFcfs {
             }
             let next = if exclusive {
                 debug_assert!(cur & WRITER != 0, "release of an unheld writer lock");
-                cur & !WRITER
+                bump_version(cur) & !WRITER
             } else {
                 debug_assert!(cur & READERS > 0, "release of an unheld reader lock");
                 cur - 1
@@ -203,7 +230,26 @@ impl RawFcfs {
     fn release_slow(&self, exclusive: bool) {
         let mut st = self.lock_state();
         if exclusive {
-            self.word.fetch_and(!WRITER, Ordering::AcqRel);
+            // Drop WRITER and bump the version in one step. A CAS loop
+            // rather than `fetch_and`: the bump needs read-modify-write
+            // of the version field. Concurrent interference is limited
+            // to `QUEUED` `fetch_or`s from arriving waiters (the fast
+            // paths refuse while QUEUED is set, and QUEUED itself only
+            // flips under the mutex we hold), so the loop terminates.
+            let mut cur = self.word.load(Ordering::Relaxed);
+            loop {
+                debug_assert!(cur & WRITER != 0, "slow release of an unheld writer lock");
+                let next = bump_version(cur) & !WRITER;
+                match self.word.compare_exchange_weak(
+                    cur,
+                    next,
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(seen) => cur = seen,
+                }
+            }
         } else {
             self.word.fetch_sub(1, Ordering::AcqRel);
         }
@@ -244,6 +290,16 @@ impl RawFcfs {
 
     fn queued(&self) -> usize {
         self.lock_state().queue.len()
+    }
+
+    /// The current version, or `None` while a writer holds the lock (a
+    /// version snapshotted under an active writer could never validate —
+    /// the writer's release will bump it — so callers spin/yield instead
+    /// of starting a doomed optimistic read).
+    #[inline]
+    fn version(&self) -> Option<u64> {
+        let word = self.word.load(Ordering::Acquire);
+        (word & WRITER == 0).then_some((word & VMASK) >> VSHIFT)
     }
 }
 
@@ -467,6 +523,56 @@ impl<T: ?Sized> FcfsRwLock<T> {
         })
     }
 
+    /// Snapshots the version counter without acquiring anything.
+    /// Returns `None` while a writer holds the latch (an optimistic read
+    /// started now could never validate). Costs one atomic load; no
+    /// stats, no queueing, invisible to other threads.
+    #[inline]
+    pub fn version(&self) -> Option<u64> {
+        crate::inject::perturb(crate::inject::Site::ReadVersion);
+        self.raw.version()
+    }
+
+    /// Re-checks a previously snapshotted version: `true` iff no writer
+    /// holds the latch *and* the version still equals `version`, i.e. no
+    /// exclusive section completed since the snapshot was taken.
+    #[inline]
+    pub fn validate(&self, version: u64) -> bool {
+        crate::inject::perturb(crate::inject::Site::Validate);
+        self.raw.version() == Some(version)
+    }
+
+    /// One version-validated optimistic read: snapshots the version,
+    /// runs `f` against the data *without any latch*, and re-validates.
+    /// Returns `Some((version, result))` only when no exclusive section
+    /// overlapped the window; otherwise the result is discarded and the
+    /// caller restarts. The returned version lets latch-free descents
+    /// re-validate this node again later (parent-then-child coupling).
+    ///
+    /// # Data-race caveat (the seqlock pattern)
+    ///
+    /// `f` may observe the data mid-mutation when a writer overlaps the
+    /// window; the validation failure then discards whatever it computed.
+    /// This is the classic optimistic-lock-coupling read (LeanStore/ART)
+    /// and it is only sound under the discipline the B-tree's OLC
+    /// strategy maintains: `f` is a pure read returning plain data or
+    /// `Arc` clones of values that stay alive for the whole tree
+    /// lifetime, the protected structure never reallocates its buffers
+    /// while shared (node vectors are pre-reserved at construction), and
+    /// no result escapes unless validation succeeds.
+    pub fn read_optimistic<R>(&self, f: impl FnOnce(&T) -> R) -> Option<(u64, R)> {
+        let version = self.version()?;
+        // The perturbation sites sit *inside* the window (after the
+        // snapshot, before the validation) so the schedule-perturbation
+        // checker can dilate exactly the interval a torn read needs.
+        // SAFETY: the read is unguarded by design; any overlap with an
+        // exclusive holder is detected by the version re-check below and
+        // the computed value is discarded (see the doc caveat).
+        #[allow(unsafe_code)]
+        let out = f(unsafe { &*self.data.get() });
+        self.validate(version).then_some((version, out))
+    }
+
     /// The lock's embedded statistics.
     pub fn stats(&self) -> &LockStats {
         &self.stats
@@ -603,7 +709,9 @@ mod tests {
             let _w = lock.write();
             assert_eq!(lock.raw.word.load(Ordering::Relaxed), WRITER);
         }
-        assert_eq!(lock.raw.word.load(Ordering::Relaxed), 0);
+        // The write release leaves only the bumped version behind: the
+        // holder and queue bits are clean.
+        assert_eq!(lock.raw.word.load(Ordering::Relaxed), VUNIT);
         assert_eq!(lock.queued(), 0);
     }
 
@@ -623,9 +731,64 @@ mod tests {
         assert_ne!(lock.raw.word.load(Ordering::Relaxed) & QUEUED, 0);
         drop(g);
         t.join().unwrap();
-        // Granting the last waiter clears QUEUED and the word returns to
-        // zero once the reader departs.
+        // Granting the last waiter clears QUEUED, and the holder bits
+        // return to zero once the reader departs; only the slow-path
+        // write release's version bump remains in the word.
+        assert_eq!(lock.raw.word.load(Ordering::Relaxed), VUNIT);
+    }
+
+    #[test]
+    fn version_bumps_once_per_write_release_fast_path() {
+        let lock = FcfsRwLock::new(0u64);
+        assert_eq!(lock.version(), Some(0));
+        for i in 1..=5u64 {
+            *lock.write() += 1;
+            assert_eq!(lock.version(), Some(i), "one bump per write release");
+        }
+        // Read acquisitions and releases never move the version.
+        for _ in 0..10 {
+            drop(lock.read());
+        }
+        assert_eq!(lock.version(), Some(5));
+        assert!(lock.validate(5));
+        assert!(!lock.validate(4));
+    }
+
+    #[test]
+    fn version_hidden_while_writer_holds() {
+        let lock = FcfsRwLock::new(0u64);
+        let g = lock.write();
+        assert_eq!(lock.version(), None, "no snapshot under an active writer");
+        assert!(!lock.validate(0), "nothing validates under a writer");
+        drop(g);
+        assert_eq!(lock.version(), Some(1));
+    }
+
+    #[test]
+    fn version_wraps_inside_its_field() {
+        let lock = FcfsRwLock::new(0u64);
+        // Pin the version field to its maximum and release once: the
+        // carry must stay out of QUEUED.
+        lock.raw.word.store(VMASK, Ordering::Relaxed);
+        drop(lock.write());
         assert_eq!(lock.raw.word.load(Ordering::Relaxed), 0);
+        assert_eq!(lock.version(), Some(0));
+    }
+
+    #[test]
+    fn read_optimistic_validates_and_discards() {
+        let lock = FcfsRwLock::new(7u64);
+        let (v, out) = lock.read_optimistic(|x| *x).expect("uncontended");
+        assert_eq!((v, out), (0, 7));
+        *lock.write() = 8;
+        // The old snapshot no longer validates; a fresh one does.
+        assert!(!lock.validate(v));
+        let (v2, out2) = lock.read_optimistic(|x| *x).expect("uncontended");
+        assert_eq!((v2, out2), (1, 8));
+        // Under an active writer the optimistic read refuses up front.
+        let g = lock.write();
+        assert!(lock.read_optimistic(|x| *x).is_none());
+        drop(g);
     }
 
     #[test]

@@ -36,6 +36,13 @@ pub enum Site {
     /// Inside a B-link half-split: the sibling is linked and reachable,
     /// but the separator has not yet been posted to the parent.
     HalfSplit,
+    /// Immediately before snapshotting a latch's version counter — the
+    /// opening edge of an optimistic (OLC) read window.
+    ReadVersion,
+    /// Immediately before re-checking a snapshotted version — the
+    /// closing edge of an optimistic read window. Dilating this gap is
+    /// what forces the torn interleavings a missing re-validation hides.
+    Validate,
 }
 
 /// Tuning knobs of the injector.
@@ -310,6 +317,28 @@ mod tests {
         assert!(a.spins >= 1, "half-split window always widens");
         // Different seeds should (overwhelmingly) make different choices.
         assert_ne!(a, c, "distinct seeds should differ");
+    }
+
+    #[test]
+    fn olc_window_sites_draw_from_the_stream() {
+        let _g = GATE.lock().unwrap();
+        let cfg = InjectConfig {
+            yield_per_mille: 500,
+            spin_per_mille: 500,
+            max_spin: 2,
+            split_window_spin: 0,
+        };
+        enable(77, cfg);
+        register_thread(3);
+        for _ in 0..200 {
+            perturb(Site::ReadVersion);
+            perturb(Site::Validate);
+        }
+        let s = stats();
+        disable();
+        assert_eq!(s.visits, 400);
+        // yield+spin probability is 1.0, so every visit perturbed.
+        assert_eq!(s.yields + s.spins, 400);
     }
 
     #[test]

@@ -232,6 +232,84 @@ fn sampled_stats_agree_with_exact_stats() {
     panic!("sampled stats never converged to exact stats: {last_err}");
 }
 
+/// Uncontended (pure fast path) version discipline: every write release
+/// bumps the version by exactly one, read acquire/release never moves
+/// it, and a snapshot taken before a write stops validating afterwards.
+#[test]
+fn version_bumps_once_per_fast_path_write_release() {
+    let lock = FcfsRwLock::new(0u64);
+    assert_eq!(lock.version(), Some(0));
+    for i in 0..50u64 {
+        let snap = lock.version().expect("uncontended");
+        assert_eq!(snap, i);
+        for _ in 0..4 {
+            std::hint::black_box(*lock.read());
+        }
+        assert_eq!(lock.version(), Some(i), "read releases must not bump");
+        assert!(lock.validate(snap));
+        *lock.write() += 1;
+        assert_eq!(lock.version(), Some(i + 1), "one bump per write release");
+        assert!(
+            !lock.validate(snap),
+            "pre-write snapshot must stop validating"
+        );
+    }
+}
+
+/// The version counter must survive the Mutex+Condvar fallback: a writer
+/// forced through the queued acquire path AND the queued release path
+/// (a late reader keeps QUEUED set while the writer holds) still bumps
+/// exactly once, and the queued readers bump nothing.
+#[test]
+fn version_bumps_once_through_the_queued_slow_path() {
+    const ROUNDS: u64 = 20;
+    let lock = Arc::new(FcfsRwLock::new(0u64));
+    for round in 0..ROUNDS {
+        assert_eq!(lock.version(), Some(round), "one bump per completed round");
+
+        // A pinned reader forces the writer to queue; a late reader
+        // queued behind the writer keeps QUEUED set across the writer's
+        // release, forcing that release through the mutex as well.
+        let pin = lock.read();
+        let writer = {
+            let lock = Arc::clone(&lock);
+            thread::spawn(move || {
+                *lock.write() += 1;
+            })
+        };
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while lock.queued() < 1 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "writer never queued behind the pinned reader"
+            );
+            thread::yield_now();
+        }
+        let late = {
+            let lock = Arc::clone(&lock);
+            thread::spawn(move || {
+                std::hint::black_box(*lock.read());
+            })
+        };
+        while lock.queued() < 2 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "late reader never queued behind the writer"
+            );
+            thread::yield_now();
+        }
+        drop(pin);
+        writer.join().unwrap();
+        late.join().unwrap();
+        assert_eq!(
+            lock.version(),
+            Some(round + 1),
+            "slow-path write release must bump exactly once"
+        );
+    }
+    assert_eq!(*lock.read(), ROUNDS);
+}
+
 /// A writer released on the slow path must hand the lock to the queue
 /// head even while fast-path readers keep arriving (the QUEUED bit must
 /// close the fast path until the queue drains).

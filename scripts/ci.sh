@@ -25,7 +25,7 @@ cargo test --workspace --features inject -q
 echo "==> cargo test (trace feature: event tracing compiled in)"
 cargo test --workspace --features trace -q
 
-echo "==> correctness pillar: quick stress sweep (3 protocols x 16 seeds)"
+echo "==> correctness pillar: quick stress sweep (4 protocols x 16 seeds)"
 cargo run --release -p cbtree-check --bin stress -- --quick
 
 echo "==> correctness pillar: injected-bug demo (checker must convict)"
@@ -34,13 +34,13 @@ cargo run --release -p cbtree-check --bin stress -- --demo-bug
 echo "==> observability pillar: traced live runs + cbtree-trace smoke"
 cargo build --release --features trace -p cbtree-harness --bin live \
     -p cbtree-bench --bin cbtree-trace --bin lockbench
-for proto in coupling blink; do
+for proto in coupling blink olc; do
     target/release/live --algo "$proto" --threads 4 --items 20000 \
         --capacity 16 --warmup-ms 50 --measure-ms 120 \
         --json "results/run-$proto.jsonl" --trace-buf 1048576 > /dev/null
 done
 target/release/cbtree-trace results/run-coupling.jsonl results/run-blink.jsonl \
-    --json results/trace-compare.jsonl
+    results/run-olc.jsonl --json results/trace-compare.jsonl
 
 echo "==> open-loop service layer: smoke sweep (2 shards x 3 lambda points) + overlay"
 target/release/serve --shards 2 --generators 1 --service-floor-us 300 \
