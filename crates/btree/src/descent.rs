@@ -53,6 +53,7 @@
 
 use crate::counters::{OpCounters, OpCountersSnapshot};
 use crate::node::{check_invariants, collect_range, make_root, Children, Node, NodeRef};
+use crate::olc::OlcValue;
 use cbtree_sync::{ArcRwLockReadGuard, ArcRwLockWriteGuard, FcfsRwLock as RwLock, SamplePeriod};
 use std::collections::HashMap;
 use std::fmt;
@@ -218,9 +219,13 @@ impl<V, S: LatchStrategy> DescentTree<V, S> {
     /// level optimistically so metadata queries between measurement
     /// snapshots never show up as reader latch traffic; falls back to a
     /// latched read only when a writer holds the root.
+    #[allow(unsafe_code)]
     pub fn height(&self) -> usize {
         let root = self.root.read();
-        match root.read_optimistic(|n| n.level) {
+        // SAFETY: the window closure copies out the POD `usize` level —
+        // no heap, no indexing — so a torn read is at worst a wrong
+        // value, discarded on failed validation.
+        match unsafe { root.read_optimistic(|n| n.level) } {
             Some((_, level)) => level,
             None => root.read().level,
         }
@@ -480,7 +485,22 @@ impl<V, S: LatchStrategy> DescentTree<V, S> {
     /// link protocol. All closure reads are defensive: any index that
     /// can tear under a concurrent write uses checked access, and a
     /// miss is treated as a failed validation.
-    fn olc_descend<R>(&self, key: u64, leaf_read: impl Fn(&Node<V>) -> R) -> (NodeRef<V>, R) {
+    ///
+    /// # Safety
+    ///
+    /// Every node visit runs its reads inside an unvalidated seqlock
+    /// window ([`FcfsRwLock::read_optimistic`]). The routing reads this
+    /// function performs obey that contract itself (POD fields, checked
+    /// indexing, `Arc` clones of node handles that stay alive for the
+    /// tree's lifetime — nodes are never unlinked). The caller must
+    /// guarantee `leaf_read` obeys it too; in particular `leaf_read`
+    /// must not materialize heap-owning values (see [`OlcValue`]).
+    #[allow(unsafe_code)]
+    unsafe fn olc_descend<R>(
+        &self,
+        key: u64,
+        leaf_read: impl Fn(&Node<V>) -> R,
+    ) -> (NodeRef<V>, R) {
         enum Step<V, R> {
             Down(NodeRef<V>),
             Right(NodeRef<V>),
@@ -491,20 +511,26 @@ impl<V, S: LatchStrategy> DescentTree<V, S> {
         let mut cur: NodeRef<V> = Arc::clone(&self.root.read());
         loop {
             self.counters.record_validation();
-            let attempt = cur.read_optimistic(|n| {
-                if !n.covers(key) {
-                    n.right.as_ref().map(|r| Step::Right(Arc::clone(r)))
-                } else if n.is_leaf() {
-                    Some(Step::Done(leaf_read(n)))
-                } else {
-                    match &n.children {
-                        Children::Internal(kids) => kids
-                            .get(n.child_index(key))
-                            .map(|c| Step::Down(Arc::clone(c))),
-                        Children::Leaf(_) => None,
+            // SAFETY: `covers`/`is_leaf`/`child_index` read POD fields,
+            // the child lookup is checked (`get`), the `Arc`s cloned are
+            // node handles live for the tree's lifetime, and `leaf_read`
+            // obeys the window discipline per this function's contract.
+            let attempt = unsafe {
+                cur.read_optimistic(|n| {
+                    if !n.covers(key) {
+                        n.right.as_ref().map(|r| Step::Right(Arc::clone(r)))
+                    } else if n.is_leaf() {
+                        Some(Step::Done(leaf_read(n)))
+                    } else {
+                        match &n.children {
+                            Children::Internal(kids) => kids
+                                .get(n.child_index(key))
+                                .map(|c| Step::Down(Arc::clone(c))),
+                            Children::Leaf(_) => None,
+                        }
                     }
-                }
-            });
+                })
+            };
             // Hand-over-hand: the parent must still be unchanged now
             // that this node's read window has closed, or the routing
             // that led here may have been stale.
@@ -968,12 +994,15 @@ impl<V, S: LatchStrategy> DescentTree<V, S> {
     }
 
     /// Whether `key` is present.
+    #[allow(unsafe_code)]
     pub fn contains_key(&self, key: &u64) -> bool {
         cbtree_obs::trace::op_begin(cbtree_obs::opcode::CONTAINS);
         self.counters.record_op();
         let found = if matches!(S::READ, ReadPolicy::Olc) {
-            self.olc_descend(*key, |n| n.keys.binary_search(key).is_ok())
-                .1
+            // SAFETY: the leaf closure binary-searches the POD `u64`
+            // key array — no heap value is materialized; a torn window
+            // yields at worst a wrong bool, discarded on validation.
+            unsafe { self.olc_descend(*key, |n| n.keys.binary_search(key).is_ok()) }.1
         } else {
             let (leaf, _held) = self.read_leaf(*key);
             leaf.keys.binary_search(key).is_ok()
@@ -983,24 +1012,42 @@ impl<V, S: LatchStrategy> DescentTree<V, S> {
     }
 }
 
-impl<V: Clone, S: LatchStrategy> DescentTree<V, S> {
+impl<V: OlcValue, S: LatchStrategy> DescentTree<V, S> {
     /// Looks `key` up, cloning the value out.
+    ///
+    /// On an OLC tree the descent is latch-free; the value itself is
+    /// cloned inside the unvalidated read window only for types whose
+    /// [`OlcValue`] impl vouches for it (`V::IN_WINDOW`). Heap-owning
+    /// values are materialized under one brief shared leaf latch
+    /// instead — still zero latches on every inner level.
+    #[allow(unsafe_code)]
     pub fn get(&self, key: &u64) -> Option<V> {
         cbtree_obs::trace::op_begin(cbtree_obs::opcode::SEARCH);
         self.counters.record_op();
         let out = if matches!(S::READ, ReadPolicy::Olc) {
-            // Defensive indexing: keys/vals can disagree mid-write; a
-            // miss is discarded by the failed validation that follows.
-            self.olc_descend(*key, |n| match &n.children {
-                Children::Leaf(vals) => n
-                    .keys
-                    .binary_search(key)
-                    .ok()
-                    .and_then(|i| vals.get(i))
-                    .cloned(),
-                Children::Internal(_) => None,
-            })
-            .1
+            if V::IN_WINDOW {
+                // Defensive indexing: keys/vals can disagree mid-write;
+                // a miss is discarded by the failed validation.
+                // SAFETY: `V::IN_WINDOW` is set only by an `unsafe impl
+                // OlcValue` asserting that cloning a torn `V` is a
+                // plain byte copy of plain old data — at worst a wrong
+                // value, discarded on failed validation, never UB. The
+                // other closure reads follow `olc_descend`'s contract.
+                unsafe {
+                    self.olc_descend(*key, |n| match &n.children {
+                        Children::Leaf(vals) => n
+                            .keys
+                            .binary_search(key)
+                            .ok()
+                            .and_then(|i| vals.get(i))
+                            .cloned(),
+                        Children::Internal(_) => None,
+                    })
+                }
+                .1
+            } else {
+                self.olc_get_latched(*key)
+            }
         } else {
             let (leaf, _held) = self.read_leaf(*key);
             let out = leaf.leaf_get(*key).cloned();
@@ -1009,6 +1056,28 @@ impl<V: Clone, S: LatchStrategy> DescentTree<V, S> {
         };
         cbtree_obs::trace::op_end(cbtree_obs::opcode::SEARCH, out.is_some());
         out
+    }
+
+    /// OLC lookup for values that must not be cloned inside an
+    /// unvalidated window (`V::IN_WINDOW == false`): the descent to the
+    /// leaf stays latch-free, then the value is materialized under a
+    /// shared latch on the leaf alone — the only reader latch such an
+    /// operation ever takes. If the leaf split after the locator window
+    /// closed, right links are chased latched, as in the link protocol.
+    #[allow(unsafe_code)]
+    fn olc_get_latched(&self, key: u64) -> Option<V> {
+        // SAFETY: the locator closure reads nothing from the node.
+        let (mut cur, ()) = unsafe { self.olc_descend(key, |_| ()) };
+        loop {
+            let g = self.latch_read(&cur, false).expect("blocking");
+            if g.covers(key) {
+                return g.leaf_get(key).cloned();
+            }
+            let next = Arc::clone(g.right.as_ref().expect("covers"));
+            drop(g); // at most one latch at a time
+            self.counters.record_chase();
+            cur = next;
+        }
     }
 
     /// Ascending range scan over `[lo, hi)` via the leaf chain, one
@@ -1026,6 +1095,7 @@ impl<V: Clone, S: LatchStrategy> DescentTree<V, S> {
         out
     }
 
+    #[allow(unsafe_code)]
     fn range_impl(&self, lo: u64, hi: u64) -> Vec<(u64, V)> {
         self.counters.record_op();
         let mut out = Vec::new();
@@ -1040,8 +1110,81 @@ impl<V: Clone, S: LatchStrategy> DescentTree<V, S> {
                 let leaf = self.leaf_handle_for(lo);
                 collect_range(leaf, lo, hi, &mut out);
             }
-            ReadPolicy::Link => {
-                let mut cur = self.link_descend(lo, None);
+            ReadPolicy::Olc if V::IN_WINDOW => {
+                // Latch-free chain walk: each leaf is one validated read
+                // window; a torn window retries the same leaf, so pages
+                // are appended exactly once. Weakly consistent, like the
+                // latched scans.
+                // SAFETY: the locator closure reads nothing; the page
+                // closure uses checked indexing over POD keys, clones
+                // node `Arc`s live for the tree's lifetime, and clones
+                // `V` in-window only because `V::IN_WINDOW` (an `unsafe
+                // impl OlcValue`) asserts that is a plain byte copy —
+                // at worst a wrong value, discarded on validation.
+                let (mut cur, ()) = unsafe { self.olc_descend(lo, |_| ()) };
+                loop {
+                    self.counters.record_validation();
+                    #[allow(unsafe_code)]
+                    let attempt = unsafe {
+                        cur.read_optimistic(|n| {
+                            if !n.covers(lo) {
+                                // A split moved our range right inside
+                                // the window: chase, collecting nothing.
+                                return n
+                                    .right
+                                    .as_ref()
+                                    .map(|r| (Vec::new(), Some(Arc::clone(r)), true));
+                            }
+                            let mut page = Vec::new();
+                            if let Children::Leaf(vals) = &n.children {
+                                for (i, &k) in n.keys.iter().enumerate() {
+                                    if k >= lo && k < hi {
+                                        if let Some(v) = vals.get(i) {
+                                            page.push((k, v.clone()));
+                                        }
+                                    }
+                                }
+                            }
+                            let next = if n.high.is_none_or(|h| h >= hi) {
+                                None // range exhausted
+                            } else {
+                                n.right.as_ref().map(Arc::clone)
+                            };
+                            Some((page, next, false))
+                        })
+                    };
+                    match attempt {
+                        Some((_, Some((page, next, chased)))) => {
+                            if chased {
+                                self.counters.record_chase();
+                            }
+                            out.extend(page);
+                            match next {
+                                Some(r) => cur = r,
+                                None => return out,
+                            }
+                        }
+                        _ => {
+                            let writer_blocked = cur.version().is_none();
+                            self.counters.record_olc_restart(writer_blocked);
+                            if writer_blocked {
+                                thread::yield_now();
+                            }
+                        }
+                    }
+                }
+            }
+            // OLC over heap-owning values (`!V::IN_WINDOW`) lands here,
+            // on the latched Link-style chain walk — the values cannot
+            // be cloned inside an unvalidated window — entered through
+            // a latch-free locator descent.
+            ReadPolicy::Link | ReadPolicy::Olc => {
+                let mut cur = if matches!(S::READ, ReadPolicy::Link) {
+                    self.link_descend(lo, None)
+                } else {
+                    // SAFETY: the locator closure reads nothing.
+                    unsafe { self.olc_descend(lo, |_| ()) }.0
+                };
                 loop {
                     let next = {
                         let g = self.latch_read(&cur, false).expect("blocking");
@@ -1066,61 +1209,6 @@ impl<V: Clone, S: LatchStrategy> DescentTree<V, S> {
                     match next {
                         Some(n) => cur = n,
                         None => return out,
-                    }
-                }
-            }
-            ReadPolicy::Olc => {
-                // Latch-free chain walk: each leaf is one validated read
-                // window; a torn window retries the same leaf, so pages
-                // are appended exactly once. Weakly consistent, like the
-                // latched scans.
-                let (mut cur, ()) = self.olc_descend(lo, |_| ());
-                loop {
-                    self.counters.record_validation();
-                    let attempt = cur.read_optimistic(|n| {
-                        if !n.covers(lo) {
-                            // A split moved our range right inside the
-                            // window: chase, collecting nothing.
-                            return n
-                                .right
-                                .as_ref()
-                                .map(|r| (Vec::new(), Some(Arc::clone(r)), true));
-                        }
-                        let mut page = Vec::new();
-                        if let Children::Leaf(vals) = &n.children {
-                            for (i, &k) in n.keys.iter().enumerate() {
-                                if k >= lo && k < hi {
-                                    if let Some(v) = vals.get(i) {
-                                        page.push((k, v.clone()));
-                                    }
-                                }
-                            }
-                        }
-                        let next = if n.high.is_none_or(|h| h >= hi) {
-                            None // range exhausted
-                        } else {
-                            n.right.as_ref().map(Arc::clone)
-                        };
-                        Some((page, next, false))
-                    });
-                    match attempt {
-                        Some((_, Some((page, next, chased)))) => {
-                            if chased {
-                                self.counters.record_chase();
-                            }
-                            out.extend(page);
-                            match next {
-                                Some(r) => cur = r,
-                                None => return out,
-                            }
-                        }
-                        _ => {
-                            let writer_blocked = cur.version().is_none();
-                            self.counters.record_olc_restart(writer_blocked);
-                            if writer_blocked {
-                                thread::yield_now();
-                            }
-                        }
                     }
                 }
             }

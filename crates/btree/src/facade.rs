@@ -3,8 +3,8 @@
 
 use crate::map::ConcurrentMap;
 use crate::{
-    BLinkTree, LockCouplingTree, OlcTree, OpCountersSnapshot, OptimisticTree, RecoveryLeafTree,
-    RecoveryNaiveTree, TwoPhaseTree,
+    BLinkTree, LockCouplingTree, OlcTree, OlcValue, OpCountersSnapshot, OptimisticTree,
+    RecoveryLeafTree, RecoveryNaiveTree, TwoPhaseTree,
 };
 use cbtree_sync::SamplePeriod;
 use std::fmt;
@@ -118,7 +118,7 @@ impl<V> fmt::Debug for ConcurrentBTree<V> {
     }
 }
 
-impl<V: Clone + Send + Sync + 'static> ConcurrentBTree<V> {
+impl<V: OlcValue + Send + Sync + 'static> ConcurrentBTree<V> {
     /// Creates an empty tree with the given protocol and node capacity
     /// (exact lock timing).
     pub fn new(protocol: Protocol, capacity: usize) -> Self {

@@ -83,7 +83,7 @@ pub use coupling::{LockCouplingStrategy, LockCouplingTree};
 pub use descent::{DescentTree, LatchStrategy, ReadPolicy, TxnRetention, UpdatePolicy};
 pub use facade::{ConcurrentBTree, Protocol};
 pub use map::ConcurrentMap;
-pub use olc::{OlcStrategy, OlcTree};
+pub use olc::{OlcStrategy, OlcTree, OlcValue};
 pub use optimistic::{OptimisticStrategy, OptimisticTree};
 pub use recovery::{
     RecoveryLeafStrategy, RecoveryLeafTree, RecoveryNaiveStrategy, RecoveryNaiveTree,

@@ -10,6 +10,7 @@
 use crate::counters::OpCountersSnapshot;
 use crate::descent::{DescentTree, LatchStrategy};
 use crate::node::NodeRef;
+use crate::olc::OlcValue;
 
 /// A concurrent ordered map from `u64` keys, with the diagnostic
 /// surface the measurement harness and correctness checkers need.
@@ -65,7 +66,7 @@ pub trait ConcurrentMap<V>: Send + Sync {
 
 impl<V, S> ConcurrentMap<V> for DescentTree<V, S>
 where
-    V: Clone + Send + Sync,
+    V: OlcValue + Send + Sync,
     S: LatchStrategy,
 {
     fn protocol_name(&self) -> &'static str {

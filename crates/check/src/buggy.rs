@@ -164,6 +164,7 @@ impl SkipParentRevalidation {
 // structural auditors pass — only the linearizability checker can
 // convict this implementation.
 impl ConcurrentMap<u64> for SkipParentRevalidation {
+    #[allow(unsafe_code)]
     fn get(&self, key: &u64) -> Option<u64> {
         enum Step {
             Down(NodeRef<u64>),
@@ -195,18 +196,26 @@ impl ConcurrentMap<u64> for SkipParentRevalidation {
                 routed = true;
                 // Each node's own window is still validated (no torn
                 // reads) — the bug is purely about stale routing.
-                let attempt = cur.read_optimistic(|n| match &n.children {
-                    Children::Leaf(vals) => Some(Step::Done(
-                        n.keys
-                            .binary_search(&key)
-                            .ok()
-                            .and_then(|i| vals.get(i))
-                            .copied(),
-                    )),
-                    Children::Internal(kids) => kids
-                        .get(n.child_index(key))
-                        .map(|c| Step::Down(Arc::clone(c))),
-                });
+                // SAFETY: the closure copies POD `u64`s through checked
+                // accesses and clones node `Arc`s, which stay alive for
+                // the tree's lifetime (nodes are never unlinked); a
+                // torn result is discarded on failed validation. The
+                // planted bug skips the *parent* re-validation — a
+                // linearizability violation, not a memory-safety one.
+                let attempt = unsafe {
+                    cur.read_optimistic(|n| match &n.children {
+                        Children::Leaf(vals) => Some(Step::Done(
+                            n.keys
+                                .binary_search(&key)
+                                .ok()
+                                .and_then(|i| vals.get(i))
+                                .copied(),
+                        )),
+                        Children::Internal(kids) => kids
+                            .get(n.child_index(key))
+                            .map(|c| Step::Down(Arc::clone(c))),
+                    })
+                };
                 match attempt {
                     // BUG: the parent's version is never recorded, so the
                     // routing that led here is trusted unconditionally.

