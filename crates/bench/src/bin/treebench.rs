@@ -1,0 +1,748 @@
+//! `treebench`: before/after microbenchmark of the slab node arena.
+//!
+//! Compares point-lookup and insert throughput over two node storages:
+//!
+//! - **arc**: an inline replica of the pre-arena storage — every node a
+//!   separately heap-allocated `Arc<FcfsRwLock<Node>>`, internal nodes
+//!   holding child `Arc`s, keys in per-node heap `Vec`s, and every
+//!   descent step cloning the child handle (exactly what the old
+//!   `NodeRef = Arc<RwLock<Node>>` alias did). Each step pays two
+//!   refcount writes, and under concurrent readers those writes bounce
+//!   the shared top-node cache lines between cores;
+//! - **slab**: today's arena storage — nodes in preallocated contiguous
+//!   segments, keys inline beside the node header, handles plain
+//!   `u32`-indexed coordinates. A descent steps with [`NodeRef::goto`]
+//!   (field assignment, no refcount traffic), and a split allocates
+//!   nothing but a free-list pop;
+//! - **slab/olc** (lookups only): the full tree under `Protocol::Olc`,
+//!   whose readers drop the read latches too — the latch-free read path
+//!   whose reclamation safety the arena's generation-checked handles
+//!   provide.
+//!
+//! Both sides run the *same* miniature descent and insert code —
+//! latched hand-over-hand lookups, full-chain exclusive crabbing
+//! inserts with node splits — so the comparison isolates the storage
+//! layer. Both trees are grown by the *same* shuffled insert sequence
+//! through the same split rules, so their shapes are identical and each
+//! storage ends up with the node layout it naturally produces: the Arc
+//! tree's nodes scattered across the heap between `Vec` reallocations,
+//! the slab's packed into its preallocated segments.
+//!
+//! Each arc-vs-slab comparison runs as interleaved pass pairs (drift
+//! hits both sides alike) and reports the best-vs-best slab/arc ratio,
+//! which rejects the one-sided preemption noise of loaded hosts. Results
+//! print as a table and are written to `BENCH_tree.json` (hand-rolled
+//! JSON, no dependencies); `--assert-overhead PCT` guards the ratios
+//! against a committed reference file so CI can catch storage-layer
+//! regressions.
+//!
+//! ```text
+//! cargo run --release -p cbtree-bench --bin treebench            # full
+//! cargo run --release -p cbtree-bench --bin treebench -- --smoke # CI
+//! treebench --smoke --assert-overhead 10       # CI regression guard
+//! treebench --out /tmp/b.json --reference BENCH_tree.json
+//! ```
+
+use cbtree_bench::microbench::Measurement;
+use cbtree_btree::node::{Children, Node, NodeId, NodeRef};
+use cbtree_btree::{Arena, ConcurrentBTree, Protocol};
+use cbtree_obs::Json;
+use cbtree_sync::FcfsRwLock as RwLock;
+use cbtree_sync::SamplePeriod;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Node capacity on both sides (max keys before a split).
+const CAP: usize = 64;
+
+// ---------------------------------------------------------------------
+// Baseline: the pre-arena node storage, reproduced in miniature. One
+// heap allocation per node, child links and descent handles all `Arc`.
+// ---------------------------------------------------------------------
+
+type ArcRef = Arc<RwLock<ArcNode>>;
+
+enum ArcEntries {
+    /// Leaf payloads: `vals[i]` is the value for `keys[i]`.
+    Leaf(Vec<u64>),
+    /// Internal children: `kids.len() == keys.len() + 1`.
+    Internal(Vec<ArcRef>),
+}
+
+struct ArcNode {
+    /// Sorted keys; separators for internal nodes (`kids[i]` covers
+    /// keys below `keys[i]`, the last child everything above).
+    keys: Vec<u64>,
+    entries: ArcEntries,
+}
+
+/// The Arc-storage miniature tree: lookups descend with per-step handle
+/// clones, inserts crab exclusively down the full chain and split full
+/// nodes into fresh heap allocations.
+struct ArcMini {
+    root: Mutex<ArcRef>,
+}
+
+/// Builds the Arc mini by inserting `keys` one by one — the only way
+/// the old storage ever built a tree. Node allocations land wherever
+/// the allocator puts them at split time, interleaved with the growing
+/// leaves' key/value `Vec` reallocations: the scattered heap layout a
+/// live Arc tree actually has, and exactly the fragmentation the arena
+/// was built to remove.
+fn build_arc(keys: &[u64]) -> ArcMini {
+    let leaf = ArcNode {
+        keys: Vec::new(),
+        entries: ArcEntries::Leaf(Vec::new()),
+    };
+    let mini = ArcMini {
+        root: Mutex::new(Arc::new(RwLock::new(leaf))),
+    };
+    for &k in keys {
+        mini.insert(k, k);
+    }
+    mini
+}
+
+impl ArcMini {
+    /// Latched hand-over-hand lookup with per-step handle clones — the
+    /// descent the old `NodeRef = Arc<RwLock<Node>>` storage performed.
+    fn get(&self, key: u64) -> Option<u64> {
+        let mut cur = Arc::clone(&self.root.lock().unwrap());
+        loop {
+            let next = {
+                let g = cur.read();
+                match &g.entries {
+                    ArcEntries::Leaf(vals) => {
+                        return g.keys.binary_search(&key).ok().map(|i| vals[i])
+                    }
+                    ArcEntries::Internal(kids) => {
+                        Arc::clone(&kids[g.keys.partition_point(|&s| s <= key)])
+                    }
+                }
+            };
+            cur = next;
+        }
+    }
+
+    /// Upsert under full-chain exclusive crabbing (every ancestor stays
+    /// write-latched until the op finishes, so split propagation is
+    /// trivially safe; the root latch serializes writers — identically
+    /// on both sides, so the storage comparison is unaffected).
+    fn insert(&self, key: u64, val: u64) {
+        let mut root = self.root.lock().unwrap();
+        let handle = Arc::clone(&root);
+        if let Some((sep, right)) = arc_insert_rec(&handle, key, val) {
+            let node = ArcNode {
+                keys: vec![sep],
+                entries: ArcEntries::Internal(vec![Arc::clone(&root), right]),
+            };
+            *root = Arc::new(RwLock::new(node));
+        }
+    }
+}
+
+/// Recursive insert step: returns the separator and right sibling when
+/// this node split. The caller's guard is still held (full chain).
+fn arc_insert_rec(cur: &ArcRef, key: u64, val: u64) -> Option<(u64, ArcRef)> {
+    let mut g = cur.write();
+    let i = g.keys.partition_point(|&s| s <= key);
+    match &g.entries {
+        ArcEntries::Leaf(_) => {
+            match g.keys.binary_search(&key) {
+                Ok(i) => {
+                    if let ArcEntries::Leaf(vals) = &mut g.entries {
+                        vals[i] = val;
+                    }
+                    return None;
+                }
+                Err(i) => {
+                    g.keys.insert(i, key);
+                    if let ArcEntries::Leaf(vals) = &mut g.entries {
+                        vals.insert(i, val);
+                    }
+                }
+            }
+            if g.keys.len() <= CAP {
+                return None;
+            }
+            let mid = g.keys.len() / 2;
+            let rkeys = g.keys.split_off(mid);
+            let rvals = match &mut g.entries {
+                ArcEntries::Leaf(vals) => vals.split_off(mid),
+                ArcEntries::Internal(_) => unreachable!(),
+            };
+            let sep = rkeys[0];
+            let right = ArcNode {
+                keys: rkeys,
+                entries: ArcEntries::Leaf(rvals),
+            };
+            Some((sep, Arc::new(RwLock::new(right))))
+        }
+        ArcEntries::Internal(kids) => {
+            let child = Arc::clone(&kids[i]);
+            let (sep, right) = arc_insert_rec(&child, key, val)?;
+            g.keys.insert(i, sep);
+            if let ArcEntries::Internal(kids) = &mut g.entries {
+                kids.insert(i + 1, right);
+            }
+            if g.keys.len() <= CAP {
+                return None;
+            }
+            // Promote keys[mid]; upper halves go to the new sibling.
+            let mid = g.keys.len() / 2;
+            let up = g.keys[mid];
+            let rkeys = g.keys.split_off(mid + 1);
+            g.keys.pop();
+            let rkids = match &mut g.entries {
+                ArcEntries::Internal(kids) => kids.split_off(mid + 1),
+                ArcEntries::Leaf(_) => unreachable!(),
+            };
+            let right = ArcNode {
+                keys: rkeys,
+                entries: ArcEntries::Internal(rkids),
+            };
+            Some((up, Arc::new(RwLock::new(right))))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Slab side: the same miniature tree over the real Arena + Node types.
+// ---------------------------------------------------------------------
+
+/// The slab-storage miniature tree, mirroring [`ArcMini`] op for op:
+/// same routing, same crabbing discipline, same split points — only the
+/// storage differs. Inserts thread a reusable handle path through the
+/// recursion so every descent step is a [`NodeRef::goto`] rebind.
+struct SlabMini {
+    arena: Arena<u64>,
+    root: Mutex<NodeId>,
+}
+
+/// Path buffer depth: comfortably above any height these trees reach.
+const MAX_HEIGHT: usize = 12;
+
+/// Builds the slab mini by the same insert sequence as [`build_arc`].
+/// Both minis share routing and split rules, so identical input order
+/// yields *identical* tree shapes — the comparison isolates storage.
+fn build_slab(keys: &[u64]) -> SlabMini {
+    let arena: Arena<u64> = Arena::new(SamplePeriod::EXACT);
+    let root = arena.alloc(Node::new_leaf_for(CAP)).id();
+    let mini = SlabMini {
+        arena,
+        root: Mutex::new(root),
+    };
+    let mut path: Vec<NodeRef<u64>> = (0..MAX_HEIGHT).map(|_| mini.arena.at(root)).collect();
+    for &k in keys {
+        mini.insert(&mut path, k, k);
+    }
+    mini
+}
+
+impl SlabMini {
+    /// Latched hand-over-hand lookup; a step is a `goto` rebind.
+    fn get(&self, path: &mut NodeRef<u64>, key: u64) -> Option<u64> {
+        path.goto(*self.root.lock().unwrap());
+        loop {
+            let next = {
+                let g = path.read();
+                match &g.children {
+                    Children::Leaf(_) => return g.leaf_get(key).copied(),
+                    Children::Internal(_) => g.child_for(key),
+                }
+            };
+            path.goto(next);
+        }
+    }
+
+    /// Upsert under the same full-chain exclusive crabbing as
+    /// [`ArcMini::insert`]; `path` is a reusable per-thread handle
+    /// buffer (one slot per level) so no handle is constructed per op.
+    fn insert(&self, path: &mut [NodeRef<u64>], key: u64, val: u64) {
+        let mut root = self.root.lock().unwrap();
+        path[0].goto(*root);
+        if let Some((sep, right)) = slab_insert_rec(path, key, val) {
+            let mut node = Node::new_leaf();
+            node.level = {
+                let (first, _) = path.split_first().expect("non-empty path");
+                first.read().level + 1
+            };
+            node.keys.push(sep);
+            let mut kids = cbtree_btree::arena::InlineVec::new();
+            kids.push(*root);
+            kids.push(right);
+            node.children = Children::Internal(kids);
+            *root = self.arena.alloc(node).id();
+        }
+    }
+}
+
+/// Recursive insert step over slab storage — the mirror image of
+/// [`arc_insert_rec`]: `path[0]` is the current node, `path[1..]` the
+/// scratch handles for the levels below.
+fn slab_insert_rec(path: &mut [NodeRef<u64>], key: u64, val: u64) -> Option<(u64, NodeId)> {
+    let (cur, rest) = path.split_first_mut().expect("path taller than tree");
+    let mut g = cur.write();
+    if g.is_leaf() {
+        match g.keys.binary_search(&key) {
+            Ok(i) => {
+                if let Children::Leaf(vals) = &mut g.children {
+                    vals[i] = val;
+                }
+                return None;
+            }
+            Err(i) => {
+                g.keys.insert(i, key);
+                if let Children::Leaf(vals) = &mut g.children {
+                    vals.insert(i, val);
+                }
+            }
+        }
+        if g.keys.len() <= CAP {
+            return None;
+        }
+        let mid = g.keys.len() / 2;
+        let rkeys = g.keys.split_off(mid);
+        let rvals = match &mut g.children {
+            Children::Leaf(vals) => vals.split_off(mid),
+            Children::Internal(_) => unreachable!(),
+        };
+        let sep = rkeys[0];
+        let mut right = Node::new_leaf_for(CAP);
+        right.keys = rkeys;
+        if let Children::Leaf(vals) = &mut right.children {
+            vals.extend(rvals);
+        }
+        return Some((sep, cur.arena().alloc(right).id()));
+    }
+    let i = g.keys.partition_point(|&s| s <= key);
+    let child = match &g.children {
+        Children::Internal(kids) => kids[i],
+        Children::Leaf(_) => unreachable!(),
+    };
+    rest[0].goto(child);
+    let (sep, right_id) = slab_insert_rec(rest, key, val)?;
+    g.keys.insert(i, sep);
+    if let Children::Internal(kids) = &mut g.children {
+        kids.insert(i + 1, right_id);
+    }
+    if g.keys.len() <= CAP {
+        return None;
+    }
+    let mid = g.keys.len() / 2;
+    let up = g.keys[mid];
+    let rkeys = g.keys.split_off(mid + 1);
+    g.keys.pop();
+    let rkids = match &mut g.children {
+        Children::Internal(kids) => kids.split_off(mid + 1),
+        Children::Leaf(_) => unreachable!(),
+    };
+    let mut right = Node::new_leaf();
+    right.keys = rkeys;
+    right.children = Children::Internal(rkids);
+    right.level = g.level;
+    Some((up, cur.arena().alloc(right).id()))
+}
+
+// ---------------------------------------------------------------------
+// Drivers.
+// ---------------------------------------------------------------------
+
+/// Splitmix64, for a deterministic per-thread key scatter.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Interleaved pass pairs: alternates one `arc` pass and one `slab`
+/// pass per round (so machine-speed drift hits both sides alike — see
+/// `lockbench`) and reports the best-vs-best slab/arc ratio. Scheduler
+/// noise on a loaded or single-core host is one-sided (a preemption
+/// storm only ever *adds* time to the pass it lands on), so the minimum
+/// over rounds rejects it far better than any per-round pairing.
+fn bench_pair(
+    rounds: usize,
+    mut arc: impl FnMut(),
+    mut slab: impl FnMut(),
+) -> (Vec<std::time::Duration>, Vec<std::time::Duration>, f64) {
+    arc();
+    slab(); // warmup
+    let mut arc_samples = Vec::with_capacity(rounds);
+    let mut slab_samples = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let t0 = Instant::now();
+        arc();
+        arc_samples.push(t0.elapsed());
+        let t0 = Instant::now();
+        slab();
+        slab_samples.push(t0.elapsed());
+    }
+    let best = |samples: &[std::time::Duration]| {
+        samples
+            .iter()
+            .min()
+            .expect("at least one round")
+            .as_secs_f64()
+    };
+    let ratio = best(&slab_samples) / best(&arc_samples).max(f64::MIN_POSITIVE);
+    (arc_samples, slab_samples, ratio)
+}
+
+struct Scenario {
+    name: String,
+    ops: u64,
+    ns_per_op: f64,
+}
+
+struct Args {
+    smoke: bool,
+    out: PathBuf,
+    reference: PathBuf,
+    assert_overhead: Option<f64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        smoke: false,
+        out: PathBuf::from("BENCH_tree.json"),
+        reference: PathBuf::from("BENCH_tree.json"),
+        assert_overhead: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .ok_or_else(|| format!("{flag} requires an argument"))
+        };
+        match flag.as_str() {
+            "--smoke" => args.smoke = true,
+            "--out" => args.out = PathBuf::from(value()?),
+            "--reference" => args.reference = PathBuf::from(value()?),
+            "--assert-overhead" => {
+                args.assert_overhead = Some(value()?.parse().map_err(|e| format!("{flag}: {e}"))?);
+            }
+            other => {
+                return Err(format!(
+                    "unknown flag {other:?} (flags: --smoke --out PATH --reference PATH \
+                     --assert-overhead PCT)"
+                ))
+            }
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    // Read the reference before writing: `--out` may point at the same
+    // file it is compared against.
+    let reference = args.assert_overhead.map(|_| {
+        std::fs::read_to_string(&args.reference)
+            .map_err(|e| format!("{}: {e}", args.reference.display()))
+            .and_then(|text| Json::parse(&text).map_err(|e| e.to_string()))
+    });
+    let smoke = args.smoke;
+    // Key count is mode-independent so smoke and full runs measure the
+    // same tree shape and their ratios are comparable for the guard.
+    let key_count = 65_536u64;
+    let (per_get, per_ins, samples) = if smoke {
+        (40_000u64, 10_000u64, 5usize)
+    } else {
+        (200_000u64, 50_000u64, 9)
+    };
+    let thread_counts: &[u64] = &[1, 4, 8];
+
+    println!(
+        "treebench ({} mode): {} keys, capacity {}, {} lookups / {} inserts per thread\n",
+        if smoke { "smoke" } else { "full" },
+        key_count,
+        CAP,
+        per_get,
+        per_ins
+    );
+
+    // Even keys only (the odd keys in between are the fresh-insert
+    // pool), inserted in shuffled order so both trees grow through the
+    // realistic random-split path rather than the ascending fast path.
+    let keys: Vec<u64> = {
+        let mut keys: Vec<u64> = (0..key_count).map(|k| k * 2).collect();
+        let mut state = 0x5EED_F00Du64;
+        for i in (1..keys.len()).rev() {
+            keys.swap(i, (splitmix(&mut state) % (i as u64 + 1)) as usize);
+        }
+        keys
+    };
+
+    let mut results: Vec<Scenario> = Vec::new();
+    let mut guard_ratios: Vec<(String, f64)> = Vec::new();
+    let mut speedups: Vec<(String, f64)> = Vec::new();
+    let record =
+        |results: &mut Vec<Scenario>, name: String, ops: u64, samples: Vec<std::time::Duration>| {
+            let m = Measurement {
+                name: name.clone(),
+                elements: ops,
+                samples,
+            };
+            println!("{}", m.report());
+            results.push(Scenario {
+                name,
+                ops,
+                ns_per_op: m.best().as_secs_f64() * 1e9 / ops as f64,
+            });
+        };
+
+    // --- point lookups ---
+    let arc = build_arc(&keys);
+    let slab = build_slab(&keys);
+    let slab_olc = ConcurrentBTree::new(Protocol::Olc, CAP);
+    for &k in &keys {
+        slab_olc.insert(k, k);
+    }
+
+    for &threads in thread_counts {
+        let ops = threads * per_get;
+        let lookups = |get: &(dyn Fn(u64, u64) -> Option<u64> + Sync)| {
+            std::thread::scope(|s| {
+                for t in 0..threads {
+                    s.spawn(move || {
+                        let mut state = 0xC8_1EE5 ^ (t.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                        let mut hits = 0u64;
+                        for _ in 0..per_get {
+                            let k = (splitmix(&mut state) % key_count) * 2;
+                            hits += get(t, k).is_some() as u64;
+                        }
+                        assert_eq!(std::hint::black_box(hits), per_get, "all keys present");
+                    });
+                }
+            })
+        };
+        let (arc_s, slab_s, ratio) = bench_pair(
+            samples,
+            || lookups(&|_, k| arc.get(k)),
+            || {
+                // One reusable handle per worker; every step is a goto.
+                let handles: Vec<Mutex<NodeRef<u64>>> = (0..threads)
+                    .map(|_| Mutex::new(slab.arena.at(*slab.root.lock().unwrap())))
+                    .collect();
+                let handles = &handles;
+                let slab = &slab;
+                lookups(&move |t, k| slab.get(&mut handles[t as usize].lock().unwrap(), k))
+            },
+        );
+        record(&mut results, format!("get-{threads}t/arc"), ops, arc_s);
+        record(&mut results, format!("get-{threads}t/slab"), ops, slab_s);
+        guard_ratios.push((format!("get-{threads}t"), ratio));
+        speedups.push((
+            format!("get-{threads}t"),
+            1.0 / ratio.max(f64::MIN_POSITIVE),
+        ));
+
+        let m = cbtree_bench::microbench::bench(
+            &format!("get-{threads}t/slab-olc"),
+            ops,
+            samples,
+            || {
+                lookups(&|_, k| slab_olc.get(&k));
+            },
+        );
+        results.push(Scenario {
+            name: m.name.clone(),
+            ops,
+            ns_per_op: m.best().as_secs_f64() * 1e9 / ops as f64,
+        });
+    }
+
+    // --- inserts (fresh minis per thread count, so split rates match) ---
+    for &threads in thread_counts {
+        let ops = threads * per_ins;
+        let arc = build_arc(&keys);
+        let slab = build_slab(&keys);
+        // Every 16th op inserts a *fresh* odd key drawn from a shared
+        // counter (forcing real node splits and allocations); the rest
+        // upsert existing keys. Each side consumes its own pool on the
+        // same schedule, and once a pool drains its fresh slots fall
+        // back to upserts — so every round's op mix stays paired.
+        let arc_fresh = AtomicU64::new(0);
+        let slab_fresh = AtomicU64::new(0);
+        let inserts = |fresh: &AtomicU64, ins: &(dyn Fn(u64, u64, u64) + Sync)| {
+            std::thread::scope(|s| {
+                for t in 0..threads {
+                    s.spawn(move || {
+                        let mut state = 0x1215_EED5 ^ (t.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                        for i in 0..per_ins {
+                            let k = if i % 16 == 0 {
+                                let idx = fresh.fetch_add(1, Ordering::Relaxed);
+                                if idx < key_count {
+                                    idx * 2 + 1
+                                } else {
+                                    (splitmix(&mut state) % key_count) * 2
+                                }
+                            } else {
+                                (splitmix(&mut state) % key_count) * 2
+                            };
+                            ins(t, k, i);
+                        }
+                    });
+                }
+            })
+        };
+        let (arc_s, slab_s, ratio) = bench_pair(
+            samples,
+            || inserts(&arc_fresh, &|_, k, v| arc.insert(k, v)),
+            || {
+                let paths: Vec<Mutex<Vec<NodeRef<u64>>>> = (0..threads)
+                    .map(|_| {
+                        let root = *slab.root.lock().unwrap();
+                        Mutex::new((0..MAX_HEIGHT).map(|_| slab.arena.at(root)).collect())
+                    })
+                    .collect();
+                let paths = &paths;
+                let slab = &slab;
+                inserts(&slab_fresh, &move |t, k, v| {
+                    slab.insert(&mut paths[t as usize].lock().unwrap(), k, v)
+                })
+            },
+        );
+        record(&mut results, format!("ins-{threads}t/arc"), ops, arc_s);
+        record(&mut results, format!("ins-{threads}t/slab"), ops, slab_s);
+        guard_ratios.push((format!("ins-{threads}t"), ratio));
+        speedups.push((
+            format!("ins-{threads}t"),
+            1.0 / ratio.max(f64::MIN_POSITIVE),
+        ));
+    }
+
+    // --- before/after table ---
+    let ns_of = |name: &str| results.iter().find(|s| s.name == name).map(|s| s.ns_per_op);
+    println!("\nbefore/after storage cost (ns per op):");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} {:>9}",
+        "scenario", "arc", "slab", "slab-olc", "speedup"
+    );
+    for (scenario, speedup) in &speedups {
+        println!(
+            "{:<12} {:>10.1} {:>10.1} {:>10.1} {:>8.2}x",
+            scenario,
+            ns_of(&format!("{scenario}/arc")).unwrap_or(f64::NAN),
+            ns_of(&format!("{scenario}/slab")).unwrap_or(f64::NAN),
+            ns_of(&format!("{scenario}/slab-olc")).unwrap_or(f64::NAN),
+            speedup
+        );
+    }
+
+    // --- BENCH_tree.json ---
+    let json = Json::obj(vec![
+        ("bench", "tree".into()),
+        ("schema", cbtree_obs::SCHEMA_VERSION.into()),
+        ("mode", if smoke { "smoke" } else { "full" }.into()),
+        ("keys", key_count.into()),
+        ("capacity", (CAP as u64).into()),
+        (
+            "results",
+            Json::arr(results.iter().map(|s| {
+                Json::obj(vec![
+                    ("name", s.name.as_str().into()),
+                    ("ops", s.ops.into()),
+                    (
+                        "ns_per_op",
+                        Json::f64_or_null((s.ns_per_op * 100.0).round() / 100.0),
+                    ),
+                ])
+            })),
+        ),
+        (
+            "speedup_vs_arc",
+            Json::obj(
+                speedups
+                    .iter()
+                    .map(|(s, x)| (s.as_str(), Json::f64_or_null((x * 100.0).round() / 100.0))),
+            ),
+        ),
+        (
+            "guard_ratios",
+            Json::obj(guard_ratios.iter().map(|(s, r)| {
+                (
+                    s.as_str(),
+                    Json::f64_or_null((r * 10000.0).round() / 10000.0),
+                )
+            })),
+        ),
+    ]);
+    let text = json.to_string().expect("nulls replace non-finite values") + "\n";
+    if let Err(e) = std::fs::write(&args.out, text) {
+        eprintln!("error: writing {}: {e}", args.out.display());
+        return ExitCode::FAILURE;
+    }
+    println!("\nwrote {}", args.out.display());
+
+    // The arena exists to make concurrent descents cheap; warn loudly if
+    // the build being benchmarked has lost that property.
+    for (scenario, speedup) in &speedups {
+        let threads: u64 = scenario[4..scenario.len() - 1].parse().unwrap_or(1);
+        if threads >= 4 && *speedup < 1.0 {
+            eprintln!(
+                "warning: {scenario} slab speedup {speedup:.2}x below 1x \
+                 (noisy machine, debug build, or a regression)"
+            );
+        }
+    }
+
+    // --- regression guard vs the reference file ---
+    let mut failed = false;
+    if let Some(reference) = reference {
+        let pct = args.assert_overhead.unwrap_or(0.0);
+        match reference {
+            Err(e) => {
+                eprintln!("error: --assert-overhead reference: {e}");
+                failed = true;
+            }
+            Ok(reference) => {
+                for (scenario, cur) in &guard_ratios {
+                    let reference_ratio = reference
+                        .get("guard_ratios")
+                        .and_then(|g| g.get(scenario))
+                        .and_then(Json::as_f64);
+                    match reference_ratio {
+                        Some(reference_ratio) => {
+                            let regression = (cur / reference_ratio - 1.0) * 100.0;
+                            if regression > pct {
+                                eprintln!(
+                                    "error: {scenario} slab/arc ratio {cur:.4} is \
+                                     {regression:+.1}% vs reference {reference_ratio:.4} \
+                                     (budget {pct}%)"
+                                );
+                                failed = true;
+                            } else {
+                                println!(
+                                    "regression guard: {scenario} ratio {cur:.4} vs reference \
+                                     {reference_ratio:.4} ({regression:+.1}%, budget {pct}%)"
+                                );
+                            }
+                        }
+                        None => {
+                            eprintln!("error: {scenario} missing from the reference file");
+                            failed = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

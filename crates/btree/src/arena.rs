@@ -1,0 +1,791 @@
+//! Slab-arena node storage with generation-checked handles.
+//!
+//! Nodes no longer live in per-node `Arc<RwLock<Node>>` heap cells:
+//! every tree owns an [`Arena`], a segmented slab of preallocated
+//! [`Slot`]s, and nodes are addressed by a compact [`NodeId`] — a `u32`
+//! slot index paired with the slot's **generation** at handle-creation
+//! time. Child pointers inside nodes are bare `NodeId`s (8 bytes, no
+//! refcount traffic); the [`NodeRef`] handle that code outside a node
+//! passes around pairs an id with an `Arc` of the arena, so storage
+//! lives exactly as long as anything can reach it.
+//!
+//! # Layout
+//!
+//! The slab is a spine of up to [`SEG_COUNT`] segments; segment `k`
+//! holds `BASE << k` slots in one contiguous allocation and is created
+//! at most once (`OnceLock`), so **slot addresses are stable forever**
+//! — growth never moves or reallocates existing slots, which is the
+//! invariant every latch guard and optimistic read window relies on.
+//! Slot `idx` lives in segment `⌊log₂(idx/BASE + 1)⌋`; resolving a
+//! handle is pure bit math plus one bounds-checked load, no lock.
+//!
+//! # Free list and generations
+//!
+//! Retired slots (vacuumed empty leaves — see
+//! [`DescentTree::vacuum`](crate::descent::DescentTree::vacuum)) go on
+//! a free list and are recycled by later splits. Recycling is what the
+//! old `Arc` representation never did — "nodes are never unlinked" was
+//! the load-bearing safety argument for latch-free readers — so the
+//! slab replaces that argument with **generation validation**: retiring
+//! a slot bumps its generation *while the retiring writer still holds
+//! the slot's exclusive latch*, and every reader that reached a slot
+//! through an unlatched window re-checks `slot.gen == id.gen` after its
+//! version validation. A stale handle therefore convicts itself instead
+//! of silently routing into whatever node now occupies the slot:
+//!
+//! * an optimistic reader's version validation proves no exclusive
+//!   section completed inside its read window, and the generation is
+//!   only ever bumped inside an exclusive section — so a matching
+//!   generation *after* a successful validation proves the slot held
+//!   the handle's node for the entire window (checking the generation
+//!   *before* the window instead would race with a retire-and-recycle
+//!   between the check and the version snapshot);
+//! * a latched reader simply checks the generation after acquiring the
+//!   latch (the bump happens before the retiring latch is released, so
+//!   acquisition order decides).
+//!
+//! Slots keep their lock — and the lock's statistics and trace tag —
+//! across recycling; the lock's version counter keeps advancing, which
+//! is exactly what makes a recycled slot's windows fail closed. The
+//! retire/install writes are themselves exclusive sections of the
+//! slot's own latch, so they are visible to the version machinery like
+//! any other write.
+
+use crate::node::Node;
+use cbtree_sync::{FcfsRwLock as RwLock, SamplePeriod, UnownedReadGuard, UnownedWriteGuard};
+use std::fmt;
+use std::ops::{Deref, DerefMut, Index};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+/// Hard upper bound on a tree's node capacity (max keys per node): the
+/// inline key/child arrays are sized for it, so every node of every
+/// tree fits without heap-allocated key buffers. Real configurations
+/// use 4–64; the bound leaves ample headroom.
+pub const MAX_CAP: usize = 128;
+
+/// Inline key-array length: a node transiently holds `cap + 1` keys
+/// (just before its split), never more.
+pub const MAX_KEYS: usize = MAX_CAP + 1;
+
+/// Inline child-array length: an internal node transiently holds
+/// `cap + 2` children (one more than its transient key count).
+pub const MAX_KIDS: usize = MAX_CAP + 2;
+
+/// Slots in the first slab segment; segment `k` holds `BASE << k`.
+const BASE: usize = 64;
+
+/// Spine length: segments 0..SEG_COUNT cover the whole `u32` index
+/// space (the sum of `BASE << k` exceeds `u32::MAX` at k = 25).
+const SEG_COUNT: usize = 26;
+
+// ---------------------------------------------------------------------
+// InlineVec: fixed-capacity vector of plain-old-data elements.
+// ---------------------------------------------------------------------
+
+/// A fixed-capacity vector stored entirely inline, for `Copy + Default`
+/// element types (keys, child ids). No heap allocation ever, so a
+/// node's routing data lives in the same cache lines as its header —
+/// and, unlike `Vec`, there is no (pointer, len, capacity) triple for
+/// an optimistic reader to tear apart: a torn `len` is clamped to `N`
+/// by every accessor, and every slot of the buffer is always an
+/// initialized `T` (stale garbage at worst), so unlatched windows read
+/// wrong-but-valid values that failed validation then discards.
+///
+/// # Panics
+///
+/// Growth past `N` panics: the descent engine splits any node before
+/// it can exceed its transient maximum, so an overflow here is a logic
+/// error (and silently dropping or reallocating would be worse).
+#[derive(Clone, Copy)]
+pub struct InlineVec<T: Copy + Default, const N: usize> {
+    len: usize,
+    buf: [T; N],
+}
+
+impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
+    /// An empty vector.
+    pub fn new() -> Self {
+        InlineVec {
+            len: 0,
+            buf: [T::default(); N],
+        }
+    }
+
+    /// An inline copy of `items`.
+    ///
+    /// # Panics
+    /// Panics when `items.len() > N`.
+    pub fn from_slice(items: &[T]) -> Self {
+        let mut v = InlineVec::new();
+        for &x in items {
+            v.push(x);
+        }
+        v
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends an element.
+    pub fn push(&mut self, x: T) {
+        assert!(self.len < N, "inline buffer overflow ({N} elements)");
+        self.buf[self.len] = x;
+        self.len += 1;
+    }
+
+    /// Removes and returns the last element.
+    pub fn pop(&mut self) -> Option<T> {
+        if self.len == 0 {
+            return None;
+        }
+        self.len -= 1;
+        Some(self.buf[self.len])
+    }
+
+    /// Inserts `x` at `i`, shifting the tail right.
+    pub fn insert(&mut self, i: usize, x: T) {
+        assert!(i <= self.len, "insert index {i} out of bounds");
+        assert!(self.len < N, "inline buffer overflow ({N} elements)");
+        self.buf.copy_within(i..self.len, i + 1);
+        self.buf[i] = x;
+        self.len += 1;
+    }
+
+    /// Removes and returns the element at `i`, shifting the tail left.
+    pub fn remove(&mut self, i: usize) -> T {
+        assert!(i < self.len, "remove index {i} out of bounds");
+        let x = self.buf[i];
+        self.buf.copy_within(i + 1..self.len, i);
+        self.len -= 1;
+        x
+    }
+
+    /// Splits off and returns the tail `[at, len)`, leaving `[0, at)`.
+    pub fn split_off(&mut self, at: usize) -> Self {
+        assert!(at <= self.len, "split index {at} out of bounds");
+        let tail = InlineVec::from_slice(&self.buf[at..self.len]);
+        self.len = at;
+        tail
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        InlineVec::new()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Deref for InlineVec<T, N> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        // The clamp is what makes torn optimistic reads of `len` safe:
+        // a wrong length yields a wrong (discarded) slice, never an
+        // out-of-bounds access.
+        &self.buf[..self.len.min(N)]
+    }
+}
+
+impl<T: Copy + Default, const N: usize> DerefMut for InlineVec<T, N> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        let len = self.len.min(N);
+        &mut self.buf[..len]
+    }
+}
+
+impl<T: Copy + Default, I: std::slice::SliceIndex<[T]>, const N: usize> Index<I>
+    for InlineVec<T, N>
+{
+    type Output = I::Output;
+    fn index(&self, i: I) -> &I::Output {
+        &(**self)[i]
+    }
+}
+
+impl<T: Copy + Default + fmt::Debug, const N: usize> fmt::Debug for InlineVec<T, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq for InlineVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+
+// ---------------------------------------------------------------------
+// NodeId: slot index + generation.
+// ---------------------------------------------------------------------
+
+/// A generation-checked node handle: slot index plus the slot's
+/// generation when the handle was created. Packs into a `u64` (the
+/// tree's root word and the trace pillar's `split_node` identifier).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct NodeId {
+    /// Slab slot index.
+    pub idx: u32,
+    /// Slot generation the handle was created under; a mismatch with
+    /// the slot's current generation means the slot was recycled and
+    /// this handle is stale.
+    pub gen: u32,
+}
+
+impl NodeId {
+    /// Packs the id into one word (`idx` high, `gen` low).
+    pub fn to_bits(self) -> u64 {
+        (u64::from(self.idx) << 32) | u64::from(self.gen)
+    }
+
+    /// Unpacks [`NodeId::to_bits`].
+    pub fn from_bits(bits: u64) -> Self {
+        NodeId {
+            idx: (bits >> 32) as u32,
+            gen: bits as u32,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The arena.
+// ---------------------------------------------------------------------
+
+/// One slab slot: a generation counter next to the latch-wrapped node.
+struct Slot<V> {
+    /// Bumped once per retire, always inside the slot latch's exclusive
+    /// section (see the module docs for why that placement is load-
+    /// bearing).
+    gen: AtomicU32,
+    lock: RwLock<Node<V>>,
+}
+
+struct ArenaInner<V> {
+    /// Segment `k` holds `BASE << k` slots; created at most once, so
+    /// slot addresses are stable for the arena's lifetime.
+    spine: Vec<OnceLock<Box<[Slot<V>]>>>,
+    /// Recycled slot indices, consumed LIFO (warmest slot first).
+    free: Mutex<Vec<u32>>,
+    /// Number of initialized segments (guards segment creation).
+    segments: Mutex<usize>,
+    /// Slots ever handed out (diagnostics).
+    allocated: AtomicU64,
+    /// Slots retired for recycling (diagnostics; tests assert on it).
+    recycled: AtomicU64,
+    sample: SamplePeriod,
+}
+
+/// A shared handle to a tree's node slab. Cloning is an `Arc` clone;
+/// all storage is dropped when the last clone (tree, guard, or
+/// [`NodeRef`]) goes away.
+pub struct Arena<V> {
+    inner: Arc<ArenaInner<V>>,
+}
+
+impl<V> Clone for Arena<V> {
+    fn clone(&self) -> Self {
+        Arena {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<V> fmt::Debug for Arena<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Arena")
+            .field("allocated", &self.inner.allocated.load(Ordering::Relaxed))
+            .field("recycled", &self.inner.recycled.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+/// Segment and in-segment offset of a global slot index.
+fn locate(idx: u32) -> (usize, usize) {
+    let chunk = idx as usize / BASE + 1;
+    let k = usize::BITS as usize - 1 - chunk.leading_zeros() as usize;
+    let seg_base = BASE * ((1 << k) - 1);
+    (k, idx as usize - seg_base)
+}
+
+impl<V> Arena<V> {
+    /// An empty arena whose slot locks time one in `sample.period()`
+    /// acquisitions.
+    pub fn new(sample: SamplePeriod) -> Self {
+        Arena {
+            inner: Arc::new(ArenaInner {
+                spine: (0..SEG_COUNT).map(|_| OnceLock::new()).collect(),
+                free: Mutex::new(Vec::new()),
+                segments: Mutex::new(0),
+                allocated: AtomicU64::new(0),
+                recycled: AtomicU64::new(0),
+                sample,
+            }),
+        }
+    }
+
+    fn slot(&self, idx: u32) -> &Slot<V> {
+        let (k, off) = locate(idx);
+        &self.inner.spine[k]
+            .get()
+            .expect("slot index within an initialized segment")[off]
+    }
+
+    /// Installs `node` into a fresh or recycled slot and returns its
+    /// handle. The install is an exclusive section of the slot's latch,
+    /// so any straggling stale reader of a recycled slot sees a version
+    /// bump (and already sees a generation mismatch).
+    pub fn alloc(&self, node: Node<V>) -> NodeRef<V> {
+        let idx = loop {
+            if let Some(idx) = self
+                .inner
+                .free
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .pop()
+            {
+                break idx;
+            }
+            self.grow();
+        };
+        let slot = self.slot(idx);
+        let gen = slot.gen.load(Ordering::Acquire);
+        let level = node.level.min(u16::MAX as usize) as u16;
+        *slot.lock.write() = node;
+        slot.lock.set_trace_tag(level);
+        self.inner.allocated.fetch_add(1, Ordering::Relaxed);
+        self.at(NodeId { idx, gen })
+    }
+
+    /// Initializes the next segment and feeds its slots to the free
+    /// list (no-op when another thread grew first).
+    fn grow(&self) {
+        let mut segments = self
+            .inner
+            .segments
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        {
+            let free = self
+                .inner
+                .free
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if !free.is_empty() {
+                return; // someone else grew (or freed) while we waited
+            }
+        }
+        let k = *segments;
+        assert!(k < SEG_COUNT, "arena exhausted the u32 handle space");
+        let len = BASE << k;
+        let seg_base = BASE * ((1 << k) - 1);
+        let seg: Box<[Slot<V>]> = (0..len)
+            .map(|_| Slot {
+                gen: AtomicU32::new(0),
+                lock: RwLock::with_sampling(Node::new_leaf(), self.inner.sample),
+            })
+            .collect();
+        self.inner.spine[k].set(seg).ok().expect("segment set once");
+        *segments = k + 1;
+        let mut free = self
+            .inner
+            .free
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        // Reversed so allocation consumes the segment low-index first.
+        free.extend((seg_base as u32..(seg_base + len) as u32).rev());
+    }
+
+    /// Retires the node a caller holds exclusively: bumps the slot
+    /// generation (convicting every outstanding handle) and resets the
+    /// node to a placeholder, all inside the caller's exclusive
+    /// section. The caller must drop its guard and then call
+    /// [`Arena::recycle`] to return the slot to the free list.
+    pub fn retire(&self, guard: &mut WriteGuard<V>) {
+        let slot = self.slot(guard.id.idx);
+        debug_assert_eq!(
+            slot.gen.load(Ordering::Relaxed),
+            guard.id.gen,
+            "retiring through a stale handle"
+        );
+        slot.gen
+            .store(guard.id.gen.wrapping_add(1), Ordering::Release);
+        **guard = Node::new_leaf();
+        self.inner.recycled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Returns a retired slot to the free list (after the retiring
+    /// guard dropped; the slot may be handed out again immediately).
+    pub fn recycle(&self, id: NodeId) {
+        self.inner
+            .free
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(id.idx);
+    }
+
+    /// A handle for `id` in this arena (no liveness check — a stale id
+    /// yields a handle whose [`NodeRef::stale`] is true).
+    pub fn at(&self, id: NodeId) -> NodeRef<V> {
+        NodeRef {
+            arena: self.clone(),
+            id,
+        }
+    }
+
+    /// Total slots ever handed out.
+    pub fn allocated(&self) -> u64 {
+        self.inner.allocated.load(Ordering::Relaxed)
+    }
+
+    /// Total slots retired for recycling.
+    pub fn recycled(&self) -> u64 {
+        self.inner.recycled.load(Ordering::Relaxed)
+    }
+
+    /// Current free-list length (test/diagnostic use).
+    pub fn free_slots(&self) -> usize {
+        self.inner
+            .free
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+}
+
+// ---------------------------------------------------------------------
+// NodeRef: arena + id, the unit every descent passes around.
+// ---------------------------------------------------------------------
+
+/// A node handle: an [`Arena`] plus a [`NodeId`]. Dereferences to the
+/// slot's latch, so all of `read()`, `write()`, `version()`,
+/// `validate()`, `read_optimistic()` and `stats()` are available
+/// directly; the `*_guard` methods additionally return owned guards
+/// that keep the arena alive (the latch-crabbing shape).
+pub struct NodeRef<V> {
+    arena: Arena<V>,
+    id: NodeId,
+}
+
+impl<V> Clone for NodeRef<V> {
+    fn clone(&self) -> Self {
+        NodeRef {
+            arena: self.arena.clone(),
+            id: self.id,
+        }
+    }
+}
+
+impl<V> fmt::Debug for NodeRef<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NodeRef").field("id", &self.id).finish()
+    }
+}
+
+impl<V> Deref for NodeRef<V> {
+    type Target = RwLock<Node<V>>;
+    fn deref(&self) -> &RwLock<Node<V>> {
+        &self.arena.slot(self.id.idx).lock
+    }
+}
+
+impl<V> NodeRef<V> {
+    /// This handle's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The arena this handle points into.
+    pub fn arena(&self) -> &Arena<V> {
+        &self.arena
+    }
+
+    /// A sibling handle into the same arena.
+    pub fn at(&self, id: NodeId) -> NodeRef<V> {
+        self.arena.at(id)
+    }
+
+    /// Rebinds this handle to `id` in place — the hot descent step.
+    /// Unlike [`NodeRef::at`], which clones the arena handle (two
+    /// refcount writes on a cache line shared by every thread), this is
+    /// plain field assignment, so a descent that steps with `goto`
+    /// performs no refcount traffic at all.
+    pub fn goto(&mut self, id: NodeId) {
+        self.id = id;
+    }
+
+    /// Whether two handles name the same slot *and* generation.
+    pub fn same_node(a: &NodeRef<V>, b: &NodeRef<V>) -> bool {
+        a.id == b.id
+    }
+
+    /// Whether the slot was recycled since this handle was created. A
+    /// stale handle's node content belongs to someone else (or to the
+    /// placeholder); every path that reached a node through an
+    /// unlatched window must check this **after** latching or after a
+    /// successful version validation — see the module docs for why the
+    /// check must come after, not before.
+    pub fn stale(&self) -> bool {
+        self.arena.slot(self.id.idx).gen.load(Ordering::Acquire) != self.id.gen
+    }
+
+    /// Blocking shared latch; the guard keeps the arena alive.
+    #[allow(unsafe_code)]
+    pub fn read_guard(&self) -> ReadGuard<V> {
+        // SAFETY: the guard's embedded `Arena` clone keeps the slot
+        // storage alive for at least as long as the unowned guard.
+        let guard = unsafe { self.read_unowned() };
+        ReadGuard {
+            guard,
+            arena: self.arena.clone(),
+            id: self.id,
+        }
+    }
+
+    /// Blocking exclusive latch; the guard keeps the arena alive.
+    #[allow(unsafe_code)]
+    pub fn write_guard(&self) -> WriteGuard<V> {
+        // SAFETY: as for `read_guard`.
+        let guard = unsafe { self.write_unowned() };
+        WriteGuard {
+            guard,
+            arena: self.arena.clone(),
+            id: self.id,
+        }
+    }
+
+    /// Non-blocking shared probe (fast path only), as
+    /// [`FcfsRwLock::try_read_arc`](cbtree_sync::FcfsRwLock::try_read_arc).
+    #[allow(unsafe_code)]
+    pub fn try_read_guard(&self) -> Option<ReadGuard<V>> {
+        // SAFETY: as for `read_guard`.
+        let guard = unsafe { self.try_read_unowned() }?;
+        Some(ReadGuard {
+            guard,
+            arena: self.arena.clone(),
+            id: self.id,
+        })
+    }
+
+    /// Non-blocking exclusive probe (fast path only).
+    #[allow(unsafe_code)]
+    pub fn try_write_guard(&self) -> Option<WriteGuard<V>> {
+        // SAFETY: as for `read_guard`.
+        let guard = unsafe { self.try_write_unowned() }?;
+        Some(WriteGuard {
+            guard,
+            arena: self.arena.clone(),
+            id: self.id,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Guards: unowned latch guards plus an arena keepalive.
+// ---------------------------------------------------------------------
+
+/// Shared latch guard on an arena slot. Field order is load-bearing:
+/// the latch releases before the arena keepalive drops.
+#[must_use = "dropping the guard releases the latch"]
+pub struct ReadGuard<V> {
+    guard: UnownedReadGuard<Node<V>>,
+    arena: Arena<V>,
+    id: NodeId,
+}
+
+/// Exclusive latch guard on an arena slot (see [`ReadGuard`]).
+#[must_use = "dropping the guard releases the latch"]
+pub struct WriteGuard<V> {
+    guard: UnownedWriteGuard<Node<V>>,
+    arena: Arena<V>,
+    id: NodeId,
+}
+
+macro_rules! impl_arena_guard {
+    ($guard:ident) => {
+        impl<V> $guard<V> {
+            /// The latched slot's id.
+            pub fn id(&self) -> NodeId {
+                self.id
+            }
+
+            /// A fresh handle to the latched node.
+            pub fn node_ref(&self) -> NodeRef<V> {
+                self.arena.at(self.id)
+            }
+
+            /// A handle to `id` in the same arena (how a crab descent
+            /// materializes the child named by a latched parent).
+            pub fn at(&self, id: NodeId) -> NodeRef<V> {
+                self.arena.at(id)
+            }
+
+            /// Whether the slot was recycled since the handle this
+            /// guard was taken through was created (meaningful only
+            /// when the handle crossed an unlatched window; see
+            /// [`NodeRef::stale`]).
+            pub fn stale(&self) -> bool {
+                self.arena.slot(self.id.idx).gen.load(Ordering::Acquire) != self.id.gen
+            }
+        }
+
+        impl<V> Deref for $guard<V> {
+            type Target = Node<V>;
+            fn deref(&self) -> &Node<V> {
+                &self.guard
+            }
+        }
+
+        impl<V: fmt::Debug> fmt::Debug for $guard<V> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Debug::fmt(&**self, f)
+            }
+        }
+    };
+}
+
+impl_arena_guard!(ReadGuard);
+impl_arena_guard!(WriteGuard);
+
+impl<V> DerefMut for WriteGuard<V> {
+    fn deref_mut(&mut self) -> &mut Node<V> {
+        &mut self.guard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_vec_basics() {
+        let mut v: InlineVec<u64, 8> = InlineVec::new();
+        assert!(v.is_empty());
+        for k in [3, 1, 2] {
+            v.push(k);
+        }
+        assert_eq!(&*v, &[3, 1, 2]);
+        v.insert(1, 9);
+        assert_eq!(&*v, &[3, 9, 1, 2]);
+        assert_eq!(v.remove(0), 3);
+        assert_eq!(&*v, &[9, 1, 2]);
+        assert_eq!(v.pop(), Some(2));
+        let tail = v.split_off(1);
+        assert_eq!(&*v, &[9]);
+        assert_eq!(&*tail, &[1]);
+        assert_eq!(InlineVec::<u64, 4>::from_slice(&[7, 8])[1], 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "inline buffer overflow")]
+    fn inline_vec_overflow_panics() {
+        let mut v: InlineVec<u64, 2> = InlineVec::new();
+        v.push(1);
+        v.push(2);
+        v.push(3);
+    }
+
+    #[test]
+    fn locate_covers_segment_boundaries() {
+        assert_eq!(locate(0), (0, 0));
+        assert_eq!(locate(63), (0, 63));
+        assert_eq!(locate(64), (1, 0));
+        assert_eq!(locate(191), (1, 127));
+        assert_eq!(locate(192), (2, 0));
+        assert_eq!(locate(447), (2, 255));
+        assert_eq!(locate(448), (3, 0));
+    }
+
+    #[test]
+    fn node_id_packs_and_unpacks() {
+        let id = NodeId {
+            idx: 0xDEAD,
+            gen: 0xBEEF,
+        };
+        assert_eq!(NodeId::from_bits(id.to_bits()), id);
+        assert_eq!(NodeId::from_bits(0), NodeId::default());
+    }
+
+    #[test]
+    fn alloc_then_recycle_reuses_the_slot_with_a_new_generation() {
+        let arena: Arena<u64> = Arena::new(SamplePeriod::EXACT);
+        let node = arena.alloc(Node::new_leaf());
+        let id = node.id();
+        assert!(!node.stale());
+
+        let mut g = node.write_guard();
+        arena.retire(&mut g);
+        drop(g);
+        arena.recycle(id);
+        assert!(node.stale(), "retire bumps the generation");
+
+        let again = arena.alloc(Node::new_leaf());
+        assert_eq!(again.id().idx, id.idx, "free list recycles the slot");
+        assert_eq!(again.id().gen, id.gen + 1);
+        assert!(!again.stale());
+        assert!(node.stale(), "old handle stays convicted");
+        assert_eq!(arena.recycled(), 1);
+        assert_eq!(arena.allocated(), 2);
+    }
+
+    #[test]
+    fn growth_keeps_old_slots_stable() {
+        let arena: Arena<u64> = Arena::new(SamplePeriod::EXACT);
+        let first = arena.alloc(Node::new_leaf());
+        let addr_before = std::ptr::from_ref(&*first) as usize;
+        // Force growth past several segments.
+        let handles: Vec<_> = (0..300)
+            .map(|k| {
+                let mut n = Node::new_leaf();
+                n.leaf_insert(k, k);
+                arena.alloc(n)
+            })
+            .collect();
+        assert_eq!(std::ptr::from_ref(&*first) as usize, addr_before);
+        for (k, h) in handles.iter().enumerate() {
+            assert_eq!(h.read().leaf_get(k as u64), Some(&(k as u64)));
+        }
+    }
+
+    #[test]
+    fn recycle_under_contention_never_resurrects_a_stale_handle() {
+        let arena: Arena<u64> = Arena::new(SamplePeriod::EXACT);
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            // Churner: alloc/retire/recycle in a tight loop.
+            s.spawn(|| {
+                for i in 0..20_000u64 {
+                    let mut n = Node::new_leaf();
+                    n.leaf_insert(i, i);
+                    let h = arena.alloc(n);
+                    let id = h.id();
+                    let mut g = h.write_guard();
+                    arena.retire(&mut g);
+                    drop(g);
+                    arena.recycle(id);
+                }
+                stop.store(true, Ordering::Relaxed);
+            });
+            // Observer: handles taken before a retire must read as stale
+            // afterwards; a fresh handle must never be stale.
+            s.spawn(|| {
+                while !stop.load(Ordering::Relaxed) {
+                    let h = arena.alloc(Node::new_leaf());
+                    assert!(!h.stale(), "fresh handle can never be stale");
+                    let id = h.id();
+                    let mut g = h.write_guard();
+                    arena.retire(&mut g);
+                    drop(g);
+                    assert!(h.stale(), "retired handle must convict");
+                    arena.recycle(id);
+                }
+            });
+        });
+        assert!(arena.recycled() >= 20_000);
+    }
+}

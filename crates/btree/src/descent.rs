@@ -1,14 +1,14 @@
 //! The protocol-strategy descent engine.
 //!
 //! Every latching protocol in this crate is the *same* B+-tree — shared
-//! [`Node`] representation, Lehman–Yao metadata on every node,
-//! merge-at-empty deletes — differing only in **how it latches on the
-//! way down**: which mode, when a retained ancestor chain is released,
-//! when an operation restarts, and how a traversal recovers from a node
-//! that no longer covers its key. [`LatchStrategy`] captures exactly
-//! those choices as associated constants, and [`DescentTree`] is the one
-//! generic engine implementing `get`/`insert`/`remove`/`range` for every
-//! strategy:
+//! [`Node`] representation in a slab [`Arena`], Lehman–Yao metadata on
+//! every node, merge-at-empty deletes — differing only in **how it
+//! latches on the way down**: which mode, when a retained ancestor chain
+//! is released, when an operation restarts, and how a traversal recovers
+//! from a node that no longer covers its key. [`LatchStrategy`] captures
+//! exactly those choices as associated constants, and [`DescentTree`] is
+//! the one generic engine implementing `get`/`insert`/`remove`/`range`
+//! for every strategy:
 //!
 //! * [`ReadPolicy::Crab`] — shared crabbing (child latched before the
 //!   parent releases); [`ReadPolicy::RetainAll`] — strict 2PL, every
@@ -34,6 +34,19 @@
 //! acquisitions per level and mode, optimistic restarts, right-link
 //! chases, peak latch-chain depth, and transaction commits/spills.
 //!
+//! # Slot recycling and stale handles
+//!
+//! Emptied leaves persist, still linked, until an explicit
+//! [`DescentTree::vacuum`] unlinks them and returns their arena slots to
+//! the free list. Latched coupled descents can never observe a recycled
+//! slot (a child is resolved under its parent's latch, and vacuum holds
+//! the parent exclusively before freeing a child), so only the paths
+//! that cross an **unlatched window** re-check the handle generation:
+//! the OLC descent (after version validation), the latched chase after
+//! an OLC locator, and the leaf-chain hops of range scans. A stale
+//! handle restarts the affected step; see [`crate::arena`] for why the
+//! generation check must follow, not precede, version validation.
+//!
 //! # Deadlock freedom with retained transaction latches
 //!
 //! A thread holding retained exclusive latches from earlier operations
@@ -41,29 +54,29 @@
 //! possibly blocked on one of ours — may hold it, and FCFS latches are
 //! not recursive, so we could even block on ourselves). While any
 //! retained guard exists, every latch acquisition therefore goes through
-//! the non-blocking fast-path probe ([`FcfsRwLock::try_read_arc`] /
-//! [`try_write_arc`](FcfsRwLock::try_write_arc)); on the first refusal
-//! the engine *spills* — releases every retained guard (an early commit,
-//! counted in [`OpCountersSnapshot::txn_spills`]) — and redoes the
-//! descent in ordinary blocking mode, which is safe because the thread
-//! then holds nothing across operations. With transaction size 1 a
-//! commit follows every operation, nothing is ever retained, and the
-//! recovery variants behave (and perform) exactly like their underlying
-//! protocol plus bookkeeping.
+//! the non-blocking fast-path probe ([`NodeRef::try_read_guard`] /
+//! [`NodeRef::try_write_guard`]); on the first refusal the engine
+//! *spills* — releases every retained guard (an early commit, counted in
+//! [`OpCountersSnapshot::txn_spills`]) — and redoes the descent in
+//! ordinary blocking mode, which is safe because the thread then holds
+//! nothing across operations. With transaction size 1 a commit follows
+//! every operation, nothing is ever retained, and the recovery variants
+//! behave (and perform) exactly like their underlying protocol plus
+//! bookkeeping.
 
+use crate::arena::{Arena, NodeId, NodeRef, MAX_CAP};
 use crate::counters::{OpCounters, OpCountersSnapshot};
-use crate::node::{check_invariants, collect_range, make_root, Children, Node, NodeRef};
+use crate::node::{check_invariants, collect_range, make_root, split_node, Children, Node};
 use crate::olc::OlcValue;
-use cbtree_sync::{ArcRwLockReadGuard, ArcRwLockWriteGuard, FcfsRwLock as RwLock, SamplePeriod};
+use cbtree_sync::SamplePeriod;
 use std::collections::HashMap;
 use std::fmt;
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
 use std::thread::{self, ThreadId};
 
-pub(crate) type ReadGuard<V> = ArcRwLockReadGuard<Node<V>>;
-pub(crate) type WriteGuard<V> = ArcRwLockWriteGuard<Node<V>>;
+pub(crate) use crate::arena::{ReadGuard, WriteGuard};
 
 /// How a strategy latches on the way down for read-only operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -142,15 +155,22 @@ pub trait LatchStrategy: Send + Sync + 'static {
 /// All protocol trees in this crate are type aliases of this engine —
 /// e.g. `LockCouplingTree<V> = DescentTree<V, LockCouplingStrategy>`.
 pub struct DescentTree<V, S: LatchStrategy> {
-    root: RwLock<NodeRef<V>>,
+    /// Node storage: every node of this tree lives in one slab arena.
+    arena: Arena<V>,
+    /// The root's packed [`NodeId`] (root nodes are never recycled, so
+    /// the word is ABA-free; swings use compare-exchange).
+    root: AtomicU64,
     cap: usize,
     len: AtomicUsize,
-    sample: SamplePeriod,
     counters: OpCounters,
     /// Exclusive guards retained across operations by transaction
     /// (recovery strategies only; keyed by owning thread). A thread only
     /// ever touches its own entry.
     retained: Mutex<HashMap<ThreadId, Vec<WriteGuard<V>>>>,
+    /// Serializes [`DescentTree::vacuum`] passes (one reclaimer at a
+    /// time keeps the latch-order argument two-party: vacuum vs.
+    /// ordinary descents).
+    vacuum_serial: Mutex<()>,
     _strategy: PhantomData<fn() -> S>,
 }
 
@@ -175,7 +195,7 @@ impl<V, S: LatchStrategy> DescentTree<V, S> {
     /// exact lock timing.
     ///
     /// # Panics
-    /// Panics when `capacity < 3`.
+    /// Panics when `capacity < 3` or `capacity > MAX_CAP`.
     pub fn new(capacity: usize) -> Self {
         DescentTree::with_sampling(capacity, SamplePeriod::EXACT)
     }
@@ -184,18 +204,23 @@ impl<V, S: LatchStrategy> DescentTree<V, S> {
     /// `sample.period()` acquisitions (counts stay exact).
     ///
     /// # Panics
-    /// Panics when `capacity < 3`.
+    /// Panics when `capacity < 3` or `capacity > MAX_CAP`.
     pub fn with_sampling(capacity: usize, sample: SamplePeriod) -> Self {
         assert!(capacity >= 3, "node capacity must be at least 3");
-        let mut first_leaf = Node::new_leaf();
-        first_leaf.reserve_for(capacity); // buffers never realloc while shared
+        assert!(
+            capacity <= MAX_CAP,
+            "node capacity must be at most {MAX_CAP} (inline array bound)"
+        );
+        let arena = Arena::new(sample);
+        let first_leaf = arena.alloc(Node::new_leaf_for(capacity));
         DescentTree {
-            root: RwLock::new(first_leaf.into_ref_sampled(sample)),
+            root: AtomicU64::new(first_leaf.id().to_bits()),
+            arena,
             cap: capacity,
             len: AtomicUsize::new(0),
-            sample,
             counters: OpCounters::default(),
             retained: Mutex::new(HashMap::new()),
+            vacuum_serial: Mutex::new(()),
             _strategy: PhantomData,
         }
     }
@@ -215,13 +240,29 @@ impl<V, S: LatchStrategy> DescentTree<V, S> {
         self.cap
     }
 
+    /// The current root's id.
+    fn root_id(&self) -> NodeId {
+        NodeId::from_bits(self.root.load(Ordering::Acquire))
+    }
+
+    /// A handle to the current root.
+    fn root_ref(&self) -> NodeRef<V> {
+        self.arena.at(self.root_id())
+    }
+
+    /// This tree's node arena (diagnostic/test use: allocation and
+    /// recycling totals).
+    pub fn arena(&self) -> &Arena<V> {
+        &self.arena
+    }
+
     /// Current height (levels; 1 = a lone leaf root). Reads the root's
     /// level optimistically so metadata queries between measurement
     /// snapshots never show up as reader latch traffic; falls back to a
     /// latched read only when a writer holds the root.
     #[allow(unsafe_code)]
     pub fn height(&self) -> usize {
-        let root = self.root.read();
+        let root = self.root_ref();
         // SAFETY: the window closure copies out the POD `usize` level —
         // no heap, no indexing — so a torn read is at worst a wrong
         // value, discarded on failed validation.
@@ -258,12 +299,12 @@ impl<V, S: LatchStrategy> DescentTree<V, S> {
     /// Checks structural invariants (intended for quiescent moments in
     /// tests; concurrent mutation may produce spurious reports).
     pub fn check(&self) -> Result<(), String> {
-        check_invariants(&self.root.read(), self.cap)
+        check_invariants(&self.root_ref(), self.cap)
     }
 
     /// Snapshot of the root handle (test/diagnostic use).
     pub fn root_handle(&self) -> NodeRef<V> {
-        Arc::clone(&self.root.read())
+        self.root_ref()
     }
 
     /// Commits the calling thread's transaction: releases every
@@ -280,7 +321,7 @@ impl<V, S: LatchStrategy> DescentTree<V, S> {
         let guards = self
             .retained
             .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .unwrap_or_else(PoisonError::into_inner)
             .remove(&thread::current().id());
         drop(guards); // latches release outside the map mutex
         self.counters.record_txn_commit();
@@ -294,7 +335,7 @@ impl<V, S: LatchStrategy> DescentTree<V, S> {
         }
         self.retained
             .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .unwrap_or_else(PoisonError::into_inner)
             .get(&thread::current().id())
             .is_some_and(|v| !v.is_empty())
     }
@@ -305,7 +346,7 @@ impl<V, S: LatchStrategy> DescentTree<V, S> {
         let guards = self
             .retained
             .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .unwrap_or_else(PoisonError::into_inner)
             .remove(&thread::current().id());
         if guards.is_some_and(|g| {
             let held = !g.is_empty();
@@ -330,7 +371,7 @@ impl<V, S: LatchStrategy> DescentTree<V, S> {
         };
         self.retained
             .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .unwrap_or_else(PoisonError::into_inner)
             .entry(thread::current().id())
             .or_default()
             .extend(keep);
@@ -343,9 +384,9 @@ impl<V, S: LatchStrategy> DescentTree<V, S> {
     /// Shared latch on `node`; `None` only in probe mode.
     fn latch_read(&self, node: &NodeRef<V>, probe: bool) -> Option<ReadGuard<V>> {
         let g = if probe {
-            node.try_read_arc()?
+            node.try_read_guard()?
         } else {
-            node.read_arc()
+            node.read_guard()
         };
         self.counters.record_latch(g.level, false);
         Some(g)
@@ -354,23 +395,24 @@ impl<V, S: LatchStrategy> DescentTree<V, S> {
     /// Exclusive latch on `node`; `None` only in probe mode.
     fn latch_write(&self, node: &NodeRef<V>, probe: bool) -> Option<WriteGuard<V>> {
         let g = if probe {
-            node.try_write_arc()?
+            node.try_write_guard()?
         } else {
-            node.write_arc()
+            node.write_guard()
         };
         self.counters.record_latch(g.level, true);
         Some(g)
     }
 
     /// Latches the current root shared, revalidating that the locked
-    /// node is still the root (a concurrent root split swings the
-    /// pointer; descending from a stale root would miss the upper half
-    /// of the key space in the non-link protocols).
+    /// node is still the root (a concurrent root split swings the id;
+    /// descending from a stale root would miss the upper half of the key
+    /// space in the non-link protocols). Root slots are never recycled,
+    /// so id equality is exact identity.
     fn lock_root_read(&self, probe: bool) -> Option<ReadGuard<V>> {
         loop {
-            let root = Arc::clone(&self.root.read());
+            let root = self.root_ref();
             let guard = self.latch_read(&root, probe)?;
-            if Arc::ptr_eq(&root, &self.root.read()) {
+            if guard.id() == self.root_id() {
                 return Some(guard);
             }
         }
@@ -379,9 +421,9 @@ impl<V, S: LatchStrategy> DescentTree<V, S> {
     /// Latches the current root exclusively, with the same validation.
     fn lock_root_write(&self, probe: bool) -> Option<WriteGuard<V>> {
         loop {
-            let root = Arc::clone(&self.root.read());
+            let root = self.root_ref();
             let guard = self.latch_write(&root, probe)?;
-            if Arc::ptr_eq(&root, &self.root.read()) {
+            if guard.id() == self.root_id() {
                 return Some(guard);
             }
         }
@@ -400,7 +442,7 @@ impl<V, S: LatchStrategy> DescentTree<V, S> {
             if guard.is_leaf() {
                 return Some(guard);
             }
-            let child = guard.child_for(key);
+            let child = guard.at(guard.child_for(key));
             let child_guard = self.latch_read(&child, probe)?;
             guard = child_guard; // parent latch releases on reassign
         }
@@ -435,7 +477,7 @@ impl<V, S: LatchStrategy> DescentTree<V, S> {
                         let leaf = held.pop().expect("non-empty");
                         return (leaf, held);
                     }
-                    let child = top.child_for(key);
+                    let child = top.at(top.child_for(key));
                     let g = self.latch_read(&child, false).expect("blocking");
                     held.push(g);
                 }
@@ -445,10 +487,10 @@ impl<V, S: LatchStrategy> DescentTree<V, S> {
                 let mut cur = leaf;
                 let mut g = self.latch_read(&cur, false).expect("blocking");
                 while !g.covers(key) {
-                    let next = Arc::clone(g.right.as_ref().expect("covers"));
+                    let next = g.right.expect("covers");
                     drop(g); // at most one latch at a time
                     self.counters.record_chase();
-                    cur = next;
+                    cur.goto(next);
                     g = self.latch_read(&cur, false).expect("blocking");
                 }
                 self.counters.note_chain_depth(1);
@@ -468,15 +510,25 @@ impl<V, S: LatchStrategy> DescentTree<V, S> {
     /// leaf's handle and the result of `leaf_read` applied to it inside
     /// a validated read window.
     ///
-    /// Each node visit is one [`FcfsRwLock::read_optimistic`] window:
-    /// snapshot the version, read the node unlatched, validate. The
-    /// descent is hand-over-hand in versions instead of latches — after
-    /// a child's window closes, the parent's recorded version is
+    /// Each node visit is one
+    /// [`read_optimistic`](cbtree_sync::FcfsRwLock::read_optimistic)
+    /// window: snapshot the version, read the node unlatched, validate.
+    /// The descent is hand-over-hand in versions instead of latches —
+    /// after a child's window closes, the parent's recorded version is
     /// **re-validated** (`validate`), proving the routing decision that
     /// led to the child was still current when the child was read.
     /// Skipping that re-validation is the classic OLC bug: the planted
     /// `buggy` strategy in the correctness pillar does exactly that and
     /// is convicted by the linearizability checker.
+    ///
+    /// After a successful validation the node's **slot generation** is
+    /// re-checked ([`NodeRef::stale`]): a concurrent vacuum may have
+    /// recycled the slot after the unlatched hop that produced `cur`'s
+    /// id (a right-link chase crossing a parent boundary is the case
+    /// parent re-validation cannot cover). The generation only changes
+    /// inside an exclusive section, so checking it *after* the validated
+    /// window proves the slot held this id's node for the whole window.
+    /// The second planted `buggy` reader skips exactly this check.
     ///
     /// On any failed window the descent restarts from the deepest
     /// recorded ancestor whose version still validates (or the root).
@@ -489,43 +541,44 @@ impl<V, S: LatchStrategy> DescentTree<V, S> {
     /// # Safety
     ///
     /// Every node visit runs its reads inside an unvalidated seqlock
-    /// window ([`FcfsRwLock::read_optimistic`]). The routing reads this
-    /// function performs obey that contract itself (POD fields, checked
-    /// indexing, `Arc` clones of node handles that stay alive for the
-    /// tree's lifetime — nodes are never unlinked). The caller must
-    /// guarantee `leaf_read` obeys it too; in particular `leaf_read`
-    /// must not materialize heap-owning values (see [`OlcValue`]).
+    /// window. The routing reads this function performs obey that
+    /// contract itself (POD fields, checked indexing, `Copy` node ids —
+    /// slab slots are never deallocated, so even a torn id dereferences
+    /// to *initialized* memory and is then rejected by generation or
+    /// version validation). The caller must guarantee `leaf_read` obeys
+    /// it too; in particular `leaf_read` must not materialize heap-owning
+    /// values (see [`OlcValue`]).
     #[allow(unsafe_code)]
     unsafe fn olc_descend<R>(
         &self,
         key: u64,
         leaf_read: impl Fn(&Node<V>) -> R,
     ) -> (NodeRef<V>, R) {
-        enum Step<V, R> {
-            Down(NodeRef<V>),
-            Right(NodeRef<V>),
+        enum Step<R> {
+            Down(NodeId),
+            Right(NodeId),
             Done(R),
         }
         // (node, version) per visited level, root-side first.
         let mut path: Vec<(NodeRef<V>, u64)> = Vec::new();
-        let mut cur: NodeRef<V> = Arc::clone(&self.root.read());
+        let mut cur: NodeRef<V> = self.root_ref();
         loop {
             self.counters.record_validation();
             // SAFETY: `covers`/`is_leaf`/`child_index` read POD fields,
-            // the child lookup is checked (`get`), the `Arc`s cloned are
-            // node handles live for the tree's lifetime, and `leaf_read`
-            // obeys the window discipline per this function's contract.
+            // the child lookup is checked (`get`), ids are `Copy`, and
+            // `leaf_read` obeys the window discipline per this
+            // function's contract.
             let attempt = unsafe {
                 cur.read_optimistic(|n| {
                     if !n.covers(key) {
-                        n.right.as_ref().map(|r| Step::Right(Arc::clone(r)))
+                        n.right.map(Step::Right)
                     } else if n.is_leaf() {
                         Some(Step::Done(leaf_read(n)))
                     } else {
                         match &n.children {
-                            Children::Internal(kids) => kids
-                                .get(n.child_index(key))
-                                .map(|c| Step::Down(Arc::clone(c))),
+                            Children::Internal(kids) => {
+                                kids.get(n.child_index(key)).copied().map(Step::Down)
+                            }
                             Children::Leaf(_) => None,
                         }
                     }
@@ -533,29 +586,33 @@ impl<V, S: LatchStrategy> DescentTree<V, S> {
             };
             // Hand-over-hand: the parent must still be unchanged now
             // that this node's read window has closed, or the routing
-            // that led here may have been stale.
+            // that led here may have been stale. The slot generation is
+            // checked after the successful window for the same reason —
+            // a recycled slot means this id's node was gone before the
+            // window even opened.
             let parent_ok = path.last().is_none_or(|(p, v)| p.validate(*v));
-            if parent_ok {
+            if parent_ok && !cur.stale() {
                 match attempt {
                     Some((_, Some(Step::Done(out)))) => {
                         return (cur, out);
                     }
                     Some((ver, Some(Step::Down(child)))) => {
+                        let child = cur.at(child);
                         path.push((cur, ver));
                         cur = child;
                         continue;
                     }
                     Some((_, Some(Step::Right(right)))) => {
                         self.counters.record_chase();
-                        cur = right;
+                        cur.goto(right);
                         continue;
                     }
                     _ => {}
                 }
             }
-            // Validation failed (this window tore, or the parent moved
-            // underneath it): restart from the deepest ancestor whose
-            // recorded version still holds.
+            // Validation failed (this window tore, the parent moved
+            // underneath it, or the slot was recycled): restart from the
+            // deepest ancestor whose recorded version still holds.
             let writer_blocked = cur.version().is_none();
             self.counters.record_olc_restart(writer_blocked);
             while path.last().is_some_and(|(p, v)| !p.validate(*v)) {
@@ -563,7 +620,7 @@ impl<V, S: LatchStrategy> DescentTree<V, S> {
             }
             cur = match path.pop() {
                 Some((ancestor, _)) => ancestor, // revisited with a fresh version
-                None => Arc::clone(&self.root.read()),
+                None => self.root_ref(),
             };
             if writer_blocked {
                 // The writer holds the node; yield rather than spin the
@@ -580,9 +637,9 @@ impl<V, S: LatchStrategy> DescentTree<V, S> {
         let mut guard = self.lock_root_read(false).expect("blocking");
         loop {
             if guard.is_leaf() {
-                return Arc::clone(ArcRwLockReadGuard::rwlock(&guard));
+                return guard.node_ref();
             }
-            let child = guard.child_for(key);
+            let child = guard.at(guard.child_for(key));
             guard = self.latch_read(&child, false).expect("blocking");
         }
     }
@@ -611,7 +668,7 @@ impl<V, S: LatchStrategy> DescentTree<V, S> {
                     self.counters.note_chain_depth(peak);
                     return Some(held);
                 }
-                top.child_for(key)
+                top.at(top.child_for(key))
             };
             let child_guard = self.latch_write(&child, probe)?;
             if !retain_all && !is_unsafe(&child_guard) {
@@ -656,28 +713,28 @@ impl<V, S: LatchStrategy> DescentTree<V, S> {
         let mut idx = held.len() - 1;
         while held[idx].overfull(self.cap) {
             let split_level = held[idx].level.min(u16::MAX as usize) as u16;
-            let split_node = Arc::as_ptr(ArcRwLockWriteGuard::rwlock(&held[idx])) as u64;
-            cbtree_obs::trace::split_begin(split_level, split_node);
-            let (sep, sib) = held[idx].half_split(self.cap, self.sample);
+            let split_id = held[idx].id();
+            cbtree_obs::trace::split_begin(split_level, split_id.to_bits());
+            let (sep, sib) = split_node(&self.arena, &mut held[idx], self.cap);
             if idx == 0 {
                 // Only the true root can overflow at the chain's top: a
                 // retain-all chain starts there, and any released-above
                 // chain top was safe when latched and gained at most one
                 // separator.
-                let old_root = Arc::clone(ArcRwLockWriteGuard::rwlock(&held[0]));
                 let level = held[0].level + 1;
-                let new_root = make_root(old_root, sep, sib, level, self.cap, self.sample);
-                let mut ptr = self.root.write();
-                debug_assert!(
-                    Arc::ptr_eq(&ptr, ArcRwLockWriteGuard::rwlock(&held[0])),
-                    "chain top overflowed but was not the root"
+                let new_root = make_root(&self.arena, split_id, sep, sib.id(), level);
+                let swung = self.root.compare_exchange(
+                    split_id.to_bits(),
+                    new_root.id().to_bits(),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
                 );
-                *ptr = new_root;
-                cbtree_obs::trace::split_end(split_level, split_node);
+                debug_assert!(swung.is_ok(), "chain top overflowed but was not the root");
+                cbtree_obs::trace::split_end(split_level, split_id.to_bits());
                 break;
             }
-            held[idx - 1].insert_separator(sep, sib);
-            cbtree_obs::trace::split_end(split_level, split_node);
+            held[idx - 1].insert_separator(sep, sib.id());
+            cbtree_obs::trace::split_end(split_level, split_id.to_bits());
             idx -= 1;
         }
         self.txn_retain(held);
@@ -693,7 +750,7 @@ impl<V, S: LatchStrategy> DescentTree<V, S> {
 
     /// Full exclusive-crab remove (merge-at-empty with lazy reclamation:
     /// latches are retained above delete-unsafe nodes, but an emptied
-    /// node simply persists).
+    /// node simply persists until a [`DescentTree::vacuum`] pass).
     fn remove_crab(&self, key: u64, retain_all: bool) -> Option<V> {
         let mut held = self.descend_exclusive_safe(key, |n| n.delete_unsafe(), retain_all);
         let leaf = held.last_mut().expect("descent reaches a leaf");
@@ -706,6 +763,99 @@ impl<V, S: LatchStrategy> DescentTree<V, S> {
     }
 
     // ------------------------------------------------------------------
+    // Vacuum: unlink emptied leaves and recycle their slots.
+    // ------------------------------------------------------------------
+
+    /// Unlinks emptied leaves and returns their arena slots to the free
+    /// list, bumping each slot's generation so stale handles convict.
+    /// Returns the number of slots reclaimed.
+    ///
+    /// The pass crabs exclusively down the leftmost spine to level 2 and
+    /// walks that level's right-link chain; under each parent `P` (held
+    /// exclusively) an empty non-leftmost leaf `E = kids[i]` is unlinked
+    /// by latching `L = kids[i-1]` then `E` (parent-before-child and
+    /// left-before-right, the same order every descent uses, so the
+    /// pass cannot deadlock with ordinary operations), splicing
+    /// `L.right = E.right` / `L.high = E.high`, removing `E`'s separator
+    /// from `P`, and retiring `E`'s slot *while still holding `E`'s
+    /// exclusive latch* — the ordering the generation protocol requires
+    /// (see [`crate::arena`]).
+    ///
+    /// Leftmost leaves and old roots are never reclaimed, so root ids
+    /// stay ABA-free. A no-op (returning 0) for the link strategies:
+    /// their descents hold handles across unlatched windows with no
+    /// revalidation protocol, which is exactly the reader recycling
+    /// would break — lazy reclamation remains their documented behavior.
+    pub fn vacuum(&self) -> usize {
+        if matches!(S::READ, ReadPolicy::Link) || matches!(S::UPDATE, UpdatePolicy::Link) {
+            return 0;
+        }
+        if self.must_probe() {
+            self.txn_spill(); // never block while holding retained latches
+        }
+        let _one_at_a_time = self
+            .vacuum_serial
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let mut parent = self.lock_root_write(false).expect("blocking");
+        if parent.is_leaf() {
+            return 0; // a lone leaf root is never reclaimed
+        }
+        // Crab down the leftmost spine to level 2.
+        while parent.level > 2 {
+            let child = match &parent.children {
+                Children::Internal(kids) => parent.at(kids[0]),
+                Children::Leaf(_) => unreachable!("level > 2 is internal"),
+            };
+            parent = self.latch_write(&child, false).expect("blocking");
+        }
+        let mut freed = 0;
+        loop {
+            let mut i = 1; // kids[0] is never reclaimed
+            loop {
+                let (l_id, e_id) = match &parent.children {
+                    Children::Internal(kids) if i < kids.len() => (kids[i - 1], kids[i]),
+                    _ => break,
+                };
+                let l_ref = parent.at(l_id);
+                let e_ref = parent.at(e_id);
+                let mut l = self.latch_write(&l_ref, false).expect("blocking");
+                let mut e = self.latch_write(&e_ref, false).expect("blocking");
+                if e.is_leaf() && e.keys.is_empty() {
+                    // Splice E out of the leaf chain and the parent.
+                    l.right = e.right;
+                    l.high = e.high;
+                    parent.keys.remove(i - 1);
+                    if let Children::Internal(kids) = &mut parent.children {
+                        kids.remove(i);
+                    }
+                    // Generation bump inside E's exclusive section, then
+                    // release, then free-list — the retire protocol.
+                    self.arena.retire(&mut e);
+                    drop(e);
+                    self.arena.recycle(e_id);
+                    freed += 1;
+                    // kids[i] is now the old kids[i+1]: don't advance.
+                } else {
+                    drop(e);
+                    i += 1;
+                }
+                drop(l);
+            }
+            let next = parent.right;
+            match next {
+                // Crab rightward along level 2 (next latched before
+                // `parent` releases, left before right).
+                Some(id) => {
+                    let next_ref = parent.at(id);
+                    parent = self.latch_write(&next_ref, false).expect("blocking");
+                }
+                None => return freed,
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
     // The optimistic first pass.
     // ------------------------------------------------------------------
 
@@ -714,23 +864,23 @@ impl<V, S: LatchStrategy> DescentTree<V, S> {
     /// shared latch. Returns the exclusively latched leaf.
     fn optimistic_first_pass(&self, key: u64) -> WriteGuard<V> {
         loop {
-            // Root cases need pointer revalidation after latching.
-            let root = Arc::clone(&self.root.read());
+            // Root cases need id revalidation after latching.
+            let root = self.root_ref();
             if root.read().is_leaf() {
                 let guard = self.latch_write(&root, false).expect("blocking");
-                if Arc::ptr_eq(&root, &self.root.read()) && guard.is_leaf() {
+                if guard.id() == self.root_id() && guard.is_leaf() {
                     return guard;
                 }
                 continue; // root split under us: retry
             }
             let guard = self.latch_read(&root, false).expect("blocking");
-            if !Arc::ptr_eq(&root, &self.root.read()) {
+            if guard.id() != self.root_id() {
                 continue;
             }
             // Descend with shared crabbing; exclusive-latch the leaf.
             let mut parent = guard;
             loop {
-                let child = parent.child_for(key);
+                let child = parent.at(parent.child_for(key));
                 if parent.level == 2 {
                     let leaf = self.latch_write(&child, false).expect("blocking");
                     debug_assert!(leaf.is_leaf());
@@ -750,30 +900,26 @@ impl<V, S: LatchStrategy> DescentTree<V, S> {
     /// internal level as ascent hints when `stack` is given. The caller
     /// must still chase right after latching the returned leaf.
     fn link_descend(&self, key: u64, mut stack: Option<&mut Vec<NodeRef<V>>>) -> NodeRef<V> {
-        let mut cur: NodeRef<V> = Arc::clone(&self.root.read());
+        let mut cur: NodeRef<V> = self.root_ref();
         loop {
             let next = {
                 let g = self.latch_read(&cur, false).expect("blocking");
                 if !g.covers(key) {
                     self.counters.record_chase();
-                    Arc::clone(
-                        g.right
-                            .as_ref()
-                            .expect("finite high key implies right link"),
-                    )
+                    g.right.expect("finite high key implies right link")
                 } else {
                     match &g.children {
-                        Children::Leaf(_) => return Arc::clone(&cur),
+                        Children::Leaf(_) => return cur.clone(),
                         Children::Internal(_) => {
                             if let Some(stack) = stack.as_deref_mut() {
-                                stack.push(Arc::clone(&cur));
+                                stack.push(cur.clone());
                             }
                             g.child_for(key)
                         }
                     }
                 }
             };
-            cur = next;
+            cur.goto(next);
         }
     }
 
@@ -783,10 +929,10 @@ impl<V, S: LatchStrategy> DescentTree<V, S> {
         let mut cur = start;
         let mut guard = self.latch_write(&cur, false).expect("blocking");
         while !guard.covers(key) {
-            let next = Arc::clone(guard.right.as_ref().expect("covers"));
+            let next = guard.right.expect("covers");
             drop(guard); // at most one latch at a time
             self.counters.record_chase();
-            cur = next;
+            cur.goto(next);
             guard = self.latch_write(&cur, false).expect("blocking");
         }
         // The link discipline's whole point: the chain never exceeds 1.
@@ -810,10 +956,10 @@ impl<V, S: LatchStrategy> DescentTree<V, S> {
         }
         // Half-split, then post separators upward.
         let mut split_level = guard.level.min(u16::MAX as usize) as u16;
-        let mut split_node = Arc::as_ptr(ArcRwLockWriteGuard::rwlock(&guard)) as u64;
-        cbtree_obs::trace::split_begin(split_level, split_node);
-        let (mut sep, mut sib) = guard.half_split(self.cap, self.sample);
-        let mut left = Arc::clone(ArcRwLockWriteGuard::rwlock(&guard));
+        let mut split_id = guard.id();
+        cbtree_obs::trace::split_begin(split_level, split_id.to_bits());
+        let (mut sep, mut sib) = split_node(&self.arena, &mut guard, self.cap);
+        let mut left = guard.id();
         let mut level = guard.level;
         drop(guard);
         // The sibling is linked and reachable, but its separator is not
@@ -824,8 +970,8 @@ impl<V, S: LatchStrategy> DescentTree<V, S> {
             let parent = match stack.pop() {
                 Some(p) => p,
                 None => {
-                    if self.link_try_grow_root(&left, sep, &sib, level) {
-                        cbtree_obs::trace::split_end(split_level, split_node);
+                    if self.link_try_grow_root(left, sep, sib.id(), level) {
+                        cbtree_obs::trace::split_end(split_level, split_id.to_bits());
                         return None;
                     }
                     // The tree grew underneath us; find today's ancestor.
@@ -834,18 +980,18 @@ impl<V, S: LatchStrategy> DescentTree<V, S> {
             };
             let mut pg = self.link_latch_covering(parent, sep);
             debug_assert!(pg.level == level + 1, "ascent hint at wrong level");
-            pg.insert_separator(sep, Arc::clone(&sib));
+            pg.insert_separator(sep, sib.id());
             // The separator is posted: this level's Lehman–Yao window
             // closes (a parent overflow opens a fresh one, one level up).
-            cbtree_obs::trace::split_end(split_level, split_node);
+            cbtree_obs::trace::split_end(split_level, split_id.to_bits());
             if !pg.overfull(self.cap) {
                 return None;
             }
             split_level = pg.level.min(u16::MAX as usize) as u16;
-            split_node = Arc::as_ptr(ArcRwLockWriteGuard::rwlock(&pg)) as u64;
-            cbtree_obs::trace::split_begin(split_level, split_node);
-            let (s, sb) = pg.half_split(self.cap, self.sample);
-            left = Arc::clone(ArcRwLockWriteGuard::rwlock(&pg));
+            split_id = pg.id();
+            cbtree_obs::trace::split_begin(split_level, split_id.to_bits());
+            let (s, sb) = split_node(&self.arena, &mut pg, self.cap);
+            left = pg.id();
             level = pg.level;
             sep = s;
             sib = sb;
@@ -857,25 +1003,23 @@ impl<V, S: LatchStrategy> DescentTree<V, S> {
 
     /// Attempts the root swap after splitting what was the root. Returns
     /// `false` when someone else already grew the tree.
-    fn link_try_grow_root(
-        &self,
-        left: &NodeRef<V>,
-        sep: u64,
-        sib: &NodeRef<V>,
-        level: usize,
-    ) -> bool {
-        let mut ptr = self.root.write();
-        if Arc::ptr_eq(&ptr, left) {
-            *ptr = make_root(
-                Arc::clone(left),
-                sep,
-                Arc::clone(sib),
-                level + 1,
-                self.cap,
-                self.sample,
-            );
+    fn link_try_grow_root(&self, left: NodeId, sep: u64, sib: NodeId, level: usize) -> bool {
+        let new_root = make_root(&self.arena, left, sep, sib, level + 1);
+        let swung = self.root.compare_exchange(
+            left.to_bits(),
+            new_root.id().to_bits(),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+        if swung.is_ok() {
             true
         } else {
+            // Lost the race: the speculatively allocated root was never
+            // published, so retire it straight back to the free list.
+            let mut g = new_root.write_guard();
+            self.arena.retire(&mut g);
+            drop(g);
+            self.arena.recycle(new_root.id());
             false
         }
     }
@@ -885,12 +1029,12 @@ impl<V, S: LatchStrategy> DescentTree<V, S> {
     /// the root grew while we were splitting the old root).
     fn link_find_level_ancestor(&self, level: usize, key: u64) -> NodeRef<V> {
         'restart: loop {
-            let mut cur: NodeRef<V> = Arc::clone(&self.root.read());
+            let mut cur: NodeRef<V> = self.root_ref();
             loop {
                 let next = {
                     let g = self.latch_read(&cur, false).expect("blocking");
                     if g.level == level {
-                        return Arc::clone(&cur);
+                        return cur.clone();
                     }
                     if g.level < level {
                         // Another thread split the old root but has not
@@ -903,12 +1047,12 @@ impl<V, S: LatchStrategy> DescentTree<V, S> {
                         continue 'restart;
                     }
                     if !g.covers(key) {
-                        Arc::clone(g.right.as_ref().expect("covers"))
+                        g.right.expect("covers")
                     } else {
                         g.child_for(key)
                     }
                 };
-                cur = next;
+                cur.goto(next);
             }
         }
     }
@@ -999,9 +1143,10 @@ impl<V, S: LatchStrategy> DescentTree<V, S> {
         cbtree_obs::trace::op_begin(cbtree_obs::opcode::CONTAINS);
         self.counters.record_op();
         let found = if matches!(S::READ, ReadPolicy::Olc) {
-            // SAFETY: the leaf closure binary-searches the POD `u64`
-            // key array — no heap value is materialized; a torn window
-            // yields at worst a wrong bool, discarded on validation.
+            // SAFETY: the leaf closure binary-searches the inline POD
+            // `u64` key array — no heap value is materialized; a torn
+            // window yields at worst a wrong bool, discarded on
+            // validation.
             unsafe { self.olc_descend(*key, |n| n.keys.binary_search(key).is_ok()) }.1
         } else {
             let (leaf, _held) = self.read_leaf(*key);
@@ -1063,20 +1208,31 @@ impl<V: OlcValue, S: LatchStrategy> DescentTree<V, S> {
     /// leaf stays latch-free, then the value is materialized under a
     /// shared latch on the leaf alone — the only reader latch such an
     /// operation ever takes. If the leaf split after the locator window
-    /// closed, right links are chased latched, as in the link protocol.
+    /// closed, right links are chased latched, as in the link protocol;
+    /// if the leaf's slot was **recycled** in the unlatched gap between
+    /// locator and latch, the stale guard is detected and the locator
+    /// redone — the generation check the third planted `buggy` reader
+    /// skips.
     #[allow(unsafe_code)]
     fn olc_get_latched(&self, key: u64) -> Option<V> {
-        // SAFETY: the locator closure reads nothing from the node.
-        let (mut cur, ()) = unsafe { self.olc_descend(key, |_| ()) };
-        loop {
-            let g = self.latch_read(&cur, false).expect("blocking");
-            if g.covers(key) {
-                return g.leaf_get(key).cloned();
+        'relocate: loop {
+            // SAFETY: the locator closure reads nothing from the node.
+            let (mut cur, ()) = unsafe { self.olc_descend(key, |_| ()) };
+            loop {
+                let g = self.latch_read(&cur, false).expect("blocking");
+                if g.stale() {
+                    drop(g);
+                    self.counters.record_olc_restart(false);
+                    continue 'relocate;
+                }
+                if g.covers(key) {
+                    return g.leaf_get(key).cloned();
+                }
+                let next = g.right.expect("covers");
+                drop(g); // at most one latch at a time
+                self.counters.record_chase();
+                cur.goto(next);
             }
-            let next = Arc::clone(g.right.as_ref().expect("covers"));
-            drop(g); // at most one latch at a time
-            self.counters.record_chase();
-            cur = next;
         }
     }
 
@@ -1107,38 +1263,49 @@ impl<V: OlcValue, S: LatchStrategy> DescentTree<V, S> {
         }
         match S::READ {
             ReadPolicy::Crab | ReadPolicy::RetainAll => {
-                let leaf = self.leaf_handle_for(lo);
-                collect_range(leaf, lo, hi, &mut out);
+                // A stale leaf (slot recycled between the descent and the
+                // chain walk's latch) restarts the scan at the resume
+                // cursor; keys below it were already emitted.
+                let mut cursor = lo;
+                loop {
+                    let leaf = self.leaf_handle_for(cursor);
+                    match collect_range(leaf, cursor, hi, &mut out) {
+                        None => break,
+                        Some(resume) => {
+                            self.counters.record_restart();
+                            cursor = resume;
+                        }
+                    }
+                }
             }
             ReadPolicy::Olc if V::IN_WINDOW => {
                 // Latch-free chain walk: each leaf is one validated read
                 // window; a torn window retries the same leaf, so pages
-                // are appended exactly once. Weakly consistent, like the
-                // latched scans.
+                // are appended exactly once, while a stale leaf (slot
+                // recycled mid-walk) re-descends to the resume cursor.
+                // Weakly consistent, like the latched scans.
                 // SAFETY: the locator closure reads nothing; the page
-                // closure uses checked indexing over POD keys, clones
-                // node `Arc`s live for the tree's lifetime, and clones
-                // `V` in-window only because `V::IN_WINDOW` (an `unsafe
-                // impl OlcValue`) asserts that is a plain byte copy —
-                // at worst a wrong value, discarded on validation.
-                let (mut cur, ()) = unsafe { self.olc_descend(lo, |_| ()) };
+                // closure uses checked indexing over the inline POD key
+                // array, copies POD node ids, and clones `V` in-window
+                // only because `V::IN_WINDOW` (an `unsafe impl
+                // OlcValue`) asserts that is a plain byte copy — at
+                // worst a wrong value, discarded on validation.
+                let mut cursor = lo;
+                let (mut cur, ()) = unsafe { self.olc_descend(cursor, |_| ()) };
                 loop {
                     self.counters.record_validation();
                     #[allow(unsafe_code)]
                     let attempt = unsafe {
                         cur.read_optimistic(|n| {
-                            if !n.covers(lo) {
+                            if !n.covers(cursor) {
                                 // A split moved our range right inside
                                 // the window: chase, collecting nothing.
-                                return n
-                                    .right
-                                    .as_ref()
-                                    .map(|r| (Vec::new(), Some(Arc::clone(r)), true));
+                                return n.right.map(|r| (Vec::new(), Some(r), None, true));
                             }
                             let mut page = Vec::new();
                             if let Children::Leaf(vals) = &n.children {
                                 for (i, &k) in n.keys.iter().enumerate() {
-                                    if k >= lo && k < hi {
+                                    if k >= cursor && k < hi {
                                         if let Some(v) = vals.get(i) {
                                             page.push((k, v.clone()));
                                         }
@@ -1148,21 +1315,37 @@ impl<V: OlcValue, S: LatchStrategy> DescentTree<V, S> {
                             let next = if n.high.is_none_or(|h| h >= hi) {
                                 None // range exhausted
                             } else {
-                                n.right.as_ref().map(Arc::clone)
+                                n.right
                             };
-                            Some((page, next, false))
+                            Some((page, next, n.high, false))
                         })
                     };
                     match attempt {
-                        Some((_, Some((page, next, chased)))) => {
+                        Some((_, Some((page, next, high, chased)))) if !cur.stale() => {
                             if chased {
                                 self.counters.record_chase();
                             }
                             out.extend(page);
                             match next {
-                                Some(r) => cur = r,
+                                Some(r) => {
+                                    if !chased {
+                                        // Everything below this leaf's
+                                        // high key is emitted.
+                                        if let Some(h) = high {
+                                            cursor = cursor.max(h);
+                                        }
+                                    }
+                                    cur.goto(r);
+                                }
                                 None => return out,
                             }
+                        }
+                        _ if cur.stale() => {
+                            // The slot was recycled mid-walk: this leaf's
+                            // content belongs to someone else. Re-descend
+                            // to the resume cursor.
+                            self.counters.record_olc_restart(false);
+                            cur = unsafe { self.olc_descend(cursor, |_| ()) }.0;
                         }
                         _ => {
                             let writer_blocked = cur.version().is_none();
@@ -1179,35 +1362,52 @@ impl<V: OlcValue, S: LatchStrategy> DescentTree<V, S> {
             // be cloned inside an unvalidated window — entered through
             // a latch-free locator descent.
             ReadPolicy::Link | ReadPolicy::Olc => {
+                let mut cursor = lo;
                 let mut cur = if matches!(S::READ, ReadPolicy::Link) {
-                    self.link_descend(lo, None)
+                    self.link_descend(cursor, None)
                 } else {
                     // SAFETY: the locator closure reads nothing.
-                    unsafe { self.olc_descend(lo, |_| ()) }.0
+                    unsafe { self.olc_descend(cursor, |_| ()) }.0
                 };
                 loop {
                     let next = {
                         let g = self.latch_read(&cur, false).expect("blocking");
-                        if !g.covers(lo) {
+                        if g.stale() {
+                            // Slot recycled in the unlatched hop (OLC
+                            // trees only; link trees never vacuum):
+                            // relocate to the resume cursor.
+                            drop(g);
+                            self.counters.record_olc_restart(false);
+                            cur = if matches!(S::READ, ReadPolicy::Link) {
+                                self.link_descend(cursor, None)
+                            } else {
+                                unsafe { self.olc_descend(cursor, |_| ()) }.0
+                            };
+                            continue;
+                        }
+                        if !g.covers(cursor) {
                             self.counters.record_chase();
-                            Some(Arc::clone(g.right.as_ref().expect("covers")))
+                            Some(g.right.expect("covers"))
                         } else {
                             if let Children::Leaf(vals) = &g.children {
                                 for (i, &k) in g.keys.iter().enumerate() {
-                                    if k >= lo && k < hi {
+                                    if k >= cursor && k < hi {
                                         out.push((k, vals[i].clone()));
                                     }
                                 }
                             }
-                            if g.high.is_none_or(|h| h >= hi) {
-                                None // range exhausted
-                            } else {
-                                Some(Arc::clone(g.right.as_ref().expect("finite high")))
+                            match g.high {
+                                None => None,
+                                Some(h) if h >= hi => None, // range exhausted
+                                Some(h) => {
+                                    cursor = cursor.max(h);
+                                    Some(g.right.expect("finite high"))
+                                }
                             }
                         }
                     };
                     match next {
-                        Some(n) => cur = n,
+                        Some(n) => cur.goto(n),
                         None => return out,
                     }
                 }
@@ -1219,8 +1419,8 @@ impl<V: OlcValue, S: LatchStrategy> DescentTree<V, S> {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::{LockCouplingTree, RecoveryLeafTree, RecoveryNaiveTree};
+    use std::sync::Arc;
 
     // The write-path unit tests formerly in `writepath.rs`, re-based on
     // the engine through its lock-coupling alias.
@@ -1288,6 +1488,95 @@ mod tests {
         assert!(snap.peak_chain >= 2, "retained chains were observed");
         assert_eq!(snap.restarts, 0);
         assert_eq!(snap.chases, 0);
+    }
+
+    #[test]
+    fn vacuum_reclaims_emptied_leaves() {
+        let tree = LockCouplingTree::new(4);
+        for k in 0..512u64 {
+            tree.insert(k, k);
+        }
+        tree.check().unwrap();
+        // Empty a swath of leaves in the middle of the key space.
+        for k in 100..400u64 {
+            tree.remove(&k);
+        }
+        let allocated_before = tree.arena().allocated();
+        let freed = tree.vacuum();
+        assert!(freed > 10, "emptied leaves were reclaimed (freed {freed})");
+        assert_eq!(tree.arena().recycled(), freed as u64);
+        tree.check().unwrap();
+        // Every surviving key is still reachable, ranges included.
+        for k in 0..100u64 {
+            assert_eq!(tree.get(&k), Some(k));
+        }
+        for k in 100..400u64 {
+            assert_eq!(tree.get(&k), None);
+        }
+        for k in 400..512u64 {
+            assert_eq!(tree.get(&k), Some(k));
+        }
+        assert_eq!(tree.range(0, 512).len(), 212);
+        // Recycled slots are reused before the arena grows again.
+        for k in 100..400u64 {
+            tree.insert(k, k);
+        }
+        tree.check().unwrap();
+        assert!(
+            tree.arena().allocated() > allocated_before,
+            "reinserts split into recycled slots"
+        );
+        assert_eq!(tree.range(0, 512).len(), 512);
+    }
+
+    #[test]
+    fn vacuum_under_concurrent_churn_stays_linearizable() {
+        let tree = Arc::new(crate::olc::OlcTree::<u64>::new(4));
+        // Anchor keys that must remain visible throughout.
+        for k in (0..2_000u64).step_by(20) {
+            tree.insert(k, k);
+        }
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for t in 0..2 {
+            let tree = Arc::clone(&tree);
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                // Churn: fill and empty non-anchor keys, vacuuming as we
+                // go, so leaves empty out and slots recycle under the
+                // readers' feet.
+                for round in 0..60u64 {
+                    let base = (t * 10_000 + 2_000) as u64;
+                    for k in 0..300u64 {
+                        tree.insert(base + k, round);
+                    }
+                    for k in 0..300u64 {
+                        tree.remove(&(base + k));
+                    }
+                    tree.vacuum();
+                }
+                stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            }));
+        }
+        for _ in 0..2 {
+            let tree = Arc::clone(&tree);
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    for k in (0..2_000u64).step_by(20) {
+                        assert_eq!(tree.get(&k), Some(k), "anchor key vanished");
+                        assert!(tree.contains_key(&k));
+                    }
+                    let got = tree.range(0, 2_000);
+                    assert!(got.len() >= 100, "anchors missing from range");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(tree.arena().recycled() > 0, "churn recycled slots");
+        tree.check().unwrap();
     }
 
     #[test]

@@ -207,6 +207,13 @@ impl<V> ConcurrentBTree<V> {
         self.inner.txn_commit()
     }
 
+    /// Unlinks emptied leaves and recycles their arena slots, returning
+    /// the number reclaimed (0 for the link protocols, which keep lazy
+    /// reclamation).
+    pub fn vacuum(&self) -> usize {
+        self.inner.vacuum()
+    }
+
     /// Looks `key` up, cloning the value out.
     pub fn get(&self, key: &u64) -> Option<V> {
         self.inner.get(key)
@@ -270,6 +277,10 @@ impl<V> ConcurrentMap<V> for ConcurrentBTree<V> {
 
     fn txn_commit(&self) {
         ConcurrentBTree::txn_commit(self)
+    }
+
+    fn vacuum(&self) -> usize {
+        ConcurrentBTree::vacuum(self)
     }
 }
 

@@ -65,6 +65,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod arena;
 pub mod blink;
 pub mod counters;
 pub mod coupling;
@@ -77,6 +78,7 @@ pub mod optimistic;
 pub mod recovery;
 pub mod two_phase;
 
+pub use arena::{Arena, NodeId, NodeRef};
 pub use blink::{BLinkStrategy, BLinkTree};
 pub use counters::{OpCounters, OpCountersSnapshot};
 pub use coupling::{LockCouplingStrategy, LockCouplingTree};

@@ -62,6 +62,14 @@ pub trait ConcurrentMap<V>: Send + Sync {
     /// retained across operations. A no-op for every non-recovery
     /// protocol, so harness workers may call it unconditionally.
     fn txn_commit(&self) {}
+
+    /// Unlinks emptied leaves and recycles their arena slots, returning
+    /// the number reclaimed. A no-op (returning 0) for implementations
+    /// without slot reclamation, so callers may invoke it
+    /// unconditionally.
+    fn vacuum(&self) -> usize {
+        0
+    }
 }
 
 impl<V, S> ConcurrentMap<V> for DescentTree<V, S>
@@ -119,6 +127,10 @@ where
 
     fn txn_commit(&self) {
         DescentTree::txn_commit(self)
+    }
+
+    fn vacuum(&self) -> usize {
+        DescentTree::vacuum(self)
     }
 }
 

@@ -1,36 +1,50 @@
 //! Shared node representation for all three concurrent B+-trees.
 //!
-//! Nodes are `Arc<RwLock<Node<V>>>`; internal nodes hold child `Arc`s, so
-//! the structure is safely shared without a slab or unsafe code. Every
-//! node — in every protocol — maintains Lehman–Yao metadata (high key and
-//! right link): the link protocols need it for correctness, the others
-//! carry it for free and it enables one common invariant checker.
+//! Nodes live in a per-tree slab [`Arena`] and are addressed by
+//! generation-checked [`NodeId`] handles (see [`crate::arena`]); internal
+//! nodes hold child ids in a fixed-capacity inline array, so routing data
+//! sits in the same cache lines as the node header and splits allocate
+//! nothing but a free-list pop. Every node — in every protocol —
+//! maintains Lehman–Yao metadata (high key and right link): the link
+//! protocols need it for correctness, the others carry it for free and it
+//! enables one common invariant checker.
+//!
+//! Leaf *values* are the one heap-allocated part of a node (`V` is an
+//! arbitrary `Clone` type). A published leaf's value buffer is reserved
+//! to the true transient maximum — `cap + 1` values, held momentarily
+//! just before a split — so no insert can ever reallocate a buffer while
+//! optimistic readers may be chasing it. That stability invariant is
+//! asserted on every publish path ([`Node::leaf_insert`]); keys and child
+//! ids are inline [`InlineVec`]s and cannot move by construction.
 
-use cbtree_sync::FcfsRwLock as RwLock;
-use cbtree_sync::SamplePeriod;
-use std::sync::Arc;
+use crate::arena::{Arena, InlineVec, MAX_KEYS, MAX_KIDS};
 
-/// Reference-counted, latch-protected node handle.
-pub type NodeRef<V> = Arc<RwLock<Node<V>>>;
+pub use crate::arena::{NodeId, NodeRef};
 
-/// Children of a node: leaf payloads or internal child pointers.
+/// Children of a node: leaf payloads or internal child ids.
+///
+/// The size gap between the variants is deliberate: child ids are
+/// stored inline (the arena's whole point — no per-node heap chase),
+/// and every node lives in a fixed-size arena slot anyway, so boxing
+/// the large variant would buy nothing and cost an indirection.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum Children<V> {
     /// Leaf: `vals[i]` is the value for `keys[i]`.
     Leaf(Vec<V>),
     /// Internal: `kids.len() == keys.len() + 1`.
-    Internal(Vec<NodeRef<V>>),
+    Internal(InlineVec<NodeId, MAX_KIDS>),
 }
 
 /// One B+-tree node.
 #[derive(Debug)]
 pub struct Node<V> {
-    /// Sorted keys (separators for internal nodes).
-    pub keys: Vec<u64>,
-    /// Leaf values or child pointers.
+    /// Sorted keys (separators for internal nodes), stored inline.
+    pub keys: InlineVec<u64, MAX_KEYS>,
+    /// Leaf values or child ids.
     pub children: Children<V>,
     /// Right sibling on the same level (`None` = rightmost).
-    pub right: Option<NodeRef<V>>,
+    pub right: Option<NodeId>,
     /// Exclusive upper bound of this node's key range (`None` = +∞).
     pub high: Option<u64>,
     /// Height: 1 = leaf.
@@ -38,10 +52,11 @@ pub struct Node<V> {
 }
 
 impl<V> Node<V> {
-    /// A fresh empty leaf.
+    /// A fresh empty leaf with no value buffer (scratch/placeholder use;
+    /// leaves published into a tree come from [`Node::new_leaf_for`]).
     pub fn new_leaf() -> Self {
         Node {
-            keys: Vec::new(),
+            keys: InlineVec::new(),
             children: Children::Leaf(Vec::new()),
             right: None,
             high: None,
@@ -49,41 +64,25 @@ impl<V> Node<V> {
         }
     }
 
-    /// Wraps a node into its shared handle with exact lock timing.
-    pub fn into_ref(self) -> NodeRef<V> {
-        self.into_ref_sampled(SamplePeriod::EXACT)
-    }
-
-    /// Wraps a node into its shared handle whose lock times only one in
-    /// `sample.period()` acquisitions (see [`SamplePeriod`]). The lock
-    /// is tagged with the node's level so trace events carry it.
-    pub fn into_ref_sampled(self, sample: SamplePeriod) -> NodeRef<V> {
-        let level = self.level.min(u16::MAX as usize) as u16;
-        let handle = Arc::new(RwLock::with_sampling(self, sample));
-        handle.set_trace_tag(level);
-        handle
+    /// A fresh empty leaf whose value buffer is reserved for a tree of
+    /// node capacity `cap`: a leaf transiently holds `cap + 1` values
+    /// (just before its split), never more, so `cap + 1` is exactly the
+    /// reservation that makes in-place inserts realloc-free for the
+    /// node's lifetime — the buffer-stability invariant OLC's unsafe
+    /// read contract cites.
+    pub fn new_leaf_for(cap: usize) -> Self {
+        Node {
+            keys: InlineVec::new(),
+            children: Children::Leaf(Vec::with_capacity(cap + 1)),
+            right: None,
+            high: None,
+            level: 1,
+        }
     }
 
     /// Whether this is a leaf.
     pub fn is_leaf(&self) -> bool {
         self.level == 1
-    }
-
-    /// Reserves this node's buffers for a tree of node capacity `cap` so
-    /// no later insert can ever reallocate them while the node is
-    /// shared. Keys grow to at most `cap + 1` (transiently overfull,
-    /// just before a split) and internal children to `cap + 2`; the
-    /// OLC optimistic readers read node data without any latch (see
-    /// `FcfsRwLock::read_optimistic`) and rely on the buffers staying
-    /// put for the lifetime of the node. Every constructor that
-    /// publishes a node into a tree must call this first.
-    pub fn reserve_for(&mut self, cap: usize) {
-        let target = cap + 2;
-        self.keys.reserve(target.saturating_sub(self.keys.len()));
-        match &mut self.children {
-            Children::Leaf(vals) => vals.reserve(target.saturating_sub(vals.len())),
-            Children::Internal(kids) => kids.reserve((target + 1).saturating_sub(kids.len())),
-        }
     }
 
     /// Lehman–Yao range test: does this node's key range still cover
@@ -98,13 +97,13 @@ impl<V> Node<V> {
         self.keys.partition_point(|&k| k <= key)
     }
 
-    /// The child handle for `key`.
+    /// The child id `key` routes to.
     ///
     /// # Panics
     /// Panics on leaves.
-    pub fn child_for(&self, key: u64) -> NodeRef<V> {
+    pub fn child_for(&self, key: u64) -> NodeId {
         match &self.children {
-            Children::Internal(kids) => Arc::clone(&kids[self.child_index(key)]),
+            Children::Internal(kids) => kids[self.child_index(key)],
             Children::Leaf(_) => panic!("child_for on a leaf"),
         }
     }
@@ -130,6 +129,15 @@ impl<V> Node<V> {
         };
         self.keys.insert(pos, key);
         if let Children::Leaf(vals) = &mut self.children {
+            // Published leaves are reserved to the `cap + 1` transient
+            // maximum; growing past the reservation would reallocate a
+            // buffer that latch-free readers may hold a pointer into.
+            // (Scratch leaves from `new_leaf()` have no reservation and
+            // are exempt — they are never shared.)
+            debug_assert!(
+                vals.capacity() == 0 || vals.len() < vals.capacity(),
+                "published leaf value buffer would reallocate while shared"
+            );
             vals.insert(pos, val);
         }
         None
@@ -166,21 +174,22 @@ impl<V> Node<V> {
         self.keys.len() > cap
     }
 
-    /// Half-splits this node in place, returning `(separator,
-    /// new_right_sibling)`. Maintains right links and high keys; the
-    /// sibling's lock inherits `sample` (the tree's stats-sampling
-    /// period) and its buffers are pre-reserved for node capacity `cap`
-    /// (see [`Node::reserve_for`]). The caller must hold this node's
-    /// exclusive latch and is responsible for publishing the separator
-    /// to the parent.
-    pub fn half_split(&mut self, cap: usize, sample: SamplePeriod) -> (u64, NodeRef<V>) {
+    /// Half-splits this node in place, returning `(separator, sibling)`.
+    /// The sibling inherits this node's right link and high key; this
+    /// node's high key becomes the separator. The caller must hold this
+    /// node's exclusive latch, install the sibling into the arena, point
+    /// `self.right` at the installed id (see [`split_node`]) and publish
+    /// the separator to the parent. A split leaf's new value buffer is
+    /// reserved for node capacity `cap` (see [`Node::new_leaf_for`]).
+    pub fn half_split(&mut self, cap: usize) -> (u64, Node<V>) {
         let len = self.keys.len();
         debug_assert!(len >= 2);
         let mid = len / 2;
         let (sep, right_keys, right_children) = match &mut self.children {
             Children::Leaf(vals) => {
                 let right_keys = self.keys.split_off(mid);
-                let right_vals = vals.split_off(mid);
+                let mut right_vals = Vec::with_capacity(cap + 1);
+                right_vals.extend(vals.drain(mid..));
                 (right_keys[0], right_keys, Children::Leaf(right_vals))
             }
             Children::Internal(kids) => {
@@ -190,22 +199,19 @@ impl<V> Node<V> {
                 (sep, right_keys, Children::Internal(right_kids))
             }
         };
-        let mut sibling = Node {
+        let sibling = Node {
             keys: right_keys,
             children: right_children,
-            right: self.right.take(),
+            right: self.right,
             high: self.high,
             level: self.level,
         };
-        sibling.reserve_for(cap);
-        let sibling = sibling.into_ref_sampled(sample);
-        self.right = Some(Arc::clone(&sibling));
         self.high = Some(sep);
         (sep, sibling)
     }
 
     /// Inserts a separator/child pair into this internal node.
-    pub fn insert_separator(&mut self, sep: u64, child: NodeRef<V>) {
+    pub fn insert_separator(&mut self, sep: u64, child: NodeId) {
         debug_assert!(!self.is_leaf());
         let pos = self.keys.partition_point(|&k| k < sep);
         self.keys.insert(pos, sep);
@@ -215,26 +221,33 @@ impl<V> Node<V> {
     }
 }
 
-/// Makes a new root over `left` and `right` separated by `sep`; its lock
-/// inherits `sample`, the tree's stats-sampling period, and its buffers
-/// are pre-reserved for node capacity `cap` (see [`Node::reserve_for`]).
+/// Half-splits the node behind an exclusive latch, installs the new
+/// sibling into `arena`, and links it: the composition every split site
+/// uses. Returns `(separator, sibling_handle)`.
+pub fn split_node<V>(arena: &Arena<V>, node: &mut Node<V>, cap: usize) -> (u64, NodeRef<V>) {
+    let (sep, sibling) = node.half_split(cap);
+    let sib = arena.alloc(sibling);
+    node.right = Some(sib.id());
+    (sep, sib)
+}
+
+/// Makes a new root over `left` and `right` separated by `sep` and
+/// installs it into `arena`. Internal nodes are entirely inline, so no
+/// buffer reservation is needed.
 pub fn make_root<V>(
-    left: NodeRef<V>,
+    arena: &Arena<V>,
+    left: NodeId,
     sep: u64,
-    right: NodeRef<V>,
+    right: NodeId,
     level: usize,
-    cap: usize,
-    sample: SamplePeriod,
 ) -> NodeRef<V> {
-    let mut root = Node {
-        keys: vec![sep],
-        children: Children::Internal(vec![left, right]),
+    arena.alloc(Node {
+        keys: InlineVec::from_slice(&[sep]),
+        children: Children::Internal(InlineVec::from_slice(&[left, right])),
         right: None,
         high: None,
         level,
-    };
-    root.reserve_for(cap);
-    root.into_ref_sampled(sample)
+    })
 }
 
 /// Collects `[lo, hi)` by walking the leaf chain rightward from `leaf`,
@@ -242,18 +255,31 @@ pub fn make_root<V>(
 /// updates: keys present for the whole scan are returned exactly once
 /// (splits only move keys right, and the walk follows right links), but
 /// concurrent inserts/removes may or may not be observed.
-pub fn collect_range<V: Clone>(leaf: NodeRef<V>, lo: u64, hi: u64, out: &mut Vec<(u64, V)>) {
+///
+/// Returns `None` when the scan completed, or `Some(resume_lo)` when a
+/// latched leaf turned out to be **stale** (its arena slot was recycled
+/// by a concurrent vacuum between the unlatched hop and the latch
+/// acquisition): the caller must re-descend to `resume_lo` and continue.
+/// Keys below `resume_lo` have all been emitted — only empty leaves are
+/// ever vacuumed, and crossing a live leaf advances the cursor to its
+/// high key — so the restart neither duplicates nor drops keys.
+pub fn collect_range<V: Clone>(
+    leaf: NodeRef<V>,
+    lo: u64,
+    hi: u64,
+    out: &mut Vec<(u64, V)>,
+) -> Option<u64> {
     let mut cur = leaf;
+    let mut lo = lo;
     loop {
         let next = {
-            let g = cur.read();
+            let g = cur.read_guard();
+            if g.stale() {
+                return Some(lo);
+            }
             if !g.covers(lo) {
                 // A split moved our range right before we latched.
-                Arc::clone(
-                    g.right
-                        .as_ref()
-                        .expect("finite high key implies right link"),
-                )
+                g.right.expect("finite high key implies right link")
             } else {
                 if let Children::Leaf(vals) = &g.children {
                     for (i, &k) in g.keys.iter().enumerate() {
@@ -262,52 +288,60 @@ pub fn collect_range<V: Clone>(leaf: NodeRef<V>, lo: u64, hi: u64, out: &mut Vec
                         }
                     }
                 }
-                let exhausted = g.high.is_none_or(|h| h >= hi);
-                if exhausted {
-                    return;
+                match g.high {
+                    None => return None,
+                    Some(h) if h >= hi => return None,
+                    Some(h) => {
+                        // Everything below the high key is now emitted;
+                        // a restart resumes past it.
+                        lo = lo.max(h);
+                        g.right.expect("finite high key")
+                    }
                 }
-                Arc::clone(g.right.as_ref().expect("finite high key"))
             }
         };
-        cur = next;
+        cur.goto(next);
     }
 }
 
 /// Visits every node handle in the tree, top level first. Walks the
-/// leftmost spine downward and each level's right-link chain — since all
-/// protocols maintain right links and nodes are never unlinked
-/// (merge-at-empty), this reaches every node. `f` receives `(level,
-/// handle)` and can read the handle's embedded lock statistics without
-/// latching. The walk uses version-validated optimistic reads so that
-/// on a quiescent tree it never perturbs those statistics — a latched
-/// walk would charge one read acquisition per node to whatever
-/// measurement window the caller is snapshotting. A node whose window
-/// keeps failing (a writer in residence, or version bumps mid-walk) is
-/// retried a few times and then read under a blocking shared latch, so
-/// a non-quiescent caller gets a slightly perturbed snapshot rather
-/// than an abort.
+/// leftmost spine downward and each level's right-link chain — all
+/// protocols maintain right links, so this reaches every node. `f`
+/// receives `(level, handle)` and can read the handle's embedded lock
+/// statistics without latching. The walk uses version-validated
+/// optimistic reads so that on a quiescent tree it never perturbs those
+/// statistics — a latched walk would charge one read acquisition per
+/// node to whatever measurement window the caller is snapshotting. A
+/// node whose window keeps failing (a writer in residence, a version
+/// bump mid-walk, or a slot recycled by a concurrent vacuum) is retried
+/// a few times and then read under a blocking shared latch, so a
+/// non-quiescent caller gets a slightly perturbed snapshot rather than
+/// an abort. Callers wanting an exact snapshot must ensure quiescence
+/// (no concurrent mutation or vacuum).
 #[allow(unsafe_code)]
 pub fn for_each_handle<V>(root: &NodeRef<V>, mut f: impl FnMut(usize, &NodeRef<V>)) {
-    type Peek<V> = (usize, Option<NodeRef<V>>, Option<NodeRef<V>>);
-    fn read<V>(n: &Node<V>) -> Peek<V> {
+    type Peek = (usize, Option<NodeId>, Option<NodeId>);
+    fn read<V>(n: &Node<V>) -> Peek {
         let first_child = match &n.children {
-            Children::Internal(kids) => kids.first().map(Arc::clone),
+            Children::Internal(kids) => kids.first().copied(),
             Children::Leaf(_) => None,
         };
-        (n.level, first_child, n.right.as_ref().map(Arc::clone))
+        (n.level, first_child, n.right)
     }
     let peek = |node: &NodeRef<V>| {
         // A few optimistic retries ride out a straggling writer or a
         // version bump; on a genuinely quiescent tree the first attempt
         // succeeds and no latch is ever taken.
         for _ in 0..8 {
-            // SAFETY: `read` copies the POD level, clones node `Arc`s —
-            // handles stay alive for the tree's lifetime (nodes are
-            // never unlinked) — through checked accesses only, and
-            // materializes no value; a torn result is discarded on
-            // failed validation.
+            // SAFETY: `read` copies only POD fields (level and child
+            // ids) through checked accesses and materializes no value;
+            // a torn result is discarded on failed validation. The
+            // post-validation staleness check rejects windows read from
+            // a slot recycled since the handle was created.
             if let Some((_, out)) = unsafe { node.read_optimistic(read) } {
-                return out;
+                if !node.stale() {
+                    return out;
+                }
             }
             std::thread::yield_now();
         }
@@ -316,16 +350,16 @@ pub fn for_each_handle<V>(root: &NodeRef<V>, mut f: impl FnMut(usize, &NodeRef<V
         // window) rather than aborting the walk.
         read(&node.read())
     };
-    let mut leftmost = Some(Arc::clone(root));
+    let mut leftmost = Some(root.clone());
     while let Some(first) = leftmost.take() {
         let mut cur = Some(first);
         while let Some(node) = cur.take() {
             let (level, first_child, right) = peek(&node);
             if leftmost.is_none() {
-                leftmost = first_child;
+                leftmost = first_child.map(|id| node.at(id));
             }
             f(level, &node);
-            cur = right;
+            cur = right.map(|id| node.at(id));
         }
     }
 }
@@ -335,12 +369,12 @@ pub fn for_each_handle<V>(root: &NodeRef<V>, mut f: impl FnMut(usize, &NodeRef<V
 /// must ensure the tree is quiescent.
 pub fn level_heads<V>(root: &NodeRef<V>) -> Vec<NodeRef<V>> {
     let mut heads = Vec::new();
-    let mut cur = Some(Arc::clone(root));
+    let mut cur = Some(root.clone());
     while let Some(node) = cur.take() {
         cur = {
             let g = node.read();
             match &g.children {
-                Children::Internal(kids) => Some(Arc::clone(&kids[0])),
+                Children::Internal(kids) => Some(node.at(kids[0])),
                 Children::Leaf(_) => None,
             }
         };
@@ -353,9 +387,9 @@ pub fn level_heads<V>(root: &NodeRef<V>) -> Vec<NodeRef<V>> {
 /// (audit accessor; quiescent use).
 pub fn level_chain<V>(head: &NodeRef<V>) -> Vec<NodeRef<V>> {
     let mut chain = Vec::new();
-    let mut cur = Some(Arc::clone(head));
+    let mut cur = Some(head.clone());
     while let Some(node) = cur.take() {
-        cur = node.read().right.as_ref().map(Arc::clone);
+        cur = node.read().right.map(|id| node.at(id));
         chain.push(node);
     }
     chain
@@ -371,6 +405,9 @@ pub fn check_invariants<V>(root: &NodeRef<V>, cap: usize) -> Result<(), String> 
         min: Option<u64>,
         high: Option<u64>,
     ) -> Result<usize, String> {
+        if node.stale() {
+            return Err("handle is stale (slot recycled)".into());
+        }
         let n = node.read();
         if !n.keys.windows(2).all(|w| w[0] < w[1]) {
             return Err("keys not strictly sorted".into());
@@ -413,14 +450,14 @@ pub fn check_invariants<V>(root: &NodeRef<V>, cap: usize) -> Result<(), String> 
                     ))?;
                 }
                 let mut height = None;
-                for (i, kid) in kids.iter().enumerate() {
+                for (i, &kid) in kids.iter().enumerate() {
                     let lo = if i == 0 { min } else { Some(n.keys[i - 1]) };
                     let hi = if i == kids.len() - 1 {
                         n.high
                     } else {
                         Some(n.keys[i])
                     };
-                    let h = walk(kid, cap, lo, hi)?;
+                    let h = walk(&node.at(kid), cap, lo, hi)?;
                     if *height.get_or_insert(h) != h {
                         return Err("children at unequal heights".into());
                     }
@@ -435,9 +472,14 @@ pub fn check_invariants<V>(root: &NodeRef<V>, cap: usize) -> Result<(), String> 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cbtree_sync::SamplePeriod;
+
+    fn arena() -> Arena<u64> {
+        Arena::new(SamplePeriod::EXACT)
+    }
 
     fn leaf_with(keys: &[u64]) -> Node<u64> {
-        let mut n = Node::new_leaf();
+        let mut n = Node::new_leaf_for(8);
         for &k in keys {
             n.leaf_insert(k, k * 10);
         }
@@ -447,42 +489,46 @@ mod tests {
     #[test]
     fn leaf_insert_get_remove() {
         let mut n = leaf_with(&[5, 1, 3]);
-        assert_eq!(n.keys, vec![1, 3, 5]);
+        assert_eq!(&n.keys[..], &[1, 3, 5]);
         assert_eq!(n.leaf_get(3), Some(&30));
         assert_eq!(n.leaf_insert(3, 99), Some(30));
         assert_eq!(n.leaf_get(3), Some(&99));
         assert_eq!(n.leaf_remove(1), Some(10));
         assert_eq!(n.leaf_remove(1), None);
-        assert_eq!(n.keys, vec![3, 5]);
+        assert_eq!(&n.keys[..], &[3, 5]);
     }
 
     #[test]
     fn leaf_split_keeps_order_and_links() {
+        let arena = arena();
         let mut n = leaf_with(&[1, 2, 3, 4, 5]);
-        let (sep, sib) = n.half_split(4, SamplePeriod::EXACT);
+        let (sep, sib) = split_node(&arena, &mut n, 4);
         assert_eq!(sep, 3);
-        assert_eq!(n.keys, vec![1, 2]);
+        assert_eq!(&n.keys[..], &[1, 2]);
         assert_eq!(n.high, Some(3));
         let s = sib.read();
-        assert_eq!(s.keys, vec![3, 4, 5]);
-        assert!(n.right.as_ref().is_some_and(|r| Arc::ptr_eq(r, &sib)));
+        assert_eq!(&s.keys[..], &[3, 4, 5]);
+        assert_eq!(n.right, Some(sib.id()));
     }
 
     #[test]
     fn internal_split_moves_separator_up() {
-        let kids: Vec<NodeRef<u64>> = (0..6).map(|_| Node::new_leaf().into_ref()).collect();
+        let arena = arena();
+        let kid_ids: Vec<NodeId> = (0..6)
+            .map(|_| arena.alloc(Node::new_leaf_for(5)).id())
+            .collect();
         let mut n = Node {
-            keys: vec![10, 20, 30, 40, 50],
-            children: Children::Internal(kids),
+            keys: InlineVec::from_slice(&[10, 20, 30, 40, 50]),
+            children: Children::Internal(InlineVec::from_slice(&kid_ids)),
             right: None,
             high: None,
             level: 2,
         };
-        let (sep, sib) = n.half_split(5, SamplePeriod::EXACT);
+        let (sep, sib) = split_node(&arena, &mut n, 5);
         assert_eq!(sep, 30);
-        assert_eq!(n.keys, vec![10, 20]);
+        assert_eq!(&n.keys[..], &[10, 20]);
         let s = sib.read();
-        assert_eq!(s.keys, vec![40, 50]);
+        assert_eq!(&s.keys[..], &[40, 50]);
         match (&n.children, &s.children) {
             (Children::Internal(a), Children::Internal(b)) => {
                 assert_eq!(a.len(), 3);
@@ -508,10 +554,13 @@ mod tests {
 
     #[test]
     fn child_index_routing() {
-        let kids: Vec<NodeRef<u64>> = (0..3).map(|_| Node::new_leaf().into_ref()).collect();
-        let n = Node {
-            keys: vec![10, 20],
-            children: Children::Internal(kids),
+        let arena = arena();
+        let kid_ids: Vec<NodeId> = (0..3)
+            .map(|_| arena.alloc(Node::new_leaf_for(4)).id())
+            .collect();
+        let n: Node<u64> = Node {
+            keys: InlineVec::from_slice(&[10, 20]),
+            children: Children::Internal(InlineVec::from_slice(&kid_ids)),
             right: None,
             high: None,
             level: 2,
@@ -523,29 +572,48 @@ mod tests {
         assert_eq!(n.child_index(99), 2);
     }
 
-    #[test]
-    fn invariant_checker_accepts_valid_tree() {
-        let left = leaf_with(&[1, 2]).into_ref();
-        let right = leaf_with(&[5, 6]).into_ref();
+    /// Two linked leaves under a fresh root, for the invariant tests.
+    fn two_leaf_tree(arena: &Arena<u64>, left_keys: &[u64]) -> NodeRef<u64> {
+        let left = arena.alloc(leaf_with(left_keys));
+        let right = arena.alloc(leaf_with(&[5, 6]));
         {
             let mut l = left.write();
             l.high = Some(5);
-            l.right = Some(Arc::clone(&right));
+            l.right = Some(right.id());
         }
-        let root = make_root(left, 5, right, 2, 4, SamplePeriod::EXACT);
+        make_root(arena, left.id(), 5, right.id(), 2)
+    }
+
+    #[test]
+    fn invariant_checker_accepts_valid_tree() {
+        let arena = arena();
+        let root = two_leaf_tree(&arena, &[1, 2]);
         check_invariants(&root, 4).unwrap();
     }
 
     #[test]
     fn invariant_checker_rejects_bad_separator() {
-        let left = leaf_with(&[1, 9]).into_ref(); // 9 >= separator 5
-        let right = leaf_with(&[5, 6]).into_ref();
-        {
-            let mut l = left.write();
-            l.high = Some(5);
-            l.right = Some(Arc::clone(&right));
-        }
-        let root = make_root(left, 5, right, 2, 4, SamplePeriod::EXACT);
+        let arena = arena();
+        let root = two_leaf_tree(&arena, &[1, 9]); // 9 >= separator 5
         assert!(check_invariants(&root, 4).is_err());
+    }
+
+    #[test]
+    fn invariant_checker_rejects_stale_child() {
+        let arena = arena();
+        let root = two_leaf_tree(&arena, &[1, 2]);
+        check_invariants(&root, 4).unwrap();
+        // Retire the right leaf without unlinking it from the parent —
+        // exactly the inconsistency a buggy vacuum would leave behind.
+        let right_id = match &root.read().children {
+            Children::Internal(kids) => kids[1],
+            Children::Leaf(_) => unreachable!(),
+        };
+        let right = root.at(right_id);
+        let mut g = right.write_guard();
+        arena.retire(&mut g);
+        drop(g);
+        let err = check_invariants(&root, 4).unwrap_err();
+        assert!(err.contains("stale"), "got: {err}");
     }
 }

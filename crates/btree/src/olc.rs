@@ -19,6 +19,15 @@
 //! the reader latch demand — the term the analytical models charge to
 //! every search at every level — to zero, paying instead a small
 //! restart probability that enters the model as rework.
+//!
+//! Because nodes live in a recycling slab arena (slots of vacuumed
+//! leaves are reused — see [`crate::arena`]), version validation alone
+//! is not enough: a handle held across an unlatched window may name a
+//! slot that was retired and re-allocated, whose *fresh* version
+//! validates fine. Every optimistic acceptance therefore also re-checks
+//! the handle's slot **generation** after the validated window, and the
+//! latched reads an OLC descent hands off to do the same before trusting
+//! the guard.
 
 use crate::descent::{DescentTree, LatchStrategy, ReadPolicy, UpdatePolicy};
 
@@ -108,9 +117,9 @@ unsafe impl<T: Clone> OlcValue for Box<T> {
 }
 // SAFETY: latched materialization (`IN_WINDOW = false`) is always sound
 // (a torn refcount pointer must never be dereferenced, so `Arc` clones
-// of *values* stay under the leaf latch; the never-unlinked node
-// handles the descent itself clones are a separate, documented
-// discipline).
+// of *values* stay under the leaf latch; the node *handles* the descent
+// itself copies are plain `Copy` slab indices validated by slot
+// generation, a separate discipline — see `crate::arena`).
 #[allow(unsafe_code)]
 unsafe impl<T: ?Sized> OlcValue for std::sync::Arc<T> {
     const IN_WINDOW: bool = false;

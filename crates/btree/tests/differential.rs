@@ -6,6 +6,11 @@
 //! run a schedule-perturbed concurrent workload, and OLC's restart
 //! counters are sanity-checked in both regimes (zero single-threaded,
 //! nonzero under contended injection).
+//!
+//! Both the oracle stream and the perturbed concurrent workload
+//! interleave periodic `vacuum` passes, so slot recycling (a no-op on
+//! the link protocols, real reclamation everywhere else) is exercised
+//! against the oracle on every protocol.
 
 use cbtree_btree::{ConcurrentBTree, Protocol};
 use std::collections::BTreeMap;
@@ -68,6 +73,12 @@ fn all_protocols_match_btreemap_oracle() {
             // op; a no-op for everything else.
             tree.txn_commit();
             assert_eq!(tree.len(), oracle.len(), "{p} op {i}");
+            // Interleave slot reclamation with the op stream (no-op on
+            // the link protocols): recycled-slot reuse must never change
+            // an answer.
+            if i % 500 == 499 {
+                tree.vacuum();
+            }
         }
 
         // Final contents, checked key by key and via one full scan.
@@ -195,6 +206,11 @@ fn all_protocols_survive_perturbed_concurrency() {
                             assert!(tree.insert(k, 1).is_none(), "{p} key {k}");
                         }
                         tree.txn_commit(); // transaction size 1
+                                           // Recycle emptied leaves under the other
+                                           // workers' feet (no-op on the link protocols).
+                        if k % 256 == 0 {
+                            tree.vacuum();
+                        }
                     }
                 });
             }

@@ -12,10 +12,9 @@
 //! All auditors require a quiescent tree (no concurrent mutators); the
 //! stress harness runs them after joining its workers.
 
-use cbtree_btree::node::{self, Children, NodeRef};
+use cbtree_btree::node::{self, Children, NodeId, NodeRef};
 use cbtree_btree::ConcurrentMap;
 use std::collections::BTreeMap;
-use std::sync::Arc;
 
 /// Summary of a passing audit.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -110,7 +109,7 @@ pub fn audit_root(root: &NodeRef<u64>, cap: usize) -> Result<AuditReport, String
             audit_separators(parents, &chain, depth)?;
         }
         nodes_per_level.push(chain.len());
-        if Arc::ptr_eq(head, heads.last().expect("non-empty")) {
+        if depth + 1 == heads.len() {
             keys = chain.iter().map(|n| n.read().keys.len()).sum();
         }
         parent_chain = Some(chain);
@@ -178,11 +177,11 @@ fn audit_separators(
     children_chain: &[NodeRef<u64>],
     child_depth: usize,
 ) -> Result<(), String> {
-    let mut via_parents: Vec<*const ()> = Vec::new();
+    let mut via_parents: Vec<NodeId> = Vec::new();
     for p in parents {
         let g = p.read();
         if let Children::Internal(kids) = &g.children {
-            via_parents.extend(kids.iter().map(|k| Arc::as_ptr(k) as *const ()));
+            via_parents.extend(kids.iter().copied());
         } else {
             return Err(format!(
                 "level-{} node is a leaf but has a child level below",
@@ -190,10 +189,7 @@ fn audit_separators(
             ));
         }
     }
-    let via_chain: Vec<*const ()> = children_chain
-        .iter()
-        .map(|n| Arc::as_ptr(n) as *const ())
-        .collect();
+    let via_chain: Vec<NodeId> = children_chain.iter().map(|n| n.id()).collect();
     if via_parents != via_chain {
         return Err(format!(
             "level-{child_depth} separator audit: parents reach {} children, right-link chain has {} — a split sibling was lost or the chain was rewired",
@@ -255,12 +251,13 @@ mod tests {
         let leaf_head = heads.last().unwrap();
         let chain = node::level_chain(leaf_head);
         assert!(chain.len() >= 3, "need >= 3 leaves to skip one");
-        let skip_to = Arc::clone(&chain[2]);
+        let skip_to = chain[2].id();
+        let skip_low = chain[2].read().keys[0];
         {
             let mut g = chain[0].write();
             g.right = Some(skip_to);
             // Keep right/high pairing legal so only the skip is wrong.
-            g.high = Some(chain[2].read().keys[0]);
+            g.high = Some(skip_low);
         }
         let err = audit_root(&root, t.capacity()).unwrap_err();
         assert!(
@@ -281,9 +278,9 @@ mod tests {
             .iter()
             .find(|n| n.read().keys.len() >= 2)
             .expect("some leaf has >= 2 keys");
-        victim
-            .write()
-            .half_split(t.capacity(), cbtree_sync::SamplePeriod::EXACT);
+        // `split_node` allocates the sibling and links it into the leaf
+        // chain but — unlike a real insert — never posts the separator.
+        node::split_node(victim.arena(), &mut victim.write(), t.capacity());
         let err = audit_root(&root, t.capacity()).unwrap_err();
         assert!(err.contains("separator audit"), "{err}");
     }

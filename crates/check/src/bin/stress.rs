@@ -9,18 +9,18 @@
 //!                                the perturbation decision stream is a pure
 //!                                function of the seed, so the run replays
 //!                                the same schedule pressure
-//! stress --demo-bug              run both known-bad readers (latched and
-//!                                optimistic); exits 0 iff the checker
-//!                                convicts each of them
+//! stress --demo-bug              run all three known-bad readers (latched,
+//!                                optimistic, and recycling-blind); exits 0
+//!                                iff the checker convicts each of them
 //! ```
 //!
 //! Exits non-zero on any failure so CI can gate on it.
 
 use cbtree_btree::Protocol;
 use cbtree_check::history::ConcurrentMap;
-use cbtree_check::stress::{run_stress, run_stress_on, StressConfig};
+use cbtree_check::stress::{run_stress, run_stress_on, StressConfig, StressOutcome};
 use cbtree_check::{
-    buggy::{SkipParentRevalidation, SkipRightLink},
+    buggy::{run_recycle_conviction, SkipParentRevalidation, SkipRightLink},
     Verdict,
 };
 
@@ -204,8 +204,8 @@ fn main() {
     );
 }
 
-/// Runs both known-bad readers until the checker convicts each. Exit 0 =
-/// the pillar has teeth; exit 1 = some bug escaped every seed.
+/// Runs all three known-bad readers until the checker convicts each.
+/// Exit 0 = the pillar has teeth; exit 1 = some bug escaped every seed.
 fn demo_bug(args: &Args) -> i32 {
     let mut status = 0;
     status |= drive_bug(
@@ -220,7 +220,42 @@ fn demo_bug(args: &Args) -> i32 {
         "SkipParentRevalidation (OLC reader that skips the parent re-validation)",
         SkipParentRevalidation::new,
     );
+    // The recycling-blind reader needs a *directed* scenario: the
+    // convicting interleaving (split moves the key right, the held
+    // leaf's remnant drains and is vacuumed, the key itself untouched)
+    // is vanishingly rare under the random sweep — by the time a leaf
+    // drains naturally, the read key is gone with it, and the buggy
+    // `None` is linearizable.
+    status |= drive_scenario(
+        args,
+        "SkipGenerationCheck (reader that trusts a handle across a vacuum window)",
+        run_recycle_conviction,
+    );
     status
+}
+
+/// Runs a directed conviction scenario up to `--seeds` times (each run
+/// records a real two-thread race; scheduling can let one slip).
+fn drive_scenario(args: &Args, what: &str, run: impl Fn() -> StressOutcome) -> i32 {
+    println!("driving {what}");
+    for attempt in 1..=args.seeds.max(1) {
+        let out = run();
+        println!(
+            "  attempt {:>2}: {:>15} {}",
+            attempt,
+            verdict_name(&out.verdict),
+            if out.passed() { "(escaped)" } else { "CAUGHT" }
+        );
+        if !out.passed() {
+            if let Some(why) = out.failure() {
+                println!("\n{why}");
+            }
+            println!("bug caught at attempt {attempt}; the checker has teeth.");
+            return 0;
+        }
+    }
+    eprintln!("demo-bug: {what} escaped every attempt");
+    1
 }
 
 fn drive_bug<M: ConcurrentMap<u64>>(

@@ -11,7 +11,7 @@
 
 use cbtree_workload::Operation;
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, PoisonError};
 use std::time::Instant;
 
 /// One queued operation with its admission timestamp.
@@ -76,8 +76,14 @@ impl IngressQueue {
     }
 
     /// Admits `item`, or sheds it when the queue is full (or closed).
+    ///
+    /// Poison-tolerant: a worker that panics while holding the queue
+    /// mutex poisons it, but the queue's state is valid after every
+    /// partial operation (a half-done push/pop cannot exist — each is a
+    /// single `VecDeque` call), so producers recover the guard instead
+    /// of propagating a panic storm through every generator thread.
     pub fn try_push(&self, item: QueuedOp) -> Result<(), Shed> {
-        let mut g = self.inner.lock().expect("ingress queue poisoned");
+        let mut g = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         if g.closed || g.items.len() >= self.capacity {
             return Err(Shed::QueueFull);
         }
@@ -91,7 +97,7 @@ impl IngressQueue {
     /// Blocks until an operation is available or the queue is closed
     /// *and* empty (drain-then-exit shutdown).
     pub fn pop(&self) -> Option<QueuedOp> {
-        let mut g = self.inner.lock().expect("ingress queue poisoned");
+        let mut g = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(item) = g.items.pop_front() {
                 return Some(item);
@@ -99,14 +105,20 @@ impl IngressQueue {
             if g.closed {
                 return None;
             }
-            g = self.not_empty.wait(g).expect("ingress queue poisoned");
+            g = self
+                .not_empty
+                .wait(g)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Closes the queue: pending items are still drained by `pop`, new
     /// pushes shed, and blocked workers wake once the queue empties.
     pub fn close(&self) {
-        self.inner.lock().expect("ingress queue poisoned").closed = true;
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .closed = true;
         self.not_empty.notify_all();
     }
 
@@ -114,14 +126,17 @@ impl IngressQueue {
     pub fn depth(&self) -> usize {
         self.inner
             .lock()
-            .expect("ingress queue poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .items
             .len()
     }
 
     /// Deepest the queue has ever been.
     pub fn depth_high_water(&self) -> usize {
-        self.inner.lock().expect("ingress queue poisoned").depth_hwm
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .depth_hwm
     }
 }
 
@@ -168,5 +183,31 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         q.try_push(item()).unwrap();
         assert!(h.join().unwrap().is_some());
+    }
+
+    #[test]
+    fn poisoned_queue_keeps_serving() {
+        // One worker panicking while holding the queue mutex must not
+        // cascade: producers and consumers recover the poisoned guard
+        // and keep operating on the (still valid) queue state.
+        let q = std::sync::Arc::new(IngressQueue::new(4));
+        q.try_push(item()).unwrap();
+        let q2 = std::sync::Arc::clone(&q);
+        let panicked = std::thread::spawn(move || {
+            let _g = q2.inner.lock().unwrap();
+            panic!("worker dies while holding the ingress queue");
+        })
+        .join();
+        assert!(panicked.is_err(), "the worker really panicked");
+        assert!(q.inner.is_poisoned(), "the mutex really was poisoned");
+        // Every entry point still works.
+        assert!(q.try_push(item()).is_ok());
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.depth_high_water(), 2);
+        assert!(q.pop().is_some());
+        assert!(q.pop().is_some());
+        q.close();
+        assert_eq!(q.try_push(item()), Err(Shed::QueueFull), "closed sheds");
+        assert!(q.pop().is_none(), "drain-then-exit shutdown still works");
     }
 }

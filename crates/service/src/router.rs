@@ -141,4 +141,102 @@ mod tests {
     fn more_shards_than_keys_rejected() {
         let _ = KeyRangeRouter::with_space(10, Some(5));
     }
+
+    /// Splitmix64: a tiny seeded generator for the property sweeps.
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The property at the heart of routing: `route(boundary(i)) == i`
+    /// for every shard, and ranges are contiguous and non-overlapping,
+    /// over randomized `(space, shards)` pairs — including shard counts
+    /// near the key-space size, where the integer division is tightest.
+    #[test]
+    fn boundaries_route_home_for_random_spaces() {
+        let mut state = 0xC0FF_EE00_u64;
+        for round in 0..200 {
+            // Mix tiny, near-space, and huge configurations.
+            let space = match round % 4 {
+                0 => 1 + splitmix(&mut state) % 64,
+                1 => 1 + splitmix(&mut state) % 1_000_000,
+                2 => u64::MAX - splitmix(&mut state) % 1024,
+                _ => 1 + splitmix(&mut state),
+            };
+            let max_shards = space.min(u16::MAX as u64).min(512);
+            let shards = (1 + splitmix(&mut state) % max_shards) as usize;
+            let r = KeyRangeRouter::with_space(shards, Some(space));
+            let mut prev_hi: Option<u64> = None;
+            for i in 0..shards {
+                let (lo, hi) = r.range(i);
+                assert!(lo <= hi, "space={space} m={shards} i={i}: empty range");
+                // Contiguous, non-overlapping coverage.
+                match prev_hi {
+                    None => assert_eq!(lo, 0, "space={space} m={shards}: gap at 0"),
+                    Some(p) => {
+                        assert_eq!(lo, p + 1, "space={space} m={shards} i={i}: gap or overlap")
+                    }
+                }
+                prev_hi = Some(hi);
+                // Both ends of every range route home, as does the key
+                // just below the upper boundary.
+                assert_eq!(r.shard_of(lo), i, "space={space} m={shards} i={i} lo");
+                assert_eq!(r.shard_of(hi), i, "space={space} m={shards} i={i} hi");
+                if hi > lo {
+                    assert_eq!(r.shard_of(hi - 1), i, "space={space} m={shards} i={i}");
+                }
+            }
+            assert_eq!(prev_hi, Some(u64::MAX), "last shard absorbs the clamp");
+            // A random scatter of keys all land inside their shard's range.
+            for _ in 0..64 {
+                let key = splitmix(&mut state);
+                let i = r.shard_of(key);
+                let (lo, hi) = r.range(i);
+                assert!(
+                    key >= lo && key <= hi,
+                    "space={space} m={shards}: key {key} routed to [{lo}, {hi}]"
+                );
+            }
+        }
+    }
+
+    /// The full-`u64`-space router (no clamping path at all): every
+    /// boundary routes home and coverage is exact, including `u64::MAX`.
+    #[test]
+    fn full_space_boundaries_route_home() {
+        let mut state = 0xBEEF_u64;
+        for _ in 0..40 {
+            let shards = (1 + splitmix(&mut state) % 300) as usize;
+            let r = KeyRangeRouter::new(shards);
+            let mut prev_hi: Option<u64> = None;
+            for i in 0..shards {
+                let (lo, hi) = r.range(i);
+                match prev_hi {
+                    None => assert_eq!(lo, 0),
+                    Some(p) => assert_eq!(lo, p + 1, "m={shards} i={i}"),
+                }
+                prev_hi = Some(hi);
+                assert_eq!(r.shard_of(lo), i, "m={shards} i={i} lo");
+                assert_eq!(r.shard_of(hi), i, "m={shards} i={i} hi");
+            }
+            assert_eq!(prev_hi, Some(u64::MAX));
+            assert_eq!(r.shard_of(u64::MAX), shards - 1);
+        }
+    }
+
+    /// Degenerate but legal: as many shards as keys — every shard owns
+    /// exactly one key.
+    #[test]
+    fn one_key_per_shard() {
+        let r = KeyRangeRouter::with_space(7, Some(7));
+        for k in 0..7u64 {
+            assert_eq!(r.shard_of(k), k as usize);
+            assert_eq!(r.range(k as usize), (k, if k == 6 { u64::MAX } else { k }));
+        }
+        assert_eq!(r.shard_of(7), 6, "clamped");
+        assert_eq!(r.shard_of(u64::MAX), 6, "clamped");
+    }
 }

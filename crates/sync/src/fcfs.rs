@@ -58,6 +58,7 @@ use std::cell::UnsafeCell;
 use std::collections::VecDeque;
 use std::fmt;
 use std::ops::{Deref, DerefMut};
+use std::ptr::NonNull;
 use std::sync::atomic::{AtomicU16, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
@@ -526,6 +527,64 @@ impl<T: ?Sized> FcfsRwLock<T> {
         })
     }
 
+    /// Shared latch with an *unowned* guard: the guard keeps a raw
+    /// pointer to this lock and releases through it on drop, without
+    /// borrowing the lock or holding a strong reference to it. This is
+    /// the guard shape for locks embedded in a slab/arena, where the
+    /// storage's liveness is guaranteed by something the caller holds
+    /// (e.g. an `Arc` to the arena) rather than per-lock.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee `self` remains valid (not dropped or
+    /// moved) for the entire lifetime of the returned guard. The usual
+    /// discipline is to pair every unowned guard with an owned handle to
+    /// the allocation containing the lock, dropped only after the guard.
+    pub unsafe fn read_unowned(&self) -> UnownedReadGuard<T> {
+        UnownedReadGuard {
+            hold_start: self.start(false),
+            lock: NonNull::from(self),
+        }
+    }
+
+    /// Exclusive latch with an unowned guard.
+    ///
+    /// # Safety
+    ///
+    /// As for [`FcfsRwLock::read_unowned`]: `self` must outlive the guard.
+    pub unsafe fn write_unowned(&self) -> UnownedWriteGuard<T> {
+        UnownedWriteGuard {
+            hold_start: self.start(true),
+            lock: NonNull::from(self),
+        }
+    }
+
+    /// Non-blocking shared probe with an unowned guard (fast path only,
+    /// like [`FcfsRwLock::try_read_arc`]).
+    ///
+    /// # Safety
+    ///
+    /// As for [`FcfsRwLock::read_unowned`]: `self` must outlive the guard.
+    pub unsafe fn try_read_unowned(&self) -> Option<UnownedReadGuard<T>> {
+        self.try_start(false).map(|hold_start| UnownedReadGuard {
+            hold_start,
+            lock: NonNull::from(self),
+        })
+    }
+
+    /// Non-blocking exclusive probe with an unowned guard (fast path
+    /// only, like [`FcfsRwLock::try_write_arc`]).
+    ///
+    /// # Safety
+    ///
+    /// As for [`FcfsRwLock::read_unowned`]: `self` must outlive the guard.
+    pub unsafe fn try_write_unowned(&self) -> Option<UnownedWriteGuard<T>> {
+        self.try_start(true).map(|hold_start| UnownedWriteGuard {
+            hold_start,
+            lock: NonNull::from(self),
+        })
+    }
+
     /// Snapshots the version counter without acquiring anything.
     /// Returns `None` while a writer holds the latch (an optimistic read
     /// started now could never validate). Costs one atomic load; no
@@ -667,6 +726,105 @@ impl<T: ?Sized> ArcRwLockWriteGuard<T> {
     /// The lock this guard holds.
     pub fn rwlock(this: &Self) -> &Arc<FcfsRwLock<T>> {
         &this.lock
+    }
+}
+
+/// Shared guard releasing through a raw pointer; the lock's liveness is
+/// the caller's obligation (see [`FcfsRwLock::read_unowned`]).
+#[must_use = "dropping the guard releases the latch"]
+pub struct UnownedReadGuard<T: ?Sized> {
+    lock: NonNull<FcfsRwLock<T>>,
+    hold_start: Option<Instant>,
+}
+
+/// Exclusive guard releasing through a raw pointer; the lock's liveness
+/// is the caller's obligation (see [`FcfsRwLock::write_unowned`]).
+#[must_use = "dropping the guard releases the latch"]
+pub struct UnownedWriteGuard<T: ?Sized> {
+    lock: NonNull<FcfsRwLock<T>>,
+    hold_start: Option<Instant>,
+}
+
+// SAFETY: an unowned guard is a held latch plus a pointer to a lock the
+// caller keeps alive; moving it between threads is as sound as for the
+// Arc guards, so the bounds mirror `Arc<FcfsRwLock<T>>`'s.
+unsafe impl<T: ?Sized + Send + Sync> Send for UnownedReadGuard<T> {}
+// SAFETY: shared access through the guard is `&T`; same story as above.
+unsafe impl<T: ?Sized + Send + Sync> Sync for UnownedReadGuard<T> {}
+// SAFETY: as above, with `&mut T` access requiring `T: Send`.
+unsafe impl<T: ?Sized + Send + Sync> Send for UnownedWriteGuard<T> {}
+// SAFETY: as above.
+unsafe impl<T: ?Sized + Send + Sync> Sync for UnownedWriteGuard<T> {}
+
+impl<T: ?Sized> UnownedReadGuard<T> {
+    fn lock(&self) -> &FcfsRwLock<T> {
+        // SAFETY: the constructor's contract — the lock outlives the
+        // guard — makes the pointer valid for the guard's lifetime.
+        unsafe { self.lock.as_ref() }
+    }
+
+    /// The lock this guard holds (associated fn, like the Arc guards').
+    pub fn rwlock(this: &Self) -> &FcfsRwLock<T> {
+        this.lock()
+    }
+}
+
+impl<T: ?Sized> UnownedWriteGuard<T> {
+    fn lock(&self) -> &FcfsRwLock<T> {
+        // SAFETY: as for `UnownedReadGuard::lock`.
+        unsafe { self.lock.as_ref() }
+    }
+
+    /// The lock this guard holds.
+    pub fn rwlock(this: &Self) -> &FcfsRwLock<T> {
+        this.lock()
+    }
+}
+
+impl<T: ?Sized> Deref for UnownedReadGuard<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the guard proves the shared latch is held until Drop.
+        unsafe { &*self.lock().data.get() }
+    }
+}
+
+impl<T: ?Sized> Deref for UnownedWriteGuard<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the guard proves the exclusive latch is held until Drop.
+        unsafe { &*self.lock().data.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for UnownedWriteGuard<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: exclusive latch held for the guard's lifetime.
+        unsafe { &mut *self.lock().data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for UnownedReadGuard<T> {
+    fn drop(&mut self) {
+        self.lock().finish(false, self.hold_start);
+    }
+}
+
+impl<T: ?Sized> Drop for UnownedWriteGuard<T> {
+    fn drop(&mut self) {
+        self.lock().finish(true, self.hold_start);
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for UnownedReadGuard<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for UnownedWriteGuard<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
     }
 }
 

@@ -43,6 +43,7 @@ mod stats;
 
 pub use fcfs::{
     ArcRwLockReadGuard, ArcRwLockWriteGuard, FcfsRwLock, RwLockReadGuard, RwLockWriteGuard,
+    UnownedReadGuard, UnownedWriteGuard,
 };
 pub use histogram::{bucket_floor, bucket_of, Histogram, HistogramSnapshot, BUCKETS};
 pub use inject::{InjectConfig, InjectStats};

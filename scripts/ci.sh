@@ -22,6 +22,10 @@ cargo test --workspace -q
 echo "==> cargo test (inject feature: schedule perturbation compiled in)"
 cargo test --workspace --features inject -q
 
+echo "==> reclamation pillar: differential + conviction suites (inject feature)"
+cargo test -p cbtree-btree --features inject --test differential -q
+cargo test -p cbtree-check --features inject --test e2e -q
+
 echo "==> cargo test (trace feature: event tracing compiled in)"
 cargo test --workspace --features trace -q
 
@@ -51,5 +55,8 @@ target/release/analyze --serve results/serve-smoke.jsonl
 
 echo "==> lock microbenchmark (smoke, trace-off overhead guard vs BENCH_lock.json)"
 target/release/lockbench --smoke --assert-overhead 2 --out BENCH_lock_smoke.json
+
+echo "==> tree storage microbenchmark (smoke, slab-vs-arc overhead guard vs BENCH_tree.json)"
+target/release/treebench --smoke --assert-overhead 15 --out BENCH_tree_smoke.json
 
 echo "==> ok"
