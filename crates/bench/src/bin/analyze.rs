@@ -570,6 +570,8 @@ const SERVE_OVERLAY_MAX_RHO: f64 = 0.7;
 struct ServePoint {
     lambda: f64,
     shard: u64,
+    /// Workers draining this shard's queue — the `c` of M/G/c.
+    c: u32,
     arrival_rate: f64,
     service: cbtree_queueing::mg1::ServiceMoments,
     sojourn_mean_s: f64,
@@ -577,23 +579,29 @@ struct ServePoint {
 }
 
 /// Overlay mode: compare the measured per-shard λ-vs-sojourn curves of
-/// an open-loop `serve` sweep against the M/G/1 Pollaczek–Khinchine
-/// prediction built from each shard's *measured* service moments.
+/// an open-loop `serve` sweep against the M/G/c (Lee–Longton)
+/// prediction built from each shard's *measured* service moments, with
+/// `c` the sweep's workers-per-shard (at `c = 1` the prediction is
+/// exactly M/G/1 Pollaczek–Khinchine, so singleton sweeps are judged as
+/// before). A batched sweep reports per-batch-size service sums; the
+/// overlay folds them through the batch-service moment transform to get
+/// the effective *per-operation* moments the queue actually exhibits.
 ///
 /// The measured sojourn includes a dispatch overhead the queueing model
-/// knows nothing about (condvar wake-up and scheduling latency between
+/// knows nothing about (doorbell wake-up and scheduling latency between
 /// enqueue and dequeue, present even on an empty queue), so the overlay
 /// calibrates it per shard from the sweep's lowest-λ point — exactly the
 /// role the uncontended calibration run plays in `--live` — and checks
 /// the remaining points against `W_q(λ) + E[X] + overhead`. Agreement
-/// is only expected where ρ = λ·E[X] stays low-to-mid (≤ 0.7): past
-/// that, the bounded queue sheds, which an open M/G/1 cannot model.
+/// is only expected where ρ = λ·E[X]/c stays low-to-mid (≤ 0.7): past
+/// that, the bounded queue sheds, which an open M/G/c cannot model.
 fn serve_overlay(path: &std::path::Path, records: &mut Vec<Json>) -> Result<(), String> {
-    use cbtree_queueing::mg1::{sojourn_time, ServiceMoments};
+    use cbtree_queueing::mg1::ServiceMoments;
+    use cbtree_queueing::mgc::sojourn_time;
+    use cbtree_queueing::BatchSizeMoments;
 
     let parsed = cbtree_obs::read_jsonl(path)?;
     let mut points: Vec<ServePoint> = Vec::new();
-    let mut workers_per_shard = 1u64;
     for rec in &parsed {
         if rec.get("type").and_then(Json::as_str) != Some("serve_report") {
             continue;
@@ -602,10 +610,12 @@ fn serve_overlay(path: &std::path::Path, records: &mut Vec<Json>) -> Result<(), 
             .get("lambda")
             .and_then(Json::as_f64)
             .ok_or("serve_report without lambda")?;
-        workers_per_shard = rec
-            .get("workers_per_shard")
-            .and_then(Json::as_u64)
-            .unwrap_or(1);
+        let c = u32::try_from(
+            rec.get("workers_per_shard")
+                .and_then(Json::as_u64)
+                .unwrap_or(1),
+        )
+        .map_err(|_| "workers_per_shard out of range")?;
         let shards = rec
             .get("shards_detail")
             .and_then(Json::as_arr)
@@ -616,14 +626,38 @@ fn serve_overlay(path: &std::path::Path, records: &mut Vec<Json>) -> Result<(), 
                     .and_then(Json::as_f64)
                     .ok_or_else(|| format!("shard record without {key}"))
             };
-            points.push(ServePoint {
-                lambda,
-                shard: sh.get("shard").and_then(Json::as_u64).unwrap_or(0),
-                arrival_rate: f("offered_rate")?,
-                service: ServiceMoments {
+            // Prefer the batch-service transform when per-batch-size
+            // sums are present (older artifacts predate them); the plain
+            // per-op moments are the `batch_max = 1` degenerate case.
+            let batch_sizes: Vec<BatchSizeMoments> = sh
+                .get("batch_sizes")
+                .and_then(Json::as_arr)
+                .map(|arr| {
+                    arr.iter()
+                        .filter_map(|b| {
+                            Some(BatchSizeMoments {
+                                size: u32::try_from(b.get("size")?.as_u64()?).ok()?,
+                                batches: b.get("batches")?.as_u64()?,
+                                service_sum_s: b.get("service_sum_s")?.as_f64()?,
+                                service_sum_sq_s2: b.get("service_sum_sq_s2")?.as_f64()?,
+                            })
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            let service = match cbtree_queueing::batch_service_moments(&batch_sizes) {
+                Some(m) => m,
+                None => ServiceMoments {
                     mean: f("service_mean_s")?,
                     second: f("service_m2_s2")?,
                 },
+            };
+            points.push(ServePoint {
+                lambda,
+                shard: sh.get("shard").and_then(Json::as_u64).unwrap_or(0),
+                c,
+                arrival_rate: f("offered_rate")?,
+                service,
                 sojourn_mean_s: f("sojourn_mean_s")?,
                 shed_rate: f("shed_rate")?,
             });
@@ -635,13 +669,6 @@ fn serve_overlay(path: &std::path::Path, records: &mut Vec<Json>) -> Result<(), 
             path.display()
         ));
     }
-    if workers_per_shard != 1 {
-        println!(
-            "\nserve overlay: skipped — the M/G/1 prediction models one server per \
-             queue, but this sweep ran {workers_per_shard} workers per shard"
-        );
-        return Ok(());
-    }
 
     // Calibrate the per-shard dispatch overhead at the lowest λ.
     let lambda_min = points
@@ -652,29 +679,31 @@ fn serve_overlay(path: &std::path::Path, records: &mut Vec<Json>) -> Result<(), 
         let p = points
             .iter()
             .find(|p| p.lambda == lambda_min && p.shard == shard)?;
-        let predicted = sojourn_time(p.arrival_rate, p.service).ok()?;
+        let predicted = sojourn_time(p.arrival_rate, p.c, p.service).ok()?;
         Some((p.sojourn_mean_s - predicted).max(0.0))
     };
 
     println!(
-        "\nserve overlay: {} ({} points), M/G/1 from measured service moments, \
-         dispatch overhead calibrated at lambda {:.0}",
+        "\nserve overlay: {} ({} points), M/G/c from measured service moments \
+         (c = workers per shard; exact M/G/1 at c = 1), dispatch overhead \
+         calibrated at lambda {:.0}",
         path.display(),
         points.len(),
         lambda_min
     );
     let mut t = Table::new(
-        "open-loop measured vs M/G/1 predicted sojourn, per shard",
+        "open-loop measured vs M/G/c predicted sojourn, per shard",
         &[
-            "lambda", "shard", "rho", "scv", "shed%", "meas(us)", "pred(us)", "ratio", "verdict",
+            "lambda", "shard", "c", "rho", "scv", "shed%", "meas(us)", "pred(us)", "ratio",
+            "verdict",
         ],
     );
     let mut checked = 0u64;
     let mut agreed = 0u64;
     for p in &points {
-        let rho = p.arrival_rate * p.service.mean;
+        let rho = p.arrival_rate * p.service.mean / f64::from(p.c);
         let overhead = overhead_of(p.shard).unwrap_or(0.0);
-        let predicted = sojourn_time(p.arrival_rate, p.service)
+        let predicted = sojourn_time(p.arrival_rate, p.c, p.service)
             .ok()
             .map(|s| s + overhead);
         let ratio = predicted
@@ -703,6 +732,7 @@ fn serve_overlay(path: &std::path::Path, records: &mut Vec<Json>) -> Result<(), 
         t.push(vec![
             fmt_f(p.lambda, 0),
             p.shard.to_string(),
+            p.c.to_string(),
             fmt_f(rho, 3),
             fmt_f(p.service.scv(), 2),
             fmt_f(p.shed_rate * 100.0, 2),
@@ -715,6 +745,7 @@ fn serve_overlay(path: &std::path::Path, records: &mut Vec<Json>) -> Result<(), 
             ("type", "serve_overlay".into()),
             ("lambda", Json::f64_or_null(p.lambda)),
             ("shard", p.shard.into()),
+            ("workers", p.c.into()),
             ("rho", Json::f64_or_null(rho)),
             ("service_scv", Json::f64_or_null(p.service.scv())),
             ("shed_rate", Json::f64_or_null(p.shed_rate)),
@@ -731,7 +762,7 @@ fn serve_overlay(path: &std::path::Path, records: &mut Vec<Json>) -> Result<(), 
     if checked > 0 {
         println!(
             "agreement at rho <= {SERVE_OVERLAY_MAX_RHO}: {agreed}/{checked} points within \
-             {:.0}% of the M/G/1 prediction",
+             {:.0}% of the M/G/c prediction",
             SERVE_OVERLAY_TOLERANCE * 100.0
         );
     } else {

@@ -468,6 +468,33 @@ fn analyze_file(path: &Path, args: &Args, records: &mut Vec<Json>) -> Result<(),
     }
     t.print();
 
+    if let Some(r) = cmp.replayed.as_ref().filter(|r| !r.batches.is_empty()) {
+        let mut t = Table::new(
+            "per-shard batched execution (from trace)",
+            &[
+                "shard",
+                "batches",
+                "ops",
+                "mean-size",
+                "max",
+                "reuse%",
+                "mean-us",
+            ],
+        );
+        for b in &r.batches {
+            t.push(vec![
+                b.shard.to_string(),
+                b.batches.to_string(),
+                b.ops.to_string(),
+                fmt_f(b.mean_size(), 2),
+                b.max_size.to_string(),
+                fmt_f(b.reuse_rate() * 100.0, 1),
+                fmt_f(b.mean_ns / 1e3, 1),
+            ]);
+        }
+        t.print();
+    }
+
     if let (Some(trace), true) = (&run.trace, args.timeline > 0) {
         print_timeline(trace, args.timeline);
     }

@@ -28,7 +28,13 @@
 //! tree's nodes scattered across the heap between `Vec` reallocations,
 //! the slab's packed into its preallocated segments.
 //!
-//! Each arc-vs-slab comparison runs as interleaved pass pairs (drift
+//! A final scenario leaves the storage comparison behind and measures
+//! the batched execution pipeline on the real tree: the same
+//! sequential upsert stream executed one op at a time versus in sorted
+//! chunks through [`ConcurrentBTree::execute_batch`], whose leaf-reuse
+//! amortization is what the service layer's ingress batching buys.
+//!
+//! Each comparison runs as interleaved pass pairs (drift
 //! hits both sides alike) and reports the best-vs-best slab/arc ratio,
 //! which rejects the one-sided preemption noise of loaded hosts. Results
 //! print as a table and are written to `BENCH_tree.json` (hand-rolled
@@ -45,7 +51,7 @@
 
 use cbtree_bench::microbench::Measurement;
 use cbtree_btree::node::{Children, Node, NodeId, NodeRef};
-use cbtree_btree::{Arena, ConcurrentBTree, Protocol};
+use cbtree_btree::{Arena, BatchOp, ConcurrentBTree, Protocol};
 use cbtree_obs::Json;
 use cbtree_sync::FcfsRwLock as RwLock;
 use cbtree_sync::SamplePeriod;
@@ -622,6 +628,60 @@ fn main() -> ExitCode {
             format!("ins-{threads}t"),
             1.0 / ratio.max(f64::MIN_POSITIVE),
         ));
+    }
+
+    // --- sorted-batch vs singleton execution (real BLink tree) ---
+    //
+    // The service layer drains ingress rings in batches and hands each
+    // batch to `execute_batch`, whose key-sorted order lets adjacent
+    // ops reuse the previous op's leaf instead of descending from the
+    // root. This scenario measures that amortization directly: the same
+    // sequential upsert stream executed one op at a time versus in
+    // sorted chunks, on the same tree (upserts never change its shape,
+    // so every pass sees identical structure). The guard ratio is
+    // batched/singleton time — below 1.0 means amortization pays.
+    {
+        const CHUNK: usize = 32;
+        let tree = ConcurrentBTree::new(Protocol::BLink, CAP);
+        for &k in &keys {
+            tree.insert(k, k);
+        }
+        let ops = per_ins - per_ins % CHUNK as u64;
+        let reuses = AtomicU64::new(0);
+        let (single_s, batch_s, ratio) = bench_pair(
+            samples,
+            || {
+                for next in 0..ops {
+                    let k = (next % key_count) * 2;
+                    std::hint::black_box(tree.insert(k, k + 1));
+                }
+            },
+            || {
+                let mut reuse = 0u64;
+                for chunk in 0..ops / CHUNK as u64 {
+                    let base = chunk * CHUNK as u64;
+                    let batch: Vec<BatchOp<u64>> = (0..CHUNK as u64)
+                        .map(|i| {
+                            let k = ((base + i) % key_count) * 2;
+                            BatchOp::Insert(k, k + 1)
+                        })
+                        .collect();
+                    let out = tree.execute_batch(batch);
+                    reuse += out.summary.leaf_reuses;
+                    std::hint::black_box(&out.results);
+                }
+                reuses.store(reuse, Ordering::Relaxed);
+            },
+        );
+        record(&mut results, "batch-1t/singleton".into(), ops, single_s);
+        record(&mut results, "batch-1t/batched".into(), ops, batch_s);
+        guard_ratios.push(("batch-1t".into(), ratio));
+        println!(
+            "sorted-batch amortization (chunks of {CHUNK}, sequential upserts): \
+             {:.2}x vs singleton, {:.1}% leaf reuse\n",
+            1.0 / ratio.max(f64::MIN_POSITIVE),
+            100.0 * reuses.load(Ordering::Relaxed) as f64 / ops as f64
+        );
     }
 
     // --- before/after table ---

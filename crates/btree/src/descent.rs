@@ -65,6 +65,7 @@
 //! bookkeeping.
 
 use crate::arena::{Arena, NodeId, NodeRef, MAX_CAP};
+use crate::batch::{BatchOp, BatchOutcome, BatchSummary};
 use crate::counters::{OpCounters, OpCountersSnapshot};
 use crate::node::{check_invariants, collect_range, make_root, split_node, Children, Node};
 use crate::olc::OlcValue;
@@ -1234,6 +1235,194 @@ impl<V: OlcValue, S: LatchStrategy> DescentTree<V, S> {
                 cur.goto(next);
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Sorted-batch execution with amortized descent.
+    // ------------------------------------------------------------------
+
+    /// Locates and exclusively latches the leaf covering `key`
+    /// (blocking mode — callers spill retained transaction latches
+    /// first, and must hold **no** other latch: the descent acquires
+    /// root-to-leaf, and holding a leaf across it would invert that
+    /// order against a concurrent crab descent). Modeled on the
+    /// optimistic first pass — shared crab to the leaf's parent,
+    /// exclusive leaf latch taken under the parent's shared latch —
+    /// plus the right-link chases the link strategies need: a lagging
+    /// separator can route to a node left of the key at any level.
+    /// Children are resolved under their parent's latch and internal
+    /// slots are never recycled, so no handle here can be stale.
+    fn batch_leaf_write(&self, key: u64) -> WriteGuard<V> {
+        loop {
+            // Root cases need id revalidation after latching.
+            let root = self.root_ref();
+            if root.read().is_leaf() {
+                let guard = self.latch_write(&root, false).expect("blocking");
+                if guard.id() == self.root_id() && guard.is_leaf() {
+                    return guard; // a root leaf covers every key
+                }
+                continue; // root split under us: retry
+            }
+            let guard = self.latch_read(&root, false).expect("blocking");
+            if guard.id() != self.root_id() {
+                continue;
+            }
+            let mut parent = guard;
+            loop {
+                // Crab right (shared, left before right) while a
+                // concurrent half-split's separator lags in this level's
+                // parent (link strategies only; coupled strategies never
+                // go stale under a held parent latch).
+                while !parent.covers(key) {
+                    let next = parent.at(parent.right.expect("finite high key implies right link"));
+                    self.counters.record_chase();
+                    parent = self.latch_read(&next, false).expect("blocking");
+                }
+                let child = parent.at(parent.child_for(key));
+                if parent.level == 2 {
+                    let leaf = self.latch_write(&child, false).expect("blocking");
+                    drop(parent);
+                    return self.batch_chase_right(leaf, key);
+                }
+                parent = self.latch_read(&child, false).expect("blocking");
+            }
+        }
+    }
+
+    /// Crabs exclusively rightward from `leaf` until the latched leaf
+    /// covers `key`. The right sibling is latched **before** the held
+    /// leaf releases — left before right, the same order vacuum uses —
+    /// and a held leaf's right sibling cannot be retired out from under
+    /// us (vacuum must latch the left neighbor first), so the hop is
+    /// deadlock-free and recycle-safe without a staleness check.
+    fn batch_chase_right(&self, mut leaf: WriteGuard<V>, key: u64) -> WriteGuard<V> {
+        while !leaf.covers(key) {
+            let next = leaf.at(leaf.right.expect("finite high key implies right link"));
+            self.counters.record_chase();
+            let hop = self.latch_write(&next, false).expect("blocking");
+            leaf = hop; // left latch releases after the right is held
+        }
+        leaf
+    }
+
+    /// Executes `ops` as one sorted batch with amortized descent; see
+    /// [`crate::batch`] for the contract.
+    ///
+    /// The batch is **stable**-sorted by key, so same-key operations
+    /// execute in submission order and the result vector (indexed in
+    /// submission order) is exactly what singleton execution would have
+    /// returned. One exclusively latched leaf is carried across
+    /// consecutive keys: an operation the held leaf covers executes
+    /// inline (every removal is leaf-local — merge-at-empty never
+    /// restructures on the spot — and so is every non-splitting
+    /// insert); a key just past the high key hops the right link while
+    /// still holding the current leaf; any other miss drops the leaf
+    /// and pays a fresh descent. Inserts that would overflow the leaf
+    /// fall back to the strategy's native insert path, holding nothing
+    /// across the call, so split correctness stays in one place.
+    pub fn execute_batch(&self, ops: Vec<BatchOp<V>>) -> BatchOutcome<V> {
+        use cbtree_obs::{opcode, trace};
+        if ops.is_empty() {
+            return BatchOutcome::empty();
+        }
+        let mut summary = BatchSummary {
+            ops: ops.len() as u64,
+            ..BatchSummary::default()
+        };
+        let mut order: Vec<u32> = (0..ops.len() as u32).collect();
+        order.sort_by_key(|&i| ops[i as usize].key()); // stable sort
+        let mut slots: Vec<Option<BatchOp<V>>> = ops.into_iter().map(Some).collect();
+        let mut results: Vec<Option<V>> = Vec::new();
+        results.resize_with(slots.len(), || None);
+        let mut held: Option<WriteGuard<V>> = None;
+        for i in order {
+            let op = slots[i as usize].take().expect("each op executes once");
+            let key = op.key();
+            let leaf = match held.take() {
+                Some(g) if g.covers(key) => {
+                    summary.leaf_reuses += 1;
+                    g
+                }
+                Some(g) => {
+                    // Peek exactly one right hop while still holding the
+                    // current leaf; a key landing further right than the
+                    // immediate sibling re-descends instead of walking
+                    // the whole chain latched.
+                    let next = g.at(g.right.expect("finite high key implies right link"));
+                    self.counters.record_chase();
+                    let hop = self.latch_write(&next, false).expect("blocking");
+                    drop(g);
+                    if hop.covers(key) {
+                        summary.leaf_reuses += 1;
+                        summary.right_hops += 1;
+                        hop
+                    } else {
+                        drop(hop); // no latches across a fresh descent
+                        if self.must_probe() {
+                            self.txn_spill();
+                        }
+                        summary.descents += 1;
+                        self.batch_leaf_write(key)
+                    }
+                }
+                None => {
+                    if self.must_probe() {
+                        self.txn_spill();
+                    }
+                    summary.descents += 1;
+                    self.batch_leaf_write(key)
+                }
+            };
+            let mut leaf = leaf;
+            match op {
+                BatchOp::Get(k) => {
+                    trace::op_begin(opcode::SEARCH);
+                    self.counters.record_op();
+                    let out = leaf.leaf_get(k).cloned();
+                    trace::op_end(opcode::SEARCH, out.is_some());
+                    results[i as usize] = out;
+                    held = Some(leaf);
+                }
+                BatchOp::Remove(k) => {
+                    trace::op_begin(opcode::DELETE);
+                    self.counters.record_op();
+                    let old = leaf.leaf_remove(k);
+                    if old.is_some() {
+                        self.len.fetch_sub(1, Ordering::AcqRel);
+                    }
+                    trace::op_end(opcode::DELETE, old.is_some());
+                    results[i as usize] = old;
+                    held = Some(leaf);
+                }
+                BatchOp::Insert(k, v) => {
+                    let exists = leaf.keys.binary_search(&k).is_ok();
+                    if exists || !leaf.insert_unsafe(self.cap) {
+                        trace::op_begin(opcode::INSERT);
+                        self.counters.record_op();
+                        let old = leaf.leaf_insert(k, v);
+                        if old.is_none() {
+                            self.len.fetch_add(1, Ordering::AcqRel);
+                        }
+                        trace::op_end(opcode::INSERT, old.is_some());
+                        results[i as usize] = old;
+                        held = Some(leaf);
+                    } else {
+                        // Full leaf: the native insert re-descends and
+                        // splits. It records its own op and latches.
+                        drop(leaf);
+                        summary.fallback_inserts += 1;
+                        summary.descents += 1;
+                        trace::op_begin(opcode::INSERT);
+                        let old = self.insert_impl(k, v);
+                        trace::op_end(opcode::INSERT, old.is_some());
+                        results[i as usize] = old;
+                        held = None;
+                    }
+                }
+            }
+        }
+        drop(held);
+        BatchOutcome { results, summary }
     }
 
     /// Ascending range scan over `[lo, hi)` via the leaf chain, one

@@ -1,6 +1,7 @@
 //! Protocol-erased facade: pick the concurrency-control algorithm at run
 //! time, as the paper's comparisons do.
 
+use crate::batch::{BatchOp, BatchOutcome};
 use crate::map::ConcurrentMap;
 use crate::{
     BLinkTree, LockCouplingTree, OlcTree, OlcValue, OpCountersSnapshot, OptimisticTree,
@@ -224,6 +225,13 @@ impl<V> ConcurrentBTree<V> {
     pub fn range(&self, lo: u64, hi: u64) -> Vec<(u64, V)> {
         self.inner.range(lo, hi)
     }
+
+    /// Executes a batch with key-sorted amortized descent, returning
+    /// per-operation results in submission order plus descent
+    /// accounting (see [`crate::batch`]).
+    pub fn execute_batch(&self, ops: Vec<BatchOp<V>>) -> BatchOutcome<V> {
+        self.inner.execute_batch(ops)
+    }
 }
 
 impl<V> ConcurrentMap<V> for ConcurrentBTree<V> {
@@ -281,6 +289,10 @@ impl<V> ConcurrentMap<V> for ConcurrentBTree<V> {
 
     fn vacuum(&self) -> usize {
         ConcurrentBTree::vacuum(self)
+    }
+
+    fn execute_batch(&self, ops: Vec<BatchOp<V>>) -> BatchOutcome<V> {
+        ConcurrentBTree::execute_batch(self, ops)
     }
 }
 

@@ -66,6 +66,7 @@
 #![deny(unsafe_code)]
 
 pub mod arena;
+pub mod batch;
 pub mod blink;
 pub mod counters;
 pub mod coupling;
@@ -79,6 +80,7 @@ pub mod recovery;
 pub mod two_phase;
 
 pub use arena::{Arena, NodeId, NodeRef};
+pub use batch::{BatchOp, BatchOutcome, BatchSummary};
 pub use blink::{BLinkStrategy, BLinkTree};
 pub use counters::{OpCounters, OpCountersSnapshot};
 pub use coupling::{LockCouplingStrategy, LockCouplingTree};

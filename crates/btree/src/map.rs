@@ -7,6 +7,7 @@
 //! [`DescentTree`] implements it; so do the checkers' deliberately
 //! broken trees.
 
+use crate::batch::{BatchOp, BatchOutcome, BatchSummary};
 use crate::counters::OpCountersSnapshot;
 use crate::descent::{DescentTree, LatchStrategy};
 use crate::node::NodeRef;
@@ -70,6 +71,32 @@ pub trait ConcurrentMap<V>: Send + Sync {
     fn vacuum(&self) -> usize {
         0
     }
+
+    /// Executes a batch of operations, returning per-operation results
+    /// in **submission order** plus descent accounting. The default
+    /// executes each operation as its own singleton descent (`descents
+    /// == ops`), so trait objects and test doubles inherit correct
+    /// semantics for free; [`DescentTree`] overrides it with key-sorted
+    /// amortized descent (see [`crate::batch`]).
+    fn execute_batch(&self, ops: Vec<BatchOp<V>>) -> BatchOutcome<V> {
+        let n = ops.len() as u64;
+        let mut results = Vec::with_capacity(ops.len());
+        for op in ops {
+            results.push(match op {
+                BatchOp::Get(k) => self.get(&k),
+                BatchOp::Insert(k, v) => self.insert(k, v),
+                BatchOp::Remove(k) => self.remove(&k),
+            });
+        }
+        BatchOutcome {
+            results,
+            summary: BatchSummary {
+                ops: n,
+                descents: n,
+                ..BatchSummary::default()
+            },
+        }
+    }
 }
 
 impl<V, S> ConcurrentMap<V> for DescentTree<V, S>
@@ -131,6 +158,10 @@ where
 
     fn vacuum(&self) -> usize {
         DescentTree::vacuum(self)
+    }
+
+    fn execute_batch(&self, ops: Vec<BatchOp<V>>) -> BatchOutcome<V> {
+        DescentTree::execute_batch(self, ops)
     }
 }
 

@@ -3,6 +3,8 @@
 //!
 //! ```text
 //! stress --quick                 CI mode: 4 protocols x 16 seeds, ~seconds
+//! stress --quick --batch 4       same sweep over sorted-batch execution
+//!                                (workers group ops into execute_batch calls)
 //! stress --full                  manual deep sweep (more seeds, ops, threads)
 //! stress --replay 7 --protocol b-link
 //!                                re-run one failing (protocol, seed) pair;
@@ -33,6 +35,7 @@ struct Args {
     protocol: Option<Protocol>,
     threads: Option<usize>,
     ops: Option<usize>,
+    batch: Option<usize>,
     seeds: usize,
     seed_base: u64,
     no_inject: bool,
@@ -47,6 +50,7 @@ fn parse_args() -> Result<Args, String> {
         protocol: None,
         threads: None,
         ops: None,
+        batch: None,
         seeds: 16,
         seed_base: 1,
         no_inject: false,
@@ -75,6 +79,15 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--ops" => args.ops = Some(value("--ops")?.parse().map_err(|e| format!("--ops: {e}"))?),
+            "--batch" => {
+                let n: usize = value("--batch")?
+                    .parse()
+                    .map_err(|e| format!("--batch: {e}"))?;
+                if n == 0 {
+                    return Err("--batch must be at least 1".into());
+                }
+                args.batch = Some(n);
+            }
             "--seeds" => {
                 args.seeds = value("--seeds")?
                     .parse()
@@ -88,7 +101,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: stress [--quick|--full] [--protocol NAME] [--threads N] \
-                     [--ops N] [--seeds N] [--seed-base N] [--no-inject] \
+                     [--ops N] [--batch N] [--seeds N] [--seed-base N] [--no-inject] \
                      [--replay SEED] [--demo-bug]"
                 );
                 std::process::exit(0);
@@ -113,6 +126,9 @@ fn shape(args: &Args, protocol: Protocol, seed: u64) -> StressConfig {
     }
     if let Some(o) = args.ops {
         cfg.ops_per_thread = o;
+    }
+    if let Some(b) = args.batch {
+        cfg.batch_max = b;
     }
     if args.no_inject {
         cfg.inject = None;
@@ -183,10 +199,14 @@ fn main() {
                 if let Some(why) = out.failure() {
                     eprintln!("\n--- {} seed {} ---\n{}", protocol.name(), seed, why);
                     eprintln!(
-                        "replay with: stress --replay {} --protocol {}{}\n",
+                        "replay with: stress --replay {} --protocol {}{}{}\n",
                         seed,
                         protocol.name(),
-                        if args.full { " --full" } else { "" }
+                        if args.full { " --full" } else { "" },
+                        match args.batch {
+                            Some(b) if b > 1 => format!(" --batch {b}"),
+                            _ => String::new(),
+                        }
                     );
                 }
             }

@@ -13,6 +13,7 @@
 //! still run concurrently between their ticks). The schedule-perturbation
 //! injector compensates for any race-masking the extra fence introduces.
 
+use cbtree_btree::BatchOp;
 pub use cbtree_btree::ConcurrentMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -90,6 +91,49 @@ pub fn record<M: ConcurrentMap<u64> + ?Sized>(
         ret,
         invoked,
         returned,
+    }
+}
+
+/// Applies `ops` to `map` as **one sorted batch** through
+/// [`ConcurrentMap::execute_batch`], bracketing the whole batch with a
+/// single tick pair and appending one [`OpRecord`] per operation (in
+/// submission order, with per-op results) to `out`.
+///
+/// Every op in the batch shares the batch's `[invoked, returned]`
+/// interval: each one really did take effect at some instant inside the
+/// batch's busy period, which is exactly the claim the linearizability
+/// checker verifies. The interval sharing widens the search window (the
+/// checker may consider intra-batch reorderings), so a batched history
+/// checks the *results* the tree reported — a batch that applied
+/// same-key ops out of submission order returns previous-values no
+/// sequential witness can explain, and the checker convicts it.
+pub fn record_batch<M: ConcurrentMap<u64> + ?Sized>(
+    map: &M,
+    clock: &Clock,
+    thread: usize,
+    ops: &[Op],
+    out: &mut Vec<OpRecord>,
+) {
+    let batch: Vec<BatchOp<u64>> = ops
+        .iter()
+        .map(|&op| match op {
+            Op::Get(k) => BatchOp::Get(k),
+            Op::Insert(k, v) => BatchOp::Insert(k, v),
+            Op::Remove(k) => BatchOp::Remove(k),
+        })
+        .collect();
+    let invoked = clock.tick();
+    let outcome = map.execute_batch(batch);
+    let returned = clock.tick();
+    debug_assert_eq!(outcome.results.len(), ops.len());
+    for (&op, &ret) in ops.iter().zip(outcome.results.iter()) {
+        out.push(OpRecord {
+            thread,
+            op,
+            ret,
+            invoked,
+            returned,
+        });
     }
 }
 

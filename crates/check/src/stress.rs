@@ -8,7 +8,7 @@
 //! perturbation decisions: `stress --replay SEED` in the binary.
 
 use crate::audit::{audit, audit_with_contents, AuditReport};
-use crate::history::{record, Clock, ConcurrentMap, History, Op};
+use crate::history::{record, record_batch, Clock, ConcurrentMap, History, Op};
 use crate::linearize::{check_history, CheckConfig, Verdict};
 use cbtree_btree::{ConcurrentBTree, Protocol};
 use cbtree_sync::inject;
@@ -44,6 +44,11 @@ pub struct StressConfig {
     pub inject: Option<InjectConfig>,
     /// Linearizability-search tuning.
     pub check: CheckConfig,
+    /// Operations each worker groups into one `execute_batch` call
+    /// (`1` = classic singleton recording). Batched runs exercise the
+    /// sorted-batch descent path the service layer uses, and every op
+    /// of a batch shares the batch's invocation/response interval.
+    pub batch_max: usize,
 }
 
 impl StressConfig {
@@ -60,6 +65,7 @@ impl StressConfig {
             seed,
             inject: Some(InjectConfig::default()),
             check: CheckConfig::default(),
+            batch_max: 1,
         }
     }
 
@@ -164,6 +170,7 @@ pub fn run_stress_on<M: ConcurrentMap<u64>>(map: &M, cfg: &StressConfig) -> Stre
                     inject::register_thread(t as u64);
                     let mut stream = OpStream::new(ops_cfg, mix(cfg.seed, t as u64));
                     let mut out = Vec::with_capacity(cfg.ops_per_thread);
+                    let mut pending: Vec<Op> = Vec::with_capacity(cfg.batch_max.max(1));
                     barrier.wait();
                     for i in 0..cfg.ops_per_thread {
                         let op = match stream.next_op() {
@@ -175,7 +182,18 @@ pub fn run_stress_on<M: ConcurrentMap<u64>>(map: &M, cfg: &StressConfig) -> Stre
                             }
                             Operation::Delete(k) => Op::Remove(k),
                         };
-                        out.push(record(map, clock, t, op));
+                        if cfg.batch_max <= 1 {
+                            out.push(record(map, clock, t, op));
+                        } else {
+                            pending.push(op);
+                            if pending.len() == cfg.batch_max {
+                                record_batch(map, clock, t, &pending, &mut out);
+                                pending.clear();
+                            }
+                        }
+                    }
+                    if !pending.is_empty() {
+                        record_batch(map, clock, t, &pending, &mut out);
                     }
                     // Release any transaction-retained latches before
                     // exiting: the post-join audit would otherwise block
@@ -228,6 +246,25 @@ mod tests {
             let cfg = StressConfig {
                 threads: 4,
                 ops_per_thread: 120,
+                ..StressConfig::quick(p, 7)
+            };
+            let out = run_stress(&cfg);
+            assert!(out.passed(), "{p:?}: {}", out.failure().unwrap_or_default());
+            assert_eq!(out.ops, cfg.threads * cfg.ops_per_thread);
+        }
+    }
+
+    #[test]
+    fn batched_quick_run_passes_for_all_protocols() {
+        // Same sweep as the singleton quick run, but every worker
+        // groups its ops into sorted batches of 4 through
+        // `execute_batch` — linearizability and the structural audit
+        // must hold over the amortized-descent path too.
+        for p in Protocol::ALL {
+            let cfg = StressConfig {
+                threads: 4,
+                ops_per_thread: 120,
+                batch_max: 4,
                 ..StressConfig::quick(p, 7)
             };
             let out = run_stress(&cfg);

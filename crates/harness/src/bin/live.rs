@@ -27,6 +27,8 @@ usage: live [options]
   --capacity N       max keys per node (default 64)
   --items N          keys prefilled before measurement (default 50000)
   --keyspace N       key space size (default 1000000)
+  --key-dist SPEC    key distribution over the key space:
+                     uniform | zipf:<theta> | seq  (default uniform)
   --mix S,I,D        operation mix, must sum to 1 (default 0.3,0.5,0.2)
   --warmup-ms N      untimed warmup (default 200)
   --measure-ms N     measured window (default 1000)
@@ -53,6 +55,7 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut cfg = LiveConfig::paper(Protocol::BLink, 4);
     let mut keyspace = 1_000_000u64;
+    let mut key_dist = String::from("uniform");
     let mut mix = (0.3, 0.5, 0.2);
     let mut saturate = None;
     let mut json = None;
@@ -82,6 +85,7 @@ fn parse_args() -> Result<Args, String> {
                 cfg.initial_items = value()?.parse().map_err(|e| format!("{flag}: {e}"))?;
             }
             "--keyspace" => keyspace = value()?.parse().map_err(|e| format!("{flag}: {e}"))?,
+            "--key-dist" => key_dist = value()?,
             "--mix" => {
                 let v = value()?;
                 let parts: Vec<f64> = v
@@ -126,10 +130,7 @@ fn parse_args() -> Result<Args, String> {
         q_search: mix.0,
         q_insert: mix.1,
         q_delete: mix.2,
-        keys: KeyDist::Uniform {
-            lo: 0,
-            hi: keyspace,
-        },
+        keys: KeyDist::parse_cli(&key_dist, keyspace)?,
     };
     if !cfg.ops.is_valid() {
         return Err(format!(
@@ -148,11 +149,6 @@ fn parse_args() -> Result<Args, String> {
 /// The `meta` JSONL record: everything a downstream analyzer needs to
 /// rebuild the analytical/simulation configuration this run measured.
 fn meta_json(cfg: &LiveConfig) -> Json {
-    let keyspace = match cfg.ops.keys {
-        KeyDist::Uniform { lo, hi } => hi.saturating_sub(lo),
-        KeyDist::Zipf { n, .. } => n,
-        KeyDist::Sequential => 0,
-    };
     Json::obj(vec![
         ("type", "meta".into()),
         ("schema", cbtree_obs::SCHEMA_VERSION.into()),
@@ -169,7 +165,8 @@ fn meta_json(cfg: &LiveConfig) -> Json {
                 cfg.ops.q_delete.into(),
             ]),
         ),
-        ("keyspace", keyspace.into()),
+        ("keyspace", cfg.ops.keys.span().into()),
+        ("key_dist", cfg.ops.keys.name().into()),
         ("seed", cfg.seed.into()),
         ("txn", cfg.txn.into()),
         (

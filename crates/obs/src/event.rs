@@ -49,10 +49,17 @@ pub enum EventKind {
     /// Admission control dropped an operation (`arg`: a [`shed`]
     /// reason code; `level`: shard index, `node`: operation key).
     Shed = 14,
+    /// A worker began executing a drained batch (`arg`: batch size,
+    /// clamped at 255; `level`: shard index).
+    BatchBegin = 15,
+    /// The batch finished (`arg`: size, `level`: shard index, `node`:
+    /// operations served from an already-held leaf — the amortized
+    /// descents saved).
+    BatchEnd = 16,
 }
 
 /// All kinds, for iteration and name lookup.
-pub const ALL_KINDS: [EventKind; 14] = [
+pub const ALL_KINDS: [EventKind; 16] = [
     EventKind::LatchRequest,
     EventKind::LatchGrant,
     EventKind::LatchRelease,
@@ -67,6 +74,8 @@ pub const ALL_KINDS: [EventKind; 14] = [
     EventKind::Enqueue,
     EventKind::Dequeue,
     EventKind::Shed,
+    EventKind::BatchBegin,
+    EventKind::BatchEnd,
 ];
 
 impl EventKind {
@@ -92,6 +101,8 @@ impl EventKind {
             EventKind::Enqueue => "enqueue",
             EventKind::Dequeue => "dequeue",
             EventKind::Shed => "shed",
+            EventKind::BatchBegin => "batch_begin",
+            EventKind::BatchEnd => "batch_end",
         }
     }
 

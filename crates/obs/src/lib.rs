@@ -33,7 +33,7 @@ pub mod trace;
 
 pub use event::{opcode, Event, EventKind, MODE_EXCLUSIVE, OP_HIT};
 pub use json::{parse_jsonl, read_jsonl, write_jsonl, Json, JsonError};
-pub use replay::{replay, LevelReplay, OpReplay, Replay};
+pub use replay::{replay, BatchReplay, LevelReplay, OpReplay, Replay};
 pub use trace::Trace;
 
 /// Version stamped into every JSONL artifact's `meta` record; bump on

@@ -60,6 +60,45 @@ pub struct OpReplay {
     pub mean_ns: f64,
 }
 
+/// Per-shard batched-execution reconstruction (from
+/// `BatchBegin`/`BatchEnd` pairs).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BatchReplay {
+    /// Shard index the batches ran on.
+    pub shard: u16,
+    /// Completed batches (begin/end pairs).
+    pub batches: u64,
+    /// Operations across those batches (sum of batch sizes).
+    pub ops: u64,
+    /// Operations served from an already-held leaf (descents saved by
+    /// sorted-batch amortization).
+    pub leaf_reuses: u64,
+    /// Largest batch observed (clamped at 255 in the events).
+    pub max_size: u8,
+    /// Mean begin→end nanoseconds over completed batches.
+    pub mean_ns: f64,
+}
+
+impl BatchReplay {
+    /// Mean operations per batch (0 when no batches completed).
+    pub fn mean_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.ops as f64 / self.batches as f64
+        }
+    }
+
+    /// Fraction of operations that reused a held leaf.
+    pub fn reuse_rate(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.leaf_reuses as f64 / self.ops as f64
+        }
+    }
+}
+
 /// Everything reconstructed from one trace.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Replay {
@@ -97,6 +136,9 @@ pub struct Replay {
     pub dequeues: u64,
     /// Operations dropped by admission control (full queue or timeout).
     pub sheds: u64,
+    /// Per-shard batched-execution statistics, shards with batches
+    /// only, ascending shard index.
+    pub batches: Vec<BatchReplay>,
 }
 
 impl Replay {
@@ -158,6 +200,21 @@ impl Replay {
             ("enqueues", Json::from(self.enqueues)),
             ("dequeues", Json::from(self.dequeues)),
             ("sheds", Json::from(self.sheds)),
+            (
+                "batches",
+                Json::arr(self.batches.iter().map(|b| {
+                    Json::obj([
+                        ("shard", Json::from(u64::from(b.shard))),
+                        ("batches", Json::from(b.batches)),
+                        ("ops", Json::from(b.ops)),
+                        ("leaf_reuses", Json::from(b.leaf_reuses)),
+                        ("max_size", Json::from(u64::from(b.max_size))),
+                        ("mean_size", Json::from(b.mean_size())),
+                        ("reuse_rate", Json::from(b.reuse_rate())),
+                        ("mean_ns", Json::f64_or_null(b.mean_ns)),
+                    ])
+                })),
+            ),
         ])
     }
 }
@@ -217,6 +274,10 @@ pub fn replay(trace: &Trace) -> Replay {
     // (thread, node) → split-begin ts.
     let mut split_begin: HashMap<(u32, u64), u64> = HashMap::new();
     let mut split_ns: (u64, u64) = (0, 0);
+    // (thread, shard) → batch-begin ts.
+    let mut batch_begin: HashMap<(u32, u16), u64> = HashMap::new();
+    // shard → (batches, ops, leaf_reuses, max_size, total ns).
+    let mut batch_acc: HashMap<u16, (u64, u64, u64, u8, u64)> = HashMap::new();
 
     for e in &trace.events {
         match e.kind {
@@ -312,6 +373,19 @@ pub fn replay(trace: &Trace) -> Replay {
             EventKind::Enqueue => out.enqueues += 1,
             EventKind::Dequeue => out.dequeues += 1,
             EventKind::Shed => out.sheds += 1,
+            EventKind::BatchBegin => {
+                batch_begin.insert((e.thread, e.level), e.ts_ns);
+            }
+            EventKind::BatchEnd => {
+                if let Some(begin) = batch_begin.remove(&(e.thread, e.level)) {
+                    let acc = batch_acc.entry(e.level).or_default();
+                    acc.0 += 1;
+                    acc.1 += u64::from(e.arg);
+                    acc.2 += e.node;
+                    acc.3 = acc.3.max(e.arg);
+                    acc.4 += e.ts_ns.saturating_sub(begin);
+                }
+            }
         }
     }
 
@@ -404,6 +478,22 @@ pub fn replay(trace: &Trace) -> Replay {
         .collect();
     out.splits = split_ns.0;
     out.mean_split_ns = mean(split_ns.1, split_ns.0);
+    let mut shards: Vec<u16> = batch_acc.keys().copied().collect();
+    shards.sort_unstable();
+    out.batches = shards
+        .into_iter()
+        .map(|shard| {
+            let (batches, ops, leaf_reuses, max_size, total_ns) = batch_acc[&shard];
+            BatchReplay {
+                shard,
+                batches,
+                ops,
+                leaf_reuses,
+                max_size,
+                mean_ns: mean(total_ns, batches),
+            }
+        })
+        .collect();
     out
 }
 
@@ -533,6 +623,38 @@ mod tests {
         assert_eq!(r.ops[0].op, "insert");
         assert_eq!(r.ops[0].completed, 1);
         assert_eq!(r.ops[0].mean_ns, 5.0);
+    }
+
+    #[test]
+    fn batch_pairs_aggregate_per_shard() {
+        let trace = Trace {
+            events: vec![
+                ev(0, 0, EventKind::BatchBegin, 8, 0, 0),
+                ev(100, 0, EventKind::BatchEnd, 8, 0, 6),
+                ev(120, 0, EventKind::BatchBegin, 4, 0, 0),
+                ev(180, 0, EventKind::BatchEnd, 4, 0, 2),
+                ev(50, 1, EventKind::BatchBegin, 16, 3, 0),
+                ev(250, 1, EventKind::BatchEnd, 16, 3, 15),
+                // A begin whose end was overwritten contributes nothing.
+                ev(300, 1, EventKind::BatchBegin, 2, 3, 0),
+            ],
+            dropped: 0,
+            threads: 2,
+        };
+        let r = replay(&trace);
+        assert_eq!(r.batches.len(), 2);
+        let s0 = &r.batches[0];
+        assert_eq!((s0.shard, s0.batches, s0.ops), (0, 2, 12));
+        assert_eq!(s0.leaf_reuses, 8);
+        assert_eq!(s0.max_size, 8);
+        assert_eq!(s0.mean_size(), 6.0);
+        assert_eq!(s0.mean_ns, 80.0);
+        let s3 = &r.batches[1];
+        assert_eq!((s3.shard, s3.batches, s3.ops), (3, 1, 16));
+        assert!((s3.reuse_rate() - 15.0 / 16.0).abs() < 1e-12);
+        let text = r.to_json().to_string().unwrap();
+        assert!(text.contains("\"batches\":["));
+        assert!(Json::parse(&text).is_ok());
     }
 
     #[test]

@@ -269,6 +269,20 @@ mod imp {
     pub fn shed(shard: u16, reason: u8, key: u64) {
         emit(EventKind::Shed, reason, shard, key);
     }
+
+    /// A worker on shard `shard` began executing a drained batch of
+    /// `size` operations (clamped at 255 in the event).
+    #[inline(always)]
+    pub fn batch_begin(shard: u16, size: usize) {
+        emit(EventKind::BatchBegin, size.min(255) as u8, shard, 0);
+    }
+
+    /// The batch finished; `leaf_reuses` counts operations served from
+    /// an already-held leaf (the descents batching saved).
+    #[inline(always)]
+    pub fn batch_end(shard: u16, size: usize, leaf_reuses: u64) {
+        emit(EventKind::BatchEnd, size.min(255) as u8, shard, leaf_reuses);
+    }
 }
 
 #[cfg(not(feature = "trace"))]
@@ -338,4 +352,8 @@ mod imp {
     pub fn dequeue(_shard: u16, _key: u64) {}
     #[inline(always)]
     pub fn shed(_shard: u16, _reason: u8, _key: u64) {}
+    #[inline(always)]
+    pub fn batch_begin(_shard: u16, _size: usize) {}
+    #[inline(always)]
+    pub fn batch_end(_shard: u16, _size: usize, _leaf_reuses: u64) {}
 }

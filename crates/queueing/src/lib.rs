@@ -28,12 +28,14 @@
 
 pub mod error;
 pub mod mg1;
+pub mod mgc;
 pub mod mm1;
 pub mod rw;
 pub mod solve;
 pub mod stages;
 
 pub use error::QueueError;
+pub use mgc::{batch_service_moments, BatchSizeMoments};
 pub use rw::{RwQueue, RwSolution};
 pub use stages::{Mixture, StagedService};
 

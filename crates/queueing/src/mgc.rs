@@ -1,0 +1,278 @@
+//! The M/G/c multi-server queue via the Lee–Longton approximation, plus
+//! the batch-service moment transform the batched service layer needs.
+//!
+//! With `c` workers draining one shard queue, the exact M/G/c waiting
+//! time has no closed form; the standard two-moment approximation
+//! (Lee & Longton, 1959) scales the M/M/c (Erlang-C) wait by the
+//! service distribution's variability:
+//!
+//! ```text
+//! W_q(M/G/c) ≈ (1 + c²ᵥ)/2 · W_q(M/M/c),
+//! ```
+//!
+//! where `c²ᵥ` is the squared coefficient of variation of service. At
+//! `c = 1` the Erlang-C wait is `ρ·E[X]/(1−ρ)` and the scaling factor
+//! recovers Pollaczek–Khinchine **exactly**, so a caller can use
+//! [`waiting_time`] uniformly and get M/G/1 back for one worker — the
+//! `analyze --serve` overlay relies on this reduction.
+//!
+//! A worker that drains a *batch* of `k` operations serves them in one
+//! combined busy period. From per-batch-size measurements
+//! `(n_k, ΣS_k, ΣS_k²)` — batches of size `k`, their total and squared
+//! total service seconds — [`batch_service_moments`] recovers the
+//! *per-operation* effective moments: each op in a size-`k` batch
+//! experiences the whole batch as its service, but the batch serves `k`
+//! ops per busy period, so the per-op mean is `Σ n_k·E[S_k] / Σ n_k·k`
+//! and the per-op second moment weights each batch's `E[S_k²]` by its
+//! operation share.
+
+use crate::error::{check_nonneg, check_pos};
+use crate::mg1::{self, ServiceMoments};
+use crate::{QueueError, Result};
+
+/// Erlang-C: the probability an arriving customer waits in an M/M/c
+/// queue with offered load `a = λ/μ` spread over `c` servers.
+///
+/// Computed with the numerically stable iterative form (terms built by
+/// recurrence, no explicit factorials), valid for hundreds of servers.
+///
+/// Returns [`QueueError::Saturated`] when `ρ = a/c ≥ 1`.
+pub fn erlang_c(c: u32, offered_load: f64) -> Result<f64> {
+    check_pos("c", f64::from(c))?;
+    check_nonneg("offered_load", offered_load)?;
+    let c_f = f64::from(c);
+    let rho = offered_load / c_f;
+    if rho >= 1.0 {
+        return Err(QueueError::Saturated {
+            lambda_w: offered_load,
+            lambda_r: 0.0,
+        });
+    }
+    if offered_load == 0.0 {
+        return Ok(0.0);
+    }
+    // sum = Σ_{k=0}^{c-1} a^k/k!, term walks a^k/k!.
+    let mut term = 1.0_f64;
+    let mut sum = 1.0_f64;
+    for k in 1..c {
+        term *= offered_load / f64::from(k);
+        sum += term;
+    }
+    // last term extended to the waiting tail: a^c/c! · 1/(1−ρ).
+    let tail = term * (offered_load / c_f) / (1.0 - rho);
+    Ok(tail / (sum + tail))
+}
+
+/// Expected waiting time in queue for an M/G/c queue (Lee–Longton):
+/// `W_q ≈ (1 + c²ᵥ)/2 · C(c, λE[X]) / (c/E[X] − λ)`.
+///
+/// Exact for `c = 1` (reduces to Pollaczek–Khinchine) and for
+/// exponential service at any `c` (reduces to M/M/c).
+///
+/// Returns [`QueueError::Saturated`] when `ρ = λ·E[X]/c ≥ 1`.
+pub fn waiting_time(lambda: f64, c: u32, service: ServiceMoments) -> Result<f64> {
+    check_nonneg("lambda", lambda)?;
+    check_pos("c", f64::from(c))?;
+    check_nonneg("service.mean", service.mean)?;
+    check_nonneg("service.second", service.second)?;
+    if lambda == 0.0 || service.mean == 0.0 {
+        return Ok(0.0);
+    }
+    let offered = lambda * service.mean;
+    let p_wait = erlang_c(c, offered)?;
+    let mmc_wait = p_wait / (f64::from(c) / service.mean - lambda);
+    Ok((1.0 + service.scv()) / 2.0 * mmc_wait)
+}
+
+/// Expected sojourn time (waiting + one service time).
+pub fn sojourn_time(lambda: f64, c: u32, service: ServiceMoments) -> Result<f64> {
+    Ok(waiting_time(lambda, c, service)? + service.mean)
+}
+
+/// One batch size's measured service accumulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchSizeMoments {
+    /// Batch size `k` (operations per batch).
+    pub size: u32,
+    /// Number of batches of this size observed.
+    pub batches: u64,
+    /// Total service seconds across those batches (`Σ S`).
+    pub service_sum_s: f64,
+    /// Total squared service seconds (`Σ S²`).
+    pub service_sum_sq_s2: f64,
+}
+
+/// Effective **per-operation** service moments of a batch-serving
+/// worker, from per-batch-size sums.
+///
+/// An operation landing in a size-`k` batch occupies the server for the
+/// batch's full service time `S_k`, but the batch completes `k`
+/// operations; the server's effective per-op service is therefore
+/// `E[X] = Σ n_k·E[S_k] / N_ops` with `N_ops = Σ n_k·k` (total busy
+/// seconds over total ops), and the per-op second moment weights each
+/// batch size's `E[S_k²]` by its share of operations divided by `k`
+/// (each of the `k` ops amortizes the squared busy period):
+/// `E[X²] = Σ (n_k·k/N_ops) · E[S_k²]/k² = Σ n_k·E[S_k²]/k / N_ops`.
+/// With every batch of size 1 this is the plain sample mean and second
+/// moment, so singleton sweeps flow through unchanged.
+///
+/// Returns `None` when no operations were observed.
+pub fn batch_service_moments(sizes: &[BatchSizeMoments]) -> Option<ServiceMoments> {
+    let mut ops = 0.0_f64;
+    let mut busy = 0.0_f64;
+    let mut second = 0.0_f64;
+    for m in sizes {
+        if m.size == 0 || m.batches == 0 {
+            continue;
+        }
+        let k = f64::from(m.size);
+        ops += m.batches as f64 * k;
+        busy += m.service_sum_s;
+        second += m.service_sum_sq_s2 / k;
+    }
+    if ops == 0.0 {
+        return None;
+    }
+    Some(ServiceMoments {
+        mean: busy / ops,
+        second: second / ops,
+    })
+}
+
+/// Convenience: the M/G/1 moments viewed as the `c = 1` case, for
+/// callers asserting the reduction in tests.
+pub fn pk_waiting_time(lambda: f64, service: ServiceMoments) -> Result<f64> {
+    mg1::waiting_time(lambda, service)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn erlang_c_known_values() {
+        // M/M/1: C(1, ρ) = ρ.
+        assert!((erlang_c(1, 0.6).unwrap() - 0.6).abs() < EPS);
+        // M/M/2 at a=1 (ρ=0.5): C = a²/(a² + 2(1+a)·(1-ρ)·...) — the
+        // textbook value is 1/3.
+        assert!((erlang_c(2, 1.0).unwrap() - 1.0 / 3.0).abs() < EPS);
+        // Zero load never waits.
+        assert_eq!(erlang_c(4, 0.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn reduces_to_pollaczek_khinchine_at_c_1() {
+        for &(lambda, mean, scv) in &[(0.3, 1.0, 0.0), (0.7, 1.2, 1.0), (0.5, 0.8, 3.5)] {
+            let second = (scv + 1.0) * mean * mean;
+            let s = ServiceMoments { mean, second };
+            let mgc = waiting_time(lambda, 1, s).unwrap();
+            let pk = pk_waiting_time(lambda, s).unwrap();
+            assert!((mgc - pk).abs() < 1e-9, "λ={lambda}: mgc={mgc} pk={pk}");
+        }
+    }
+
+    #[test]
+    fn reduces_to_mmc_for_exponential_service() {
+        // M/M/2, λ=1.2, μ=1: W_q = C(2, 1.2)/(2−1.2).
+        let s = ServiceMoments::exponential(1.0);
+        let w = waiting_time(1.2, 2, s).unwrap();
+        let want = erlang_c(2, 1.2).unwrap() / (2.0 - 1.2);
+        assert!((w - want).abs() < EPS);
+    }
+
+    #[test]
+    fn more_servers_wait_less() {
+        let s = ServiceMoments::exponential(1.0);
+        let w1 = waiting_time(0.9, 1, s).unwrap();
+        let w2 = waiting_time(0.9, 2, s).unwrap();
+        let w4 = waiting_time(0.9, 4, s).unwrap();
+        assert!(w1 > w2 && w2 > w4, "w1={w1} w2={w2} w4={w4}");
+    }
+
+    #[test]
+    fn saturation_per_server_count() {
+        let s = ServiceMoments::exponential(1.0);
+        assert!(matches!(
+            waiting_time(1.5, 1, s),
+            Err(QueueError::Saturated { .. })
+        ));
+        // The same load is stable with two servers.
+        assert!(waiting_time(1.5, 2, s).is_ok());
+        assert!(matches!(
+            waiting_time(2.0, 2, s),
+            Err(QueueError::Saturated { .. })
+        ));
+    }
+
+    #[test]
+    fn sojourn_adds_one_service() {
+        let s = ServiceMoments::exponential(0.5);
+        let w = waiting_time(1.0, 2, s).unwrap();
+        assert!((sojourn_time(1.0, 2, s).unwrap() - (w + 0.5)).abs() < EPS);
+    }
+
+    #[test]
+    fn batch_moments_singleton_is_plain_sample_moments() {
+        // Three singleton batches with services 1, 2, 3 seconds.
+        let m = batch_service_moments(&[BatchSizeMoments {
+            size: 1,
+            batches: 3,
+            service_sum_s: 6.0,
+            service_sum_sq_s2: 1.0 + 4.0 + 9.0,
+        }])
+        .unwrap();
+        assert!((m.mean - 2.0).abs() < EPS);
+        assert!((m.second - 14.0 / 3.0).abs() < EPS);
+    }
+
+    #[test]
+    fn batch_moments_amortize_across_sizes() {
+        // 10 singletons of 1s each + 10 batches of size 4 taking 2s each:
+        // N_ops = 10 + 40 = 50, busy = 10 + 20 = 30 → mean 0.6 s/op.
+        // second = (10·1 + 10·4/4)/50 = 20/50 = 0.4 s²/op.
+        let m = batch_service_moments(&[
+            BatchSizeMoments {
+                size: 1,
+                batches: 10,
+                service_sum_s: 10.0,
+                service_sum_sq_s2: 10.0,
+            },
+            BatchSizeMoments {
+                size: 4,
+                batches: 10,
+                service_sum_s: 20.0,
+                service_sum_sq_s2: 40.0,
+            },
+        ])
+        .unwrap();
+        assert!((m.mean - 0.6).abs() < EPS);
+        assert!((m.second - 0.4).abs() < EPS);
+        // Batching 4 ops into a 2s batch beats 4 singleton seconds: the
+        // per-op mean fell below the singleton 1s.
+        assert!(m.mean < 1.0);
+    }
+
+    #[test]
+    fn batch_moments_empty_and_degenerate() {
+        assert_eq!(batch_service_moments(&[]), None);
+        assert_eq!(
+            batch_service_moments(&[BatchSizeMoments {
+                size: 0,
+                batches: 5,
+                service_sum_s: 1.0,
+                service_sum_sq_s2: 1.0,
+            }]),
+            None
+        );
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let s = ServiceMoments::exponential(1.0);
+        assert!(waiting_time(-0.1, 2, s).is_err());
+        assert!(waiting_time(0.5, 0, s).is_err());
+        assert!(erlang_c(0, 0.5).is_err());
+    }
+}

@@ -26,6 +26,9 @@ usage: serve [options]
   --shards N         key-range shards, each an independent tree + queue
                      (default 2)
   --workers N        worker threads per shard (default 1)
+  --batch-max N      most ops a worker drains and executes as one
+                     sorted batch per wakeup, 1..=255 (default 1 =
+                     singleton service)
   --generators N     open-loop generator threads (default 2)
   --lambda F         aggregate offered arrival rate, ops/s (default 50000)
   --sweep F,F,...    one measurement per listed lambda (the
@@ -47,6 +50,10 @@ usage: serve [options]
   --capacity N       max keys per node (default 64)
   --items N          keys prefilled across all shards (default 50000)
   --keyspace N       key space size (default 1000000)
+  --key-dist SPEC    key distribution over the key space:
+                     uniform | zipf:<theta> | seq  (default uniform;
+                     seq appends above the prefill — the workload where
+                     sorted-batch descent amortizes hardest)
   --mix S,I,D        operation mix, must sum to 1 (default 0.3,0.5,0.2)
   --warmup-ms N      untimed warmup (default 200)
   --measure-ms N     measured window (default 1000)
@@ -79,6 +86,7 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut cfg = ServeConfig::paper(Protocol::BLink, 2, 50_000.0);
     let mut keyspace = 1_000_000u64;
+    let mut key_dist = String::from("uniform");
     let mut mix = (0.3, 0.5, 0.2);
     let mut mode = Mode::Single;
     let mut bisect = 4usize;
@@ -108,6 +116,12 @@ fn parse_args() -> Result<Args, String> {
             }
             "--workers" => {
                 cfg.workers_per_shard = value()?.parse().map_err(|e| format!("{flag}: {e}"))?;
+            }
+            "--batch-max" => {
+                cfg.batch_max = value()?.parse().map_err(|e| format!("{flag}: {e}"))?;
+                if !(1..=255).contains(&cfg.batch_max) {
+                    return Err("--batch-max must be in 1..=255".into());
+                }
             }
             "--generators" => {
                 cfg.generators = value()?.parse().map_err(|e| format!("{flag}: {e}"))?;
@@ -153,6 +167,7 @@ fn parse_args() -> Result<Args, String> {
                 cfg.initial_items = value()?.parse().map_err(|e| format!("{flag}: {e}"))?;
             }
             "--keyspace" => keyspace = value()?.parse().map_err(|e| format!("{flag}: {e}"))?,
+            "--key-dist" => key_dist = value()?,
             "--mix" => {
                 let v = value()?;
                 let parts: Vec<f64> = v
@@ -201,10 +216,7 @@ fn parse_args() -> Result<Args, String> {
         q_search: mix.0,
         q_insert: mix.1,
         q_delete: mix.2,
-        keys: KeyDist::Uniform {
-            lo: 0,
-            hi: keyspace,
-        },
+        keys: KeyDist::parse_cli(&key_dist, keyspace)?,
     };
     if !cfg.ops.is_valid() {
         return Err(format!(
@@ -224,11 +236,6 @@ fn parse_args() -> Result<Args, String> {
 
 /// The `meta` JSONL record for a serve run.
 fn meta_json(cfg: &ServeConfig) -> Json {
-    let keyspace = match cfg.ops.keys {
-        KeyDist::Uniform { lo, hi } => hi.saturating_sub(lo),
-        KeyDist::Zipf { n, .. } => n,
-        KeyDist::Sequential => 0,
-    };
     let arrivals = match cfg.arrivals {
         ArrivalShape::Poisson => Json::obj(vec![("shape", "poisson".into())]),
         ArrivalShape::OnOff {
@@ -247,6 +254,7 @@ fn meta_json(cfg: &ServeConfig) -> Json {
         ("protocol", cfg.protocol.name().into()),
         ("shards", cfg.shards.into()),
         ("workers_per_shard", cfg.workers_per_shard.into()),
+        ("batch_max", cfg.batch_max.into()),
         ("generators", cfg.generators.into()),
         ("arrivals", arrivals),
         (
@@ -273,7 +281,8 @@ fn meta_json(cfg: &ServeConfig) -> Json {
                 cfg.ops.q_delete.into(),
             ]),
         ),
-        ("keyspace", keyspace.into()),
+        ("keyspace", cfg.ops.keys.span().into()),
+        ("key_dist", cfg.ops.keys.name().into()),
         ("seed", cfg.seed.into()),
         (
             "warmup_ms",
@@ -341,6 +350,38 @@ fn print_report(report: &ServeReport) {
         ]);
     }
     t.print();
+    if report.per_shard.iter().any(|s| s.batches > 0) {
+        let mut b = Table::new(
+            "per-shard batched execution",
+            &[
+                "shard",
+                "batches",
+                "mean-size",
+                "descents/op",
+                "reuse%",
+                "latch/op",
+                "q-wait(us)",
+                "b-wait(us)",
+            ],
+        );
+        for s in &report.per_shard {
+            if s.batches == 0 {
+                continue;
+            }
+            let ops = s.batch.ops.max(1) as f64;
+            b.push(vec![
+                s.shard.to_string(),
+                s.batches.to_string(),
+                fmt_f(ops / s.batches as f64, 2),
+                fmt_f(s.batch.descents as f64 / ops, 3),
+                fmt_f(s.batch.leaf_reuses as f64 / ops * 100.0, 1),
+                fmt_f(s.counters.latches_per_op(), 2),
+                fmt_f(s.queue_wait_mean_s * 1e6, 2),
+                fmt_f(s.batch_wait_mean_s * 1e6, 2),
+            ]);
+        }
+        b.print();
+    }
     if !report.trace.is_empty() {
         println!(
             "trace: {} events from {} threads ({} dropped)",
@@ -423,10 +464,12 @@ fn main() {
     }
 
     println!(
-        "service: {} | {} shards x {} workers | {} generators | queue cap {}{}",
+        "service: {} | {} shards x {} workers | batch max {} | {} keys | {} generators | queue cap {}{}",
         args.cfg.protocol.name(),
         args.cfg.shards,
         args.cfg.workers_per_shard,
+        args.cfg.batch_max,
+        args.cfg.ops.keys.name(),
         args.cfg.generators,
         args.cfg.queue_capacity,
         match args.cfg.arrivals {

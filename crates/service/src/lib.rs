@@ -40,10 +40,9 @@ pub use router::KeyRangeRouter;
 
 use cbtree_btree::{ConcurrentBTree, Protocol};
 use cbtree_harness::{fork_seed, level_snapshots, LevelLive};
+use cbtree_queueing::BatchSizeMoments;
 use cbtree_sync::{HistogramSnapshot, SamplePeriod};
-use cbtree_workload::{
-    ArrivalProcess, KeyDist, OnOffArrivals, OpStream, OpsConfig, PoissonArrivals, Rng,
-};
+use cbtree_workload::{ArrivalProcess, OnOffArrivals, OpStream, OpsConfig, PoissonArrivals, Rng};
 use shard::{offer, worker_loop, GenLocal, ShardRuntime, WorkerLocal};
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
@@ -75,6 +74,12 @@ pub struct ServeConfig {
     pub shards: usize,
     /// Worker threads draining each shard's queue.
     pub workers_per_shard: usize,
+    /// Most operations a worker drains (and executes as one sorted
+    /// batch) per wakeup. `1` is singleton service — exactly the
+    /// pre-batching behavior. Larger values amortize root-to-leaf
+    /// descents across ops that land in the same leaf and amortize the
+    /// per-descent service floor with them.
+    pub batch_max: usize,
     /// Open-loop generator threads. Each emits an independent arrival
     /// process at `lambda / generators`; their superposition offers the
     /// aggregate λ (exactly Poisson for [`ArrivalShape::Poisson`]).
@@ -121,6 +126,7 @@ impl ServeConfig {
             protocol,
             shards,
             workers_per_shard: 1,
+            batch_max: 1,
             generators: 2,
             capacity: 64,
             initial_items: 50_000,
@@ -149,21 +155,11 @@ impl ServeConfig {
     }
 
     /// The router this configuration shards by: the workload's key space
-    /// carved into `shards` contiguous ranges.
+    /// carved into `shards` contiguous ranges (routing over the *used*
+    /// space keeps the shards balanced; a sequential workload has no
+    /// bound, so it splits the full `u64` space).
     pub fn router(&self) -> KeyRangeRouter {
-        KeyRangeRouter::with_space(self.shards, key_space_hi(&self.ops.keys))
-    }
-}
-
-/// Exclusive upper bound of the key space a distribution draws from
-/// (`None` = the full `u64` space). Routing over the *used* space keeps
-/// the shards balanced; without it a 1M-key workload would land
-/// entirely in shard 0 of a full-`u64` split.
-fn key_space_hi(keys: &KeyDist) -> Option<u64> {
-    match *keys {
-        KeyDist::Uniform { hi, .. } => Some(hi),
-        KeyDist::Zipf { n, .. } => Some(n),
-        KeyDist::Sequential => None,
+        KeyRangeRouter::with_space(self.shards, self.ops.keys.key_space_hi())
     }
 }
 
@@ -264,6 +260,11 @@ pub fn serve(cfg: &ServeConfig) -> ServeReport {
         cfg.workers_per_shard >= 1,
         "need at least one worker per shard"
     );
+    assert!(
+        (1..=255).contains(&cfg.batch_max),
+        "batch_max must be in 1..=255 (trace events carry the size in a byte), got {}",
+        cfg.batch_max
+    );
     assert!(cfg.generators >= 1, "need at least one generator");
     assert!(cfg.ops.is_valid(), "operation mix must sum to 1");
     assert!(
@@ -298,15 +299,19 @@ pub fn serve(cfg: &ServeConfig) -> ServeReport {
     let phase = AtomicU8::new(PHASE_WARMUP);
     let epoch = Instant::now(); // arrival-process time zero
 
-    let (gens, workers, snap_a, snap_b, elapsed, trace) = std::thread::scope(|s| {
+    let (gens, workers, snap_a, snap_b, ctr_a, ctr_b, elapsed, trace) = std::thread::scope(|s| {
         let mut worker_handles = Vec::with_capacity(cfg.shards * cfg.workers_per_shard);
         for (sh, rt) in runtimes.iter().enumerate() {
             for _ in 0..cfg.workers_per_shard {
                 let (tree, queue) = (Arc::clone(&rt.tree), Arc::clone(&rt.queue));
                 let (max_age, floor) = (cfg.max_enqueue_age, cfg.service_floor);
-                worker_handles.push(
-                    s.spawn(move || (sh, worker_loop(sh as u16, &tree, &queue, max_age, floor))),
-                );
+                let batch_max = cfg.batch_max;
+                worker_handles.push(s.spawn(move || {
+                    (
+                        sh,
+                        worker_loop(sh as u16, &tree, &queue, max_age, floor, batch_max),
+                    )
+                }));
             }
         }
 
@@ -315,8 +320,11 @@ pub fn serve(cfg: &ServeConfig) -> ServeReport {
             let (phase, router, runtimes) = (&phase, &router, &runtimes);
             let mut arrivals = make_arrivals(cfg, g);
             // Forking the ops seed from `!seed` keeps the operation
-            // streams disjoint from the arrival-time streams.
-            let mut stream = OpStream::new(cfg.ops, fork_seed(!cfg.seed, g));
+            // streams disjoint from the arrival-time streams. Sequential
+            // streams append above the prefill, each generator in its
+            // own disjoint band so their counters never collide.
+            let mut stream = OpStream::new(cfg.ops, fork_seed(!cfg.seed, g))
+                .with_seq_base(cfg.initial_items as u64 + (g << 40));
             gen_handles.push(s.spawn(move || {
                 let mut local = GenLocal::new(runtimes.len());
                 loop {
@@ -344,6 +352,7 @@ pub fn serve(cfg: &ServeConfig) -> ServeReport {
             .iter()
             .map(|rt| level_snapshots(&rt.tree))
             .collect();
+        let ctr_a: Vec<_> = runtimes.iter().map(|rt| rt.tree.counters()).collect();
         let _ = cbtree_obs::trace::drain(); // discard prefill/warmup events
         phase.store(PHASE_MEASURE, Ordering::Release);
         let t0 = Instant::now();
@@ -352,6 +361,7 @@ pub fn serve(cfg: &ServeConfig) -> ServeReport {
             .iter()
             .map(|rt| level_snapshots(&rt.tree))
             .collect();
+        let ctr_b: Vec<_> = runtimes.iter().map(|rt| rt.tree.counters()).collect();
         let elapsed = t0.elapsed();
         phase.store(PHASE_DONE, Ordering::Release);
 
@@ -370,7 +380,7 @@ pub fn serve(cfg: &ServeConfig) -> ServeReport {
             .map(|h| h.join().expect("worker panicked"))
             .collect();
         let trace = cbtree_obs::trace::drain();
-        (gens, workers, snap_a, snap_b, elapsed, trace)
+        (gens, workers, snap_a, snap_b, ctr_a, ctr_b, elapsed, trace)
     });
 
     // Post-run structural check: a measurement over a corrupted shard is
@@ -394,6 +404,11 @@ pub fn serve(cfg: &ServeConfig) -> ServeReport {
         let mut sojourn_sum_ns = 0u64;
         let mut service_sum_s = 0.0f64;
         let mut service_sum_sq_s2 = 0.0f64;
+        let mut queue_wait_sum_ns = 0u64;
+        let mut batch_wait_sum_ns = 0u64;
+        let mut batches = 0u64;
+        let mut batch = cbtree_btree::BatchSummary::default();
+        let mut size_sums: Vec<(u64, f64, f64)> = Vec::new();
         for (_, w) in workers.iter().filter(|(s, _)| *s == sh) {
             served += w.served;
             timed_out += w.timed_out;
@@ -402,7 +417,30 @@ pub fn serve(cfg: &ServeConfig) -> ServeReport {
             sojourn_sum_ns = sojourn_sum_ns.saturating_add(w.sojourn_sum_ns);
             service_sum_s += w.service_sum_s;
             service_sum_sq_s2 += w.service_sum_sq_s2;
+            queue_wait_sum_ns = queue_wait_sum_ns.saturating_add(w.queue_wait_sum_ns);
+            batch_wait_sum_ns = batch_wait_sum_ns.saturating_add(w.batch_wait_sum_ns);
+            batches += w.batches;
+            batch.merge(&w.batch_summary);
+            if size_sums.len() < w.batch_sizes.len() {
+                size_sums.resize(w.batch_sizes.len(), (0, 0.0, 0.0));
+            }
+            for (k, &(n, s, s2)) in w.batch_sizes.iter().enumerate() {
+                size_sums[k].0 += n;
+                size_sums[k].1 += s;
+                size_sums[k].2 += s2;
+            }
         }
+        let batch_sizes: Vec<BatchSizeMoments> = size_sums
+            .iter()
+            .enumerate()
+            .filter(|(_, &(n, _, _))| n > 0)
+            .map(|(k, &(n, s, s2))| BatchSizeMoments {
+                size: k as u32,
+                batches: n,
+                service_sum_s: s,
+                service_sum_sq_s2: s2,
+            })
+            .collect();
         let offered: u64 = gens.iter().map(|g| g.offered[sh]).sum();
         let rejected_full: u64 = gens.iter().map(|g| g.rejected[sh]).sum();
 
@@ -451,6 +489,20 @@ pub fn serve(cfg: &ServeConfig) -> ServeReport {
             } else {
                 0.0
             },
+            queue_wait_mean_s: if served > 0 {
+                queue_wait_sum_ns as f64 * 1e-9 / served as f64
+            } else {
+                0.0
+            },
+            batch_wait_mean_s: if served > 0 {
+                batch_wait_sum_ns as f64 * 1e-9 / served as f64
+            } else {
+                0.0
+            },
+            batches,
+            batch,
+            batch_sizes,
+            counters: ctr_b[sh].since(&ctr_a[sh]),
             levels,
             final_len: rt.tree.len(),
         });
@@ -461,6 +513,7 @@ pub fn serve(cfg: &ServeConfig) -> ServeReport {
         lambda: cfg.lambda,
         shards: cfg.shards,
         workers_per_shard: cfg.workers_per_shard,
+        batch_max: cfg.batch_max,
         generators: cfg.generators,
         measured_time: elapsed_secs,
         per_shard,
@@ -704,6 +757,84 @@ mod tests {
         assert!(report.shed_rate() > 0.0);
         assert!(report.per_shard[0].queue_depth_hwm <= 4);
         assert!(!is_sustainable(&report));
+    }
+
+    #[test]
+    fn batched_service_drains_and_accounts() {
+        let mut cfg = ServeConfig::quick(Protocol::BLink, 1, 20_000.0);
+        cfg.initial_items = 2_000;
+        cfg.batch_max = 16;
+        let report = serve(&cfg);
+        assert!(report.served() > 0);
+        assert_eq!(report.batch_max, 16);
+        let s = &report.per_shard[0];
+        assert!(s.batches > 0, "batched drain must have executed batches");
+        assert!(
+            s.batch.ops >= s.served,
+            "every served op rode in a counted batch"
+        );
+        // Every op either reused the held leaf or paid a fresh descent;
+        // fallback inserts pay one extra descent on top.
+        assert_eq!(
+            s.batch.descents,
+            s.batch.ops - s.batch.leaf_reuses + s.batch.fallback_inserts,
+            "descent accounting identity: {:?}",
+            s.batch
+        );
+        // The per-size sums tile the batch accounting exactly.
+        let n_ops: u64 = s
+            .batch_sizes
+            .iter()
+            .map(|b| b.batches * u64::from(b.size))
+            .sum();
+        assert_eq!(n_ops, s.batch.ops);
+        assert_eq!(
+            s.batch_sizes.iter().map(|b| b.batches).sum::<u64>(),
+            s.batches
+        );
+        // Sojourn decomposes into queue wait + batch wait + effective
+        // service (up to clock-read jitter around the batch edges).
+        let sum = s.queue_wait_mean_s + s.batch_wait_mean_s + s.service_mean_s;
+        assert!(
+            (sum - s.sojourn_mean_s).abs() <= 0.15 * s.sojourn_mean_s + 1e-3,
+            "decomposition {sum} vs sojourn {}",
+            s.sojourn_mean_s
+        );
+        assert!(s.counters.ops > 0, "window counters captured");
+    }
+
+    #[test]
+    fn sequential_batches_amortize_descents() {
+        // Append-only sequential keys: consecutive drained ops land in
+        // the same rightmost leaf, so sorted-batch descent should serve
+        // most of a batch from the held leaf. The service floor prices
+        // each descent like a disk read, so a singleton server would
+        // saturate at 1/floor = 10k ops/s — the 20k λ forces a backlog
+        // that only batch amortization can drain.
+        let mut cfg = ServeConfig::quick(Protocol::BLink, 1, 20_000.0);
+        cfg.ops = OpsConfig {
+            q_search: 0.0,
+            q_insert: 1.0,
+            q_delete: 0.0,
+            keys: cbtree_workload::KeyDist::Sequential,
+        };
+        cfg.initial_items = 1_000;
+        cfg.service_floor = Duration::from_micros(100);
+        cfg.batch_max = 32;
+        cfg.generators = 1;
+        let report = serve(&cfg);
+        let s = &report.per_shard[0];
+        assert!(s.batches > 0);
+        assert!(
+            s.batch.leaf_reuses > 0,
+            "sequential batches must reuse the held leaf: {:?}",
+            s.batch
+        );
+        assert!(
+            s.batch.descents < s.batch.ops,
+            "amortization must beat one descent per op: {:?}",
+            s.batch
+        );
     }
 
     #[test]

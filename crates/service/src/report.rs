@@ -7,8 +7,10 @@
 //! queue-depth high-water marks. The schema round-trips through the
 //! `cbtree-obs` JSONL machinery (`type: "serve_report"`).
 
+use cbtree_btree::{BatchSummary, OpCountersSnapshot};
 use cbtree_harness::{latency_json, LevelLive};
 use cbtree_obs::{Json, Trace};
+use cbtree_queueing::BatchSizeMoments;
 use cbtree_sync::HistogramSnapshot;
 
 /// Measured behavior of one shard over the window.
@@ -43,6 +45,26 @@ pub struct ShardReport {
     /// Second raw moment `E[X²]` of the service time, seconds² — feeds
     /// the M/G/1 Pollaczek–Khinchine prediction in the overlay.
     pub service_m2_s2: f64,
+    /// Mean queue wait (enqueue → drain) of served ops, seconds — the
+    /// first term of the sojourn decomposition.
+    pub queue_wait_mean_s: f64,
+    /// Mean batch wait (share of the batch busy period spent on the
+    /// *other* ops of an op's batch) of served ops, seconds. Zero for
+    /// singleton service.
+    pub batch_wait_mean_s: f64,
+    /// Batches executed that carried at least one measured op.
+    pub batches: u64,
+    /// Sorted-batch descent accounting summed over those batches:
+    /// descents actually paid, leaf reuses, right-link hops, and
+    /// fallback inserts.
+    pub batch: BatchSummary,
+    /// Per-batch-size service accumulations `(n_k, ΣS, ΣS²)` — the
+    /// inputs to the M/G/c batch-service moment transform. Sizes with
+    /// zero observations are omitted.
+    pub batch_sizes: Vec<BatchSizeMoments>,
+    /// The shard tree's operation counters over the measured window —
+    /// latches per op is the direct evidence of amortized descent.
+    pub counters: OpCountersSnapshot,
     /// Per-level lock measurements of the shard's tree over the window
     /// (leaves first), same shape as the closed-loop harness.
     pub levels: Vec<LevelLive>,
@@ -104,6 +126,37 @@ impl ShardReport {
             ("service_mean_s", Json::f64_or_null(self.service_mean_s)),
             ("service_m2_s2", Json::f64_or_null(self.service_m2_s2)),
             (
+                "queue_wait_mean_s",
+                Json::f64_or_null(self.queue_wait_mean_s),
+            ),
+            (
+                "batch_wait_mean_s",
+                Json::f64_or_null(self.batch_wait_mean_s),
+            ),
+            ("batches", self.batches.into()),
+            (
+                "batch",
+                Json::obj(vec![
+                    ("ops", self.batch.ops.into()),
+                    ("descents", self.batch.descents.into()),
+                    ("leaf_reuses", self.batch.leaf_reuses.into()),
+                    ("right_hops", self.batch.right_hops.into()),
+                    ("fallback_inserts", self.batch.fallback_inserts.into()),
+                ]),
+            ),
+            (
+                "batch_sizes",
+                Json::arr(self.batch_sizes.iter().map(|b| {
+                    Json::obj(vec![
+                        ("size", b.size.into()),
+                        ("batches", b.batches.into()),
+                        ("service_sum_s", Json::f64_or_null(b.service_sum_s)),
+                        ("service_sum_sq_s2", Json::f64_or_null(b.service_sum_sq_s2)),
+                    ])
+                })),
+            ),
+            ("counters", self.counters.to_json()),
+            (
                 "levels",
                 Json::arr(self.levels.iter().map(LevelLive::to_json)),
             ),
@@ -121,6 +174,9 @@ pub struct ServeReport {
     pub shards: usize,
     /// Worker threads per shard.
     pub workers_per_shard: usize,
+    /// Most operations a worker drains and executes as one sorted batch
+    /// per wakeup (`1` = singleton service).
+    pub batch_max: usize,
     /// Open-loop generator threads.
     pub generators: usize,
     /// Length of the measured window, seconds.
@@ -191,6 +247,7 @@ impl ServeReport {
             ("lambda", Json::f64_or_null(self.lambda)),
             ("shards", self.shards.into()),
             ("workers_per_shard", self.workers_per_shard.into()),
+            ("batch_max", self.batch_max.into()),
             ("generators", self.generators.into()),
             ("measured_time", Json::f64_or_null(self.measured_time)),
             ("offered", self.offered().into()),

@@ -1,8 +1,9 @@
 //! One shard: an independent concurrent B+-tree, its bounded ingress
-//! queue, and the worker loop that drains the queue into the tree.
+//! ring, and the worker loop that drains the ring into the tree in
+//! batches.
 
 use crate::queue::{IngressQueue, QueuedOp, Shed};
-use cbtree_btree::ConcurrentBTree;
+use cbtree_btree::{BatchOp, BatchSummary, ConcurrentBTree};
 use cbtree_obs::event::shed as shed_reason;
 use cbtree_obs::trace;
 use cbtree_sync::Histogram;
@@ -25,85 +26,146 @@ pub(crate) struct ShardRuntime {
 pub(crate) struct WorkerLocal {
     pub served: u64,
     pub timed_out: u64,
-    /// Sojourn (enqueue → completion) of served ops, ns.
+    /// Sojourn (enqueue → batch completion) of served ops, ns.
     pub sojourn: Histogram,
     pub sojourn_sum_ns: u64,
     /// Queue age of timed-out ops at shed, ns.
     pub shed_wait: Histogram,
-    /// Service time (dequeue → completion) raw moment sums, seconds.
+    /// Effective per-op service (`S/k` for an op in a size-`k` batch
+    /// whose whole-batch service was `S`) raw moment sums, seconds.
+    /// For `batch_max = 1` this is exactly the singleton service time.
     pub service_sum_s: f64,
     pub service_sum_sq_s2: f64,
+    /// Queue-wait component of sojourn (enqueue → drain), ns.
+    pub queue_wait_sum_ns: u64,
+    /// Batch-wait component (time inside the batch busy period spent on
+    /// the *other* ops of the batch, `S·(k−1)/k`), ns. Sojourn
+    /// decomposes as queue-wait + batch-wait + effective service.
+    pub batch_wait_sum_ns: u64,
+    /// Batches this worker executed that contained a measured op.
+    pub batches: u64,
+    /// Descent accounting summed over those batches.
+    pub batch_summary: BatchSummary,
+    /// Per-batch-size `(batches, ΣS, ΣS²)` sums (seconds), indexed by
+    /// batch size — the inputs to the M/G/c batch-service transform.
+    pub batch_sizes: Vec<(u64, f64, f64)>,
 }
 
-fn apply(tree: &ConcurrentBTree<u64>, op: Operation) {
-    match op {
-        Operation::Search(k) => {
-            std::hint::black_box(tree.get(&k));
-        }
-        Operation::Insert(k) => {
-            std::hint::black_box(tree.insert(k, k));
-        }
-        Operation::Delete(k) => {
-            std::hint::black_box(tree.remove(&k));
-        }
-    }
-}
-
-/// Drains the shard's queue until it is closed and empty.
+/// Drains the shard's queue until it is closed and empty, up to
+/// `batch_max` operations per wakeup, executing each drained batch
+/// through the tree's sorted-batch descent.
 ///
 /// Admission control's second gate lives here: an operation whose queue
-/// wait already exceeds `max_age` at dequeue is shed (counted, its age
+/// wait already exceeds `max_age` at drain is shed (counted, its age
 /// recorded) instead of served — under overload the queue would
 /// otherwise serve only operations that have already blown any
 /// deadline. Metrics are recorded only for operations that arrived
 /// inside the measured window.
 ///
-/// `service_floor` pads every served operation to a minimum service
-/// time by sleeping out the remainder — the open-loop analogue of the
-/// paper's disk-resident node cost: an in-memory tree op takes ~1 µs,
-/// which pins utilization near zero at any arrival rate a generator
-/// can pace; the floor makes `ρ = λ·E[X]` controllable so the
-/// λ-vs-sojourn curve actually exercises the queueing regime. Sleeping
-/// (not spinning) emulates I/O: a waiting server burns no CPU.
+/// `service_floor` pads each batch to a minimum of one floor *per
+/// descent actually paid* by sleeping out the remainder — the open-loop
+/// analogue of the paper's disk-resident node cost: an in-memory tree
+/// op takes ~1 µs, which pins utilization near zero at any arrival rate
+/// a generator can pace; the floor makes `ρ = λ·E[X]` controllable.
+/// Charging per *descent* rather than per *op* is what lets batching
+/// show up in the service distribution: a batch that reuses its held
+/// leaf for `k − 1` of `k` ops pays one emulated I/O where singleton
+/// execution pays `k`. Sleeping (not spinning) emulates I/O: a waiting
+/// server burns no CPU.
 pub(crate) fn worker_loop(
     shard: u16,
     tree: &ConcurrentBTree<u64>,
     queue: &IngressQueue,
     max_age: Option<Duration>,
     service_floor: Duration,
+    batch_max: usize,
 ) -> WorkerLocal {
     let mut local = WorkerLocal::default();
-    while let Some(q) = queue.pop() {
-        let wait = q.enqueued.elapsed();
-        if let Some(limit) = max_age {
-            if wait > limit {
-                if q.measured {
-                    local.timed_out += 1;
-                    local
-                        .shed_wait
-                        .record(u64::try_from(wait.as_nanos()).unwrap_or(u64::MAX));
-                }
-                trace::shed(shard, shed_reason::TIMEOUT, q.op.key());
-                continue;
-            }
+    let mut drained: Vec<QueuedOp> = Vec::with_capacity(batch_max);
+    let mut accepted: Vec<QueuedOp> = Vec::with_capacity(batch_max);
+    loop {
+        drained.clear();
+        if queue.pop_batch(batch_max, &mut drained) == 0 {
+            break;
         }
-        trace::dequeue(shard, q.op.key());
+        accepted.clear();
+        for q in &drained {
+            let wait = q.enqueued.elapsed();
+            if let Some(limit) = max_age {
+                if wait > limit {
+                    if q.measured {
+                        local.timed_out += 1;
+                        local
+                            .shed_wait
+                            .record(u64::try_from(wait.as_nanos()).unwrap_or(u64::MAX));
+                    }
+                    trace::shed(shard, shed_reason::TIMEOUT, q.op.key());
+                    continue;
+                }
+            }
+            trace::dequeue(shard, q.op.key());
+            accepted.push(*q);
+        }
+        if accepted.is_empty() {
+            continue;
+        }
+        let k = accepted.len();
+        let ops: Vec<BatchOp<u64>> = accepted
+            .iter()
+            .map(|q| match q.op {
+                Operation::Search(key) => BatchOp::Get(key),
+                Operation::Insert(key) => BatchOp::Insert(key, key),
+                Operation::Delete(key) => BatchOp::Remove(key),
+            })
+            .collect();
+        trace::batch_begin(shard, k);
         let t0 = Instant::now();
-        apply(tree, q.op);
-        if let Some(pad) = service_floor.checked_sub(t0.elapsed()) {
+        let outcome = tree.execute_batch(ops);
+        std::hint::black_box(&outcome.results);
+        let floor_total = service_floor
+            .checked_mul(u32::try_from(outcome.summary.descents).unwrap_or(u32::MAX))
+            .unwrap_or(Duration::MAX);
+        if let Some(pad) = floor_total.checked_sub(t0.elapsed()) {
             if !pad.is_zero() {
                 std::thread::sleep(pad);
             }
         }
-        let service = t0.elapsed().as_secs_f64();
-        let sojourn = q.enqueued.elapsed();
-        if q.measured {
+        let service = t0.elapsed();
+        trace::batch_end(shard, k, outcome.summary.leaf_reuses);
+        // Batch-level accounting follows the measurement window: only
+        // batches carrying at least one measured op count, so warmup
+        // batches don't pollute the service moments.
+        if accepted.iter().any(|q| q.measured) {
+            local.batches += 1;
+            local.batch_summary.merge(&outcome.summary);
+            if local.batch_sizes.len() <= k {
+                local.batch_sizes.resize(k + 1, (0, 0.0, 0.0));
+            }
+            let s = service.as_secs_f64();
+            let entry = &mut local.batch_sizes[k];
+            entry.0 += 1;
+            entry.1 += s;
+            entry.2 += s * s;
+        }
+        let eff_s = service.as_secs_f64() / k as f64;
+        let service_ns = u64::try_from(service.as_nanos()).unwrap_or(u64::MAX);
+        let batch_wait_ns = service_ns - service_ns / k as u64;
+        for q in &accepted {
+            if !q.measured {
+                continue;
+            }
             local.served += 1;
+            let sojourn = q.enqueued.elapsed();
             let ns = u64::try_from(sojourn.as_nanos()).unwrap_or(u64::MAX);
             local.sojourn.record(ns);
             local.sojourn_sum_ns = local.sojourn_sum_ns.saturating_add(ns);
-            local.service_sum_s += service;
-            local.service_sum_sq_s2 += service * service;
+            let qw = t0.saturating_duration_since(q.enqueued);
+            local.queue_wait_sum_ns = local
+                .queue_wait_sum_ns
+                .saturating_add(u64::try_from(qw.as_nanos()).unwrap_or(u64::MAX));
+            local.batch_wait_sum_ns = local.batch_wait_sum_ns.saturating_add(batch_wait_ns);
+            local.service_sum_s += eff_s;
+            local.service_sum_sq_s2 += eff_s * eff_s;
         }
     }
     local

@@ -90,6 +90,66 @@ impl KeyDist {
             KeyDist::Sequential => counter,
         }
     }
+
+    /// The number of distinct keys this distribution draws from (the
+    /// `keyspace` every run's `meta` record reports). Sequential streams
+    /// are unbounded, reported as 0 by convention.
+    pub fn span(&self) -> u64 {
+        match *self {
+            KeyDist::Uniform { lo, hi } => hi.saturating_sub(lo),
+            KeyDist::Zipf { n, .. } => n,
+            KeyDist::Sequential => 0,
+        }
+    }
+
+    /// Exclusive upper bound of the keys this distribution can draw, or
+    /// `None` when unbounded (sequential streams grow without limit, so
+    /// a key-range router must split the full `u64` space).
+    pub fn key_space_hi(&self) -> Option<u64> {
+        match *self {
+            KeyDist::Uniform { hi, .. } => Some(hi),
+            KeyDist::Zipf { n, .. } => Some(n),
+            KeyDist::Sequential => None,
+        }
+    }
+
+    /// Short name for tables and JSONL records.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KeyDist::Uniform { .. } => "uniform",
+            KeyDist::Zipf { .. } => "zipf",
+            KeyDist::Sequential => "seq",
+        }
+    }
+
+    /// Parses the CLI spelling shared by the `live` and `serve` binaries:
+    /// `uniform` (over `[0, key_space)`), `zipf:<theta>` (ranks over
+    /// `[0, key_space)`), or `seq` / `sequential`.
+    pub fn parse_cli(spec: &str, key_space: u64) -> Result<KeyDist, String> {
+        match spec {
+            "uniform" => Ok(KeyDist::Uniform {
+                lo: 0,
+                hi: key_space,
+            }),
+            "seq" | "sequential" => Ok(KeyDist::Sequential),
+            _ => {
+                let theta = spec
+                    .strip_prefix("zipf:")
+                    .ok_or_else(|| {
+                        format!("unknown key distribution {spec:?} (uniform | zipf:<theta> | seq)")
+                    })?
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad zipf theta in {spec:?}: {e}"))?;
+                if !theta.is_finite() || theta < 0.0 {
+                    return Err(format!("zipf theta must be finite and >= 0, got {theta}"));
+                }
+                Ok(KeyDist::Zipf {
+                    n: key_space,
+                    theta,
+                })
+            }
+        }
+    }
 }
 
 /// Samples a Zipf(θ) rank in `[0, n)` by rejection-inversion
@@ -249,5 +309,47 @@ mod tests {
         let kd = KeyDist::Sequential;
         let mut rng = Rng::new(5);
         assert_eq!(kd.sample(&mut rng, 42), 42);
+    }
+
+    #[test]
+    fn span_and_key_space_hi_per_variant() {
+        let uni = KeyDist::Uniform { lo: 100, hi: 350 };
+        assert_eq!(uni.span(), 250);
+        assert_eq!(uni.key_space_hi(), Some(350));
+        let zipf = KeyDist::Zipf { n: 64, theta: 0.9 };
+        assert_eq!(zipf.span(), 64);
+        assert_eq!(zipf.key_space_hi(), Some(64));
+        assert_eq!(KeyDist::Sequential.span(), 0);
+        assert_eq!(KeyDist::Sequential.key_space_hi(), None);
+    }
+
+    #[test]
+    fn parse_cli_round_trips_each_spelling() {
+        assert_eq!(
+            KeyDist::parse_cli("uniform", 1000).unwrap(),
+            KeyDist::Uniform { lo: 0, hi: 1000 }
+        );
+        assert_eq!(
+            KeyDist::parse_cli("zipf:0.99", 500).unwrap(),
+            KeyDist::Zipf {
+                n: 500,
+                theta: 0.99
+            }
+        );
+        assert_eq!(KeyDist::parse_cli("seq", 42).unwrap(), KeyDist::Sequential);
+        assert_eq!(
+            KeyDist::parse_cli("sequential", 42).unwrap(),
+            KeyDist::Sequential
+        );
+        assert!(KeyDist::parse_cli("hotset", 10).is_err());
+        assert!(KeyDist::parse_cli("zipf:nope", 10).is_err());
+        assert!(KeyDist::parse_cli("zipf:-1", 10).is_err());
+        for (kd, name) in [
+            (KeyDist::parse_cli("uniform", 10).unwrap(), "uniform"),
+            (KeyDist::parse_cli("zipf:0.5", 10).unwrap(), "zipf"),
+            (KeyDist::Sequential, "seq"),
+        ] {
+            assert_eq!(kd.name(), name);
+        }
     }
 }

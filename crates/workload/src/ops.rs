@@ -125,6 +125,16 @@ impl OpStream {
         self.txn
     }
 
+    /// Starts the sequential-key counter at `base` instead of 0, so a
+    /// stream generating [`KeyDist::Sequential`] keys appends *after* a
+    /// prefill that already consumed counters `0..base` (without this,
+    /// every generated insert would collide with a prefilled key and
+    /// degenerate into replacement). No-op for other distributions.
+    pub fn with_seq_base(mut self, base: u64) -> Self {
+        self.seq_counter = base;
+        self
+    }
+
     /// Whether the most recently drawn operation ends a transaction
     /// (callers commit when this is true). Trivially true between
     /// transactions and before the first draw.
@@ -319,6 +329,20 @@ mod tests {
     #[should_panic(expected = "transaction size")]
     fn zero_txn_rejected() {
         let _ = stream(0).with_txn(0);
+    }
+
+    #[test]
+    fn seq_base_offsets_generated_keys_past_a_prefill() {
+        let cfg = OpsConfig {
+            q_search: 0.0,
+            q_insert: 1.0,
+            q_delete: 0.0,
+            keys: KeyDist::Sequential,
+        };
+        let mut s = OpStream::new(cfg, 3).with_seq_base(500);
+        for i in 0..20u64 {
+            assert_eq!(s.next_op(), Operation::Insert(500 + i));
+        }
     }
 
     #[test]

@@ -24,13 +24,18 @@ cargo test --workspace --features inject -q
 
 echo "==> reclamation pillar: differential + conviction suites (inject feature)"
 cargo test -p cbtree-btree --features inject --test differential -q
-cargo test -p cbtree-check --features inject --test e2e -q
+# cbtree-check's deps enable inject unconditionally, so no feature flag
+# here (cargo rejects -p PKG --features F when PKG itself lacks F).
+cargo test -p cbtree-check --test e2e -q
 
 echo "==> cargo test (trace feature: event tracing compiled in)"
 cargo test --workspace --features trace -q
 
 echo "==> correctness pillar: quick stress sweep (4 protocols x 16 seeds)"
 cargo run --release -p cbtree-check --bin stress -- --quick
+
+echo "==> correctness pillar: batched-execution sweep (sorted batches of 4)"
+cargo run --release -p cbtree-check --bin stress -- --quick --batch 4 --seeds 8
 
 echo "==> correctness pillar: injected-bug demo (checker must convict)"
 cargo run --release -p cbtree-check --bin stress -- --demo-bug
@@ -52,6 +57,16 @@ target/release/serve --shards 2 --generators 1 --service-floor-us 300 \
     --warmup-ms 100 --measure-ms 300 --assert-low-shed \
     --json results/serve-smoke.jsonl > /dev/null
 target/release/analyze --serve results/serve-smoke.jsonl
+
+echo "==> batched service layer: smoke sweep (2 shards x 2 workers x 2 batch sizes) + overlay"
+for bm in 1 8; do
+    target/release/serve --shards 2 --workers 2 --batch-max "$bm" \
+        --generators 1 --service-floor-us 300 --queue-cap 256 \
+        --sweep 1000,2000,4000 --items 10000 \
+        --warmup-ms 100 --measure-ms 300 --assert-low-shed \
+        --json "results/serve-batch-b$bm.jsonl" > /dev/null
+    target/release/analyze --serve "results/serve-batch-b$bm.jsonl"
+done
 
 echo "==> lock microbenchmark (smoke, trace-off overhead guard vs BENCH_lock.json)"
 target/release/lockbench --smoke --assert-overhead 2 --out BENCH_lock_smoke.json
